@@ -1,0 +1,97 @@
+// Figure 4a: CDF of the periodic-event deviation metric on the idle
+// dataset, 5-fold cross-validated (train folds infer the periodic models;
+// the metric is evaluated on both train and test partitions).
+// Paper: the train/test distributions overlap and >99% of periodic flows
+// are consistent with their inferred periods (zero deviation); the knee of
+// the CDF motivates the ln(5) ≈ 1.61 significance threshold.
+#include <cstdio>
+#include <map>
+
+#include "behaviot/deviation/periodic_metric.hpp"
+#include "behaviot/deviation/thresholds.hpp"
+#include "common.hpp"
+
+using namespace behaviot;
+using namespace behaviot::bench;
+
+namespace {
+
+/// Per-event deviation scores for one partition of flows, given models.
+/// Within-tolerance arrivals "strictly follow their periods" → exactly 0.
+std::vector<double> deviation_scores(const std::vector<FlowRecord>& flows,
+                                     const PeriodicModelSet& models) {
+  std::map<std::pair<DeviceId, std::string>, Timestamp> last;
+  std::vector<double> scores;
+  for (const FlowRecord& f : flows) {
+    const std::string group = f.group_key();
+    const PeriodicModel* model = models.find(f.device, group);
+    if (model == nullptr) continue;
+    auto it = last.find({f.device, group});
+    if (it != last.end()) {
+      const double elapsed = static_cast<double>(f.start - it->second) / 1e6;
+      const double raw =
+          periodic_deviation_nearest_cycle(elapsed, model->period_seconds,
+                                           PeriodicEventClassifier::kMaxSkippedCycles);
+      const bool on_schedule =
+          std::abs(elapsed - std::round(elapsed / model->period_seconds) *
+                                 model->period_seconds) <=
+          model->tolerance_seconds;
+      scores.push_back(on_schedule ? 0.0 : raw);
+    }
+    last[{f.device, group}] = f.start;
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 4a: periodic-event deviation metric CDF ===\n\n");
+  Scale scale = Scale::from_args(argc, argv);
+  scale.idle_days = std::max(scale.idle_days, 2.5);  // room for 5 day-folds
+
+  const std::size_t k_folds = 5;
+  std::vector<double> train_scores, test_scores;
+
+  // 5 day-slice folds: train on all but one slice, test on the held-out one
+  // (time slicing keeps timer semantics intact).
+  const auto capture = testbed::Datasets::idle(5001, scale.idle_days);
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto flows = pipeline.to_flows(capture, resolver);
+  const double fold_seconds = scale.idle_days * 86400.0 / k_folds;
+
+  for (std::size_t fold = 0; fold < k_folds; ++fold) {
+    const double lo = static_cast<double>(fold) * fold_seconds;
+    const double hi = lo + fold_seconds;
+    std::vector<FlowRecord> train, test;
+    for (const FlowRecord& f : flows) {
+      const double t = f.start.seconds();
+      (t >= lo && t < hi ? test : train).push_back(f);
+    }
+    const auto models = PeriodicModelSet::infer(
+        train, scale.idle_days * 86400.0 * (k_folds - 1) / k_folds);
+    const auto tr = deviation_scores(train, models);
+    const auto te = deviation_scores(test, models);
+    train_scores.insert(train_scores.end(), tr.begin(), tr.end());
+    test_scores.insert(test_scores.end(), te.begin(), te.end());
+  }
+
+  print_cdf("train partitions (5 folds)", train_scores);
+  print_cdf("test partitions (5 folds)", test_scores);
+  std::printf("\nzero-deviation fraction: train %.2f%%, test %.2f%%  "
+              "[paper: >99%% consistent with inferred periods]\n",
+              zero_fraction(train_scores) * 100,
+              zero_fraction(test_scores) * 100);
+
+  std::vector<double> combined = train_scores;
+  combined.insert(combined.end(), test_scores.begin(), test_scores.end());
+  std::printf("CDF knee: %.3f   significance threshold used: ln(5) = %.3f\n",
+              cdf_knee(combined), kPeriodicDeviationThreshold);
+
+  const bool ok = zero_fraction(train_scores) > 0.95 &&
+                  zero_fraction(test_scores) > 0.90;
+  std::printf("shape check — distributions overlap near zero: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark): throughput of the pipeline's hot
+// paths. Useful for the §7.2 deployment claim that the system is light
+// enough for a home gateway.
+#include <benchmark/benchmark.h>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/flow/features.hpp"
+#include "behaviot/ml/random_forest.hpp"
+#include "behaviot/periodic/fft.hpp"
+#include "behaviot/periodic/period_detector.hpp"
+#include "behaviot/pfsm/synoptic.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+namespace {
+
+void BM_FlowAssembly(benchmark::State& state) {
+  const auto capture = testbed::Datasets::idle(111, 0.1);
+  for (auto _ : state) {
+    DomainResolver resolver;
+    testbed::configure_resolver(resolver, capture);
+    FlowAssembler assembler;
+    benchmark::DoNotOptimize(assembler.assemble(capture.packets, resolver));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(capture.packets.size()));
+}
+BENCHMARK(BM_FlowAssembly);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto capture = testbed::Datasets::idle(112, 0.05);
+  DomainResolver resolver;
+  testbed::configure_resolver(resolver, capture);
+  FlowAssembler assembler;
+  const auto flows = assembler.assemble(capture.packets, resolver);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_features(flows[i++ % flows.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::sin(0.1 * static_cast<double>(i)), 0.0};
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_PeriodDetection(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> times;
+  const double window = 86400.0;
+  for (double t = rng.uniform(0, 600); t < window; t += 600.0) {
+    times.push_back(t + rng.normal(0, 5));
+  }
+  const PeriodDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(times, window));
+  }
+}
+BENCHMARK(BM_PeriodDetection);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  Rng rng(8);
+  Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row(kNumFlowFeatures);
+    for (auto& v : row) v = rng.uniform(0, 1000);
+    data.add(std::move(row), i % 2);
+  }
+  RandomForest forest({.num_trees = 30, .seed = 5});
+  forest.fit(data, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_proba(data.X[i++ % data.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_PfsmTraceProbability(benchmark::State& state) {
+  std::vector<std::vector<std::string>> traces;
+  for (int i = 0; i < 50; ++i) {
+    traces.push_back({"cam:motion", "bulb:on", "bulb:off"});
+    traces.push_back({"ring:ring", "plug:on", "spot:voice", "plug:off"});
+  }
+  const auto pfsm = infer_pfsm(traces).pfsm;
+  const std::vector<std::string> query{"ring:ring", "plug:on", "plug:off"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pfsm.trace_probability(query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PfsmTraceProbability);
+
+void BM_SynopticInference(benchmark::State& state) {
+  const auto routine = testbed::Datasets::routine_week(113, 2.0);
+  const auto traces = build_traces(routine.events);
+  std::vector<std::vector<std::string>> labels;
+  for (const auto& t : traces) labels.push_back(trace_labels(t));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer_pfsm(labels));
+  }
+}
+BENCHMARK(BM_SynopticInference);
+
+}  // namespace
+}  // namespace behaviot
+
+BENCHMARK_MAIN();

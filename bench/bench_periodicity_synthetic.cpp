@@ -1,0 +1,85 @@
+// §5.1 "Periodic models" synthetic evaluation:
+//   100 periodic sequences with varying periods,
+//   100 aperiodic sequences (random times),
+//   100 periodic sequences with injected aperiodic noise.
+// The paper reports 100% correct classification on all three sets.
+#include <cmath>
+#include <cstdio>
+
+#include "behaviot/analysis/report.hpp"
+#include "behaviot/net/rng.hpp"
+#include "behaviot/periodic/period_detector.hpp"
+
+using namespace behaviot;
+
+namespace {
+
+std::vector<double> periodic_times(double period, double jitter, double window,
+                                   Rng& rng) {
+  std::vector<double> times;
+  const double phase = rng.uniform(0.0, period);
+  for (double t = phase; t < window; t += period) {
+    times.push_back(std::max(0.0, t + rng.normal(0.0, jitter)));
+  }
+  return times;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Synthetic periodicity evaluation (Sec 5.1) ===\n");
+  std::printf("paper: 100%% correct on periodic / aperiodic / noisy sets\n\n");
+
+  const double window = 2 * 86400.0;
+  const PeriodDetector detector;
+  Rng rng(20230101);
+
+  int periodic_correct = 0, aperiodic_correct = 0, noisy_correct = 0;
+  double worst_period_error = 0.0;
+
+  for (int i = 0; i < 100; ++i) {
+    const double period = 236.0 + 107.0 * i;
+
+    // Periodic sequence.
+    Rng seq_rng = rng.fork(static_cast<std::uint64_t>(i));
+    const auto times = periodic_times(period, 0.01 * period, window, seq_rng);
+    if (auto d = detector.dominant_period(times, window)) {
+      const double err = std::abs(d->period_seconds - period) / period;
+      if (err < 0.08) {
+        ++periodic_correct;
+        worst_period_error = std::max(worst_period_error, err);
+      }
+    }
+
+    // Aperiodic sequence: random permutation of the structure = uniform
+    // random times with the same event count.
+    std::vector<double> random_times;
+    for (std::size_t k = 0; k < times.size() + 50; ++k) {
+      random_times.push_back(seq_rng.uniform(0.0, window));
+    }
+    if (detector.detect(random_times, window).empty()) ++aperiodic_correct;
+
+    // Noisy periodic sequence: periodic + 25% aperiodic noise.
+    auto noisy = times;
+    for (std::size_t k = 0; k < times.size() / 4; ++k) {
+      noisy.push_back(seq_rng.uniform(0.0, window));
+    }
+    bool found = false;
+    for (const auto& d : detector.detect(noisy, window)) {
+      if (std::abs(d.period_seconds - period) / period < 0.08) found = true;
+    }
+    if (found) ++noisy_correct;
+  }
+
+  TablePrinter table({"Sequence set", "Correct", "Paper"});
+  table.add_row({"periodic (100)", std::to_string(periodic_correct) + "/100",
+                 "100/100"});
+  table.add_row({"aperiodic (100)", std::to_string(aperiodic_correct) + "/100",
+                 "100/100"});
+  table.add_row({"noisy periodic (100)",
+                 std::to_string(noisy_correct) + "/100", "100/100"});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("worst relative period error on detected: %.3f%%\n",
+              worst_period_error * 100.0);
+  return (periodic_correct + aperiodic_correct + noisy_correct) == 300 ? 0 : 1;
+}

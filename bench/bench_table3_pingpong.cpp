@@ -1,0 +1,70 @@
+// Table 3: user event classification accuracy, BehavIoT vs PingPong [67],
+// on the six devices the two studies share. Paper numbers:
+//   Amazon Plug     100%    vs 98%
+//   Wemo Plug       100%    vs 100%
+//   TP-Link Bulb    96.15%  vs 83.3%
+//   TP-Link Plug    100%    vs 100%
+//   Nest Thermostat 94.74%  vs 93%
+//   Smartlife Bulb  100%    vs 100%
+// The shape to reproduce: BehavIoT >= PingPong everywhere, with the gap on
+// devices whose events ride UDP or carry variable payload sizes.
+#include <cstdio>
+
+#include "behaviot/baseline/pingpong.hpp"
+#include "common.hpp"
+
+using namespace behaviot;
+using namespace behaviot::bench;
+
+int main(int argc, char** argv) {
+  std::printf("=== Table 3: BehavIoT vs PingPong accuracy ===\n\n");
+  const Scale scale = Scale::from_args(argc, argv);
+  TrainedFixture fx(scale);
+  const auto& catalog = testbed::Catalog::standard();
+
+  const auto pingpong = PingPongClassifier::train(fx.activity_flows);
+
+  // Held-out activity traffic.
+  const auto test_capture = testbed::Datasets::activity(3001, 6);
+  const auto test_flows = fx.pipeline.to_flows(test_capture, fx.resolver);
+  const auto classified = fx.pipeline.classify(test_flows, fx.models);
+
+  const char* overlap_devices[] = {"amazon_plug",     "wemo_plug",
+                                   "tplink_bulb",     "tplink_plug",
+                                   "nest_thermostat", "smartlife_bulb"};
+  const char* paper_rows[] = {"100% / 98%",    "100% / 100%",
+                              "96.15% / 83.3%", "100% / 100%",
+                              "94.74% / 93%",   "100% / 100%"};
+
+  TablePrinter table(
+      {"Device", "BehavIoT acc", "PingPong acc", "paper (BehavIoT/PingPong)"});
+  bool behaviot_never_worse = true;
+  int device_index = 0;
+  for (const char* name : overlap_devices) {
+    const auto* dev = catalog.by_name(name);
+    std::size_t events = 0, ours_correct = 0, pp_correct = 0;
+    for (std::size_t i = 0; i < test_flows.size(); ++i) {
+      const FlowRecord& f = test_flows[i];
+      if (f.device != dev->id || f.truth != EventKind::kUser) continue;
+      ++events;
+      if (classified.kinds[i] == EventKind::kUser &&
+          classified.labels[i] == f.truth_label) {
+        ++ours_correct;
+      }
+      if (pingpong.classify(f).activity == f.truth_label) ++pp_correct;
+    }
+    const double ours = events == 0 ? 0.0
+                                    : static_cast<double>(ours_correct) /
+                                          static_cast<double>(events);
+    const double pp = events == 0 ? 0.0
+                                  : static_cast<double>(pp_correct) /
+                                        static_cast<double>(events);
+    if (ours + 1e-9 < pp) behaviot_never_worse = false;
+    table.add_row({dev->display, TablePrinter::percent(ours, 2),
+                   TablePrinter::percent(pp, 2), paper_rows[device_index++]});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check — BehavIoT >= PingPong on every device: %s\n",
+              behaviot_never_worse ? "yes" : "NO");
+  return behaviot_never_worse ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Shared harness for the reproduction benches: builds the controlled
+// datasets, trains the behavior models once, and provides CDF/table output
+// helpers so every table/figure binary prints in the same format.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "behaviot/analysis/report.hpp"
+#include "behaviot/core/deviation_engine.hpp"
+#include "behaviot/core/pipeline.hpp"
+
+namespace behaviot::bench {
+
+/// Dataset scale used by the benches. Smaller than the paper's collection
+/// windows (5 d idle / 30 reps / 7 d routine) by default so the full bench
+/// suite completes in minutes; pass --paper-scale for the full windows.
+struct Scale {
+  double idle_days = 2.0;
+  std::size_t activity_repetitions = 10;
+  double routine_days = 4.0;
+
+  static Scale from_args(int argc, char** argv) {
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--paper-scale") {
+        s.idle_days = 5.0;
+        s.activity_repetitions = 30;
+        s.routine_days = 7.0;
+      }
+    }
+    return s;
+  }
+};
+
+/// Everything the benches need: datasets as flows + trained models.
+struct TrainedFixture {
+  Pipeline pipeline;
+  DomainResolver resolver;
+  std::vector<FlowRecord> idle_flows;
+  std::vector<FlowRecord> activity_flows;
+  std::vector<FlowRecord> routine_flows;
+  testbed::GeneratedCapture routine_capture;
+  BehaviorModelSet models;
+  double idle_window_seconds = 0.0;
+
+  explicit TrainedFixture(const Scale& scale, std::uint64_t seed_base = 1000) {
+    std::printf("[setup] generating datasets (idle %.1fd, %zu reps, routine "
+                "%.1fd)...\n",
+                scale.idle_days, scale.activity_repetitions,
+                scale.routine_days);
+    const auto idle = testbed::Datasets::idle(seed_base + 1, scale.idle_days);
+    const auto activity = testbed::Datasets::activity(
+        seed_base + 2, scale.activity_repetitions);
+    routine_capture =
+        testbed::Datasets::routine_week(seed_base + 3, scale.routine_days);
+    idle_window_seconds = scale.idle_days * 86400.0;
+
+    std::printf("[setup] assembling flows...\n");
+    idle_flows = pipeline.to_flows(idle, resolver);
+    activity_flows = pipeline.to_flows(activity, resolver);
+    routine_flows = pipeline.to_flows(routine_capture, resolver);
+
+    std::printf("[setup] training models...\n");
+    models = pipeline.train(idle_flows, idle_window_seconds, activity_flows,
+                            routine_flows);
+    std::printf("[setup] %zu periodic models, %zu user-action classifiers, "
+                "PFSM %zu states / %zu transitions\n\n",
+                models.periodic.size(), models.user_actions.size(),
+                models.pfsm.num_states(), models.pfsm.num_transitions());
+  }
+};
+
+/// Prints an empirical CDF as (value, percentile) rows — the data behind the
+/// paper's CDF figures, reproducible with any plotting tool.
+inline void print_cdf(const std::string& name, std::vector<double> samples,
+                      const std::vector<double>& percentiles = {
+                          1, 5, 10, 25, 50, 75, 90, 95, 99, 100}) {
+  if (samples.empty()) {
+    std::printf("%s: (no samples)\n", name.c_str());
+    return;
+  }
+  std::sort(samples.begin(), samples.end());
+  std::printf("%s  (n=%zu)\n", name.c_str(), samples.size());
+  for (double p : percentiles) {
+    const auto idx = static_cast<std::size_t>(
+        std::min(static_cast<double>(samples.size()) - 1.0,
+                 p / 100.0 * static_cast<double>(samples.size())));
+    std::printf("  p%-5.1f %10.4f\n", p, samples[idx]);
+  }
+}
+
+/// Fraction of samples at (approximately) zero — CDF mass at the origin.
+inline double zero_fraction(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (double s : samples) {
+    if (s < 1e-9) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(samples.size());
+}
+
+}  // namespace behaviot::bench

@@ -1,0 +1,67 @@
+// fleet_report: the §6.1 per-device behavior characterization as an
+// operator-facing report — periodic-model inventory with periods, party
+// split of destinations, and the traffic mix per device, plus the
+// cross-device observations the paper highlights (complexity ↔ model count,
+// same-vendor devices with differing periods).
+//
+//   $ ./fleet_report
+#include <cstdio>
+
+#include "behaviot/analysis/characterize.hpp"
+#include "behaviot/core/pipeline.hpp"
+
+using namespace behaviot;
+
+int main() {
+  std::printf("=== BehavIoT fleet report ===\n\n");
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto idle = testbed::Datasets::idle(601, 1.5);
+  const auto idle_flows = pipeline.to_flows(idle, resolver);
+  const auto models = PeriodicModelSet::infer(idle_flows, 1.5 * 86400.0);
+
+  const auto& catalog = testbed::Catalog::standard();
+  const auto registry = PartyRegistry::standard();
+  const auto devices =
+      characterize_devices(models, idle_flows, catalog, registry);
+  std::printf("%s", render_characterization(devices).c_str());
+
+  // Cross-device observations (§6.1).
+  double speaker_models = 0, automation_models = 0;
+  std::size_t speakers = 0, automations = 0;
+  for (const auto& c : devices) {
+    if (c.category == testbed::DeviceCategory::kSmartSpeaker) {
+      speaker_models += static_cast<double>(c.periodic_models);
+      ++speakers;
+    }
+    if (c.category == testbed::DeviceCategory::kHomeAutomation) {
+      automation_models += static_cast<double>(c.periodic_models);
+      ++automations;
+    }
+  }
+  std::printf("--- observations ---\n");
+  std::printf(
+      "complex devices carry more periodic models: smart speakers avg %.1f "
+      "vs home automation avg %.1f\n",
+      speaker_models / static_cast<double>(speakers),
+      automation_models / static_cast<double>(automations));
+
+  const auto* bulb = catalog.by_name("tplink_bulb");
+  const auto* plug = catalog.by_name("tplink_plug");
+  double bulb_cloud = 0, plug_cloud = 0;
+  for (const auto* m : models.models_for(bulb->id)) {
+    if (m->domain.find("tplinkcloud") != std::string::npos) {
+      bulb_cloud = m->period_seconds;
+    }
+  }
+  for (const auto* m : models.models_for(plug->id)) {
+    if (m->domain.find("tplinkcloud") != std::string::npos) {
+      plug_cloud = m->period_seconds;
+    }
+  }
+  std::printf(
+      "same vendor, different periods (supply-chain variation): TP-Link "
+      "Bulb %.0fs vs TP-Link Plug %.0fs to the same cloud\n",
+      bulb_cloud, plug_cloud);
+  return 0;
+}

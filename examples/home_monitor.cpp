@@ -1,0 +1,62 @@
+// home_monitor: a streaming gateway monitor (§7.2 "Anomaly detection").
+//
+// Trains behavior models during an observation phase, then watches a stream
+// of daily traffic windows, printing human-readable alerts with the device,
+// score, threshold, and triggering context — the information the paper
+// argues an IoT safeguard needs to triage anomalies.
+//
+//   $ ./home_monitor [days]      (default 14 days of the user study)
+#include <cstdio>
+#include <cstdlib>
+
+#include "behaviot/core/deviation_engine.hpp"
+#include "behaviot/core/pipeline.hpp"
+
+using namespace behaviot;
+
+int main(int argc, char** argv) {
+  std::size_t watch_days = 14;
+  if (argc > 1) watch_days = static_cast<std::size_t>(std::atoi(argv[1]));
+  watch_days = std::min(watch_days, testbed::Datasets::kUncontrolledDays);
+
+  std::printf("=== BehavIoT home monitor ===\n");
+  std::printf("[observe] training behavior models on controlled data...\n");
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto idle = testbed::Datasets::idle(201, 1.5);
+  const auto activity = testbed::Datasets::activity(202, 8);
+  const auto routine = testbed::Datasets::routine_week(203, 3.0);
+  const auto models = pipeline.train(
+      pipeline.to_flows(idle, resolver), 1.5 * 86400.0,
+      pipeline.to_flows(activity, resolver),
+      pipeline.to_flows(routine, resolver));
+  std::printf("[observe] %zu periodic models, %zu user-action classifiers, "
+              "PFSM %zu states\n\n",
+              models.periodic.size(), models.user_actions.size(),
+              models.pfsm.num_states());
+
+  const auto& catalog = testbed::Catalog::standard();
+  DeviationEngine engine(models);
+  std::size_t total_alerts = 0;
+  for (std::size_t day = 0; day < watch_days; ++day) {
+    const auto capture = testbed::Datasets::uncontrolled_day(day, 204);
+    const auto alerts = engine.process_window(capture);
+    std::printf("[day %2zu] %zu flows, %zu user events, %zu alerts\n", day,
+                capture.truths.size(), capture.events.size(), alerts.size());
+    for (const auto& a : alerts) {
+      const char* device_name =
+          a.device == kUnknownDevice ? "(system)"
+                                     : catalog.by_id(a.device).display.c_str();
+      std::printf("  ALERT %-10s %-18s score %6.2f (thr %5.2f)  %s\n",
+                  to_string(a.source), device_name, a.score, a.threshold,
+                  a.context.substr(0, 90).c_str());
+    }
+    total_alerts += alerts.size();
+  }
+  std::printf("\n%zu alerts over %zu days (%.2f/day; the paper observed "
+              "~2/day on the full testbed)\n",
+              total_alerts, watch_days,
+              static_cast<double>(total_alerts) /
+                  static_cast<double>(watch_days));
+  return 0;
+}

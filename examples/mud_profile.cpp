@@ -1,0 +1,53 @@
+// mud_profile: generate MUD-like profiles from inferred behavior models
+// (§7.2 "Informing IoT profiles").
+//
+// RFC 8520 expects manufacturers to publish device communication profiles;
+// four years on, none of the paper's 49 devices shipped one. This example
+// builds the profile *from observation*: the device's periodic models
+// (protocol-destination-period) plus its user-event destinations.
+//
+//   $ ./mud_profile [device-name]      (default: tplink_plug)
+#include <cstdio>
+#include <string>
+
+#include "behaviot/core/mud_profile.hpp"
+#include "behaviot/core/pipeline.hpp"
+
+using namespace behaviot;
+
+int main(int argc, char** argv) {
+  const std::string device_name = argc > 1 ? argv[1] : "tplink_plug";
+  const auto& catalog = testbed::Catalog::standard();
+  const auto* device = catalog.by_name(device_name);
+  if (device == nullptr) {
+    std::fprintf(stderr, "unknown device '%s'; available:\n",
+                 device_name.c_str());
+    for (const auto& d : catalog.devices()) {
+      std::fprintf(stderr, "  %s\n", d.name.c_str());
+    }
+    return 1;
+  }
+
+  std::printf("=== MUD profile generation for %s ===\n\n",
+              device->display.c_str());
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto idle = testbed::Datasets::idle(301, 2.0);
+  const auto activity = testbed::Datasets::activity(302, 8);
+  const auto idle_flows = pipeline.to_flows(idle, resolver);
+  const auto activity_flows = pipeline.to_flows(activity, resolver);
+
+  const auto periodic = PeriodicModelSet::infer(idle_flows, 2.0 * 86400.0);
+  std::vector<FlowRecord> user_flows;
+  for (const FlowRecord& f : activity_flows) {
+    if (f.truth == EventKind::kUser) user_flows.push_back(f);
+  }
+
+  const MudProfile profile = generate_mud_profile(
+      device->id, device->name, periodic, user_flows);
+  std::printf("%s\n", profile.to_json().c_str());
+  std::printf("// %zu ACL entries inferred. Any traffic from %s not matching "
+              "these\n// entries would be flagged as MUD-non-compliant.\n",
+              profile.entries.size(), device->display.c_str());
+  return 0;
+}

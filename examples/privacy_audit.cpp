@@ -1,0 +1,79 @@
+// privacy_audit: destination/party exposure report (§6.1 + §7.2 "Regulatory
+// and privacy policy compliance").
+//
+// For every device, classifies each observed destination as first/support/
+// third party and essential/non-essential, and flags the combinations that
+// merit attention: third-party periodic telemetry and blockable
+// non-essential traffic — the GDPR data-minimization angle of the paper.
+//
+//   $ ./privacy_audit
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "behaviot/analysis/essential.hpp"
+#include "behaviot/analysis/party.hpp"
+#include "behaviot/analysis/report.hpp"
+#include "behaviot/core/pipeline.hpp"
+
+using namespace behaviot;
+
+int main() {
+  std::printf("=== BehavIoT privacy audit ===\n\n");
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto idle = testbed::Datasets::idle(401, 1.0);
+  const auto activity = testbed::Datasets::activity(402, 6);
+  const auto idle_flows = pipeline.to_flows(idle, resolver);
+  const auto activity_flows = pipeline.to_flows(activity, resolver);
+
+  const auto& catalog = testbed::Catalog::standard();
+  const auto registry = PartyRegistry::standard();
+  const auto essential = EssentialList::standard();
+
+  // destination → (devices, parties, essentiality, flow count).
+  struct DestInfo {
+    std::set<std::string> devices;
+    Party party = Party::kUnknown;
+    Essentiality essentiality = Essentiality::kUnlisted;
+    std::size_t flows = 0;
+  };
+  std::map<std::string, DestInfo> destinations;
+  for (const auto* flows : {&idle_flows, &activity_flows}) {
+    for (const FlowRecord& f : *flows) {
+      if (f.domain.empty()) continue;
+      const auto& info = catalog.by_id(f.device);
+      DestInfo& d = destinations[f.domain];
+      d.devices.insert(info.name);
+      d.party = registry.classify(f.domain, info.vendor);
+      d.essentiality = essential.classify(f.domain);
+      ++d.flows;
+    }
+  }
+
+  std::size_t third_party = 0, non_essential = 0;
+  TablePrinter flagged({"Destination", "Party", "Essential?", "Devices",
+                        "Flows"});
+  for (const auto& [domain, d] : destinations) {
+    if (d.party == Party::kThird) ++third_party;
+    if (d.essentiality == Essentiality::kNonEssential) ++non_essential;
+    if (d.party == Party::kThird ||
+        d.essentiality == Essentiality::kNonEssential) {
+      flagged.add_row({domain, to_string(d.party), to_string(d.essentiality),
+                       std::to_string(d.devices.size()),
+                       std::to_string(d.flows)});
+    }
+  }
+
+  std::printf("observed destinations: %zu (%zu third-party, %zu known "
+              "non-essential)\n\n",
+              destinations.size(), third_party, non_essential);
+  std::printf("--- destinations flagged for review ---\n%s\n",
+              flagged.to_string().c_str());
+  std::printf(
+      "Recommendation: non-essential destinations can be blocked without\n"
+      "impairing functionality (per the IoTrim methodology the paper\n"
+      "builds on); third-party periodic telemetry may violate the GDPR\n"
+      "art. 5(1)(c) data-minimization principle and deserves disclosure.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "behaviot/analysis/characterize.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace behaviot {
+
+std::vector<DeviceCharacterization> characterize_devices(
+    const PeriodicModelSet& models, std::span<const FlowRecord> flows,
+    const testbed::Catalog& catalog, const PartyRegistry& registry) {
+  std::map<DeviceId, DeviceCharacterization> by_device;
+  for (const auto& info : catalog.devices()) {
+    DeviceCharacterization c;
+    c.device = info.id;
+    c.name = info.name;
+    c.display = info.display;
+    c.category = info.category;
+    by_device[info.id] = std::move(c);
+  }
+
+  // Model inventory + destination parties.
+  std::map<DeviceId, std::set<std::string>> dest_seen;
+  for (const PeriodicModel& m : models.all()) {
+    auto it = by_device.find(m.device);
+    if (it == by_device.end()) continue;
+    DeviceCharacterization& c = it->second;
+    ++c.periodic_models;
+    c.periods.push_back(m.period_seconds);
+    if (m.domain.empty() || !dest_seen[m.device].insert(m.domain).second) {
+      continue;
+    }
+    switch (registry.classify(m.domain, catalog.by_id(m.device).vendor)) {
+      case Party::kFirst: ++c.first_party_dests; break;
+      case Party::kSupport: ++c.support_party_dests; break;
+      case Party::kThird:
+      case Party::kUnknown: ++c.third_party_dests; break;
+    }
+  }
+
+  // Traffic mix.
+  for (const FlowRecord& f : flows) {
+    auto it = by_device.find(f.device);
+    if (it == by_device.end()) continue;
+    switch (f.truth) {
+      case EventKind::kPeriodic: ++it->second.periodic_flows; break;
+      case EventKind::kUser: ++it->second.user_flows; break;
+      case EventKind::kAperiodic:
+      case EventKind::kUnknown: ++it->second.aperiodic_flows; break;
+    }
+  }
+
+  std::vector<DeviceCharacterization> out;
+  out.reserve(by_device.size());
+  for (auto& [device, c] : by_device) {
+    std::sort(c.periods.begin(), c.periods.end());
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::string render_characterization(
+    std::span<const DeviceCharacterization> devices) {
+  std::ostringstream os;
+  for (const DeviceCharacterization& c : devices) {
+    os << c.display << " [" << to_string(c.category) << "]\n";
+    os << "  periodic models: " << c.periodic_models;
+    if (!c.periods.empty()) {
+      os << "  (periods:";
+      for (double p : c.periods) {
+        os << ' ' << static_cast<long>(p + 0.5) << 's';
+      }
+      os << ')';
+    }
+    os << "\n  destinations: " << c.first_party_dests << " first / "
+       << c.support_party_dests << " support / " << c.third_party_dests
+       << " third party\n";
+    if (c.total_flows() > 0) {
+      const auto total = static_cast<double>(c.total_flows());
+      os << "  traffic mix: "
+         << static_cast<int>(100.0 * static_cast<double>(c.periodic_flows) /
+                                 total +
+                             0.5)
+         << "% periodic, "
+         << static_cast<int>(
+                100.0 * static_cast<double>(c.user_flows) / total + 0.5)
+         << "% user, "
+         << static_cast<int>(100.0 * static_cast<double>(c.aperiodic_flows) /
+                                 total +
+                             0.5)
+         << "% aperiodic\n";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace behaviot

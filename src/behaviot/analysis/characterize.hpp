@@ -1,0 +1,51 @@
+// Per-device behavior characterization (§6.1): summarizes what the trained
+// models say about each device — periodic-model inventory, destination
+// parties, event-type mix — the data behind the paper's observations that
+// device complexity correlates with periodic-model count and that
+// same-vendor devices share model families with differing periods.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/analysis/party.hpp"
+#include "behaviot/flow/flow.hpp"
+#include "behaviot/periodic/periodic_model.hpp"
+#include "behaviot/testbed/catalog.hpp"
+
+namespace behaviot {
+
+struct DeviceCharacterization {
+  DeviceId device = kUnknownDevice;
+  std::string name;
+  std::string display;
+  testbed::DeviceCategory category = testbed::DeviceCategory::kHomeAutomation;
+  std::size_t periodic_models = 0;
+  std::vector<double> periods;  ///< sorted ascending
+  std::size_t first_party_dests = 0;
+  std::size_t support_party_dests = 0;
+  std::size_t third_party_dests = 0;
+  /// Event-type flow mix over the supplied traffic (by ground truth or
+  /// classification, whichever the caller filled into FlowRecord::truth).
+  std::size_t periodic_flows = 0;
+  std::size_t user_flows = 0;
+  std::size_t aperiodic_flows = 0;
+
+  [[nodiscard]] std::size_t total_flows() const {
+    return periodic_flows + user_flows + aperiodic_flows;
+  }
+};
+
+/// Builds the per-device summaries from inferred models and a traffic
+/// sample. Devices without models or traffic still appear (zeroed).
+std::vector<DeviceCharacterization> characterize_devices(
+    const PeriodicModelSet& models, std::span<const FlowRecord> flows,
+    const testbed::Catalog& catalog, const PartyRegistry& registry);
+
+/// Text rendering, one block per device, suitable for operator reports.
+std::string render_characterization(
+    std::span<const DeviceCharacterization> devices);
+
+}  // namespace behaviot

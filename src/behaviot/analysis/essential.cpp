@@ -1,0 +1,76 @@
+#include "behaviot/analysis/essential.hpp"
+
+namespace behaviot {
+
+const char* to_string(Essentiality e) {
+  switch (e) {
+    case Essentiality::kEssential: return "essential";
+    case Essentiality::kNonEssential: return "non-essential";
+    case Essentiality::kUnlisted: return "unlisted";
+  }
+  return "?";
+}
+
+void EssentialList::add_essential(std::string suffix) {
+  essential_.insert(std::move(suffix));
+}
+
+void EssentialList::add_non_essential(std::string suffix) {
+  non_essential_.insert(std::move(suffix));
+}
+
+namespace {
+
+bool suffix_match(std::string_view domain, std::string_view suffix) {
+  if (domain.size() < suffix.size() || !domain.ends_with(suffix)) return false;
+  return domain.size() == suffix.size() ||
+         domain[domain.size() - suffix.size() - 1] == '.';
+}
+
+bool any_match(const std::set<std::string>& suffixes,
+               std::string_view domain) {
+  for (const auto& s : suffixes) {
+    if (suffix_match(domain, s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Essentiality EssentialList::classify(std::string_view domain) const {
+  // Non-essential entries are more specific (telemetry subdomains of vendor
+  // clouds), so they take precedence.
+  if (any_match(non_essential_, domain)) return Essentiality::kNonEssential;
+  if (any_match(essential_, domain)) return Essentiality::kEssential;
+  return Essentiality::kUnlisted;
+}
+
+EssentialList EssentialList::standard() {
+  EssentialList list;
+  // Essential: primary-function control planes.
+  for (const char* s :
+       {"tplinkcloud.com", "tuyacloud.com", "tuyaus.com", "ring.com",
+        "dlink.com", "xbcs.net", "meethue.com", "samsungiotcloud.com",
+        "smartthings.com", "nest.com", "wyze.com", "meross.com", "govee.com",
+        "switch-bot.com", "ikea.net", "aqara.cn", "wink.com", "mysmarter.com",
+        "behmor.com", "anovaculinary.com", "geappliances.com", "lefuncam.net",
+        "microseven.com", "yitechnology.com", "wansview.net", "ubell.io",
+        "icsee.net", "keyco.io", "thermopro.io", "magichomecloud.com",
+        "gosund.net", "jinvoo.com", "alexa.com", "avs.amazon.com",
+        "clients.google.com", "gateway.icloud.com", "pool.ntp.org",
+        "neu.edu"}) {
+    list.add_essential(s);
+  }
+  // Non-essential: telemetry, metrics, advertising, tracker detours.
+  for (const char* s :
+       {"device-metrics-us.amazon.com", "mas-sdk.amazon.com",
+        "crashlytics.com", "adservice.net", "tracker.io", "mixpanel.com",
+        "doubleclick.net", "dns.google", "metrics.icloud.com",
+        "telemetry.tuyaus.com", "stats.tplinkcloud.com",
+        "analytics.samsungiotcloud.com", "logs.ring.com"}) {
+    list.add_non_essential(s);
+  }
+  return list;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,178 @@
+#include "behaviot/analysis/party.hpp"
+
+#include <algorithm>
+
+namespace behaviot {
+
+const char* to_string(Party p) {
+  switch (p) {
+    case Party::kFirst: return "first";
+    case Party::kSupport: return "support";
+    case Party::kThird: return "third";
+    case Party::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+void PartyRegistry::add_domain(std::string suffix, std::string organization,
+                               Party party) {
+  by_suffix_[std::move(suffix)] = {std::move(organization), party};
+}
+
+void PartyRegistry::add_vendor_alias(std::string vendor,
+                                     std::string organization) {
+  vendor_org_[std::move(vendor)] = std::move(organization);
+}
+
+namespace {
+
+/// True when `domain` equals `suffix` or ends with "." + suffix.
+bool suffix_match(std::string_view domain, std::string_view suffix) {
+  if (domain.size() < suffix.size()) return false;
+  if (!domain.ends_with(suffix)) return false;
+  return domain.size() == suffix.size() ||
+         domain[domain.size() - suffix.size() - 1] == '.';
+}
+
+}  // namespace
+
+Party PartyRegistry::classify(std::string_view domain,
+                              std::string_view vendor) const {
+  if (domain.empty()) return Party::kUnknown;
+  const Entry* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [suffix, entry] : by_suffix_) {
+    if (suffix.size() > best_len && suffix_match(domain, suffix)) {
+      best = &entry;
+      best_len = suffix.size();
+    }
+  }
+  if (best == nullptr) return Party::kThird;  // "all other entities"
+  auto org_it = vendor_org_.find(std::string(vendor));
+  if (org_it != vendor_org_.end() && org_it->second == best->organization) {
+    return Party::kFirst;
+  }
+  return best->party;
+}
+
+std::string PartyRegistry::organization(std::string_view domain) const {
+  const Entry* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [suffix, entry] : by_suffix_) {
+    if (suffix.size() > best_len && suffix_match(domain, suffix)) {
+      best = &entry;
+      best_len = suffix.size();
+    }
+  }
+  return best == nullptr ? "" : best->organization;
+}
+
+PartyRegistry PartyRegistry::standard() {
+  PartyRegistry r;
+  // Vendor organizations (testbed catalog vendor keys).
+  r.add_vendor_alias("amazon", "Amazon");
+  r.add_vendor_alias("google", "Google");
+  r.add_vendor_alias("apple", "Apple");
+  r.add_vendor_alias("tplink", "TP-Link");
+  r.add_vendor_alias("tuya", "Tuya");
+  r.add_vendor_alias("ring", "Ring");
+  r.add_vendor_alias("dlink", "D-Link");
+  r.add_vendor_alias("wemo", "Belkin");
+  r.add_vendor_alias("philips", "Signify");
+  r.add_vendor_alias("samsung", "Samsung");
+  r.add_vendor_alias("nest", "Google");
+  r.add_vendor_alias("wyze", "Wyze");
+  r.add_vendor_alias("meross", "Meross");
+  r.add_vendor_alias("govee", "Govee");
+  r.add_vendor_alias("switchbot", "SwitchBot");
+  r.add_vendor_alias("ikea", "IKEA");
+  r.add_vendor_alias("aqara", "Aqara");
+  r.add_vendor_alias("wink", "Wink");
+  r.add_vendor_alias("smarter", "Smarter");
+  r.add_vendor_alias("behmor", "Behmor");
+  r.add_vendor_alias("anova", "Anova");
+  r.add_vendor_alias("ge", "GE");
+  r.add_vendor_alias("lefun", "LeFun");
+  r.add_vendor_alias("microseven", "Microseven");
+  r.add_vendor_alias("yi", "Yi");
+  r.add_vendor_alias("wansview", "Wansview");
+  r.add_vendor_alias("ubell", "Ubell");
+  r.add_vendor_alias("icsee", "iCSee");
+  r.add_vendor_alias("keyco", "Keyco");
+  r.add_vendor_alias("thermopro", "ThermoPro");
+  r.add_vendor_alias("magichome", "MagicHome");
+  r.add_vendor_alias("gosund", "Gosund");
+  r.add_vendor_alias("jinvoo", "Jinvoo");
+  r.add_vendor_alias("smartlife", "Tuya");  // Smart Life is Tuya's platform
+
+  // Vendor clouds: third party by default, promoted to first for their own
+  // devices by the vendor alias above.
+  r.add_domain("amazon.com", "Amazon", Party::kThird);
+  r.add_domain("alexa.com", "Amazon", Party::kThird);
+  r.add_domain("google.com", "Google", Party::kThird);
+  r.add_domain("googleapis.com", "Google", Party::kSupport);
+  r.add_domain("apple.com", "Apple", Party::kThird);
+  r.add_domain("icloud.com", "Apple", Party::kThird);
+  r.add_domain("tplinkcloud.com", "TP-Link", Party::kThird);
+  r.add_domain("tuyacloud.com", "Tuya", Party::kThird);
+  r.add_domain("tuyaus.com", "Tuya", Party::kThird);
+  r.add_domain("ring.com", "Ring", Party::kThird);
+  r.add_domain("dlink.com", "D-Link", Party::kThird);
+  r.add_domain("xbcs.net", "Belkin", Party::kThird);  // Wemo cloud
+  r.add_domain("meethue.com", "Signify", Party::kThird);
+  r.add_domain("samsungiotcloud.com", "Samsung", Party::kThird);
+  r.add_domain("smartthings.com", "Samsung", Party::kThird);
+  r.add_domain("nest.com", "Google", Party::kThird);
+  r.add_domain("wyze.com", "Wyze", Party::kThird);
+  r.add_domain("meross.com", "Meross", Party::kThird);
+  r.add_domain("govee.com", "Govee", Party::kThird);
+  r.add_domain("switch-bot.com", "SwitchBot", Party::kThird);
+  r.add_domain("ikea.net", "IKEA", Party::kThird);
+  r.add_domain("aqara.cn", "Aqara", Party::kThird);
+  r.add_domain("wink.com", "Wink", Party::kThird);
+  r.add_domain("mysmarter.com", "Smarter", Party::kThird);
+  r.add_domain("behmor.com", "Behmor", Party::kThird);
+  r.add_domain("anovaculinary.com", "Anova", Party::kThird);
+  r.add_domain("geappliances.com", "GE", Party::kThird);
+  r.add_domain("lefuncam.net", "LeFun", Party::kThird);
+  r.add_domain("microseven.com", "Microseven", Party::kThird);
+  r.add_domain("yitechnology.com", "Yi", Party::kThird);
+  r.add_domain("wansview.net", "Wansview", Party::kThird);
+  r.add_domain("ubell.io", "Ubell", Party::kThird);
+  r.add_domain("icsee.net", "iCSee", Party::kThird);
+  r.add_domain("keyco.io", "Keyco", Party::kThird);
+  r.add_domain("thermopro.io", "ThermoPro", Party::kThird);
+  r.add_domain("magichomecloud.com", "MagicHome", Party::kThird);
+  r.add_domain("gosund.net", "Gosund", Party::kThird);
+  r.add_domain("jinvoo.com", "Jinvoo", Party::kThird);
+
+  // Support parties: cloud and CDN infrastructure.
+  r.add_domain("amazonaws.com", "AWS", Party::kSupport);
+  r.add_domain("cloudfront.net", "AWS", Party::kSupport);
+  r.add_domain("akamai.net", "Akamai", Party::kSupport);
+  r.add_domain("akamaiedge.net", "Akamai", Party::kSupport);
+  r.add_domain("azure.com", "Microsoft", Party::kSupport);
+  r.add_domain("azurewebsites.net", "Microsoft", Party::kSupport);
+  r.add_domain("fastly.net", "Fastly", Party::kSupport);
+  r.add_domain("cloudflare.com", "Cloudflare", Party::kSupport);
+
+  // Third parties: public resolvers, NTP pools, trackers, ads.
+  r.add_domain("dns.google", "Google Public DNS", Party::kThird);
+  r.add_domain("pool.ntp.org", "NTP Pool", Party::kThird);
+  r.add_domain("time.google.com", "Google NTP", Party::kThird);
+  r.add_domain("time.apple.com", "Apple NTP", Party::kThird);
+  r.add_domain("time.windows.com", "Microsoft NTP", Party::kThird);
+  r.add_domain("nist.gov", "NIST", Party::kThird);
+  r.add_domain("crashlytics.com", "Crashlytics", Party::kThird);
+  r.add_domain("adservice.net", "AdService", Party::kThird);
+  r.add_domain("tracker.io", "Tracker.io", Party::kThird);
+  r.add_domain("mixpanel.com", "Mixpanel", Party::kThird);
+  r.add_domain("doubleclick.net", "Google Ads", Party::kThird);
+
+  // Local network infrastructure (the testbed's own services).
+  r.add_domain("neu.edu", "Northeastern", Party::kSupport);
+  r.add_domain("lab.local", "Testbed", Party::kSupport);
+  return r;
+}
+
+}  // namespace behaviot

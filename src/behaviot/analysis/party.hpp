@@ -1,0 +1,53 @@
+// Destination-party classification (§6.1 "Event destination analysis").
+//
+// First party: the device vendor or an affiliate. Support party: cloud/CDN
+// infrastructure. Third party: everything else (trackers, Google DNS,
+// public NTP pools...). The registry plays the role of the WHOIS +
+// common-sense matching rules the paper applies.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace behaviot {
+
+enum class Party : std::uint8_t { kFirst, kSupport, kThird, kUnknown };
+
+[[nodiscard]] const char* to_string(Party p);
+
+class PartyRegistry {
+ public:
+  /// Registry pre-populated with the vendor/support/third mappings used by
+  /// the simulated testbed plus common real-world domains.
+  static PartyRegistry standard();
+
+  /// Maps a domain suffix (e.g. "tplinkcloud.com") to an organization.
+  void add_domain(std::string suffix, std::string organization, Party party);
+  /// Marks an organization as the vendor (first party) of a device vendor
+  /// key, e.g. vendor "tplink" → org "TP-Link".
+  void add_vendor_alias(std::string vendor, std::string organization);
+
+  /// Classifies a destination domain from the point of view of a device of
+  /// the given vendor. A support/third org that IS the device's vendor
+  /// (or an affiliate) is promoted to first party — e.g. Amazon domains are
+  /// first party for Echo devices but support party for a Wemo plug using
+  /// AWS.
+  [[nodiscard]] Party classify(std::string_view domain,
+                               std::string_view vendor) const;
+
+  /// Organization for a domain ("" when unknown).
+  [[nodiscard]] std::string organization(std::string_view domain) const;
+
+ private:
+  struct Entry {
+    std::string organization;
+    Party party = Party::kUnknown;
+  };
+  /// Keyed by domain suffix; longest suffix wins.
+  std::map<std::string, Entry> by_suffix_;
+  std::map<std::string, std::string> vendor_org_;
+};
+
+}  // namespace behaviot

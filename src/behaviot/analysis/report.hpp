@@ -1,0 +1,27 @@
+// Fixed-width table rendering used by the benchmark harness so every
+// reproduced table/figure prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace behaviot {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table with a header underline and right-padded columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Formats helpers shared by bench binaries.
+  static std::string percent(double fraction, int decimals = 1);
+  static std::string fixed(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace behaviot

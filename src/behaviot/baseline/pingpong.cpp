@@ -1,0 +1,115 @@
+#include "behaviot/baseline/pingpong.hpp"
+
+#include <algorithm>
+
+namespace behaviot {
+
+PingPongClassifier PingPongClassifier::train(
+    std::span<const FlowRecord> labeled, const PingPongOptions& options) {
+  PingPongClassifier clf;
+
+  std::map<std::pair<DeviceId, std::string>, std::vector<const FlowRecord*>>
+      by_activity;
+  for (const FlowRecord& f : labeled) {
+    if (f.truth != EventKind::kUser || f.truth_label.empty()) continue;
+    if (f.tuple.proto != Transport::kTcp) continue;  // TCP-only limitation
+    by_activity[{f.device, f.truth_label}].push_back(&f);
+  }
+
+  for (const auto& [key, flows] : by_activity) {
+    // Use flows long enough to carry the full exchange.
+    std::vector<const FlowRecord*> usable;
+    for (const FlowRecord* f : flows) {
+      if (f->packets.size() >= options.signature_packets) usable.push_back(f);
+    }
+    if (usable.empty()) continue;
+
+    // Majority direction pattern over the leading packets.
+    PingPongSignature sig;
+    sig.device = key.first;
+    sig.activity = key.second;
+    for (std::size_t i = 0; i < options.signature_packets; ++i) {
+      std::size_t outbound = 0;
+      std::uint32_t lo = UINT32_MAX, hi = 0;
+      for (const FlowRecord* f : usable) {
+        const PacketSummary& p = f->packets[i];
+        if (p.dir == Direction::kOutbound) ++outbound;
+        lo = std::min(lo, p.size);
+        hi = std::max(hi, p.size);
+      }
+      PacketPair pair;
+      pair.dir = outbound * 2 >= usable.size() ? Direction::kOutbound
+                                               : Direction::kInbound;
+      pair.min_len = lo > options.range_slack ? lo - options.range_slack : 0;
+      pair.max_len = hi + options.range_slack;
+      sig.pattern.push_back(pair);
+    }
+
+    // Self-match validation: drop unstable signatures.
+    std::size_t self_hits = 0;
+    for (const FlowRecord* f : usable) {
+      if (matches(sig, *f)) ++self_hits;
+    }
+    if (static_cast<double>(self_hits) <
+        options.min_self_match * static_cast<double>(usable.size())) {
+      continue;
+    }
+    sig.support = self_hits;
+    clf.signatures_[key.first].push_back(std::move(sig));
+  }
+  return clf;
+}
+
+bool PingPongClassifier::matches(const PingPongSignature& sig,
+                                 const FlowRecord& flow) {
+  if (flow.tuple.proto != Transport::kTcp) return false;
+  const std::size_t k = sig.pattern.size();
+  if (flow.packets.size() < k) return false;
+  // Search every alignment of the signature inside the flow.
+  for (std::size_t start = 0; start + k <= flow.packets.size(); ++start) {
+    bool ok = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      const PacketSummary& p = flow.packets[start + i];
+      const PacketPair& pat = sig.pattern[i];
+      if (p.dir != pat.dir || p.size < pat.min_len || p.size > pat.max_len) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+PingPongClassifier::Prediction PingPongClassifier::classify(
+    const FlowRecord& flow) const {
+  Prediction out;
+  auto it = signatures_.find(flow.device);
+  if (it == signatures_.end()) return out;
+  // Most-supported signature wins on ambiguity.
+  const PingPongSignature* best = nullptr;
+  for (const PingPongSignature& sig : it->second) {
+    if (matches(sig, flow) && (best == nullptr || sig.support > best->support)) {
+      best = &sig;
+    }
+  }
+  if (best != nullptr) out.activity = best->activity;
+  return out;
+}
+
+std::size_t PingPongClassifier::num_signatures() const {
+  std::size_t n = 0;
+  for (const auto& [device, sigs] : signatures_) n += sigs.size();
+  return n;
+}
+
+std::vector<std::string> PingPongClassifier::activities_for(
+    DeviceId device) const {
+  std::vector<std::string> out;
+  if (auto it = signatures_.find(device); it != signatures_.end()) {
+    for (const auto& sig : it->second) out.push_back(sig.activity);
+  }
+  return out;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,69 @@
+// PingPong-style baseline [67]: packet-level signatures for user events.
+//
+// Re-implemented from the PingPong idea for the Table-3 comparison:
+// a signature is a short sequence of (direction, packet-length-range) pairs
+// extracted from the request/response exchange that a user event triggers;
+// classification searches flows for a sub-sequence matching the signature.
+// Faithful to the original's documented limitations (§5.1): TCP only, and
+// purely length-based — which is exactly where BehavIoT's feature-based
+// models pull ahead.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/flow/flow.hpp"
+
+namespace behaviot {
+
+struct PacketPair {
+  Direction dir = Direction::kOutbound;
+  std::uint32_t min_len = 0;
+  std::uint32_t max_len = 0;
+};
+
+struct PingPongSignature {
+  DeviceId device = kUnknownDevice;
+  std::string activity;
+  std::vector<PacketPair> pattern;
+  std::size_t support = 0;  ///< training flows the signature matched
+};
+
+struct PingPongOptions {
+  /// Signature length (leading packets of the event exchange).
+  std::size_t signature_packets = 4;
+  /// Extra slack added around observed length ranges, bytes.
+  std::uint32_t range_slack = 6;
+  /// Signatures are kept only when they match at least this fraction of
+  /// their own training flows.
+  double min_self_match = 0.6;
+};
+
+class PingPongClassifier {
+ public:
+  /// Trains one signature per (device, activity) from labeled TCP flows.
+  /// UDP-carried activities are skipped — the documented limitation.
+  static PingPongClassifier train(std::span<const FlowRecord> labeled,
+                                  const PingPongOptions& options = {});
+
+  struct Prediction {
+    std::string activity;  ///< empty when nothing matched
+    [[nodiscard]] bool matched() const { return !activity.empty(); }
+  };
+
+  [[nodiscard]] Prediction classify(const FlowRecord& flow) const;
+
+  [[nodiscard]] std::size_t num_signatures() const;
+  [[nodiscard]] std::vector<std::string> activities_for(DeviceId device) const;
+
+ private:
+  static bool matches(const PingPongSignature& sig, const FlowRecord& flow);
+
+  std::map<DeviceId, std::vector<PingPongSignature>> signatures_;
+  friend class PingPongInspector;  // test access
+};
+
+}  // namespace behaviot

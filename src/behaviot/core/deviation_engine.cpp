@@ -1,0 +1,24 @@
+#include "behaviot/core/deviation_engine.hpp"
+
+namespace behaviot {
+
+DeviationEngine::DeviationEngine(const BehaviorModelSet& models,
+                                 PipelineOptions pipeline,
+                                 MonitorOptions monitor)
+    : models_(&models),
+      pipeline_(std::move(pipeline)),
+      monitor_(models.periodic, models.pfsm, models.short_term, monitor) {}
+
+std::vector<DeviationAlert> DeviationEngine::process_window(
+    const testbed::GeneratedCapture& capture) {
+  const std::vector<FlowRecord> flows =
+      pipeline_.to_flows(capture, resolver_);
+  const Pipeline::Classified classified =
+      pipeline_.classify(flows, *models_);
+  const std::vector<EventTrace> traces =
+      pipeline_.traces_of(classified.user_events);
+  ++windows_;
+  return monitor_.evaluate_window(capture.start, capture.end, flows, traces);
+}
+
+}  // namespace behaviot

@@ -1,0 +1,33 @@
+// Longitudinal deviation analysis: drives the full pipeline over successive
+// windows (days) of new traffic and reports significant behavior deviations,
+// as in the §6.2 uncontrolled-experiment study.
+#pragma once
+
+#include "behaviot/core/pipeline.hpp"
+#include "behaviot/deviation/monitor.hpp"
+
+namespace behaviot {
+
+class DeviationEngine {
+ public:
+  /// `models` must outlive the engine.
+  DeviationEngine(const BehaviorModelSet& models, PipelineOptions pipeline = {},
+                  MonitorOptions monitor = {});
+
+  /// Processes one window of raw capture. Classification state (timers, DNS
+  /// knowledge) persists across windows.
+  std::vector<DeviationAlert> process_window(
+      const testbed::GeneratedCapture& capture);
+
+  /// Windows processed so far.
+  [[nodiscard]] std::size_t windows_processed() const { return windows_; }
+
+ private:
+  const BehaviorModelSet* models_;
+  Pipeline pipeline_;
+  DeviationMonitor monitor_;
+  DomainResolver resolver_;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace behaviot

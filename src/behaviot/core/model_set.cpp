@@ -1,0 +1,4 @@
+#include "behaviot/core/model_set.hpp"
+
+// BehaviorModelSet is an aggregate of the module models; this TU anchors the
+// core library target.

@@ -1,0 +1,28 @@
+// The complete behavior model of an IoT deployment (Fig. 1's gray boxes):
+// periodic models + user-action models (device behavior, §4.1) and the PFSM
+// (system behavior, §4.2), plus the calibrated deviation thresholds (§5.3).
+#pragma once
+
+#include "behaviot/deviation/short_term_metric.hpp"
+#include "behaviot/deviation/thresholds.hpp"
+#include "behaviot/ml/user_action_model.hpp"
+#include "behaviot/periodic/periodic_model.hpp"
+#include "behaviot/pfsm/synoptic.hpp"
+
+namespace behaviot {
+
+struct BehaviorModelSet {
+  PeriodicModelSet periodic;
+  UserActionModels user_actions;
+  Pfsm pfsm;
+  /// Inference metadata: mined invariants, refinement steps.
+  std::vector<Invariant> invariants;
+  std::size_t pfsm_refinements = 0;
+  /// Short-term threshold calibrated on the training traces.
+  ShortTermThreshold short_term;
+  DeviationThresholds thresholds;
+  /// Training traces (label form), kept for evaluation and ablation.
+  std::vector<std::vector<std::string>> training_traces;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,88 @@
+#include "behaviot/core/mud_profile.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace behaviot {
+
+std::string MudProfile::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"ietf-mud:mud\": {\n    \"systeminfo\": \"" << device_name
+     << " (BehavIoT inferred profile)\",\n    \"acls\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const MudAclEntry& e = entries[i];
+    os << "      {\"dst-dnsname\": \"" << e.domain << "\", \"protocol\": \""
+       << e.protocol << "\", \"kind\": \"" << e.kind << "\"";
+    if (e.period_seconds) {
+      os << ", \"period-seconds\": " << *e.period_seconds;
+    }
+    os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }\n}\n";
+  return os.str();
+}
+
+MudProfile generate_mud_profile(DeviceId device,
+                                const std::string& device_name,
+                                const PeriodicModelSet& periodic,
+                                std::span<const FlowRecord> user_event_flows) {
+  MudProfile profile;
+  profile.device_name = device_name;
+
+  for (const PeriodicModel* model : periodic.models_for(device)) {
+    MudAclEntry entry;
+    entry.domain = model->domain.empty() ? "(unresolved)" : model->domain;
+    entry.protocol = to_string(model->app);
+    entry.period_seconds = model->period_seconds;
+    entry.kind = "periodic";
+    profile.entries.push_back(std::move(entry));
+  }
+
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const FlowRecord& f : user_event_flows) {
+    if (f.device != device) continue;
+    const std::string domain = f.domain.empty() ? f.tuple.dst.ip.to_string()
+                                                : f.domain;
+    if (!seen.insert({domain, to_string(f.app)}).second) continue;
+    MudAclEntry entry;
+    entry.domain = domain;
+    entry.protocol = to_string(f.app);
+    entry.kind = "user-event";
+    profile.entries.push_back(std::move(entry));
+  }
+  return profile;
+}
+
+std::vector<MudViolation> check_mud_compliance(
+    const MudProfile& profile, DeviceId device,
+    std::span<const FlowRecord> flows) {
+  // Index the ACL: destination → allowed protocols.
+  std::map<std::string, std::set<std::string>> allowed;
+  for (const MudAclEntry& e : profile.entries) {
+    allowed[e.domain].insert(e.protocol);
+  }
+
+  std::vector<MudViolation> violations;
+  for (const FlowRecord& f : flows) {
+    if (f.device != device) continue;
+    const std::string domain =
+        f.domain.empty() ? f.tuple.dst.ip.to_string() : f.domain;
+    MudViolation v;
+    v.when = f.start;
+    v.domain = domain;
+    v.protocol = to_string(f.app);
+    auto it = allowed.find(domain);
+    if (it == allowed.end()) {
+      v.reason = "unknown destination";
+    } else if (it->second.count(v.protocol) == 0) {
+      v.reason = "unknown protocol for destination";
+    } else {
+      continue;  // compliant
+    }
+    violations.push_back(std::move(v));
+  }
+  return violations;
+}
+
+}  // namespace behaviot

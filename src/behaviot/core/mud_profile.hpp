@@ -1,0 +1,58 @@
+// MUD-like profile generation (§7.2 "Informing IoT profiles").
+//
+// Emits, per device, the communication pattern the behavior models inferred:
+// periodic groups as (protocol, destination, period) entries and user-event
+// destinations as on-demand entries — the shape of an RFC 8520 Manufacturer
+// Usage Description, generated from observation instead of by the vendor.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/flow/flow.hpp"
+#include "behaviot/periodic/periodic_model.hpp"
+
+namespace behaviot {
+
+struct MudAclEntry {
+  std::string domain;
+  std::string protocol;  ///< "TCP"/"UDP"/"DNS"/"NTP"/"TLS"/"HTTP"
+  std::optional<double> period_seconds;  ///< set for periodic entries
+  std::string kind;  ///< "periodic" or "user-event"
+};
+
+struct MudProfile {
+  std::string device_name;
+  std::vector<MudAclEntry> entries;
+
+  /// RFC 8520-flavored JSON rendering.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Builds a device profile from its inferred periodic models plus the
+/// destinations of its observed (classified or labeled) user-event flows.
+MudProfile generate_mud_profile(DeviceId device,
+                                const std::string& device_name,
+                                const PeriodicModelSet& periodic,
+                                std::span<const FlowRecord> user_event_flows);
+
+/// A flow that does not match any profile entry (§7.2: "any network traffic
+/// from the device that deviated from these models could be flagged as
+/// non-compliant").
+struct MudViolation {
+  Timestamp when;
+  std::string domain;    ///< destination (IP when unresolved)
+  std::string protocol;  ///< application protocol of the flow
+  std::string reason;    ///< "unknown destination" / "unknown protocol"
+};
+
+/// Checks a device's flows against its profile. A flow complies when its
+/// (destination, protocol) pair matches an ACL entry; flows of other
+/// devices are ignored. Returns violations in flow order.
+std::vector<MudViolation> check_mud_compliance(
+    const MudProfile& profile, DeviceId device,
+    std::span<const FlowRecord> flows);
+
+}  // namespace behaviot

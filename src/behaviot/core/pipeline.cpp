@@ -1,0 +1,109 @@
+#include "behaviot/core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace behaviot {
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+std::vector<FlowRecord> Pipeline::to_flows(
+    const testbed::GeneratedCapture& capture,
+    DomainResolver& resolver) const {
+  testbed::configure_resolver(resolver, capture);
+  FlowAssembler assembler(options_.assembler);
+  std::vector<FlowRecord> flows = assembler.assemble(capture.packets, resolver);
+  testbed::apply_ground_truth(flows, capture.truths);
+  return flows;
+}
+
+BehaviorModelSet Pipeline::train(std::span<const FlowRecord> idle_flows,
+                                 double idle_window_seconds,
+                                 std::span<const FlowRecord> activity_flows,
+                                 std::span<const FlowRecord> routine_flows)
+    const {
+  BehaviorModelSet models;
+
+  // (1) Periodic models from idle traffic (unsupervised, §4.1).
+  models.periodic = PeriodicModelSet::infer(idle_flows, idle_window_seconds,
+                                            options_.periodic);
+
+  // (2) User-action models from labeled activity traffic. As in Appendix B,
+  // the training set is the activity dataset itself — its background flows
+  // provide the negatives (idle traffic is the periodic stage's domain).
+  models.user_actions = UserActionModels::train(activity_flows, {},
+                                                options_.user_actions);
+
+  // (3) System behavior: classify the routine capture with the device
+  // models, extract user-event traces, and run Synoptic inference.
+  const Classified routine = classify(routine_flows, models);
+  const std::vector<EventTrace> traces = traces_of(routine.user_events);
+  SynopticResult synoptic = infer_pfsm(traces, options_.synoptic);
+  models.pfsm = std::move(synoptic.pfsm);
+  models.invariants = std::move(synoptic.invariants);
+  models.pfsm_refinements = synoptic.refinement_steps;
+
+  for (const EventTrace& t : traces) {
+    models.training_traces.push_back(trace_labels(t));
+  }
+  models.short_term = ShortTermThreshold::calibrate(
+      models.pfsm, models.training_traces, options_.short_term_n_sigma);
+  models.thresholds.short_term = models.short_term.value();
+  return models;
+}
+
+Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
+                                        const BehaviorModelSet& models) const {
+  Classified out;
+  out.kinds.resize(flows.size(), EventKind::kAperiodic);
+  out.labels.resize(flows.size());
+
+  PeriodicEventClassifier periodic(models.periodic);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowRecord& flow = flows[i];
+    const PeriodicClassification p = periodic.classify(flow);
+    if (p.periodic) {
+      out.kinds[i] = EventKind::kPeriodic;
+      out.periodic_via_timer += p.via_timer ? 1 : 0;
+      out.periodic_via_cluster += p.via_cluster ? 1 : 0;
+      continue;
+    }
+    const UserActionPrediction u = models.user_actions.classify(flow);
+    if (u.is_user_event()) {
+      out.kinds[i] = EventKind::kUser;
+      out.labels[i] = u.activity;
+    }
+  }
+
+  // Merge same-label user flows within the merge window into one event
+  // (control flow + relay flow of the same physical action).
+  const auto merge_us =
+      static_cast<std::int64_t>(options_.event_merge_window_s * 1e6);
+  std::map<std::string, Timestamp> last_emitted;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (out.kinds[i] != EventKind::kUser) continue;
+    const std::string& label = out.labels[i];
+    auto it = last_emitted.find(label);
+    if (it != last_emitted.end() && (flows[i].start - it->second) < merge_us) {
+      continue;  // same ongoing event
+    }
+    last_emitted[label] = flows[i].start;
+
+    UserEvent event;
+    event.ts = flows[i].start;
+    event.device = flows[i].device;
+    const auto colon = label.find(':');
+    event.device_name = label.substr(0, colon);
+    event.activity = colon == std::string::npos ? label
+                                                : label.substr(colon + 1);
+    out.user_events.push_back(std::move(event));
+  }
+  std::sort(out.user_events.begin(), out.user_events.end(), before);
+  return out;
+}
+
+std::vector<EventTrace> Pipeline::traces_of(
+    std::span<const UserEvent> events) const {
+  return build_traces(events, options_.trace_gap_us);
+}
+
+}  // namespace behaviot

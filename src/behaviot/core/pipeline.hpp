@@ -1,0 +1,72 @@
+// End-to-end BehavIoT pipeline (Fig. 1): network traffic → annotated flows →
+// event inference → behavior models, and classification of new traffic
+// against trained models.
+#pragma once
+
+#include <span>
+
+#include "behaviot/core/model_set.hpp"
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/periodic/periodic_classifier.hpp"
+#include "behaviot/pfsm/trace.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+
+struct PipelineOptions {
+  AssemblerOptions assembler;
+  PeriodicInferenceOptions periodic;
+  UserActionTrainOptions user_actions;
+  SynopticOptions synoptic;
+  /// Trace segmentation gap (§4.2; 1 minute in the paper).
+  std::int64_t trace_gap_us = kDefaultTraceGapUs;
+  /// Flows with the same predicted user label within this window merge into
+  /// one user event (an activity can span a control flow + a relay flow).
+  double event_merge_window_s = 8.0;
+  double short_term_n_sigma = 3.0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+
+  /// Assembles and annotates a capture's flows, attaching simulation ground
+  /// truth. The resolver persists across calls (DNS knowledge accumulates,
+  /// as on a long-running gateway).
+  [[nodiscard]] std::vector<FlowRecord> to_flows(
+      const testbed::GeneratedCapture& capture, DomainResolver& resolver) const;
+
+  /// Observation phase: trains all models from the three controlled
+  /// datasets. Flows must already carry ground-truth labels.
+  [[nodiscard]] BehaviorModelSet train(std::span<const FlowRecord> idle_flows,
+                                       double idle_window_seconds,
+                                       std::span<const FlowRecord> activity_flows,
+                                       std::span<const FlowRecord> routine_flows)
+      const;
+
+  /// Per-flow classification outcome against a trained model set.
+  struct Classified {
+    std::vector<EventKind> kinds;        ///< aligned with the input flows
+    std::vector<std::string> labels;     ///< "<device>:<label>" user labels
+    std::vector<UserEvent> user_events;  ///< merged user events
+    std::size_t periodic_via_timer = 0;
+    std::size_t periodic_via_cluster = 0;
+  };
+
+  /// Classifies flows (sorted by start time) into periodic / user /
+  /// aperiodic events: timers + clusters first (§4.1), then the user-action
+  /// models, remainder aperiodic.
+  [[nodiscard]] Classified classify(std::span<const FlowRecord> flows,
+                                    const BehaviorModelSet& models) const;
+
+  /// Builds user-event traces from classified events.
+  [[nodiscard]] std::vector<EventTrace> traces_of(
+      std::span<const UserEvent> events) const;
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace behaviot

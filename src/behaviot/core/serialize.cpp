@@ -1,0 +1,203 @@
+#include "behaviot/core/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace behaviot {
+namespace {
+
+void put_double(std::ostream& os, double v) {
+  os << std::hexfloat << v << std::defaultfloat;
+}
+
+double get_double(std::istream& is) {
+  std::string token;
+  if (!(is >> token)) throw SerializationError("unexpected end of input");
+  // std::hexfloat extraction is unreliable pre-C++23; parse via strtod,
+  // which accepts the 0x1.xp+y form the writer emits.
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw SerializationError("malformed floating-point value: " + token);
+  }
+  return v;
+}
+
+std::string get_token(std::istream& is, const char* what) {
+  std::string token;
+  if (!(is >> token)) {
+    throw SerializationError(std::string("missing token: ") + what);
+  }
+  return token;
+}
+
+std::size_t get_count(std::istream& is, const char* what) {
+  const std::string token = get_token(is, what);
+  try {
+    return std::stoul(token);
+  } catch (const std::exception&) {
+    throw SerializationError(std::string("malformed count for ") + what +
+                             ": " + token);
+  }
+}
+
+void expect(std::istream& is, const std::string& keyword) {
+  const std::string token = get_token(is, keyword.c_str());
+  if (token != keyword) {
+    throw SerializationError("expected '" + keyword + "', got '" + token +
+                             "'");
+  }
+}
+
+}  // namespace
+
+void save_models(std::ostream& os, const BehaviorModelSet& models) {
+  os << "behaviot-models v" << kModelFormatVersion << "\n";
+
+  // --- periodic models ---
+  os << "periodic " << models.periodic.size() << "\n";
+  for (const PeriodicModel& m : models.periodic.all()) {
+    os << m.device << ' ' << static_cast<int>(m.app) << ' ';
+    put_double(os, m.period_seconds);
+    os << ' ';
+    put_double(os, m.tolerance_seconds);
+    os << ' ';
+    put_double(os, m.autocorr_score);
+    os << ' ' << m.support << ' '
+       << (m.domain.empty() ? "-" : m.domain) << ' ' << m.group << ' '
+       << m.secondary_periods.size();
+    for (double p : m.secondary_periods) {
+      os << ' ';
+      put_double(os, p);
+    }
+    os << "\n";
+  }
+
+  // --- PFSM ---
+  os << "pfsm " << models.pfsm.num_states() << "\n";
+  for (std::size_t s = 2; s < models.pfsm.num_states(); ++s) {
+    os << models.pfsm.label(static_cast<int>(s)) << "\n";
+  }
+  const auto transitions = models.pfsm.transitions();
+  os << "transitions " << transitions.size() << "\n";
+  for (const auto& t : transitions) {
+    os << t.from << ' ' << t.to << ' ' << t.count << "\n";
+  }
+
+  // --- thresholds ---
+  os << "thresholds ";
+  put_double(os, models.thresholds.periodic);
+  os << ' ';
+  put_double(os, models.thresholds.long_term_z);
+  os << ' ';
+  put_double(os, models.short_term.mean);
+  os << ' ';
+  put_double(os, models.short_term.sigma);
+  os << ' ';
+  put_double(os, models.short_term.n_sigma);
+  os << "\n";
+
+  // --- training traces (label sequences) ---
+  os << "traces " << models.training_traces.size() << "\n";
+  for (const auto& trace : models.training_traces) {
+    os << trace.size();
+    for (const auto& label : trace) os << ' ' << label;
+    os << "\n";
+  }
+}
+
+void save_models_file(const std::string& path,
+                      const BehaviorModelSet& models) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw SerializationError("cannot open for write: " + path);
+  save_models(file, models);
+}
+
+BehaviorModelSet load_models(std::istream& is) {
+  BehaviorModelSet models;
+
+  const std::string magic = get_token(is, "magic");
+  const std::string version = get_token(is, "version");
+  if (magic != "behaviot-models" ||
+      version != "v" + std::to_string(kModelFormatVersion)) {
+    throw SerializationError("unsupported format: " + magic + " " + version);
+  }
+
+  // --- periodic models ---
+  expect(is, "periodic");
+  const std::size_t n_periodic = get_count(is, "periodic count");
+  std::vector<PeriodicModel> periodic;
+  periodic.reserve(n_periodic);
+  for (std::size_t i = 0; i < n_periodic; ++i) {
+    PeriodicModel m;
+    m.device = static_cast<DeviceId>(get_count(is, "device"));
+    m.app = static_cast<AppProtocol>(get_count(is, "app"));
+    m.period_seconds = get_double(is);
+    m.tolerance_seconds = get_double(is);
+    m.autocorr_score = get_double(is);
+    m.support = get_count(is, "support");
+    m.domain = get_token(is, "domain");
+    if (m.domain == "-") m.domain.clear();
+    m.group = get_token(is, "group");
+    const std::size_t n_secondary = get_count(is, "secondary count");
+    for (std::size_t k = 0; k < n_secondary; ++k) {
+      m.secondary_periods.push_back(get_double(is));
+    }
+    periodic.push_back(std::move(m));
+  }
+  models.periodic = PeriodicModelSet::from_models(std::move(periodic));
+
+  // --- PFSM ---
+  expect(is, "pfsm");
+  const std::size_t n_states = get_count(is, "state count");
+  if (n_states < 2) throw SerializationError("pfsm needs >= 2 states");
+  for (std::size_t s = 2; s < n_states; ++s) {
+    models.pfsm.add_state(get_token(is, "state label"));
+  }
+  expect(is, "transitions");
+  const std::size_t n_transitions = get_count(is, "transition count");
+  for (std::size_t t = 0; t < n_transitions; ++t) {
+    const auto from = static_cast<int>(get_count(is, "from"));
+    const auto to = static_cast<int>(get_count(is, "to"));
+    const std::size_t count = get_count(is, "count");
+    if (from < 0 || to < 0 ||
+        static_cast<std::size_t>(from) >= n_states ||
+        static_cast<std::size_t>(to) >= n_states) {
+      throw SerializationError("transition references unknown state");
+    }
+    models.pfsm.add_transition(from, to, count);
+  }
+  models.pfsm.finalize();
+
+  // --- thresholds ---
+  expect(is, "thresholds");
+  models.thresholds.periodic = get_double(is);
+  models.thresholds.long_term_z = get_double(is);
+  models.short_term.mean = get_double(is);
+  models.short_term.sigma = get_double(is);
+  models.short_term.n_sigma = get_double(is);
+  models.thresholds.short_term = models.short_term.value();
+
+  // --- training traces ---
+  expect(is, "traces");
+  const std::size_t n_traces = get_count(is, "trace count");
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    const std::size_t len = get_count(is, "trace length");
+    std::vector<std::string> trace;
+    trace.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      trace.push_back(get_token(is, "trace label"));
+    }
+    models.training_traces.push_back(std::move(trace));
+  }
+  return models;
+}
+
+BehaviorModelSet load_models_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw SerializationError("cannot open for read: " + path);
+  return load_models(file);
+}
+
+}  // namespace behaviot

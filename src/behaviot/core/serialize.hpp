@@ -1,0 +1,40 @@
+// Behavior-model serialization (§7.2: "models based on lab experiments can
+// be pushed into home-network-based deployments").
+//
+// A line-oriented text format: human-diffable, versioned, and stable across
+// platforms (all floating-point values round-trip via hexfloat). Covers the
+// periodic models (with their timer state-free parameters) and the PFSM +
+// thresholds. Random-Forest user-action models serialize tree-by-tree.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "behaviot/core/model_set.hpp"
+
+namespace behaviot {
+
+/// Raised on malformed or version-incompatible input.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr int kModelFormatVersion = 1;
+
+/// Writes the full model set (periodic models, PFSM, thresholds, training
+/// traces). User-action forests are *not* included — they are retrained
+/// from labeled data and dominate size; see the discussion in DESIGN.md.
+void save_models(std::ostream& os, const BehaviorModelSet& models);
+void save_models_file(const std::string& path,
+                      const BehaviorModelSet& models);
+
+/// Reads a model set previously written by save_models. The periodic
+/// cluster stage is not serialized (it is a cache over training features);
+/// loaded models classify via timers, which the paper's timer-first design
+/// makes the dominant path.
+BehaviorModelSet load_models(std::istream& is);
+BehaviorModelSet load_models_file(const std::string& path);
+
+}  // namespace behaviot

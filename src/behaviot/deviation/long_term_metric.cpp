@@ -1,0 +1,54 @@
+#include "behaviot/deviation/long_term_metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace behaviot {
+
+double binomial_z_score(double p, double p0, std::size_t n) {
+  if (n == 0) return 0.0;
+  const double floor = 1.0 / (static_cast<double>(n) + 2.0);
+  const double p0c = std::clamp(p0, floor, 1.0 - floor);
+  const double se = std::sqrt(p0c * (1.0 - p0c) / static_cast<double>(n));
+  return (p - p0c) / se;
+}
+
+std::vector<LongTermDeviation> long_term_deviations(
+    const Pfsm& model, std::span<const std::vector<std::string>> window) {
+  // Observed bigram counts in the window, with INITIAL/TERMINAL ends.
+  std::map<std::string, std::size_t> from_totals;
+  std::map<std::pair<std::string, std::string>, std::size_t> pair_counts;
+  for (const auto& trace : window) {
+    if (trace.empty()) continue;
+    ++pair_counts[{Pfsm::kInitialLabel, trace.front()}];
+    ++from_totals[Pfsm::kInitialLabel];
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+      ++pair_counts[{trace[i], trace[i + 1]}];
+      ++from_totals[trace[i]];
+    }
+    ++pair_counts[{trace.back(), Pfsm::kTerminalLabel}];
+    ++from_totals[trace.back()];
+  }
+
+  std::vector<LongTermDeviation> out;
+  for (const auto& [pair, count] : pair_counts) {
+    LongTermDeviation d;
+    d.from = pair.first;
+    d.to = pair.second;
+    d.occurrences = from_totals[pair.first];
+    d.observed_p =
+        static_cast<double>(count) / static_cast<double>(d.occurrences);
+    d.model_p = model.label_bigram(pair.first, pair.second).probability;
+    d.z_abs = std::abs(binomial_z_score(d.observed_p, d.model_p,
+                                        d.occurrences));
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LongTermDeviation& a, const LongTermDeviation& b) {
+              return a.z_abs > b.z_abs;
+            });
+  return out;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,40 @@
+// Long-term deviation metric (§4.3):
+//   Z = |z|,  z = (p - p0) / sqrt(p0 (1 - p0) / n)
+// The binomial z-score of an observed transition frequency p (over n
+// occurrences of the source state in a snapshot window) against the modeled
+// transition probability p0. Captures compound frequency drift — e.g. a
+// smart speaker mis-activating far more often than the model expects.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/pfsm/pfsm.hpp"
+
+namespace behaviot {
+
+/// 95% confidence interval on the standard normal (§5.3).
+inline constexpr double kLongTermZThreshold = 1.959963984540054;
+
+/// Raw z-score; p0 is clamped away from {0, 1} with a 1/(n+2) Laplace floor
+/// so never-seen transitions still produce a finite, large score.
+[[nodiscard]] double binomial_z_score(double p, double p0, std::size_t n);
+
+struct LongTermDeviation {
+  std::string from;
+  std::string to;
+  double observed_p = 0.0;
+  double model_p = 0.0;
+  std::size_t occurrences = 0;  ///< n: source-label occurrences in window
+  double z_abs = 0.0;
+};
+
+/// Scores every label transition observed in a window of traces against the
+/// model's bigram probabilities. INITIAL/TERMINAL boundaries participate as
+/// pseudo-labels. Sorted by descending |z|.
+std::vector<LongTermDeviation> long_term_deviations(
+    const Pfsm& model, std::span<const std::vector<std::string>> window);
+
+}  // namespace behaviot

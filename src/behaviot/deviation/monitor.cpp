@@ -1,0 +1,210 @@
+#include "behaviot/deviation/monitor.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace behaviot {
+
+const char* to_string(DeviationSource s) {
+  switch (s) {
+    case DeviationSource::kPeriodic: return "periodic";
+    case DeviationSource::kShortTerm: return "short-term";
+    case DeviationSource::kLongTerm: return "long-term";
+  }
+  return "?";
+}
+
+DeviationMonitor::DeviationMonitor(const PeriodicModelSet& periodic,
+                                   const Pfsm& pfsm,
+                                   ShortTermThreshold short_term,
+                                   MonitorOptions options)
+    : periodic_(&periodic),
+      pfsm_(&pfsm),
+      short_term_(short_term),
+      options_(options) {}
+
+void DeviationMonitor::reset() {
+  last_seen_.clear();
+  silence_reported_.clear();
+  reported_sequences_.clear();
+  primed_ = false;
+}
+
+std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
+    Timestamp window_start, Timestamp window_end,
+    std::span<const FlowRecord> flows, std::span<const EventTrace> traces) {
+  std::vector<DeviationAlert> alerts;
+
+  // ---- Periodic-event deviation (per-device metric) ----
+  // Collect window occurrences per modeled group.
+  std::map<std::pair<DeviceId, std::string>, std::vector<Timestamp>> occur;
+  for (const FlowRecord& f : flows) {
+    const std::string group = f.group_key();
+    if (periodic_->find(f.device, group) != nullptr) {
+      occur[{f.device, group}].push_back(f.start);
+    }
+  }
+  for (auto& [key, times] : occur) std::sort(times.begin(), times.end());
+
+  // Per-device best alert when aggregation is on.
+  struct DeviceWorst {
+    double score = 0.0;
+    Timestamp when;
+    std::string context;
+    std::size_t groups = 0;
+  };
+  std::map<DeviceId, DeviceWorst> device_worst;
+
+  for (const PeriodicModel& model : periodic_->all()) {
+    const std::pair<DeviceId, std::string> key{model.device, model.group};
+    const double T = model.period_seconds;
+    double worst = 0.0;
+    Timestamp worst_at = window_end;
+    std::string cause;
+
+    auto it = occur.find(key);
+    auto last_it = last_seen_.find(key);
+    Timestamp last = last_it != last_seen_.end() ? last_it->second
+                                                 : window_start;
+    const bool had_history = last_it != last_seen_.end() || primed_;
+
+    if (it != occur.end()) {
+      silence_reported_.erase(key);  // traffic resumed: new episode may alert
+      for (Timestamp t : it->second) {
+        if (!had_history && t == it->second.front()) {
+          last = t;
+          continue;  // first sighting ever: arm the timer silently
+        }
+        const double elapsed = static_cast<double>(t - last) / 1e6;
+        const double m = periodic_deviation(elapsed, T);
+        if (m > worst) {
+          worst = m;
+          worst_at = t;
+          cause = "inter-arrival " + std::to_string(elapsed) + "s vs period " +
+                  std::to_string(T) + "s";
+        }
+        last = t;
+      }
+      last_seen_[key] = it->second.back();
+    }
+    // Count-up timer at window end: silence since the last occurrence. A
+    // continuing silence is one deviation, not one per window.
+    {
+      const double elapsed = static_cast<double>(window_end - last) / 1e6;
+      if ((had_history || it != occur.end()) &&
+          silence_reported_.count(key) == 0) {
+        const double m = periodic_deviation(elapsed, T);
+        if (m > worst && m > options_.thresholds.periodic) {
+          worst = m;
+          worst_at = window_end;
+          cause = "silent for " + std::to_string(elapsed) + "s vs period " +
+                  std::to_string(T) + "s";
+          silence_reported_.insert(key);
+        }
+      }
+    }
+    if (worst > options_.thresholds.periodic) {
+      if (options_.aggregate_periodic_per_device) {
+        DeviceWorst& dw = device_worst[model.device];
+        ++dw.groups;
+        if (worst > dw.score) {
+          dw.score = worst;
+          dw.when = worst_at;
+          dw.context = model.group + ": " + cause;
+        }
+      } else {
+        DeviationAlert a;
+        a.source = DeviationSource::kPeriodic;
+        a.when = worst_at;
+        a.device = model.device;
+        a.score = worst;
+        a.threshold = options_.thresholds.periodic;
+        a.context = model.group + ": " + cause;
+        alerts.push_back(std::move(a));
+      }
+    }
+  }
+  for (const auto& [device, dw] : device_worst) {
+    DeviationAlert a;
+    a.source = DeviationSource::kPeriodic;
+    a.when = dw.when;
+    a.device = device;
+    a.score = dw.score;
+    a.threshold = options_.thresholds.periodic;
+    a.context = dw.context;
+    if (dw.groups > 1) {
+      a.context += " (+" + std::to_string(dw.groups - 1) +
+                   " co-deviating groups)";
+    }
+    alerts.push_back(std::move(a));
+  }
+  primed_ = true;
+
+  // ---- Short-term deviation (per trace) ----
+  std::set<std::string> seen_sequences;
+  for (const EventTrace& trace : traces) {
+    const auto labels = trace_labels(trace);
+    const double score =
+        short_term_deviation(*pfsm_, labels, options_.smoothing_alpha);
+    if (short_term_.exceeded(score)) {
+      if (options_.dedupe_short_term_traces) {
+        std::string signature;
+        for (const auto& l : labels) signature += l + "|";
+        if (!seen_sequences.insert(signature).second) continue;
+        if (options_.dedupe_short_term_across_windows &&
+            !reported_sequences_.insert(signature).second) {
+          continue;
+        }
+      }
+      DeviationAlert a;
+      a.source = DeviationSource::kShortTerm;
+      a.when = trace.front().ts;
+      a.device = trace.front().device;
+      a.score = score;
+      a.threshold = short_term_.value();
+      std::string seq;
+      for (const auto& l : labels) {
+        if (!seq.empty()) seq += " -> ";
+        seq += l;
+      }
+      a.context = "trace [" + seq + "]";
+      alerts.push_back(std::move(a));
+    }
+  }
+
+  // ---- Long-term deviation (per window) ----
+  std::vector<std::vector<std::string>> window_labels;
+  window_labels.reserve(traces.size());
+  for (const EventTrace& t : traces) window_labels.push_back(trace_labels(t));
+  const auto long_term = long_term_deviations(*pfsm_, window_labels);
+  double z_threshold = options_.thresholds.long_term_z;
+  if (options_.long_term_family_wise && !long_term.empty()) {
+    // The window tests every observed transition; correct the per-test
+    // threshold so the family-wise false-alarm rate stays at 5%.
+    z_threshold = std::max(
+        z_threshold, z_for_confidence(
+                         1.0 - 0.05 / static_cast<double>(long_term.size())));
+  }
+  for (const LongTermDeviation& d : long_term) {
+    if (d.z_abs <= z_threshold) continue;
+    DeviationAlert a;
+    a.source = DeviationSource::kLongTerm;
+    a.when = window_end;
+    a.device = kUnknownDevice;
+    a.score = d.z_abs;
+    a.threshold = z_threshold;
+    a.context = "transition " + d.from + " -> " + d.to + " observed p=" +
+                std::to_string(d.observed_p) + " vs model p0=" +
+                std::to_string(d.model_p) + " over n=" +
+                std::to_string(d.occurrences);
+    alerts.push_back(std::move(a));
+  }
+
+  std::sort(alerts.begin(), alerts.end(),
+            [](const DeviationAlert& a, const DeviationAlert& b) {
+              return a.when < b.when;
+            });
+  return alerts;
+}
+
+}  // namespace behaviot

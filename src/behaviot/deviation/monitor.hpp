@@ -1,0 +1,95 @@
+// Streaming deviation monitor: evaluates successive time windows of traffic
+// against the trained behavior models and emits significant deviations,
+// reproducing the §6.2 longitudinal analysis.
+#pragma once
+
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/deviation/long_term_metric.hpp"
+#include "behaviot/deviation/periodic_metric.hpp"
+#include "behaviot/deviation/short_term_metric.hpp"
+#include "behaviot/deviation/thresholds.hpp"
+#include "behaviot/periodic/periodic_model.hpp"
+#include "behaviot/pfsm/trace.hpp"
+
+namespace behaviot {
+
+enum class DeviationSource : std::uint8_t {
+  kPeriodic,
+  kShortTerm,
+  kLongTerm,
+};
+
+[[nodiscard]] const char* to_string(DeviationSource s);
+
+struct DeviationAlert {
+  DeviationSource source = DeviationSource::kPeriodic;
+  Timestamp when;
+  DeviceId device = kUnknownDevice;
+  double score = 0.0;
+  double threshold = 0.0;
+  /// Human-readable explanation: which model/trace/transition deviated.
+  std::string context;
+};
+
+struct MonitorOptions {
+  DeviationThresholds thresholds;
+  double smoothing_alpha = kDefaultSmoothingAlpha;
+  /// At most one periodic alert per model per window (the paper reports
+  /// deviations, not every late heartbeat).
+  bool dedupe_periodic_per_model = true;
+  /// Identical deviating label sequences within one window collapse into a
+  /// single short-term alert (a repeating anomaly is one deviation).
+  bool dedupe_short_term_traces = true;
+  /// ...and across windows: a novel sequence is one behavior change, not a
+  /// new deviation every day it recurs.
+  bool dedupe_short_term_across_windows = true;
+  /// One periodic alert per device per window, carrying the worst-scoring
+  /// group and the number of co-deviating groups. A whole-device outage is
+  /// one deviation, not one per heartbeat destination.
+  bool aggregate_periodic_per_device = true;
+  /// Bonferroni-style correction of the long-term threshold: a window tests
+  /// every observed transition, so the per-transition z threshold is set
+  /// for a family-wise 5% at z(1 - 0.05 / #transitions) instead of the raw
+  /// 95% CI. Keeps daily windows from flagging noise transitions.
+  bool long_term_family_wise = true;
+};
+
+class DeviationMonitor {
+ public:
+  /// Both models must outlive the monitor. `short_term` must have been
+  /// calibrated on the training traces.
+  DeviationMonitor(const PeriodicModelSet& periodic, const Pfsm& pfsm,
+                   ShortTermThreshold short_term, MonitorOptions options = {});
+
+  /// Evaluates one window. `flows` are the window's flows (periodic-group
+  /// timing is derived from them); `traces` its user-event traces. Stateful:
+  /// last-seen times persist across windows so outages spanning windows
+  /// keep scoring.
+  std::vector<DeviationAlert> evaluate_window(
+      Timestamp window_start, Timestamp window_end,
+      std::span<const FlowRecord> flows, std::span<const EventTrace> traces);
+
+  /// Forgets all streaming state.
+  void reset();
+
+ private:
+  const PeriodicModelSet* periodic_;
+  const Pfsm* pfsm_;
+  ShortTermThreshold short_term_;
+  MonitorOptions options_;
+  /// Count-up timers: last occurrence per (device, group).
+  std::map<std::pair<DeviceId, std::string>, Timestamp> last_seen_;
+  /// Groups whose ongoing silence was already alerted; one alert per
+  /// silence episode (the paper counts deviation events, not silent days).
+  std::set<std::pair<DeviceId, std::string>> silence_reported_;
+  /// Novel trace signatures already alerted (cross-window dedup).
+  std::set<std::string> reported_sequences_;
+  bool primed_ = false;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,3 @@
+#include "behaviot/deviation/periodic_metric.hpp"
+
+// Header-only metric; this TU anchors the module in the build.

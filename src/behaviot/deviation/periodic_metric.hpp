@@ -1,0 +1,40 @@
+// Periodic-event deviation metric (§4.3):
+//   Mp = log(|T0 - T| / T + 1)
+// where T is the modeled period and T0 the elapsed time measured by a
+// count-up timer since the last occurrence. Zero when events follow their
+// period exactly; grows logarithmically with lateness/earliness.
+#pragma once
+
+#include <cmath>
+
+namespace behaviot {
+
+/// The paper's significance threshold: ln(5), reached when T0 = 5T,
+/// identified at the knee of the Fig. 4a CDF.
+inline constexpr double kPeriodicDeviationThreshold = 1.6094379124341003;
+
+[[nodiscard]] inline double periodic_deviation(double elapsed_seconds,
+                                               double period_seconds) {
+  if (period_seconds <= 0.0) return 0.0;
+  return std::log(std::abs(elapsed_seconds - period_seconds) /
+                      period_seconds +
+                  1.0);
+}
+
+/// Variant that forgives skipped-cycle arrivals: the deviation is measured
+/// against the nearest period multiple up to `max_cycles`, matching the
+/// timer-based classifier's slack. Used when scoring *observed* events;
+/// the plain form is used for count-up timers on *missing* events.
+[[nodiscard]] inline double periodic_deviation_nearest_cycle(
+    double elapsed_seconds, double period_seconds, int max_cycles = 1) {
+  if (period_seconds <= 0.0) return 0.0;
+  double best = periodic_deviation(elapsed_seconds, period_seconds);
+  for (int k = 2; k <= max_cycles; ++k) {
+    const double d = std::log(
+        std::abs(elapsed_seconds - k * period_seconds) / period_seconds + 1.0);
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+}  // namespace behaviot

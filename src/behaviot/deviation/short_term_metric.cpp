@@ -1,0 +1,32 @@
+#include "behaviot/deviation/short_term_metric.hpp"
+
+#include <cmath>
+
+#include "behaviot/net/stats.hpp"
+
+namespace behaviot {
+
+double short_term_deviation(const Pfsm& pfsm,
+                            std::span<const std::string> labels,
+                            double alpha) {
+  const double p = pfsm.trace_probability(labels, alpha);
+  // Smoothing guarantees p > 0; clamp defensively anyway.
+  return 1.0 - std::log(std::max(p, 1e-300));
+}
+
+ShortTermThreshold ShortTermThreshold::calibrate(
+    const Pfsm& pfsm, std::span<const std::vector<std::string>> traces,
+    double n_sigma, double alpha) {
+  std::vector<double> scores;
+  scores.reserve(traces.size());
+  for (const auto& t : traces) {
+    scores.push_back(short_term_deviation(pfsm, t, alpha));
+  }
+  ShortTermThreshold threshold;
+  threshold.mean = stats::mean(scores);
+  threshold.sigma = stats::sample_stddev(scores);
+  threshold.n_sigma = n_sigma;
+  return threshold;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,38 @@
+// Short-term deviation metric (§4.3):
+//   A_T = 1 - log(P_T),  A_T ∈ [1, +∞)
+// where P_T is the smoothed probability that the PFSM generates the trace.
+// Large values flag traces reaching unseen states or taking low-probability
+// transitions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/pfsm/pfsm.hpp"
+
+namespace behaviot {
+
+inline constexpr double kDefaultSmoothingAlpha = 0.01;
+
+/// A_T for one trace.
+[[nodiscard]] double short_term_deviation(
+    const Pfsm& pfsm, std::span<const std::string> labels,
+    double alpha = kDefaultSmoothingAlpha);
+
+/// Threshold ρ = µ + nσ calibrated on the training traces (§5.3; the paper
+/// uses n = 3 as the sensitivity/volume trade-off).
+struct ShortTermThreshold {
+  double mean = 0.0;
+  double sigma = 0.0;
+  double n_sigma = 3.0;
+
+  [[nodiscard]] double value() const { return mean + n_sigma * sigma; }
+  [[nodiscard]] bool exceeded(double score) const { return score > value(); }
+
+  static ShortTermThreshold calibrate(
+      const Pfsm& pfsm, std::span<const std::vector<std::string>> traces,
+      double n_sigma = 3.0, double alpha = kDefaultSmoothingAlpha);
+};
+
+}  // namespace behaviot

@@ -1,0 +1,72 @@
+#include "behaviot/deviation/thresholds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace behaviot {
+
+double cdf_knee(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  if (samples.front() == samples.back()) return samples.front();
+
+  // Normalize both axes to [0,1]; knee = max perpendicular distance from
+  // the straight line joining the endpoints of the CDF.
+  const double x0 = samples.front();
+  const double x_range = samples.back() - x0;
+  double best_dist = -1.0;
+  double best_x = samples.front();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = (samples[i] - x0) / x_range;
+    const double y = static_cast<double>(i + 1) / static_cast<double>(n);
+    // Distance from the y=x chord is |y - x| / sqrt(2); the constant factor
+    // does not affect the argmax.
+    const double dist = y - x;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best_x = samples[i];
+    }
+  }
+  return best_x;
+}
+
+double z_for_confidence(double confidence) {
+  // Acklam's rational approximation of the inverse standard-normal CDF,
+  // evaluated at (1 + confidence) / 2 for a two-sided interval.
+  const double p = std::clamp((1.0 + confidence) / 2.0, 1e-10, 1.0 - 1e-10);
+
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+
+  const double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace behaviot

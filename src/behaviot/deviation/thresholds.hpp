@@ -1,0 +1,28 @@
+// Significance-threshold calibration (§5.3).
+//
+// Each deviation metric gets its own statistically motivated threshold:
+// periodic — the knee of the training CDF (ln 5 in the paper); short-term —
+// µ + nσ over training scores; long-term — a normal confidence interval.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace behaviot {
+
+struct DeviationThresholds {
+  double periodic = 1.6094379124341003;  ///< ln(5), see periodic_metric.hpp
+  double short_term = 0.0;               ///< calibrate via µ + nσ
+  double long_term_z = 1.959963984540054;  ///< 95% CI
+};
+
+/// Knee-of-CDF estimator: the point of maximum curvature of the empirical
+/// CDF, found by the Kneedle-style maximum distance from the chord between
+/// the curve's endpoints. Used to justify the periodic threshold on data.
+[[nodiscard]] double cdf_knee(std::vector<double> samples);
+
+/// z-value for a symmetric confidence interval, e.g. 0.95 → 1.96.
+/// Implemented with the Acklam inverse-normal approximation.
+[[nodiscard]] double z_for_confidence(double confidence);
+
+}  // namespace behaviot

@@ -1,0 +1,70 @@
+#include "behaviot/flow/assembler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace behaviot {
+
+FlowAssembler::FlowAssembler(AssemblerOptions options) : options_(options) {}
+
+std::vector<FlowRecord> FlowAssembler::assemble(
+    std::span<const Packet> packets, DomainResolver& resolver) const {
+  // Sort indices by time; stable so simultaneous packets keep capture order.
+  std::vector<std::size_t> order(packets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&packets](std::size_t a, std::size_t b) {
+                     return packets[a].ts < packets[b].ts;
+                   });
+
+  std::vector<FlowRecord> flows;
+  // Open flow per 5-tuple → index into `flows`.
+  std::unordered_map<FiveTuple, std::size_t, FiveTupleHash> open;
+
+  for (std::size_t idx : order) {
+    const Packet& p = packets[idx];
+    resolver.observe(p);
+
+    auto it = open.find(p.tuple);
+    const bool gap_exceeded =
+        it != open.end() &&
+        (p.ts - flows[it->second].end) > options_.burst_gap_us;
+    if (it == open.end() || gap_exceeded) {
+      if (it != open.end()) open.erase(it);
+      FlowRecord rec;
+      rec.device = p.device;
+      rec.tuple = p.tuple;
+      rec.app = classify_app_protocol(p.tuple.proto, p.tuple.dst.port);
+      rec.start = rec.end = p.ts;
+      open.emplace(p.tuple, flows.size());
+      flows.push_back(std::move(rec));
+      it = open.find(p.tuple);
+    }
+    FlowRecord& rec = flows[it->second];
+    rec.end = p.ts;
+    rec.packets.push_back(
+        {p.ts, p.size, p.dir, is_local_traffic(p)});
+  }
+
+  // Seal: annotate domains now that the resolver has seen the whole capture
+  // prefix up to each flow (DNS precedes use in practice; for flows whose
+  // binding arrived later we still benefit since resolution is by address).
+  std::vector<FlowRecord> out;
+  out.reserve(flows.size());
+  for (FlowRecord& rec : flows) {
+    rec.domain = resolver.resolve(rec.tuple.dst.ip);
+    if (options_.drop_infrastructure &&
+        (rec.app == AppProtocol::kDns || rec.app == AppProtocol::kNtp)) {
+      continue;
+    }
+    out.push_back(std::move(rec));
+  }
+  // Deterministic output order: by start time, then tuple.
+  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.tuple < b.tuple;
+  });
+  return out;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,92 @@
+#include "behaviot/flow/features.hpp"
+
+#include "behaviot/net/stats.hpp"
+
+namespace behaviot {
+
+std::string_view feature_name(std::size_t index) {
+  static constexpr std::string_view kNames[kNumFlowFeatures] = {
+      "meanBytes",
+      "minBytes",
+      "maxBytes",
+      "medAbsDev",
+      "skewLength",
+      "kurtosisLength",
+      "meanTBP",
+      "varTBP",
+      "medianTBP",
+      "kurtosisTBP",
+      "skewTBP",
+      "network_out_external",
+      "network_in_external",
+      "network_external",
+      "network_local",
+      "network_out_local",
+      "network_in_local",
+      "meanBytes_out_external",
+      "meanBytes_in_external",
+      "meanBytes_out_local",
+      "meanBytes_in_local",
+  };
+  return kNames[index];
+}
+
+FeatureVector extract_features(const FlowRecord& flow) {
+  FeatureVector f{};
+  if (flow.packets.empty()) return f;
+
+  std::vector<double> sizes;
+  sizes.reserve(flow.packets.size());
+  std::vector<double> gaps;
+  gaps.reserve(flow.packets.size());
+
+  double out_ext_count = 0, in_ext_count = 0, out_loc_count = 0,
+         in_loc_count = 0;
+  double out_ext_bytes = 0, in_ext_bytes = 0, out_loc_bytes = 0,
+         in_loc_bytes = 0;
+
+  for (std::size_t i = 0; i < flow.packets.size(); ++i) {
+    const PacketSummary& p = flow.packets[i];
+    sizes.push_back(static_cast<double>(p.size));
+    if (i > 0) {
+      gaps.push_back(
+          static_cast<double>(p.ts - flow.packets[i - 1].ts) / 1e6);
+    }
+    const bool out = p.dir == Direction::kOutbound;
+    if (p.local) {
+      (out ? out_loc_count : in_loc_count) += 1;
+      (out ? out_loc_bytes : in_loc_bytes) += p.size;
+    } else {
+      (out ? out_ext_count : in_ext_count) += 1;
+      (out ? out_ext_bytes : in_ext_bytes) += p.size;
+    }
+  }
+
+  f[kMeanBytes] = stats::mean(sizes);
+  f[kMinBytes] = *std::min_element(sizes.begin(), sizes.end());
+  f[kMaxBytes] = *std::max_element(sizes.begin(), sizes.end());
+  f[kMedAbsDev] = stats::median_abs_deviation(sizes);
+  f[kSkewLength] = stats::skewness(sizes);
+  f[kKurtosisLength] = stats::kurtosis(sizes);
+  f[kMeanTbp] = stats::mean(gaps);
+  f[kVarTbp] = stats::variance(gaps);
+  f[kMedianTbp] = stats::median(gaps);
+  f[kKurtosisTbp] = stats::kurtosis(gaps);
+  f[kSkewTbp] = stats::skewness(gaps);
+  f[kNetworkOutExternal] = out_ext_count;
+  f[kNetworkInExternal] = in_ext_count;
+  f[kNetworkExternal] = out_ext_count + in_ext_count;
+  f[kNetworkLocal] = out_loc_count + in_loc_count;
+  f[kNetworkOutLocal] = out_loc_count;
+  f[kNetworkInLocal] = in_loc_count;
+  f[kMeanBytesOutExternal] =
+      out_ext_count > 0 ? out_ext_bytes / out_ext_count : 0.0;
+  f[kMeanBytesInExternal] =
+      in_ext_count > 0 ? in_ext_bytes / in_ext_count : 0.0;
+  f[kMeanBytesOutLocal] =
+      out_loc_count > 0 ? out_loc_bytes / out_loc_count : 0.0;
+  f[kMeanBytesInLocal] = in_loc_count > 0 ? in_loc_bytes / in_loc_count : 0.0;
+  return f;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,52 @@
+// The 21-feature flow representation of Table 8 (Appendix B).
+//
+// Features are derived purely from packet headers and timing; destination
+// domain and protocol are carried separately (they are categorical and used
+// for grouping, not fed to the distance-based learners directly).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "behaviot/flow/flow.hpp"
+
+namespace behaviot {
+
+inline constexpr std::size_t kNumFlowFeatures = 21;
+
+using FeatureVector = std::array<double, kNumFlowFeatures>;
+
+/// Feature indices, in Table-8 order.
+enum FlowFeature : std::size_t {
+  kMeanBytes = 0,
+  kMinBytes,
+  kMaxBytes,
+  kMedAbsDev,
+  kSkewLength,
+  kKurtosisLength,
+  kMeanTbp,
+  kVarTbp,
+  kMedianTbp,
+  kKurtosisTbp,
+  kSkewTbp,
+  kNetworkOutExternal,
+  kNetworkInExternal,
+  kNetworkExternal,
+  kNetworkLocal,
+  kNetworkOutLocal,
+  kNetworkInLocal,
+  kMeanBytesOutExternal,
+  kMeanBytesInExternal,
+  kMeanBytesOutLocal,
+  kMeanBytesInLocal,
+};
+
+/// Human-readable names (Table 8 spelling), index-aligned with FeatureVector.
+[[nodiscard]] std::string_view feature_name(std::size_t index);
+
+/// Computes the full feature vector for a flow. Single-packet flows yield
+/// zero for all inter-packet-timing features.
+[[nodiscard]] FeatureVector extract_features(const FlowRecord& flow);
+
+}  // namespace behaviot

@@ -1,0 +1,21 @@
+#include "behaviot/flow/flow.hpp"
+
+namespace behaviot {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kUnknown: return "unknown";
+    case EventKind::kPeriodic: return "periodic";
+    case EventKind::kUser: return "user";
+    case EventKind::kAperiodic: return "aperiodic";
+  }
+  return "?";
+}
+
+std::string FlowRecord::group_key() const {
+  // Unnamed destinations fall back to the IP so they still form a group.
+  const std::string dest = domain.empty() ? tuple.dst.ip.to_string() : domain;
+  return dest + "|" + to_string(app);
+}
+
+}  // namespace behaviot

@@ -1,0 +1,55 @@
+#include "behaviot/ml/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace behaviot {
+
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    std::span<const int> labels, std::size_t k, std::uint64_t seed) {
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(i);
+
+  Rng rng(seed);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (auto& [label, indices] : by_class) {
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      folds[i % k].push_back(indices[i]);
+    }
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+TrainTestSplit stratified_split(std::span<const int> labels,
+                                double test_fraction, std::uint64_t seed) {
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(i);
+
+  Rng rng(seed);
+  TrainTestSplit split;
+  for (auto& [label, indices] : by_class) {
+    rng.shuffle(indices);
+    // At least one test sample per class when the class has >1 members.
+    auto n_test = static_cast<std::size_t>(
+        static_cast<double>(indices.size()) * test_fraction);
+    if (n_test == 0 && indices.size() > 1) n_test = 1;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(indices[i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<std::size_t> bootstrap_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> out(n);
+  for (auto& idx : out) idx = rng.uniform_index(n);
+  return out;
+}
+
+}  // namespace behaviot

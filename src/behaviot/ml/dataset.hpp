@@ -1,0 +1,44 @@
+// Tabular dataset container and resampling utilities for the user-action
+// classifiers (Appendix B).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "behaviot/net/rng.hpp"
+
+namespace behaviot {
+
+/// Dense feature matrix with integer class labels.
+struct Dataset {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+
+  [[nodiscard]] std::size_t size() const { return X.size(); }
+  [[nodiscard]] std::size_t num_features() const {
+    return X.empty() ? 0 : X.front().size();
+  }
+  void add(std::vector<double> row, int label) {
+    X.push_back(std::move(row));
+    y.push_back(label);
+  }
+};
+
+/// Index lists for stratified k-fold cross validation: every fold preserves
+/// the class proportions of `labels`. Deterministic given the seed.
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    std::span<const int> labels, std::size_t k, std::uint64_t seed);
+
+/// Splits indices into train/test with the given test fraction, stratified.
+struct TrainTestSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+TrainTestSplit stratified_split(std::span<const int> labels,
+                                double test_fraction, std::uint64_t seed);
+
+/// Bootstrap sample of n indices drawn from [0, n) with replacement.
+std::vector<std::size_t> bootstrap_indices(std::size_t n, Rng& rng);
+
+}  // namespace behaviot

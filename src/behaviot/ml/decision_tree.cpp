@@ -1,0 +1,168 @@
+#include "behaviot/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace behaviot {
+namespace {
+
+double gini(std::span<const std::size_t> counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeOptions options) : options_(options) {}
+
+void DecisionTree::fit(std::span<const std::vector<double>> X,
+                       std::span<const int> y,
+                       std::span<const std::size_t> sample, int num_classes,
+                       Rng& rng) {
+  num_classes_ = num_classes;
+  nodes_.clear();
+  if (sample.empty()) return;
+  std::vector<std::size_t> indices(sample.begin(), sample.end());
+  build(X, y, indices, 0, indices.size(), 0, rng);
+}
+
+int DecisionTree::build(std::span<const std::vector<double>> X,
+                        std::span<const int> y,
+                        std::vector<std::size_t>& indices, std::size_t begin,
+                        std::size_t end, std::size_t depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[static_cast<std::size_t>(y[indices[i]])];
+
+  const double node_gini = gini(counts, n);
+  const bool pure = node_gini <= 1e-12;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.distribution.resize(static_cast<std::size_t>(num_classes_));
+    for (std::size_t c = 0; c < leaf.distribution.size(); ++c) {
+      leaf.distribution[c] =
+          static_cast<double>(counts[c]) / static_cast<double>(n);
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (pure || depth >= options_.max_depth || n < options_.min_samples_split) {
+    return make_leaf();
+  }
+
+  const std::size_t num_features = X.front().size();
+  std::vector<std::size_t> feature_order(num_features);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  std::size_t features_to_try = options_.max_features == 0
+                                    ? num_features
+                                    : std::min(options_.max_features,
+                                               num_features);
+  if (features_to_try < num_features) rng.shuffle(feature_order);
+
+  // Best split search: sort node samples per candidate feature and scan
+  // boundaries, maintaining left/right class counts incrementally. Zero-gain
+  // splits are kept as a fallback: problems like XOR have no first split
+  // with immediate Gini improvement, yet splitting still enables pure
+  // children one level down (max_depth bounds the recursion).
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gini = node_gini;
+  int fallback_feature = -1;
+  double fallback_threshold = 0.0;
+  std::vector<std::size_t> node_samples(indices.begin() + static_cast<long>(begin),
+                                        indices.begin() + static_cast<long>(end));
+
+  for (std::size_t fi = 0; fi < features_to_try; ++fi) {
+    const std::size_t f = feature_order[fi];
+    std::sort(node_samples.begin(), node_samples.end(),
+              [&X, f](std::size_t a, std::size_t b) { return X[a][f] < X[b][f]; });
+    std::vector<std::size_t> left_counts(static_cast<std::size_t>(num_classes_), 0);
+    std::vector<std::size_t> right_counts = counts;
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto cls = static_cast<std::size_t>(y[node_samples[i]]);
+      ++left_counts[cls];
+      --right_counts[cls];
+      const double v = X[node_samples[i]][f];
+      const double v_next = X[node_samples[i + 1]][f];
+      if (v_next <= v) continue;  // not a boundary
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = n - n_left;
+      if (n_left < options_.min_samples_leaf ||
+          n_right < options_.min_samples_leaf) {
+        continue;
+      }
+      const double weighted =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(n);
+      if (weighted + 1e-12 < best_gini) {
+        best_gini = weighted;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + v_next) / 2.0;
+      } else if (fallback_feature < 0 && weighted <= node_gini + 1e-12) {
+        fallback_feature = static_cast<int>(f);
+        fallback_threshold = (v + v_next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    best_feature = fallback_feature;
+    best_threshold = fallback_threshold;
+  }
+  if (best_feature < 0) return make_leaf();
+
+  // Partition [begin, end) by the chosen split.
+  auto mid_it = std::stable_partition(
+      indices.begin() + static_cast<long>(begin),
+      indices.begin() + static_cast<long>(end),
+      [&X, best_feature, best_threshold](std::size_t i) {
+        return X[i][static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate
+
+  // Reserve this node's slot before recursing so children land after it.
+  nodes_.emplace_back();
+  const auto self = static_cast<int>(nodes_.size() - 1);
+  const int left = build(X, y, indices, begin, mid, depth + 1, rng);
+  const int right = build(X, y, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(self)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> row) const {
+  if (nodes_.empty()) {
+    return std::vector<double>(static_cast<std::size_t>(num_classes_), 0.0);
+  }
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& nd = nodes_[node];
+    node = static_cast<std::size_t>(
+        row[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                  : nd.right);
+  }
+  return nodes_[node].distribution;
+}
+
+int DecisionTree::predict(std::span<const double> row) const {
+  const auto proba = predict_proba(row);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace behaviot

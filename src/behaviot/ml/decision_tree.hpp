@@ -1,0 +1,58 @@
+// CART decision tree (Gini impurity), the base learner of the Random Forest
+// user-action models [18].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "behaviot/net/rng.hpp"
+
+namespace behaviot {
+
+struct TreeOptions {
+  std::size_t max_depth = 24;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 means all (single trees), forests pass
+  /// ~sqrt(d) for decorrelation.
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeOptions options = {});
+
+  /// Fits on the rows of X selected by `sample`. Labels must lie in
+  /// [0, num_classes). `rng` drives feature subsampling.
+  void fit(std::span<const std::vector<double>> X, std::span<const int> y,
+           std::span<const std::size_t> sample, int num_classes, Rng& rng);
+
+  /// Class-probability vector (size num_classes) for one row.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const;
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left when row[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<double> distribution;  ///< leaf class probabilities
+  };
+
+  int build(std::span<const std::vector<double>> X, std::span<const int> y,
+            std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, std::size_t depth, Rng& rng);
+
+  TreeOptions options_;
+  int num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,44 @@
+#include "behaviot/ml/metrics.hpp"
+
+namespace behaviot {
+
+double BinaryCounts::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double BinaryCounts::false_negative_rate() const {
+  const std::size_t positives = false_negative + true_positive;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(false_negative) / static_cast<double>(positives);
+}
+
+double BinaryCounts::false_positive_rate() const {
+  const std::size_t negatives = false_positive + true_negative;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(false_positive) / static_cast<double>(negatives);
+}
+
+double multiclass_accuracy(std::span<const std::string> truth,
+                           std::span<const std::string> predicted) {
+  if (truth.empty() || truth.size() != predicted.size()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+std::map<std::pair<std::string, std::string>, std::size_t> confusion(
+    std::span<const std::string> truth,
+    std::span<const std::string> predicted) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (std::size_t i = 0; i < truth.size() && i < predicted.size(); ++i) {
+    ++counts[{truth[i], predicted[i]}];
+  }
+  return counts;
+}
+
+}  // namespace behaviot

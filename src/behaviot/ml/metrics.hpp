@@ -1,0 +1,37 @@
+// Classification scoring: accuracy, false-negative rate, false-positive rate
+// as defined in §5.1.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+
+namespace behaviot {
+
+struct BinaryCounts {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  [[nodiscard]] double accuracy() const;
+  /// FN / (FN + TP): user events missed (§5.1 "false negative rate").
+  [[nodiscard]] double false_negative_rate() const;
+  /// FP / total negatives presented (§5.1 computes FPR over idle events).
+  [[nodiscard]] double false_positive_rate() const;
+};
+
+/// Multiclass accuracy over parallel label sequences.
+double multiclass_accuracy(std::span<const std::string> truth,
+                           std::span<const std::string> predicted);
+
+/// Confusion counts keyed by (truth, predicted) label pair.
+std::map<std::pair<std::string, std::string>, std::size_t> confusion(
+    std::span<const std::string> truth,
+    std::span<const std::string> predicted);
+
+}  // namespace behaviot

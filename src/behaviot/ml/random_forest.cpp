@@ -1,0 +1,52 @@
+#include "behaviot/ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace behaviot {
+
+RandomForest::RandomForest(ForestOptions options) : options_(options) {}
+
+void RandomForest::fit(const Dataset& data, int num_classes) {
+  num_classes_ = num_classes;
+  trees_.clear();
+  if (data.size() == 0) return;
+
+  TreeOptions tree_options = options_.tree;
+  tree_options.max_features =
+      options_.max_features != 0
+          ? options_.max_features
+          : static_cast<std::size_t>(
+                std::max(1.0, std::floor(std::sqrt(
+                                  static_cast<double>(data.num_features())))));
+
+  Rng root(options_.seed);
+  trees_.reserve(options_.num_trees);
+  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+    Rng tree_rng = root.fork(t);
+    const auto sample = bootstrap_indices(data.size(), tree_rng);
+    DecisionTree tree(tree_options);
+    tree.fit(data.X, data.y, sample, num_classes, tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> row) const {
+  std::vector<double> acc(static_cast<std::size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return acc;
+  for (const DecisionTree& tree : trees_) {
+    const auto p = tree.predict_proba(row);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+  const auto proba = predict_proba(row);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace behaviot

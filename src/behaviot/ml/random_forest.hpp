@@ -1,0 +1,44 @@
+// Bagged Random Forest [18] — the user-action model learner. Chosen by the
+// paper for being lightweight enough to run on a home router and accurate
+// with limited training samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "behaviot/ml/dataset.hpp"
+#include "behaviot/ml/decision_tree.hpp"
+
+namespace behaviot {
+
+struct ForestOptions {
+  std::size_t num_trees = 30;
+  TreeOptions tree;
+  /// Features per split; 0 = floor(sqrt(d)), the usual forest default.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 42;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {});
+
+  /// Fits `num_trees` trees on bootstrap resamples of the dataset.
+  void fit(const Dataset& data, int num_classes);
+
+  /// Mean class-probability vector across trees.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const;
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,164 @@
+#include "behaviot/ml/unsupervised.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "behaviot/net/stats.hpp"
+
+namespace behaviot {
+
+std::vector<double> unsupervised_feature_subset(const FeatureVector& full) {
+  static constexpr std::size_t kDims[] = {
+      kMeanBytes,          kMinBytes,
+      kMaxBytes,           kMedAbsDev,
+      kNetworkOutExternal, kNetworkInExternal,
+      kNetworkExternal,    kNetworkLocal,
+      kMeanBytesOutExternal, kMeanBytesInExternal,
+  };
+  std::vector<double> out;
+  out.reserve(std::size(kDims));
+  for (std::size_t d : kDims) out.push_back(full[d]);
+  return out;
+}
+
+namespace {
+
+std::vector<double> standardize(const std::vector<double>& row,
+                                const std::vector<double>& means,
+                                const std::vector<double>& scales) {
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = (row[d] - means[d]) / scales[d];
+  }
+  return out;
+}
+
+}  // namespace
+
+UnsupervisedActionModels UnsupervisedActionModels::train(
+    std::span<const FlowRecord> candidate_flows,
+    const UnsupervisedTrainOptions& options) {
+  UnsupervisedActionModels models;
+
+  std::map<DeviceId, std::vector<std::vector<double>>> by_device;
+  for (const FlowRecord& f : candidate_flows) {
+    by_device[f.device].push_back(
+        unsupervised_feature_subset(extract_features(f)));
+  }
+
+  for (auto& [device, rows] : by_device) {
+    if (rows.size() < options.min_cluster_size) continue;
+    const std::size_t dims = rows.front().size();
+    DeviceClusters dc;
+    dc.eps = options.dbscan.eps;
+    dc.means.assign(dims, 0.0);
+    dc.scales.assign(dims, 1.0);
+    for (std::size_t d = 0; d < dims; ++d) {
+      std::vector<double> col;
+      col.reserve(rows.size());
+      for (const auto& r : rows) col.push_back(r[d]);
+      dc.means[d] = stats::mean(col);
+      dc.scales[d] = std::max(stats::stddev(col), 1.0);
+    }
+
+    std::vector<std::vector<double>> scaled;
+    scaled.reserve(rows.size());
+    for (const auto& r : rows) {
+      scaled.push_back(standardize(r, dc.means, dc.scales));
+    }
+    const DbscanResult fit = dbscan(scaled, options.dbscan);
+
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(fit.num_clusters),
+        std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(fit.num_clusters),
+                                   0);
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      if (fit.labels[i] == kDbscanNoise) continue;
+      const auto c = static_cast<std::size_t>(fit.labels[i]);
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += scaled[i][d];
+      ++sizes[c];
+    }
+    for (std::size_t c = 0; c < sums.size(); ++c) {
+      if (sizes[c] < options.min_cluster_size) continue;
+      for (double& v : sums[c]) v /= static_cast<double>(sizes[c]);
+      dc.centroids.push_back(std::move(sums[c]));
+    }
+    if (!dc.centroids.empty()) {
+      models.devices_.emplace(device, std::move(dc));
+    }
+  }
+  return models;
+}
+
+int UnsupervisedActionModels::nearest_cluster(
+    const DeviceClusters& dc, const FeatureVector& features) const {
+  const std::vector<double> scaled = standardize(
+      unsupervised_feature_subset(features), dc.means, dc.scales);
+  int best = -1;
+  double best_dist = dc.eps * dc.eps;  // must be within eps of a centroid
+  for (std::size_t c = 0; c < dc.centroids.size(); ++c) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < scaled.size(); ++d) {
+      const double delta = scaled[d] - dc.centroids[c][d];
+      dist += delta * delta;
+    }
+    if (dist <= best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+PseudoActivityPrediction UnsupervisedActionModels::classify(
+    const FlowRecord& flow) const {
+  PseudoActivityPrediction out;
+  auto it = devices_.find(flow.device);
+  if (it == devices_.end()) return out;
+  const int cluster = nearest_cluster(it->second, extract_features(flow));
+  if (cluster < 0) return out;
+  out.label = std::to_string(flow.device) + "#" + std::to_string(cluster);
+  return out;
+}
+
+std::size_t UnsupervisedActionModels::num_clusters() const {
+  std::size_t n = 0;
+  for (const auto& [device, dc] : devices_) n += dc.centroids.size();
+  return n;
+}
+
+std::vector<std::string> UnsupervisedActionModels::labels_for(
+    DeviceId device) const {
+  std::vector<std::string> out;
+  if (auto it = devices_.find(device); it != devices_.end()) {
+    for (std::size_t c = 0; c < it->second.centroids.size(); ++c) {
+      out.push_back(std::to_string(device) + "#" + std::to_string(c));
+    }
+  }
+  return out;
+}
+
+double UnsupervisedActionModels::purity(
+    std::span<const FlowRecord> flows) const {
+  std::map<std::string, std::map<std::string, std::size_t>> composition;
+  std::size_t assigned = 0;
+  for (const FlowRecord& f : flows) {
+    const auto prediction = classify(f);
+    if (!prediction.matched()) continue;
+    ++composition[prediction.label][f.truth_label];
+    ++assigned;
+  }
+  if (assigned == 0) return 0.0;
+  std::size_t majority_total = 0;
+  for (const auto& [cluster, truth_counts] : composition) {
+    std::size_t majority = 0;
+    for (const auto& [label, count] : truth_counts) {
+      majority = std::max(majority, count);
+    }
+    majority_total += majority;
+  }
+  return static_cast<double>(majority_total) / static_cast<double>(assigned);
+}
+
+}  // namespace behaviot

@@ -1,0 +1,79 @@
+// Unsupervised user-action models (§7.3 "Ground-truth limitations").
+//
+// When labeled interactions are unavailable, incomplete, or stale (e.g.
+// after a firmware update), the paper proposes building user-action models
+// with unsupervised clustering instead of supervised forests. This module
+// implements that extension: non-periodic flows from an observation window
+// are clustered per device (DBSCAN over standardized Table-8 features), and
+// each cluster becomes a pseudo-activity. Downstream consumers (PFSM, the
+// deviation metrics) operate on pseudo-labels exactly as on real labels.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/flow/features.hpp"
+#include "behaviot/periodic/dbscan.hpp"
+#include "behaviot/periodic/periodic_model.hpp"
+
+namespace behaviot {
+
+struct UnsupervisedTrainOptions {
+  DbscanOptions dbscan{.eps = 2.0, .min_points = 4};
+  /// Clusters smaller than this are discarded as noise artifacts.
+  std::size_t min_cluster_size = 4;
+};
+
+/// Feature subset used for unsupervised clustering: the packet-size and
+/// directional-count dimensions. Inter-packet-timing features are excluded —
+/// they vary run-to-run with scheduling noise and would smear otherwise
+/// tight activity clusters (size patterns are what distinguishes activities
+/// in encrypted traffic, per the paper's §6.1 observations).
+std::vector<double> unsupervised_feature_subset(const FeatureVector& full);
+
+struct PseudoActivityPrediction {
+  std::string label;  ///< "<device-id>#<cluster>" or "" when unmatched
+  [[nodiscard]] bool matched() const { return !label.empty(); }
+};
+
+class UnsupervisedActionModels {
+ public:
+  UnsupervisedActionModels() = default;
+
+  /// Clusters candidate event flows (typically: flows a PeriodicModelSet
+  /// did not claim) into per-device pseudo-activities.
+  static UnsupervisedActionModels train(
+      std::span<const FlowRecord> candidate_flows,
+      const UnsupervisedTrainOptions& options = {});
+
+  /// Assigns a flow to its pseudo-activity, or "" when it is not density-
+  /// reachable from any learned cluster.
+  [[nodiscard]] PseudoActivityPrediction classify(const FlowRecord& flow) const;
+
+  /// Number of pseudo-activities across all devices.
+  [[nodiscard]] std::size_t num_clusters() const;
+  [[nodiscard]] std::vector<std::string> labels_for(DeviceId device) const;
+
+  /// Cluster purity against ground-truth labels (evaluation aid): for each
+  /// cluster, the fraction of member flows sharing the cluster's majority
+  /// truth label, weighted by cluster size. 1.0 = every cluster maps to one
+  /// real activity.
+  [[nodiscard]] double purity(std::span<const FlowRecord> flows) const;
+
+ private:
+  struct DeviceClusters {
+    /// Per-dimension standardization over the reduced feature subset.
+    std::vector<double> means;
+    std::vector<double> scales;
+    /// Centroid per cluster, in standardized space.
+    std::vector<std::vector<double>> centroids;
+    double eps = 2.0;
+  };
+  [[nodiscard]] int nearest_cluster(const DeviceClusters& dc,
+                                    const FeatureVector& features) const;
+  std::map<DeviceId, DeviceClusters> devices_;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,97 @@
+#include "behaviot/ml/user_action_model.hpp"
+
+#include <algorithm>
+
+namespace behaviot {
+
+UserActionModels UserActionModels::train(
+    std::span<const FlowRecord> labeled, std::span<const FlowRecord> background,
+    const UserActionTrainOptions& options) {
+  UserActionModels models;
+  models.decision_threshold_ = options.decision_threshold;
+
+  // Collect per-device positives by activity and the shared negative pool
+  // (other activities of the same device + idle background of the device).
+  std::map<DeviceId, std::map<std::string, std::vector<FeatureVector>>>
+      positives;
+  std::map<DeviceId, std::vector<FeatureVector>> device_background;
+
+  for (const FlowRecord& f : labeled) {
+    if (f.truth == EventKind::kUser && !f.truth_label.empty()) {
+      positives[f.device][f.truth_label].push_back(extract_features(f));
+    } else {
+      device_background[f.device].push_back(extract_features(f));
+    }
+  }
+  for (const FlowRecord& f : background) {
+    device_background[f.device].push_back(extract_features(f));
+  }
+
+  Rng rng(options.seed);
+  std::uint64_t stream = 0;
+  for (auto& [device, by_activity] : positives) {
+    for (auto& [activity, pos_rows] : by_activity) {
+      Dataset data;
+      for (const auto& row : pos_rows) {
+        data.add(std::vector<double>(row.begin(), row.end()), 1);
+      }
+      // Negatives: flows of *other* activities of this device...
+      std::vector<const FeatureVector*> neg_pool;
+      for (const auto& [other, rows] : by_activity) {
+        if (other == activity) continue;
+        for (const auto& r : rows) neg_pool.push_back(&r);
+      }
+      // ...plus idle/background flows of this device.
+      if (auto it = device_background.find(device);
+          it != device_background.end()) {
+        for (const auto& r : it->second) neg_pool.push_back(&r);
+      }
+      Rng local = rng.fork(stream++);
+      const std::size_t max_neg =
+          options.max_negatives_per_positive * std::max<std::size_t>(
+                                                   pos_rows.size(), 1);
+      if (neg_pool.size() > max_neg) {
+        local.shuffle(neg_pool);
+        neg_pool.resize(max_neg);
+      }
+      for (const FeatureVector* r : neg_pool) {
+        data.add(std::vector<double>(r->begin(), r->end()), 0);
+      }
+
+      ForestOptions forest_options = options.forest;
+      forest_options.seed = options.seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+      RandomForest forest(forest_options);
+      forest.fit(data, /*num_classes=*/2);
+      models.classifiers_[device].push_back({activity, std::move(forest)});
+    }
+  }
+  return models;
+}
+
+UserActionPrediction UserActionModels::classify(const FlowRecord& flow) const {
+  UserActionPrediction best;
+  auto it = classifiers_.find(flow.device);
+  if (it == classifiers_.end()) return best;
+
+  const FeatureVector features = extract_features(flow);
+  const std::vector<double> row(features.begin(), features.end());
+  for (const BinaryClassifier& clf : it->second) {
+    const double p = clf.forest.predict_proba(row)[1];
+    if (p >= decision_threshold_ && p > best.confidence) {
+      best.activity = clf.activity;
+      best.confidence = p;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> UserActionModels::activities_for(
+    DeviceId device) const {
+  std::vector<std::string> out;
+  if (auto it = classifiers_.find(device); it != classifiers_.end()) {
+    for (const auto& clf : it->second) out.push_back(clf.activity);
+  }
+  return out;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,69 @@
+// User-action models (§4.1, Appendix B).
+//
+// One binary Random Forest per (device, activity). At classification time
+// every binary classifier of the flow's device votes; the most confident
+// positive wins. No positive vote → the flow is not a user event (it falls
+// to the periodic/aperiodic stages).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/flow/features.hpp"
+#include "behaviot/ml/random_forest.hpp"
+
+namespace behaviot {
+
+struct UserActionPrediction {
+  std::string activity;  ///< empty when no classifier fired
+  double confidence = 0.0;
+
+  [[nodiscard]] bool is_user_event() const { return !activity.empty(); }
+};
+
+struct UserActionTrainOptions {
+  ForestOptions forest{};
+  /// Positive-vote threshold for a binary classifier. Above 0.5 to keep the
+  /// false-positive rate on the vast background traffic near the paper's
+  /// 0.09% — a coin-flip threshold lets rare background shapes leak through.
+  double decision_threshold = 0.6;
+  /// Cap on background (negative) flows sampled per classifier; generous so
+  /// classifiers see the diversity of heartbeat shapes, yet bounded to keep
+  /// training balanced.
+  std::size_t max_negatives_per_positive = 10;
+  std::uint64_t seed = 7;
+};
+
+class UserActionModels {
+ public:
+  UserActionModels() = default;
+
+  /// Trains per-activity binary classifiers. `labeled` must carry
+  /// ground-truth user labels in FlowRecord::truth_label; `background`
+  /// provides negative examples (idle traffic from the same devices).
+  static UserActionModels train(std::span<const FlowRecord> labeled,
+                                std::span<const FlowRecord> background,
+                                const UserActionTrainOptions& options = {});
+
+  /// Classifies one flow of a known device.
+  [[nodiscard]] UserActionPrediction classify(const FlowRecord& flow) const;
+
+  /// Number of trained (device, activity) classifiers.
+  [[nodiscard]] std::size_t size() const { return classifiers_.size(); }
+
+  /// Activities known for a device.
+  [[nodiscard]] std::vector<std::string> activities_for(DeviceId device) const;
+
+ private:
+  struct BinaryClassifier {
+    std::string activity;
+    RandomForest forest;
+  };
+  std::map<DeviceId, std::vector<BinaryClassifier>> classifiers_;
+  double decision_threshold_ = 0.5;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,152 @@
+#include "behaviot/net/dns.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace behaviot {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+// Encodes "a.b.com" as 1a1b3com0.
+void put_name(std::vector<std::uint8_t>& out, const std::string& name) {
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) dot = name.size();
+    const std::size_t len = dot - start;
+    out.push_back(static_cast<std::uint8_t>(len));
+    for (std::size_t i = start; i < dot; ++i)
+      out.push_back(static_cast<std::uint8_t>(name[i]));
+    if (dot == name.size()) break;
+    start = dot + 1;
+  }
+  out.push_back(0);
+}
+
+// Decodes a (possibly compressed) name starting at `off`. Advances `off`
+// past the name in the original record. Returns false on malformed input.
+bool read_name(const std::vector<std::uint8_t>& buf, std::size_t& off,
+               std::string& out) {
+  std::size_t pos = off;
+  bool jumped = false;
+  int hops = 0;
+  out.clear();
+  while (true) {
+    if (pos >= buf.size() || ++hops > 64) return false;
+    const std::uint8_t len = buf[pos];
+    if ((len & 0xc0) == 0xc0) {  // compression pointer
+      if (pos + 1 >= buf.size()) return false;
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | buf[pos + 1];
+      if (!jumped) off = pos + 2;
+      jumped = true;
+      pos = target;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) off = pos + 1;
+      break;
+    }
+    if (pos + 1 + len > buf.size()) return false;
+    if (!out.empty()) out.push_back('.');
+    for (std::size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(buf[pos + 1 + i]))));
+    }
+    pos += 1 + len;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_dns_query(std::uint16_t txid,
+                                         const std::string& name) {
+  std::vector<std::uint8_t> out;
+  put_u16(out, txid);
+  put_u16(out, 0x0100);  // RD
+  put_u16(out, 1);       // QDCOUNT
+  put_u16(out, 0);
+  put_u16(out, 0);
+  put_u16(out, 0);
+  put_name(out, name);
+  put_u16(out, 1);  // QTYPE A
+  put_u16(out, 1);  // QCLASS IN
+  return out;
+}
+
+std::vector<std::uint8_t> make_dns_response(std::uint16_t txid,
+                                            const std::string& name,
+                                            Ipv4Addr address,
+                                            std::uint32_t ttl) {
+  std::vector<std::uint8_t> out;
+  put_u16(out, txid);
+  put_u16(out, 0x8180);  // QR, RD, RA
+  put_u16(out, 1);       // QDCOUNT
+  put_u16(out, 1);       // ANCOUNT
+  put_u16(out, 0);
+  put_u16(out, 0);
+  put_name(out, name);
+  put_u16(out, 1);
+  put_u16(out, 1);
+  // Answer: pointer to offset 12 (the question name).
+  out.push_back(0xc0);
+  out.push_back(12);
+  put_u16(out, 1);  // TYPE A
+  put_u16(out, 1);  // CLASS IN
+  put_u32(out, ttl);
+  put_u16(out, 4);  // RDLENGTH
+  put_u32(out, address.value());
+  return out;
+}
+
+std::optional<DnsBinding> parse_dns_response(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 12) return std::nullopt;
+  auto u16_at = [&payload](std::size_t i) {
+    return static_cast<std::uint16_t>((payload[i] << 8) | payload[i + 1]);
+  };
+  const std::uint16_t flags = u16_at(2);
+  if ((flags & 0x8000) == 0) return std::nullopt;  // not a response
+  const std::uint16_t qdcount = u16_at(4);
+  const std::uint16_t ancount = u16_at(6);
+  if (ancount == 0) return std::nullopt;
+
+  std::size_t off = 12;
+  std::string qname;
+  for (std::uint16_t q = 0; q < qdcount; ++q) {
+    if (!read_name(payload, off, qname)) return std::nullopt;
+    off += 4;  // qtype + qclass
+  }
+  for (std::uint16_t a = 0; a < ancount; ++a) {
+    std::string rname;
+    if (!read_name(payload, off, rname)) return std::nullopt;
+    if (off + 10 > payload.size()) return std::nullopt;
+    const std::uint16_t rtype = u16_at(off);
+    const std::uint32_t ttl = (std::uint32_t{u16_at(off + 4)} << 16) |
+                              u16_at(off + 6);
+    const std::uint16_t rdlen = u16_at(off + 8);
+    off += 10;
+    if (off + rdlen > payload.size()) return std::nullopt;
+    if (rtype == 1 && rdlen == 4) {
+      const Ipv4Addr addr((std::uint32_t{payload[off]} << 24) |
+                          (std::uint32_t{payload[off + 1]} << 16) |
+                          (std::uint32_t{payload[off + 2]} << 8) |
+                          std::uint32_t{payload[off + 3]});
+      return DnsBinding{rname.empty() ? qname : rname, addr, ttl};
+    }
+    off += rdlen;
+  }
+  return std::nullopt;
+}
+
+}  // namespace behaviot

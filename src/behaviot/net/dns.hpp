@@ -1,0 +1,38 @@
+// Minimal DNS wire-format support: enough to synthesize the query/response
+// pairs IoT devices emit and to recover (name → address) bindings from
+// responses, as the §4.1 domain annotator requires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "behaviot/net/ip.hpp"
+
+namespace behaviot {
+
+struct DnsBinding {
+  std::string name;  ///< queried domain, lowercase, no trailing dot
+  Ipv4Addr address;  ///< first A record in the answer section
+  std::uint32_t ttl = 0;
+};
+
+/// Builds the payload of a standard A query.
+std::vector<std::uint8_t> make_dns_query(std::uint16_t txid,
+                                         const std::string& name);
+
+/// Builds the payload of a response carrying one A record (with a
+/// compression pointer to the question name, like real resolvers emit).
+std::vector<std::uint8_t> make_dns_response(std::uint16_t txid,
+                                            const std::string& name,
+                                            Ipv4Addr address,
+                                            std::uint32_t ttl = 300);
+
+/// Extracts the first A-record binding from a response payload. Handles
+/// name compression; returns nullopt for queries, malformed payloads, or
+/// responses with no A answers.
+std::optional<DnsBinding> parse_dns_response(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace behaviot

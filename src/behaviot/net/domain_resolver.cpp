@@ -1,0 +1,41 @@
+#include "behaviot/net/domain_resolver.hpp"
+
+#include "behaviot/net/dns.hpp"
+#include "behaviot/net/tls.hpp"
+
+namespace behaviot {
+
+void DomainResolver::add_reverse_dns(Ipv4Addr ip, std::string domain) {
+  reverse_dns_[ip.value()] = std::move(domain);
+}
+
+bool DomainResolver::observe(const Packet& packet) {
+  if (packet.payload.empty()) return false;
+  const AppProtocol app =
+      classify_app_protocol(packet.tuple.proto, packet.tuple.dst.port);
+  if (app == AppProtocol::kDns && packet.dir == Direction::kInbound) {
+    if (auto binding = parse_dns_response(packet.payload)) {
+      from_dns_[binding->address.value()] = binding->name;
+      return true;
+    }
+  }
+  if (app == AppProtocol::kTls && packet.dir == Direction::kOutbound) {
+    if (auto sni = parse_tls_sni(packet.payload)) {
+      from_sni_[packet.tuple.dst.ip.value()] = *sni;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DomainResolver::resolve(Ipv4Addr ip) const {
+  if (auto it = from_dns_.find(ip.value()); it != from_dns_.end())
+    return it->second;
+  if (auto it = from_sni_.find(ip.value()); it != from_sni_.end())
+    return it->second;
+  if (auto it = reverse_dns_.find(ip.value()); it != reverse_dns_.end())
+    return it->second;
+  return {};
+}
+
+}  // namespace behaviot

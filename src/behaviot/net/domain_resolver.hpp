@@ -1,0 +1,39 @@
+// Destination-domain annotation (§4.1).
+//
+// Precedence, matching the paper: observed DNS responses, then TLS SNI, then
+// a reverse-DNS table, else blank. The resolver is fed packets in capture
+// order and queried per flow destination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "behaviot/net/packet.hpp"
+
+namespace behaviot {
+
+class DomainResolver {
+ public:
+  /// Registers a reverse-DNS fallback entry (lowest annotation precedence).
+  void add_reverse_dns(Ipv4Addr ip, std::string domain);
+
+  /// Inspects a packet; DNS responses and TLS ClientHellos update the map.
+  /// Non-informative packets are ignored. Returns true if the packet taught
+  /// the resolver a new or refreshed binding.
+  bool observe(const Packet& packet);
+
+  /// Domain for an address, or "" when unknown (the paper leaves the name
+  /// blank in that case).
+  [[nodiscard]] std::string resolve(Ipv4Addr ip) const;
+
+  [[nodiscard]] std::size_t dns_bindings() const { return from_dns_.size(); }
+  [[nodiscard]] std::size_t sni_bindings() const { return from_sni_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> from_dns_;
+  std::unordered_map<std::uint32_t, std::string> from_sni_;
+  std::unordered_map<std::uint32_t, std::string> reverse_dns_;
+};
+
+}  // namespace behaviot

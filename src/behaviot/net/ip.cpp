@@ -1,0 +1,80 @@
+#include "behaviot/net/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace behaviot {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t octets[4];
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255) return std::nullopt;
+    octets[i] = v;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+                  octets[3]);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", addr_ >> 24,
+                (addr_ >> 16) & 0xff, (addr_ >> 8) & 0xff, addr_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+std::string FiveTuple::to_string() const {
+  return src.to_string() + (proto == Transport::kTcp ? " -tcp-> " : " -udp-> ") +
+         dst.to_string();
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  // FNV-1a over the tuple fields; cheap and adequate for hash-map dispersion.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(t.src.ip.value());
+  mix(t.src.port);
+  mix(t.dst.ip.value());
+  mix(t.dst.port);
+  mix(static_cast<std::uint64_t>(t.proto));
+  return static_cast<std::size_t>(h);
+}
+
+const char* to_string(AppProtocol p) {
+  switch (p) {
+    case AppProtocol::kDns: return "DNS";
+    case AppProtocol::kNtp: return "NTP";
+    case AppProtocol::kTls: return "TLS";
+    case AppProtocol::kHttp: return "HTTP";
+    case AppProtocol::kOtherTcp: return "TCP";
+    case AppProtocol::kOtherUdp: return "UDP";
+  }
+  return "?";
+}
+
+AppProtocol classify_app_protocol(Transport t, std::uint16_t dst_port) {
+  if (dst_port == 53) return AppProtocol::kDns;
+  if (t == Transport::kUdp && dst_port == 123) return AppProtocol::kNtp;
+  if (t == Transport::kTcp && dst_port == 443) return AppProtocol::kTls;
+  if (t == Transport::kTcp && (dst_port == 80 || dst_port == 8080))
+    return AppProtocol::kHttp;
+  return t == Transport::kTcp ? AppProtocol::kOtherTcp : AppProtocol::kOtherUdp;
+}
+
+}  // namespace behaviot

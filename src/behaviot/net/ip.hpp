@@ -1,0 +1,81 @@
+// IPv4 addressing and transport endpoints.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace behaviot {
+
+/// IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for RFC 1918 ranges and loopback/link-local; BehavIoT uses this to
+  /// split local vs. external traffic in the Table-8 features.
+  [[nodiscard]] constexpr bool is_private() const {
+    const std::uint32_t a = addr_ >> 24;
+    const std::uint32_t b = (addr_ >> 16) & 0xff;
+    return a == 10 || (a == 172 && b >= 16 && b <= 31) ||
+           (a == 192 && b == 168) || a == 127 || (a == 169 && b == 254);
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+enum class Transport : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+[[nodiscard]] constexpr const char* to_string(Transport t) {
+  return t == Transport::kTcp ? "TCP" : "UDP";
+}
+
+struct Endpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Classic 5-tuple flow identity. `src` is always the IoT-device side in
+/// simulated captures; the assembler canonicalizes real captures the same way.
+struct FiveTuple {
+  Endpoint src;
+  Endpoint dst;
+  Transport proto = Transport::kTcp;
+
+  auto operator<=>(const FiveTuple&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+/// Well-known ports the annotator uses to name protocols (DNS, NTP, TLS...).
+enum class AppProtocol : std::uint8_t { kDns, kNtp, kTls, kHttp, kOtherTcp, kOtherUdp };
+
+[[nodiscard]] const char* to_string(AppProtocol p);
+
+/// Infers the application protocol from transport + destination port.
+[[nodiscard]] AppProtocol classify_app_protocol(Transport t, std::uint16_t dst_port);
+
+}  // namespace behaviot

@@ -1,0 +1,9 @@
+#include "behaviot/net/packet.hpp"
+
+namespace behaviot {
+
+bool is_local_traffic(const Packet& p) {
+  return p.tuple.src.ip.is_private() && p.tuple.dst.ip.is_private();
+}
+
+}  // namespace behaviot

@@ -1,0 +1,49 @@
+// Captured-packet representation.
+//
+// BehavIoT never inspects payload *content* for modeling — only headers and
+// timing (§4.1 of the paper). Payload bytes are carried solely so the domain
+// annotator can read cleartext DNS answers and TLS SNI, exactly like a
+// gateway tap would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "behaviot/net/ip.hpp"
+#include "behaviot/net/time.hpp"
+
+namespace behaviot {
+
+/// Direction relative to the IoT device that owns the flow.
+enum class Direction : std::uint8_t { kOutbound, kInbound };
+
+/// Identifies a device in the testbed catalog. Real captures map local IPs to
+/// ids via the catalog; simulated captures carry the id directly.
+using DeviceId = std::uint16_t;
+inline constexpr DeviceId kUnknownDevice = 0xffff;
+
+struct Packet {
+  Timestamp ts;
+  /// Canonically oriented: src is always the device side, dst the remote
+  /// side, regardless of `dir`. This keeps flow keying trivial.
+  FiveTuple tuple;
+  /// IP total length in bytes (header + transport + payload).
+  std::uint32_t size = 0;
+  Direction dir = Direction::kOutbound;
+  DeviceId device = kUnknownDevice;
+  /// Application payload; empty for most packets (encrypted traffic is
+  /// modeled by size alone).
+  std::vector<std::uint8_t> payload;
+};
+
+/// True when the packet stays inside the home network (both endpoints in
+/// private address space). Local vs. external feeds the Table-8 features.
+[[nodiscard]] bool is_local_traffic(const Packet& p);
+
+/// Transport+IP header overhead in bytes for the given transport; used when
+/// synthesizing wire sizes and when recovering payload lengths from captures.
+[[nodiscard]] constexpr std::uint32_t header_overhead(Transport t) {
+  return 20u + (t == Transport::kTcp ? 20u : 8u);
+}
+
+}  // namespace behaviot

@@ -1,0 +1,248 @@
+#include "behaviot/net/pcap.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace behaviot {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // µs-resolution, host order
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+constexpr std::size_t kEthernetHeader = 14;
+constexpr std::size_t kIpv4Header = 20;
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint16_t get_u16be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32be(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void append_global_header(std::vector<std::uint8_t>& out) {
+  put_u32le(out, kMagic);
+  put_u32le(out, 0x00040002);  // version 2.4 (minor, major as LE u16 pair)
+  put_u32le(out, 0);           // thiszone
+  put_u32le(out, 0);           // sigfigs
+  put_u32le(out, kSnapLen);
+  put_u32le(out, kLinkTypeEthernet);
+}
+
+// Serializes one packet as record header + Ethernet/IPv4/transport frame.
+// The frame's src/dst reflect the actual direction of travel, so captures
+// look like real gateway taps.
+void append_packet(std::vector<std::uint8_t>& out, const Packet& p) {
+  const bool outbound = p.dir == Direction::kOutbound;
+  const Endpoint& from = outbound ? p.tuple.src : p.tuple.dst;
+  const Endpoint& to = outbound ? p.tuple.dst : p.tuple.src;
+
+  const std::uint32_t overhead = header_overhead(p.tuple.proto);
+  const std::uint32_t ip_len = std::max(p.size, overhead);
+  const std::size_t transport_header =
+      p.tuple.proto == Transport::kTcp ? 20u : 8u;
+  const std::size_t payload_len = ip_len - overhead;
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kEthernetHeader + ip_len);
+  // Ethernet: synthetic MACs derived from the IPs, ethertype IPv4.
+  for (int i = 0; i < 2; ++i) {
+    const std::uint32_t ip = (i == 0 ? to : from).ip.value();
+    frame.push_back(0x02);
+    frame.push_back(0x00);
+    frame.push_back(static_cast<std::uint8_t>(ip >> 24));
+    frame.push_back(static_cast<std::uint8_t>(ip >> 16));
+    frame.push_back(static_cast<std::uint8_t>(ip >> 8));
+    frame.push_back(static_cast<std::uint8_t>(ip));
+  }
+  put_u16be(frame, 0x0800);
+  // IPv4 header (no options, checksum left zero — tools tolerate it).
+  frame.push_back(0x45);
+  frame.push_back(0);
+  put_u16be(frame, static_cast<std::uint16_t>(ip_len));
+  put_u16be(frame, 0);       // identification
+  put_u16be(frame, 0x4000);  // DF
+  frame.push_back(64);       // TTL
+  frame.push_back(static_cast<std::uint8_t>(p.tuple.proto));
+  put_u16be(frame, 0);  // header checksum (unset)
+  put_u32be(frame, from.ip.value());
+  put_u32be(frame, to.ip.value());
+  // Transport header.
+  if (p.tuple.proto == Transport::kTcp) {
+    put_u16be(frame, from.port);
+    put_u16be(frame, to.port);
+    put_u32be(frame, 0);  // seq
+    put_u32be(frame, 0);  // ack
+    frame.push_back(0x50);  // data offset 5
+    frame.push_back(0x18);  // PSH|ACK
+    put_u16be(frame, 65535);  // window
+    put_u16be(frame, 0);      // checksum
+    put_u16be(frame, 0);      // urgent
+  } else {
+    put_u16be(frame, from.port);
+    put_u16be(frame, to.port);
+    put_u16be(frame, static_cast<std::uint16_t>(8 + payload_len));
+    put_u16be(frame, 0);  // checksum
+  }
+  // Payload: real bytes if present, zero padding to the declared size.
+  const std::size_t have = std::min(p.payload.size(), payload_len);
+  frame.insert(frame.end(), p.payload.begin(), p.payload.begin() + have);
+  frame.insert(frame.end(), payload_len - have, 0);
+  (void)transport_header;
+
+  // Record header.
+  const std::int64_t us = p.ts.micros();
+  put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
+  put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
+  put_u32le(out, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(out, static_cast<std::uint32_t>(frame.size()));
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+}  // namespace
+
+struct PcapWriter::Impl {
+  std::ofstream file;
+};
+
+PcapWriter::PcapWriter(const std::string& path) : impl_(new Impl) {
+  impl_->file.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->file) {
+    delete impl_;
+    throw std::runtime_error("PcapWriter: cannot open " + path);
+  }
+  std::vector<std::uint8_t> header;
+  append_global_header(header);
+  impl_->file.write(reinterpret_cast<const char*>(header.data()),
+                    static_cast<std::streamsize>(header.size()));
+}
+
+PcapWriter::~PcapWriter() {
+  close();
+  delete impl_;
+}
+
+void PcapWriter::write(const Packet& packet) {
+  std::vector<std::uint8_t> buf;
+  append_packet(buf, packet);
+  impl_->file.write(reinterpret_cast<const char*>(buf.data()),
+                    static_cast<std::streamsize>(buf.size()));
+  ++count_;
+}
+
+void PcapWriter::close() {
+  if (impl_->file.is_open()) impl_->file.close();
+}
+
+std::vector<std::uint8_t> serialize_pcap(const std::vector<Packet>& packets) {
+  std::vector<std::uint8_t> out;
+  append_global_header(out);
+  for (const Packet& p : packets) append_packet(out, p);
+  return out;
+}
+
+PcapReadResult parse_pcap(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 24) throw std::runtime_error("pcap: truncated header");
+  const std::uint32_t magic = get_u32le(bytes.data());
+  if (magic != kMagic) throw std::runtime_error("pcap: bad magic");
+  if (get_u32le(bytes.data() + 20) != kLinkTypeEthernet)
+    throw std::runtime_error("pcap: unsupported link type");
+
+  PcapReadResult result;
+  std::size_t off = 24;
+  while (off + 16 <= bytes.size()) {
+    const std::uint32_t ts_sec = get_u32le(bytes.data() + off);
+    const std::uint32_t ts_usec = get_u32le(bytes.data() + off + 4);
+    const std::uint32_t incl = get_u32le(bytes.data() + off + 8);
+    off += 16;
+    if (off + incl > bytes.size()) break;  // truncated tail record
+    const std::uint8_t* frame = bytes.data() + off;
+    off += incl;
+
+    if (incl < kEthernetHeader + kIpv4Header ||
+        get_u16be(frame + 12) != 0x0800) {
+      ++result.skipped;
+      continue;
+    }
+    const std::uint8_t* ip = frame + kEthernetHeader;
+    const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+    const std::uint8_t proto_num = ip[9];
+    if ((ip[0] >> 4) != 4 || ihl < 20 ||
+        (proto_num != 6 && proto_num != 17) ||
+        incl < kEthernetHeader + ihl + (proto_num == 6 ? 20u : 8u)) {
+      ++result.skipped;
+      continue;
+    }
+    const Transport proto =
+        proto_num == 6 ? Transport::kTcp : Transport::kUdp;
+    const std::uint16_t ip_len = get_u16be(ip + 2);
+    const Ipv4Addr from_ip(get_u32be(ip + 12));
+    const Ipv4Addr to_ip(get_u32be(ip + 16));
+    const std::uint8_t* transport = ip + ihl;
+    const std::uint16_t from_port = get_u16be(transport);
+    const std::uint16_t to_port = get_u16be(transport + 2);
+    const std::size_t transport_hdr =
+        proto == Transport::kTcp
+            ? static_cast<std::size_t>(transport[12] >> 4) * 4
+            : 8;
+    const std::uint8_t* payload = transport + transport_hdr;
+    const std::size_t frame_payload =
+        incl - kEthernetHeader - ihl - transport_hdr;
+
+    Packet p;
+    p.ts = Timestamp(static_cast<std::int64_t>(ts_sec) * 1'000'000 + ts_usec);
+    p.size = ip_len;
+    // Canonicalize: the device side is the private endpoint; if both are
+    // private (local traffic) or both public, keep the sender as src.
+    const bool from_private = from_ip.is_private();
+    const bool to_private = to_ip.is_private();
+    if (!from_private && to_private) {
+      p.tuple = {{to_ip, to_port}, {from_ip, from_port}, proto};
+      p.dir = Direction::kInbound;
+    } else {
+      p.tuple = {{from_ip, from_port}, {to_ip, to_port}, proto};
+      p.dir = Direction::kOutbound;
+    }
+    p.payload.assign(payload, payload + frame_payload);
+    // Strip trailing zero padding added by the writer for synthetic sizes.
+    while (!p.payload.empty() && p.payload.back() == 0) p.payload.pop_back();
+    result.packets.push_back(std::move(p));
+  }
+  return result;
+}
+
+PcapReadResult read_pcap(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("read_pcap: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  return parse_pcap(bytes);
+}
+
+}  // namespace behaviot

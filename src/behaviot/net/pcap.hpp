@@ -1,0 +1,54 @@
+// Classic pcap file reader/writer, implemented from the file-format
+// specification (no libpcap dependency).
+//
+// The writer serializes our canonical Packet records as Ethernet/IPv4/TCP|UDP
+// frames; the reader parses such files (including ones produced by tcpdump on
+// a real gateway) back into Packets, re-canonicalizing flow orientation using
+// the private-address heuristic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "behaviot/net/packet.hpp"
+
+namespace behaviot {
+
+class PcapWriter {
+ public:
+  /// Writes the global header immediately. Throws std::runtime_error if the
+  /// file cannot be opened.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  void write(const Packet& packet);
+  /// Flushes and closes; implicit in the destructor.
+  void close();
+
+  [[nodiscard]] std::size_t packets_written() const { return count_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t count_ = 0;
+};
+
+struct PcapReadResult {
+  std::vector<Packet> packets;
+  std::size_t skipped = 0;  ///< frames that were not Ethernet/IPv4/TCP|UDP
+};
+
+/// Reads a whole capture file. Throws std::runtime_error on malformed global
+/// headers; unparseable individual frames are counted in `skipped`.
+PcapReadResult read_pcap(const std::string& path);
+
+/// In-memory round trip used by tests: serialize then parse a packet vector.
+std::vector<std::uint8_t> serialize_pcap(const std::vector<Packet>& packets);
+PcapReadResult parse_pcap(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace behaviot

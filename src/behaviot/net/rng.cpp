@@ -1,0 +1,88 @@
+#include "behaviot/net/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace behaviot {
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.next();
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  SplitMix64 sm(seed_ ^ (0xd1342543de82ef95ULL * (stream_id + 1)));
+  return Rng(sm.next());
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (-n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  // Box-Muller; uniform() can return 0, so nudge away from log(0).
+  const double u1 = std::max(uniform(), 0x1.0p-53);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  const double u = std::max(uniform(), 0x1.0p-53);
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda <= 0) return 0;
+  if (lambda > 30.0) {
+    const double v = normal(lambda, std::sqrt(lambda));
+    return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  double product = uniform();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+}  // namespace behaviot

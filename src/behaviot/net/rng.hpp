@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// Every dataset, model, and benchmark in this repository is reproducible from
+// a seed. We ship our own xoshiro256** implementation (public-domain
+// algorithm by Blackman & Vigna) instead of std::mt19937 because its output
+// is specified independently of the standard library, so captures regenerate
+// bit-identically across platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace behaviot {
+
+/// SplitMix64: used to seed xoshiro and to derive independent substreams.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with distribution helpers tuned to the needs of the traffic
+/// generator (jitter, packet sizes, Poisson arrivals).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent generator; `stream_id` values must be distinct.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box-Muller (no cached spare: keeps forks stateless).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Exponential with the given mean (inter-arrival modeling).
+  double exponential(double mean);
+  /// Poisson-distributed count (Knuth for small lambda, normal approx above).
+  std::uint64_t poisson(double lambda);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& choice(std::span<const T> items) {
+    return items[uniform_index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_;
+};
+
+}  // namespace behaviot

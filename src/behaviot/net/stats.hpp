@@ -1,0 +1,104 @@
+// Small descriptive-statistics toolkit shared by the feature extractor,
+// periodicity detector, and deviation metrics. Header-only; all functions
+// take a span of doubles and are well-defined on empty input (returning 0)
+// so feature vectors never contain NaNs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace behaviot::stats {
+
+[[nodiscard]] inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Population variance (divides by n, matching the feature definitions used
+/// for traffic flows where the flow is the whole population).
+[[nodiscard]] inline double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+[[nodiscard]] inline double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+/// Sample standard deviation (n-1 denominator), for threshold calibration.
+[[nodiscard]] inline double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+[[nodiscard]] inline double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<long>(mid), xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<long>(mid) - 1,
+                   xs.begin() + static_cast<long>(mid));
+  return (xs[mid - 1] + hi) / 2.0;
+}
+
+/// Median absolute deviation around the median.
+[[nodiscard]] inline double median_abs_deviation(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double med = median(std::vector<double>(xs.begin(), xs.end()));
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::abs(x - med));
+  return median(std::move(dev));
+}
+
+/// Fisher skewness; 0 for degenerate (constant or tiny) samples.
+[[nodiscard]] inline double skewness(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd <= 0.0) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    const double z = (x - m) / sd;
+    s += z * z * z;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+/// Excess kurtosis; 0 for degenerate samples.
+[[nodiscard]] inline double kurtosis(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd <= 0.0) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    const double z = (x - m) / sd;
+    s += z * z * z * z;
+  }
+  return s / static_cast<double>(xs.size()) - 3.0;
+}
+
+/// Linear-interpolated percentile, q in [0, 100].
+[[nodiscard]] inline double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace behaviot::stats

@@ -1,0 +1,29 @@
+#include "behaviot/net/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace behaviot {
+
+std::string format_timestamp(Timestamp t) {
+  std::int64_t us = t.micros();
+  const char* sign = "";
+  if (us < 0) {
+    sign = "-";
+    us = -us;
+  }
+  const std::int64_t total_seconds = us / 1'000'000;
+  const std::int64_t frac = us % 1'000'000;
+  const std::int64_t day = total_seconds / 86'400;
+  const std::int64_t h = (total_seconds / 3'600) % 24;
+  const std::int64_t m = (total_seconds / 60) % 60;
+  const std::int64_t s = total_seconds % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "%sd%" PRId64 " %02" PRId64 ":%02" PRId64 ":%02" PRId64
+                ".%06" PRId64,
+                sign, day, h, m, s, frac);
+  return buf;
+}
+
+}  // namespace behaviot

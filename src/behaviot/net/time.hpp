@@ -1,0 +1,66 @@
+// Time representation used throughout BehavIoT.
+//
+// All capture timestamps are microseconds since an arbitrary epoch (for
+// simulated captures, the start of the simulation; for real pcap ingestion,
+// the Unix epoch). A dedicated strong type avoids accidental mixing of
+// microsecond and second quantities, which are both pervasive in the
+// periodicity code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace behaviot {
+
+/// Microseconds-resolution timestamp.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Timestamp from_seconds(double s) {
+    return Timestamp(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  constexpr Timestamp& operator+=(std::int64_t delta_us) {
+    micros_ += delta_us;
+    return *this;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Signed duration helpers (plain int64 microseconds reads fine at call
+/// sites when paired with these named constructors).
+constexpr std::int64_t microseconds(std::int64_t us) { return us; }
+constexpr std::int64_t milliseconds(std::int64_t ms) { return ms * 1000; }
+constexpr std::int64_t seconds(double s) {
+  return static_cast<std::int64_t>(s * 1e6);
+}
+constexpr std::int64_t minutes(double m) { return seconds(m * 60.0); }
+constexpr std::int64_t hours(double h) { return seconds(h * 3600.0); }
+constexpr std::int64_t days(double d) { return seconds(d * 86400.0); }
+
+constexpr Timestamp operator+(Timestamp t, std::int64_t delta_us) {
+  return Timestamp(t.micros() + delta_us);
+}
+constexpr Timestamp operator-(Timestamp t, std::int64_t delta_us) {
+  return Timestamp(t.micros() - delta_us);
+}
+/// Difference between two timestamps, in microseconds.
+constexpr std::int64_t operator-(Timestamp a, Timestamp b) {
+  return a.micros() - b.micros();
+}
+
+/// Renders "d3 07:12:45.123456" style timestamps for logs and reports.
+std::string format_timestamp(Timestamp t);
+
+}  // namespace behaviot

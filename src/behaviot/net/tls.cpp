@@ -1,0 +1,102 @@
+#include "behaviot/net/tls.hpp"
+
+namespace behaviot {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& b, std::size_t i) {
+  return static_cast<std::uint16_t>((b[i] << 8) | b[i + 1]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_tls_client_hello(const std::string& sni) {
+  // server_name extension body.
+  std::vector<std::uint8_t> ext;
+  put_u16(ext, 0x0000);  // extension type: server_name
+  const auto name_len = static_cast<std::uint16_t>(sni.size());
+  put_u16(ext, static_cast<std::uint16_t>(name_len + 5));  // extension length
+  put_u16(ext, static_cast<std::uint16_t>(name_len + 3));  // list length
+  ext.push_back(0);                                        // type: host_name
+  put_u16(ext, name_len);
+  ext.insert(ext.end(), sni.begin(), sni.end());
+
+  // ClientHello body.
+  std::vector<std::uint8_t> hello;
+  put_u16(hello, 0x0303);  // client_version TLS 1.2
+  hello.insert(hello.end(), 32, 0xab);  // random (fixed — not used by parser)
+  hello.push_back(0);                   // session id length
+  put_u16(hello, 2);                    // cipher suites length
+  put_u16(hello, 0x1301);               // TLS_AES_128_GCM_SHA256
+  hello.push_back(1);                   // compression methods length
+  hello.push_back(0);                   // null compression
+  put_u16(hello, static_cast<std::uint16_t>(ext.size()));
+  hello.insert(hello.end(), ext.begin(), ext.end());
+
+  // Handshake header + record header.
+  std::vector<std::uint8_t> out;
+  out.push_back(0x16);     // content type: handshake
+  put_u16(out, 0x0301);    // record version
+  put_u16(out, static_cast<std::uint16_t>(hello.size() + 4));
+  out.push_back(0x01);     // handshake type: client_hello
+  out.push_back(0);        // 24-bit length, high byte
+  put_u16(out, static_cast<std::uint16_t>(hello.size()));
+  out.insert(out.end(), hello.begin(), hello.end());
+  return out;
+}
+
+std::optional<std::string> parse_tls_sni(
+    const std::vector<std::uint8_t>& payload) {
+  // Record header (5) + handshake header (4).
+  if (payload.size() < 9 || payload[0] != 0x16 || payload[5] != 0x01)
+    return std::nullopt;
+  std::size_t off = 9;
+  // client_version + random.
+  if (off + 34 > payload.size()) return std::nullopt;
+  off += 34;
+  // session id.
+  if (off >= payload.size()) return std::nullopt;
+  off += 1 + payload[off];
+  // cipher suites.
+  if (off + 2 > payload.size()) return std::nullopt;
+  off += 2 + get_u16(payload, off);
+  // compression methods.
+  if (off >= payload.size()) return std::nullopt;
+  off += 1 + payload[off];
+  // extensions.
+  if (off + 2 > payload.size()) return std::nullopt;
+  const std::size_t ext_end =
+      std::min<std::size_t>(off + 2 + get_u16(payload, off), payload.size());
+  off += 2;
+  while (off + 4 <= ext_end) {
+    const std::uint16_t type = get_u16(payload, off);
+    const std::uint16_t len = get_u16(payload, off + 2);
+    off += 4;
+    if (off + len > ext_end) return std::nullopt;
+    if (type == 0x0000 && len >= 5) {
+      // server_name_list: u16 list length, then entries of
+      // (u8 type, u16 length, bytes).
+      std::size_t p = off + 2;
+      const std::size_t list_end = off + len;
+      while (p + 3 <= list_end) {
+        const std::uint8_t name_type = payload[p];
+        const std::uint16_t name_len = get_u16(payload, p + 1);
+        p += 3;
+        if (p + name_len > list_end) return std::nullopt;
+        if (name_type == 0) {
+          return std::string(payload.begin() + static_cast<long>(p),
+                             payload.begin() + static_cast<long>(p + name_len));
+        }
+        p += name_len;
+      }
+    }
+    off += len;
+  }
+  return std::nullopt;
+}
+
+}  // namespace behaviot

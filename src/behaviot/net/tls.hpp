@@ -1,0 +1,24 @@
+// TLS ClientHello synthesis and SNI extraction.
+//
+// The §4.1 annotator recovers destination domain names from the cleartext
+// Server Name Indication extension of TLS handshakes when DNS is not
+// observed. We implement exactly the slice of TLS needed for that: building
+// a plausible ClientHello carrying an SNI, and parsing the SNI back out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace behaviot {
+
+/// Builds a TLS 1.2-style ClientHello record with a server_name extension.
+std::vector<std::uint8_t> make_tls_client_hello(const std::string& sni);
+
+/// Extracts the host_name from a ClientHello payload, if present and
+/// well-formed. Tolerant of extra extensions; returns nullopt otherwise.
+std::optional<std::string> parse_tls_sni(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace behaviot

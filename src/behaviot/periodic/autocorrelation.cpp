@@ -1,0 +1,84 @@
+#include "behaviot/periodic/autocorrelation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "behaviot/periodic/fft.hpp"
+
+namespace behaviot {
+
+std::optional<AutocorrValidation> validate_period_with_acf(
+    std::span<const double> acf, double candidate_lag, double search_frac,
+    double min_score) {
+  if (acf.size() < 4 || candidate_lag < 1.0) return std::nullopt;
+
+  const auto lo = static_cast<std::size_t>(
+      std::max(1.0, std::floor(candidate_lag * (1.0 - search_frac))));
+  const auto hi = std::min(
+      static_cast<std::size_t>(std::ceil(candidate_lag * (1.0 + search_frac))),
+      acf.size() - 1);
+  if (lo >= acf.size() - 1 || lo >= hi) return std::nullopt;
+
+  // Maximum in the search window.
+  std::size_t best = lo;
+  for (std::size_t k = lo; k <= hi; ++k) {
+    if (acf[k] > acf[best]) best = k;
+  }
+  if (acf[best] < min_score) return std::nullopt;
+
+  // Hill check: the peak must rise above its window edges, so a slowly
+  // decaying ACF (trend, not periodicity) does not validate.
+  const bool interior_peak = best > lo && best < hi &&
+                             acf[best] >= acf[lo] && acf[best] >= acf[hi];
+  const bool strong_edge_peak = acf[best] >= 0.8;  // near-perfect periodicity
+  if (!interior_peak && !strong_edge_peak) return std::nullopt;
+
+  // Parabolic interpolation refines the lag to sub-sample resolution.
+  double refined = static_cast<double>(best);
+  if (best > 0 && best + 1 < acf.size()) {
+    const double y0 = acf[best - 1], y1 = acf[best], y2 = acf[best + 1];
+    const double denom = y0 - 2.0 * y1 + y2;
+    if (std::abs(denom) > 1e-12) {
+      const double delta = 0.5 * (y0 - y2) / denom;
+      if (std::abs(delta) <= 1.0) refined += delta;
+    }
+  }
+  return AutocorrValidation{refined, acf[best]};
+}
+
+std::optional<AutocorrValidation> validate_period(
+    std::span<const double> series, double candidate_lag, double search_frac,
+    double min_score) {
+  if (series.size() < 4 || candidate_lag < 1.0) return std::nullopt;
+  const std::size_t n = series.size();
+  const auto lo_lag = static_cast<std::size_t>(
+      std::max(1.0, std::floor(candidate_lag * (1.0 - search_frac)) - 1.0));
+  const auto hi_lag = std::min(
+      static_cast<std::size_t>(std::ceil(candidate_lag * (1.0 + search_frac))) +
+          1,
+      n - 1);
+  if (lo_lag >= hi_lag) return std::nullopt;
+
+  // Direct windowed autocovariance: validation only needs the lags around
+  // the candidate, and O(lags * n) beats a full-length FFT by orders of
+  // magnitude for the narrow windows used here.
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double r0 = 0.0;
+  for (double x : series) r0 += (x - mean) * (x - mean);
+  if (r0 <= 1e-12) return std::nullopt;  // constant series
+
+  std::vector<double> acf(hi_lag + 1, 0.0);
+  acf[0] = 1.0;
+  for (std::size_t lag = lo_lag; lag <= hi_lag; ++lag) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t + lag < n; ++t) {
+      sum += (series[t] - mean) * (series[t + lag] - mean);
+    }
+    acf[lag] = sum / r0;
+  }
+  return validate_period_with_acf(acf, candidate_lag, search_frac, min_score);
+}
+
+}  // namespace behaviot

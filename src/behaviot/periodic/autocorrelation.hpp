@@ -1,0 +1,29 @@
+// Autocorrelation-based validation of candidate periods (§4.1).
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace behaviot {
+
+struct AutocorrValidation {
+  double refined_lag = 0.0;  ///< lag (in samples) of the local ACF maximum
+  double score = 0.0;        ///< normalized ACF value at that maximum
+};
+
+/// Checks whether the autocorrelation of `series` has a significant local
+/// maximum near `candidate_lag` (in samples). Searches ±`search_frac` around
+/// the candidate; succeeds when the peak value exceeds `min_score` and is a
+/// local maximum (hill shape), per Vlachos et al. [71].
+std::optional<AutocorrValidation> validate_period(
+    std::span<const double> series, double candidate_lag,
+    double search_frac = 0.2, double min_score = 0.3);
+
+/// Same validation against a precomputed normalized ACF (acf[lag] for
+/// lag = 0..max). Computing the ACF once per traffic group and validating
+/// many candidates against it avoids an FFT per candidate.
+std::optional<AutocorrValidation> validate_period_with_acf(
+    std::span<const double> acf, double candidate_lag,
+    double search_frac = 0.2, double min_score = 0.3);
+
+}  // namespace behaviot

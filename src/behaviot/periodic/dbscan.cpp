@@ -1,0 +1,90 @@
+#include "behaviot/periodic/dbscan.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace behaviot {
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+std::vector<std::size_t> region_query(
+    std::span<const std::vector<double>> points, std::size_t idx,
+    double eps_sq) {
+  std::vector<std::size_t> neighbors;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (sq_distance(points[idx], points[j]) <= eps_sq) neighbors.push_back(j);
+  }
+  return neighbors;
+}
+
+}  // namespace
+
+DbscanResult dbscan(std::span<const std::vector<double>> points,
+                    const DbscanOptions& options) {
+  DbscanResult result;
+  result.labels.assign(points.size(), kDbscanNoise);
+  const double eps_sq = options.eps * options.eps;
+
+  std::vector<bool> visited(points.size(), false);
+  int cluster = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    auto neighbors = region_query(points, i, eps_sq);
+    if (neighbors.size() < options.min_points) continue;  // noise (for now)
+
+    // Expand a new cluster from this core point.
+    result.labels[i] = cluster;
+    std::deque<std::size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (result.labels[j] == kDbscanNoise) result.labels[j] = cluster;
+      if (visited[j]) continue;
+      visited[j] = true;
+      result.labels[j] = cluster;
+      auto j_neighbors = region_query(points, j, eps_sq);
+      if (j_neighbors.size() >= options.min_points) {
+        frontier.insert(frontier.end(), j_neighbors.begin(), j_neighbors.end());
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = cluster;
+  return result;
+}
+
+DbscanMembership::DbscanMembership(
+    std::span<const std::vector<double>> points, const DbscanOptions& options)
+    : eps_(options.eps) {
+  const DbscanResult fit = dbscan(points, options);
+  num_clusters_ = fit.num_clusters;
+  const double eps_sq = options.eps * options.eps;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (fit.labels[i] == kDbscanNoise) continue;
+    // Core points only: density >= min_points within eps.
+    std::size_t density = 0;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (sq_distance(points[i], points[j]) <= eps_sq) ++density;
+    }
+    if (density >= options.min_points) cores_.push_back(points[i]);
+  }
+}
+
+bool DbscanMembership::contains(std::span<const double> query) const {
+  const double eps_sq = eps_ * eps_;
+  for (const auto& core : cores_) {
+    if (sq_distance(core, query) <= eps_sq) return true;
+  }
+  return false;
+}
+
+}  // namespace behaviot

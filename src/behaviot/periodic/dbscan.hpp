@@ -1,0 +1,55 @@
+// DBSCAN (Ester et al. [30]), implemented from scratch.
+//
+// Used as the second stage of periodic-event classification (§4.1): flows
+// that miss their timer are still labeled periodic when they fall inside a
+// density cluster learned from idle traffic. DBSCAN is chosen because the
+// number of clusters is unknown a priori.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace behaviot {
+
+inline constexpr int kDbscanNoise = -1;
+
+struct DbscanOptions {
+  double eps = 0.5;          ///< neighborhood radius (euclidean)
+  std::size_t min_points = 3;  ///< core-point density threshold
+};
+
+struct DbscanResult {
+  /// Cluster id per input point; kDbscanNoise for outliers.
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+
+/// Clusters `points` (row-major, all rows the same dimension).
+DbscanResult dbscan(std::span<const std::vector<double>> points,
+                    const DbscanOptions& options);
+
+/// Trained cluster membership test used at classification time: a query is a
+/// member when it lies within eps of any *core* point of any cluster. Stores
+/// only core points to keep queries cheap.
+class DbscanMembership {
+ public:
+  DbscanMembership() = default;
+
+  /// Fits clusters on the training points and retains the core points.
+  DbscanMembership(std::span<const std::vector<double>> points,
+                   const DbscanOptions& options);
+
+  /// True when `query` is density-reachable from the trained clusters.
+  [[nodiscard]] bool contains(std::span<const double> query) const;
+
+  [[nodiscard]] std::size_t core_point_count() const { return cores_.size(); }
+  [[nodiscard]] int num_clusters() const { return num_clusters_; }
+
+ private:
+  std::vector<std::vector<double>> cores_;
+  double eps_ = 0.5;
+  int num_clusters_ = 0;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,84 @@
+#include "behaviot/periodic/fft.hpp"
+
+#include <cmath>
+
+namespace behaviot {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> power_spectrum(std::span<const double> series) {
+  if (series.empty()) return {};
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+
+  const std::size_t n = next_pow2(series.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < series.size(); ++i) buf[i] = series[i] - mean;
+  fft(buf);
+
+  std::vector<double> power(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) power[k] = std::norm(buf[k]);
+  return power;
+}
+
+std::vector<double> autocorrelation_fft(std::span<const double> series,
+                                        std::size_t max_lag) {
+  const std::size_t n = series.size();
+  if (n == 0) return {};
+  max_lag = std::min(max_lag, n - 1);
+
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  // Zero-pad to 2n to make the circular convolution linear.
+  const std::size_t m = next_pow2(2 * n);
+  std::vector<std::complex<double>> buf(m, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) buf[i] = series[i] - mean;
+  fft(buf);
+  for (auto& c : buf) c = std::complex<double>(std::norm(c), 0.0);
+  fft(buf, /*inverse=*/true);
+  // buf[k].real()/m is now the raw autocovariance sum at lag k.
+
+  const double r0 = buf[0].real();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (r0 <= 1e-12) return acf;  // constant series
+  for (std::size_t k = 0; k <= max_lag; ++k) acf[k] = buf[k].real() / r0;
+  return acf;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,34 @@
+// Radix-2 FFT and periodogram, from scratch.
+//
+// The periodic-model inference (§4.1) extracts candidate periods from the
+// spectral density of a flow-occurrence time series; this header provides
+// the transform and spectrum helpers it needs.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace behaviot {
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// In-place iterative radix-2 Cooley-Tukey. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform *without* 1/N scaling
+/// (callers scale once where needed).
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Power spectrum |X_k|^2 for k = 0..N/2 of a real series (zero-padded to a
+/// power of two). The series is mean-centered first so the DC term does not
+/// dominate peak detection.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> series);
+
+/// Normalized autocorrelation r(lag) for lag = 0..max_lag, computed via FFT
+/// (O(n log n)). r(0) == 1 for non-degenerate input; degenerate (constant)
+/// input returns all zeros.
+[[nodiscard]] std::vector<double> autocorrelation_fft(
+    std::span<const double> series, std::size_t max_lag);
+
+}  // namespace behaviot

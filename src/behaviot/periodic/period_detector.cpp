@@ -1,0 +1,158 @@
+#include "behaviot/periodic/period_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "behaviot/net/stats.hpp"
+#include "behaviot/periodic/autocorrelation.hpp"
+#include "behaviot/periodic/fft.hpp"
+
+namespace behaviot {
+namespace {
+
+struct Candidate {
+  std::size_t k;  ///< frequency bin in the coarse periodogram
+  double lag_bins;
+  double power;
+};
+
+/// Rasterizes event times (relative to t0) into a binary presence series at
+/// `bin` seconds. Presence (not counts) keeps bursts — e.g. a device's
+/// power-up DNS storm — from dominating the spectrum and the ACF
+/// normalization of an otherwise clean periodic signal.
+std::vector<double> rasterize(std::span<const double> times, double t0,
+                              double window_seconds, double bin) {
+  const auto nbins =
+      static_cast<std::size_t>(std::ceil(window_seconds / bin)) + 1;
+  std::vector<double> series(nbins, 0.0);
+  for (double t : times) {
+    const auto idx = static_cast<std::size_t>((t - t0) / bin);
+    if (idx < nbins) series[idx] = 1.0;
+  }
+  return series;
+}
+
+/// Width-3 boxcar. Arrival jitter and candidate-period quantization split an
+/// event's ACF mass across adjacent lags; smoothing re-concentrates it so
+/// the single-lag validation score reflects the true alignment.
+std::vector<double> boxcar3(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double s = xs[i];
+    if (i > 0) s += xs[i - 1];
+    if (i + 1 < xs.size()) s += xs[i + 1];
+    out[i] = s;
+  }
+  return out;
+}
+
+}  // namespace
+
+PeriodDetector::PeriodDetector(PeriodDetectorOptions options)
+    : options_(options) {}
+
+std::vector<DetectedPeriod> PeriodDetector::detect(
+    std::span<const double> event_times_seconds, double window_seconds) const {
+  std::vector<DetectedPeriod> result;
+  if (event_times_seconds.size() < 4 || window_seconds <= 0.0) return result;
+  const double t0 =
+      *std::min_element(event_times_seconds.begin(), event_times_seconds.end());
+
+  // ---- Stage 1: coarse periodogram for candidate frequencies. ----
+  // Bins widen when the window exceeds max_bins at the configured resolution;
+  // the fundamental of any period >= 2 bins survives coarsening.
+  double bin = options_.bin_seconds;
+  if (window_seconds / bin > static_cast<double>(options_.max_bins)) {
+    bin = window_seconds / static_cast<double>(options_.max_bins);
+  }
+  const std::vector<double> series =
+      rasterize(event_times_seconds, t0, window_seconds, bin);
+  const std::vector<double> power = power_spectrum(series);
+  if (power.size() < 3) return result;
+
+  // Robust significance threshold: median + k * 1.4826 * MAD. A sparse
+  // impulse train carries many strong harmonics, which would inflate a
+  // mean/stddev threshold and mask weaker fundamentals.
+  const std::span<const double> nondc(power.data() + 1, power.size() - 1);
+  const double med =
+      stats::median(std::vector<double>(nondc.begin(), nondc.end()));
+  const double mad = stats::median_abs_deviation(nondc);
+  const double threshold =
+      med + options_.power_sigma_threshold * 1.4826 * std::max(mad, 1e-12);
+
+  const std::size_t n_fft = next_pow2(series.size());
+  std::vector<Candidate> candidates;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] <= threshold) continue;
+    const double left = k > 1 ? power[k - 1] : 0.0;
+    const double right = k + 1 < power.size() ? power[k + 1] : 0.0;
+    if (power[k] < left || power[k] < right) continue;  // shoulder bin
+    const double lag_bins = static_cast<double>(n_fft) / static_cast<double>(k);
+    const double period_s = lag_bins * bin;
+    if (window_seconds / period_s < options_.min_cycles) continue;
+    if (lag_bins < 2.0) continue;  // beyond Nyquist usefulness
+    candidates.push_back({k, lag_bins, power[k]});
+  }
+  // Ascending frequency = descending period: fundamentals come before their
+  // harmonics, so harmonic pruning below sees the fundamental first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.k < b.k; });
+
+  // ---- Stage 2: per-candidate ACF validation on a re-binned series. ----
+  // Re-rasterizing at ~period/50 makes the ACF robust to arrival jitter
+  // (jitter spans a fraction of a bin instead of many 1-second bins).
+  // Spectral candidates are fundamentals plus their frequency harmonics
+  // (periods T/m). A harmonic candidate has no ACF peak at its own lag, so
+  // validation rejects it; subharmonics (m*T) never appear as spectral
+  // peaks. Validation alone therefore separates true periods from
+  // harmonics, including genuinely overlapping periods in one group.
+  constexpr double kBinsPerPeriod = 50.0;
+  std::size_t examined = 0;
+  for (const Candidate& c : candidates) {
+    if (result.size() >= options_.max_candidates || ++examined > 24) break;
+    const double period_s = c.lag_bins * bin;
+    const double bin2 = period_s / kBinsPerPeriod;
+    // Validating over a few hundred cycles is as informative as the full
+    // window and keeps the per-candidate ACF to a small FFT.
+    constexpr double kMaxValidationBins = 8192.0;
+    const double validation_window =
+        std::min(window_seconds, bin2 * kMaxValidationBins);
+    const std::vector<double> series2 = boxcar3(
+        rasterize(event_times_seconds, t0, validation_window, bin2));
+    auto v = validate_period(series2, kBinsPerPeriod, /*search_frac=*/0.16,
+                             options_.min_autocorr);
+    if (!v) continue;
+    result.push_back({v->refined_lag * bin2, c.power, v->score});
+  }
+
+  // ---- Dedup: spectral leakage yields near-duplicate candidates around a
+  // fundamental; keep the strongest of each ~10% neighborhood. ----
+  std::sort(result.begin(), result.end(),
+            [](const DetectedPeriod& a, const DetectedPeriod& b) {
+              return a.autocorr_score > b.autocorr_score;
+            });
+  std::vector<DetectedPeriod> dedup;
+  for (const DetectedPeriod& p : result) {
+    bool redundant = false;
+    for (const DetectedPeriod& kept : dedup) {
+      const double ratio = p.period_seconds > kept.period_seconds
+                               ? p.period_seconds / kept.period_seconds
+                               : kept.period_seconds / p.period_seconds;
+      if (ratio < 1.1) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) dedup.push_back(p);
+  }
+  return dedup;
+}
+
+std::optional<DetectedPeriod> PeriodDetector::dominant_period(
+    std::span<const double> event_times_seconds, double window_seconds) const {
+  auto periods = detect(event_times_seconds, window_seconds);
+  if (periods.empty()) return std::nullopt;
+  return periods.front();
+}
+
+}  // namespace behaviot

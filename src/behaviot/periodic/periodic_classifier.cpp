@@ -1,0 +1,51 @@
+#include "behaviot/periodic/periodic_classifier.hpp"
+
+#include <cmath>
+
+namespace behaviot {
+
+PeriodicEventClassifier::PeriodicEventClassifier(const PeriodicModelSet& models)
+    : models_(&models) {}
+
+void PeriodicEventClassifier::reset() { last_seen_.clear(); }
+
+PeriodicClassification PeriodicEventClassifier::classify(
+    const FlowRecord& flow) {
+  PeriodicClassification out;
+  const std::string group = flow.group_key();
+  const std::pair<DeviceId, std::string> key{flow.device, group};
+  out.model = models_->find(flow.device, group);
+
+  auto it = last_seen_.find(key);
+  if (it != last_seen_.end()) {
+    out.elapsed_seconds = static_cast<double>(flow.start - it->second) / 1e6;
+  }
+
+  if (out.model != nullptr) {
+    const double T = out.model->period_seconds;
+    const double tol = out.model->tolerance_seconds;
+    if (it == last_seen_.end()) {
+      // First occurrence of a modeled group: accept and arm the timer.
+      out.periodic = out.via_timer = true;
+    } else {
+      const double k = std::round(out.elapsed_seconds / T);
+      // Tolerance grows with skipped cycles (jitter accumulates).
+      if (k >= 1.0 && k <= kMaxSkippedCycles &&
+          std::abs(out.elapsed_seconds - k * T) <= tol * k) {
+        out.periodic = out.via_timer = true;
+      }
+    }
+  }
+
+  if (!out.periodic) {
+    // Stage 2: density-cluster membership on the flow features.
+    if (models_->in_periodic_cluster(flow.device, extract_features(flow))) {
+      out.periodic = out.via_cluster = true;
+    }
+  }
+
+  if (out.periodic) last_seen_[key] = flow.start;
+  return out;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,49 @@
+// Two-stage periodic-event classification (§4.1).
+//
+// Stage 1 — timers: a flow whose group has a periodic model is labeled
+// periodic when its arrival lands within the learned tolerance of the next
+// expected multiple of the period.
+// Stage 2 — clusters: flows that miss the timer (congestion, jitter) are
+// still labeled periodic when their Table-8 features fall inside a DBSCAN
+// cluster learned from idle traffic.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "behaviot/periodic/periodic_model.hpp"
+
+namespace behaviot {
+
+struct PeriodicClassification {
+  bool periodic = false;
+  bool via_timer = false;    ///< stage-1 hit
+  bool via_cluster = false;  ///< stage-2 hit
+  const PeriodicModel* model = nullptr;  ///< group model, if one exists
+  /// Elapsed time since the previous flow of the group, seconds; < 0 when
+  /// this is the first occurrence seen by the classifier.
+  double elapsed_seconds = -1.0;
+};
+
+class PeriodicEventClassifier {
+ public:
+  /// `models` must outlive the classifier.
+  explicit PeriodicEventClassifier(const PeriodicModelSet& models);
+
+  /// Classifies one flow and updates the per-group timer state. Flows must
+  /// be presented in non-decreasing start-time order per group.
+  PeriodicClassification classify(const FlowRecord& flow);
+
+  /// Clears the timer state (e.g., between evaluation windows).
+  void reset();
+
+  /// Maximum period multiples a timer match may skip; beyond this the flow
+  /// falls through to the cluster stage.
+  static constexpr int kMaxSkippedCycles = 3;
+
+ private:
+  const PeriodicModelSet* models_;
+  std::map<std::pair<DeviceId, std::string>, Timestamp> last_seen_;
+};
+
+}  // namespace behaviot

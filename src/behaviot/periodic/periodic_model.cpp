@@ -1,0 +1,150 @@
+#include "behaviot/periodic/periodic_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "behaviot/net/stats.hpp"
+
+namespace behaviot {
+
+FeatureScaler::FeatureScaler(std::span<const FeatureVector> rows) {
+  if (rows.empty()) {
+    scale_.fill(1.0);
+    return;
+  }
+  for (std::size_t d = 0; d < kNumFlowFeatures; ++d) {
+    std::vector<double> col;
+    col.reserve(rows.size());
+    for (const auto& r : rows) col.push_back(r[d]);
+    mean_[d] = stats::mean(col);
+    scale_[d] = std::max(stats::stddev(col), 1e-9);
+  }
+}
+
+std::vector<double> FeatureScaler::transform(const FeatureVector& row) const {
+  std::vector<double> out(kNumFlowFeatures);
+  for (std::size_t d = 0; d < kNumFlowFeatures; ++d) {
+    out[d] = (row[d] - mean_[d]) / scale_[d];
+  }
+  return out;
+}
+
+namespace {
+
+/// Timer slack learned from the grid residuals of the training flows:
+/// deviations of consecutive-occurrence gaps from the nearest period
+/// multiple. The median residual is used — robust against bootstrap bursts
+/// and one-off congestion spikes that would blow up a percentile estimate.
+/// Bounded to stay useful ([1 s, 0.15 T]).
+double learn_tolerance(const std::vector<double>& times_s, double period_s) {
+  std::vector<double> residuals;
+  for (std::size_t i = 1; i < times_s.size(); ++i) {
+    const double gap = times_s[i] - times_s[i - 1];
+    const double k = std::max(1.0, std::round(gap / period_s));
+    residuals.push_back(std::abs(gap - k * period_s));
+  }
+  const double med = stats::median(residuals);
+  const double tol = std::max({1.0, 5.0 * med, 0.02 * period_s});
+  return std::min(tol, 0.15 * period_s);
+}
+
+}  // namespace
+
+PeriodicModelSet PeriodicModelSet::infer(
+    std::span<const FlowRecord> idle_flows, double window_seconds,
+    const PeriodicInferenceOptions& options) {
+  PeriodicModelSet set;
+  set.stats_.total_flows = idle_flows.size();
+
+  // Group flows by (device, group_key).
+  std::map<std::pair<DeviceId, std::string>, std::vector<const FlowRecord*>>
+      groups;
+  for (const FlowRecord& f : idle_flows) {
+    groups[{f.device, f.group_key()}].push_back(&f);
+  }
+  set.stats_.groups_total = groups.size();
+
+  const PeriodDetector detector(options.detector);
+  std::map<DeviceId, std::vector<FeatureVector>> periodic_features;
+
+  for (auto& [key, flows] : groups) {
+    if (flows.size() < options.min_group_flows) continue;
+    std::vector<double> times;
+    times.reserve(flows.size());
+    for (const FlowRecord* f : flows) times.push_back(f->start.seconds());
+    std::sort(times.begin(), times.end());
+
+    const auto periods = detector.detect(times, window_seconds);
+    if (periods.empty()) continue;
+
+    PeriodicModel model;
+    model.device = key.first;
+    model.group = key.second;
+    model.domain = flows.front()->domain;
+    model.app = flows.front()->app;
+    model.period_seconds = periods.front().period_seconds;
+    model.autocorr_score = periods.front().autocorr_score;
+    model.support = flows.size();
+    model.tolerance_seconds = learn_tolerance(times, model.period_seconds);
+    for (std::size_t i = 1; i < periods.size(); ++i) {
+      model.secondary_periods.push_back(periods[i].period_seconds);
+    }
+
+    set.index_[key] = set.models_.size();
+    set.models_.push_back(std::move(model));
+    set.stats_.flows_in_periodic_groups += flows.size();
+    ++set.stats_.groups_periodic;
+
+    auto& rows = periodic_features[key.first];
+    for (const FlowRecord* f : flows) rows.push_back(extract_features(*f));
+  }
+
+  // Fit the per-device standardizer and density clusters on periodic flows.
+  for (auto& [device, rows] : periodic_features) {
+    FeatureScaler scaler(rows);
+    std::vector<std::vector<double>> scaled;
+    scaled.reserve(rows.size());
+    for (const auto& r : rows) scaled.push_back(scaler.transform(r));
+    set.clusters_.emplace(device,
+                          DbscanMembership(scaled, options.dbscan));
+    set.scalers_.emplace(device, std::move(scaler));
+  }
+  return set;
+}
+
+PeriodicModelSet PeriodicModelSet::from_models(
+    std::vector<PeriodicModel> models) {
+  PeriodicModelSet set;
+  set.models_ = std::move(models);
+  for (std::size_t i = 0; i < set.models_.size(); ++i) {
+    set.index_[{set.models_[i].device, set.models_[i].group}] = i;
+  }
+  set.stats_.groups_periodic = set.models_.size();
+  set.stats_.groups_total = set.models_.size();
+  return set;
+}
+
+const PeriodicModel* PeriodicModelSet::find(DeviceId device,
+                                            const std::string& group) const {
+  auto it = index_.find({device, group});
+  return it == index_.end() ? nullptr : &models_[it->second];
+}
+
+std::vector<const PeriodicModel*> PeriodicModelSet::models_for(
+    DeviceId device) const {
+  std::vector<const PeriodicModel*> out;
+  for (const auto& m : models_) {
+    if (m.device == device) out.push_back(&m);
+  }
+  return out;
+}
+
+bool PeriodicModelSet::in_periodic_cluster(
+    DeviceId device, const FeatureVector& features) const {
+  auto sc = scalers_.find(device);
+  auto cl = clusters_.find(device);
+  if (sc == scalers_.end() || cl == clusters_.end()) return false;
+  return cl->second.contains(sc->second.transform(features));
+}
+
+}  // namespace behaviot

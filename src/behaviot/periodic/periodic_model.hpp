@@ -1,0 +1,105 @@
+// Periodic models (§4.1): per-(device, destination-domain, protocol) traffic
+// groups with validated periods, inferred without supervision from idle
+// traffic, plus the density clusters used by the second classification stage.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/flow/features.hpp"
+#include "behaviot/flow/flow.hpp"
+#include "behaviot/periodic/dbscan.hpp"
+#include "behaviot/periodic/period_detector.hpp"
+
+namespace behaviot {
+
+struct PeriodicModel {
+  DeviceId device = kUnknownDevice;
+  std::string group;   ///< FlowRecord::group_key()
+  std::string domain;  ///< destination domain ("" if unnamed)
+  AppProtocol app = AppProtocol::kOtherTcp;
+  double period_seconds = 0.0;
+  double tolerance_seconds = 0.0;  ///< timer slack learned from jitter
+  double autocorr_score = 0.0;
+  std::size_t support = 0;  ///< training flows in the group
+  /// Additional validated periods (a group may carry several overlapping
+  /// periodic signals, e.g. 30 s keepalive + 1 h sync).
+  std::vector<double> secondary_periods;
+};
+
+/// Feature standardizer fitted on training flows (z-scoring before DBSCAN so
+/// byte counts do not drown timing features).
+class FeatureScaler {
+ public:
+  FeatureScaler() = default;
+  explicit FeatureScaler(std::span<const FeatureVector> rows);
+
+  [[nodiscard]] std::vector<double> transform(const FeatureVector& row) const;
+
+ private:
+  FeatureVector mean_{};
+  FeatureVector scale_{};  // stddev, floored at a small epsilon
+};
+
+struct PeriodicInferenceOptions {
+  PeriodDetectorOptions detector;
+  /// Groups smaller than this cannot establish a period.
+  std::size_t min_group_flows = 4;
+  DbscanOptions dbscan{.eps = 1.5, .min_points = 3};
+};
+
+struct PeriodicInferenceStats {
+  std::size_t total_flows = 0;
+  std::size_t flows_in_periodic_groups = 0;  ///< "periodic coverage" numerator
+  std::size_t groups_total = 0;
+  std::size_t groups_periodic = 0;
+
+  [[nodiscard]] double coverage() const {
+    return total_flows == 0
+               ? 0.0
+               : static_cast<double>(flows_in_periodic_groups) /
+                     static_cast<double>(total_flows);
+  }
+};
+
+/// The collection of periodic models for a deployment, plus per-device
+/// cluster membership for the fallback classification stage.
+class PeriodicModelSet {
+ public:
+  /// Infers models from idle-period flows (the observation phase).
+  static PeriodicModelSet infer(std::span<const FlowRecord> idle_flows,
+                                double window_seconds,
+                                const PeriodicInferenceOptions& options = {});
+
+  /// Rebuilds a set from pre-computed models (deserialization, merging).
+  /// The density-cluster stage is not populated — timer classification
+  /// only, until re-fitted on traffic.
+  static PeriodicModelSet from_models(std::vector<PeriodicModel> models);
+
+  [[nodiscard]] const PeriodicModel* find(DeviceId device,
+                                          const std::string& group) const;
+  [[nodiscard]] std::vector<const PeriodicModel*> models_for(
+      DeviceId device) const;
+  [[nodiscard]] const std::vector<PeriodicModel>& all() const {
+    return models_;
+  }
+  [[nodiscard]] std::size_t size() const { return models_.size(); }
+  [[nodiscard]] const PeriodicInferenceStats& stats() const { return stats_; }
+
+  /// True when `features` (already extracted from a flow of `device`) falls
+  /// inside a periodic-traffic density cluster learned during inference.
+  [[nodiscard]] bool in_periodic_cluster(DeviceId device,
+                                         const FeatureVector& features) const;
+
+ private:
+  std::vector<PeriodicModel> models_;
+  std::map<std::pair<DeviceId, std::string>, std::size_t> index_;
+  std::map<DeviceId, FeatureScaler> scalers_;
+  std::map<DeviceId, DbscanMembership> clusters_;
+  PeriodicInferenceStats stats_;
+};
+
+}  // namespace behaviot

@@ -1,0 +1,75 @@
+#include "behaviot/periodic/retrain.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace behaviot {
+namespace {
+
+/// Absence counter encoding: merged sets track how many consecutive merges
+/// a group has been missing via `support` (live models carry their training
+/// support; a retained-but-absent model's support counts down from 0 and is
+/// stored in `secondary_periods` marker-free, so we keep a side map here).
+using Key = std::pair<DeviceId, std::string>;
+
+}  // namespace
+
+PeriodicModelSet merge_periodic_models(const PeriodicModelSet& deployed,
+                                       const PeriodicModelSet& fresh,
+                                       RetrainSummary& summary,
+                                       const RetrainOptions& options) {
+  summary = RetrainSummary{};
+  std::vector<PeriodicModel> merged;
+  std::map<Key, const PeriodicModel*> fresh_index;
+  for (const PeriodicModel& m : fresh.all()) {
+    fresh_index[{m.device, m.group}] = &m;
+  }
+
+  std::map<Key, bool> handled;
+  for (const PeriodicModel& old : deployed.all()) {
+    const Key key{old.device, old.group};
+    handled[key] = true;
+    auto it = fresh_index.find(key);
+    if (it == fresh_index.end()) {
+      // Absent from the fresh window: retain with a decremented lifetime
+      // (tracked via support, floored at 1 so the model stays functional).
+      PeriodicModel kept = old;
+      if (kept.support > 1) {
+        kept.support = kept.support > options.retain_generations
+                           ? kept.support / 2
+                           : kept.support - 1;
+        merged.push_back(std::move(kept));
+        ++summary.retained;
+      } else {
+        ++summary.dropped;
+      }
+      continue;
+    }
+    const PeriodicModel& updated = *it->second;
+    const double delta =
+        std::abs(updated.period_seconds - old.period_seconds);
+    if (delta > options.drift_fraction * old.period_seconds) {
+      ++summary.drifted;
+      summary.drift_notes.push_back(
+          "device " + std::to_string(old.device) + " " + old.group + ": " +
+          std::to_string(old.period_seconds) + "s -> " +
+          std::to_string(updated.period_seconds) + "s");
+    } else if (delta > 1e-9 ||
+               updated.tolerance_seconds != old.tolerance_seconds) {
+      ++summary.updated;
+    } else {
+      ++summary.kept;
+    }
+    merged.push_back(updated);  // fresh parameters win either way
+  }
+
+  for (const PeriodicModel& m : fresh.all()) {
+    if (handled.count({m.device, m.group}) == 0) {
+      merged.push_back(m);
+      ++summary.added;
+    }
+  }
+  return PeriodicModelSet::from_models(std::move(merged));
+}
+
+}  // namespace behaviot

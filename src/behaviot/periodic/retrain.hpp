@@ -1,0 +1,42 @@
+// Model retraining support (§7.3): IoT behavior is mostly static, but small
+// drifts (firmware updates changing a heartbeat period, new telemetry
+// endpoints) mean that "periodically updating models will result in better
+// long-term detection performance". This header provides the merge step of
+// that loop: combine the currently deployed periodic models with models
+// freshly inferred from a recent observation window.
+#pragma once
+
+#include "behaviot/periodic/periodic_model.hpp"
+
+namespace behaviot {
+
+struct RetrainOptions {
+  /// Groups absent from the fresh window survive this many merges before
+  /// being dropped (devices sleep; one quiet window is not proof of death).
+  std::size_t retain_generations = 2;
+  /// A period change larger than this fraction of the old period counts as
+  /// drift (reported in the summary).
+  double drift_fraction = 0.05;
+};
+
+struct RetrainSummary {
+  std::size_t kept = 0;      ///< unchanged groups
+  std::size_t updated = 0;   ///< period/tolerance refreshed (within drift)
+  std::size_t drifted = 0;   ///< period changed beyond drift_fraction
+  std::size_t added = 0;     ///< new groups
+  std::size_t retained = 0;  ///< absent from the window, kept for now
+  std::size_t dropped = 0;   ///< absent too long, removed
+  /// Human-readable drift notes ("device 7 group x: 600s -> 1200s").
+  std::vector<std::string> drift_notes;
+};
+
+/// Merges `fresh` (inferred from the latest observation window) into
+/// `deployed`. Returns the merged set; `summary` reports what changed.
+/// Absence tracking uses PeriodicModel::support == 0 markers internally, so
+/// sets produced by this function round-trip through serialization.
+PeriodicModelSet merge_periodic_models(const PeriodicModelSet& deployed,
+                                       const PeriodicModelSet& fresh,
+                                       RetrainSummary& summary,
+                                       const RetrainOptions& options = {});
+
+}  // namespace behaviot

@@ -1,0 +1,3 @@
+#include "behaviot/pfsm/event.hpp"
+
+// UserEvent is header-only; this TU anchors the module in the build.

@@ -1,0 +1,31 @@
+// User events — the alphabet of the system behavior model (§4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "behaviot/net/packet.hpp"
+#include "behaviot/net/time.hpp"
+
+namespace behaviot {
+
+struct UserEvent {
+  Timestamp ts;
+  DeviceId device = kUnknownDevice;
+  std::string device_name;
+  std::string activity;
+
+  /// State label in the PFSM, e.g. "tplink_plug:on".
+  [[nodiscard]] std::string label() const {
+    return device_name + ":" + activity;
+  }
+
+  friend bool operator==(const UserEvent&, const UserEvent&) = default;
+};
+
+/// Chronological comparison for sorting event streams.
+[[nodiscard]] inline bool before(const UserEvent& a, const UserEvent& b) {
+  return a.ts < b.ts;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,74 @@
+#include "behaviot/pfsm/invariants.hpp"
+
+#include <map>
+#include <set>
+
+namespace behaviot {
+
+const char* to_string(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kAlwaysFollowedBy: return "AFby";
+    case InvariantKind::kNeverFollowedBy: return "NFby";
+    case InvariantKind::kAlwaysPrecededBy: return "AP";
+  }
+  return "?";
+}
+
+std::string Invariant::to_string() const {
+  return a + " " + behaviot::to_string(kind) + " " + b;
+}
+
+std::vector<Invariant> mine_invariants(
+    std::span<const std::vector<std::string>> traces,
+    std::size_t min_support) {
+  // Occurrence counts per label, and per ordered pair: how many
+  // a-occurrences are followed by b, and how many b-occurrences are
+  // preceded by a.
+  std::map<std::string, std::size_t> occurrences;
+  std::map<std::pair<std::string, std::string>, std::size_t> followed;
+  std::map<std::pair<std::string, std::string>, std::size_t> preceded;
+  // Candidate pairs: all ordered pairs of labels sharing a trace (in any
+  // order, including (a, a)); as in Synoptic, NFby is meaningful for pairs
+  // that co-occur without ever appearing in the forbidden order.
+  std::set<std::pair<std::string, std::string>> candidate_pairs;
+
+  for (const auto& trace : traces) {
+    const std::set<std::string> alphabet(trace.begin(), trace.end());
+    for (const auto& a : alphabet) {
+      for (const auto& b : alphabet) {
+        candidate_pairs.insert({a, b});
+      }
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      ++occurrences[trace[i]];
+      std::set<std::string> later(trace.begin() + static_cast<long>(i) + 1,
+                                  trace.end());
+      for (const auto& b : later) ++followed[{trace[i], b}];
+      std::set<std::string> earlier(trace.begin(),
+                                    trace.begin() + static_cast<long>(i));
+      for (const auto& a : earlier) ++preceded[{a, trace[i]}];
+    }
+  }
+
+  std::vector<Invariant> out;
+  for (const auto& pair : candidate_pairs) {
+    const auto& [a, b] = pair;
+    const std::size_t n_a = occurrences[a];
+    const std::size_t n_b = occurrences[b];
+    const std::size_t f = followed.count(pair) ? followed[pair] : 0;
+    const std::size_t p = preceded.count(pair) ? preceded[pair] : 0;
+
+    if (f == n_a && n_a >= min_support) {
+      out.push_back({InvariantKind::kAlwaysFollowedBy, a, b});
+    }
+    if (f == 0 && n_a >= min_support) {
+      out.push_back({InvariantKind::kNeverFollowedBy, a, b});
+    }
+    if (p == n_b && n_b >= min_support) {
+      out.push_back({InvariantKind::kAlwaysPrecededBy, a, b});
+    }
+  }
+  return out;
+}
+
+}  // namespace behaviot

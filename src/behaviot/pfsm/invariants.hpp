@@ -1,0 +1,41 @@
+// Temporal-invariant mining, as in Synoptic [17].
+//
+// Three invariant families over event labels, mined from the trace set:
+//   AlwaysFollowedBy(a, b): every a is eventually followed by a b (same trace)
+//   NeverFollowedBy(a, b):  no a is ever followed by a b
+//   AlwaysPrecededBy(a, b): every b has an earlier a in its trace
+// These drive the counterexample-guided refinement of the PFSM.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace behaviot {
+
+enum class InvariantKind : std::uint8_t {
+  kAlwaysFollowedBy,
+  kNeverFollowedBy,
+  kAlwaysPrecededBy,
+};
+
+[[nodiscard]] const char* to_string(InvariantKind k);
+
+struct Invariant {
+  InvariantKind kind;
+  std::string a;
+  std::string b;
+
+  friend bool operator==(const Invariant&, const Invariant&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Mines all invariants that hold over the given label traces. Pairs are
+/// only considered when both labels occur somewhere in the trace set and the
+/// invariant is supported by at least `min_support` relevant occurrences
+/// (occurrences of `a` for followed-by kinds, of `b` for preceded-by).
+std::vector<Invariant> mine_invariants(
+    std::span<const std::vector<std::string>> traces,
+    std::size_t min_support = 1);
+
+}  // namespace behaviot

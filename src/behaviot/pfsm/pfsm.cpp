@@ -1,0 +1,190 @@
+#include "behaviot/pfsm/pfsm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace behaviot {
+
+Pfsm::Pfsm() {
+  labels_.push_back(kInitialLabel);   // state 0
+  labels_.push_back(kTerminalLabel);  // state 1
+  out_counts_.assign(2, 0);
+}
+
+int Pfsm::add_state(std::string label) {
+  labels_.push_back(std::move(label));
+  out_counts_.push_back(0);
+  return static_cast<int>(labels_.size() - 1);
+}
+
+void Pfsm::add_transition(int from, int to, std::size_t count) {
+  counts_[{from, to}] += count;
+  out_counts_[static_cast<std::size_t>(from)] += count;
+}
+
+void Pfsm::finalize() {
+  probabilities_.clear();
+  for (const auto& [edge, count] : counts_) {
+    const std::size_t out = out_counts_[static_cast<std::size_t>(edge.first)];
+    probabilities_[edge] =
+        out == 0 ? 0.0
+                 : static_cast<double>(count) / static_cast<double>(out);
+  }
+}
+
+std::size_t Pfsm::num_transitions() const { return counts_.size(); }
+
+std::vector<int> Pfsm::states_with_label(const std::string& label) const {
+  std::vector<int> out;
+  for (std::size_t s = 0; s < labels_.size(); ++s) {
+    if (labels_[s] == label) out.push_back(static_cast<int>(s));
+  }
+  return out;
+}
+
+std::vector<Pfsm::Transition> Pfsm::transitions() const {
+  std::vector<Transition> out;
+  out.reserve(counts_.size());
+  for (const auto& [edge, count] : counts_) {
+    auto p = probabilities_.find(edge);
+    out.push_back({edge.first, edge.second, count,
+                   p == probabilities_.end() ? 0.0 : p->second});
+  }
+  return out;
+}
+
+bool Pfsm::accepts(std::span<const std::string> labels) const {
+  // NFA walk: current reachable state set, advanced one label at a time.
+  std::vector<int> current{kInitial};
+  for (const auto& lbl : labels) {
+    std::vector<int> next;
+    for (int s : current) {
+      for (const auto& [edge, count] : counts_) {
+        (void)count;
+        if (edge.first != s) continue;
+        if (labels_[static_cast<std::size_t>(edge.second)] == lbl) {
+          if (std::find(next.begin(), next.end(), edge.second) == next.end()) {
+            next.push_back(edge.second);
+          }
+        }
+      }
+    }
+    if (next.empty()) return false;
+    current = std::move(next);
+  }
+  for (int s : current) {
+    if (counts_.count({s, kTerminal}) > 0) return true;
+  }
+  return false;
+}
+
+double Pfsm::trace_probability(std::span<const std::string> labels,
+                               double alpha) const {
+  // Forward algorithm over the state NFA with additive smoothing: from state
+  // s, the smoothed probability of stepping to state t is
+  //   (count(s,t) + alpha) / (out(s) + alpha * num_states).
+  // Mass stepping to a label with no matching state at all is approximated
+  // by a single phantom-state step of probability alpha / denom, so P_T > 0
+  // for every trace.
+  const double n_states = static_cast<double>(num_states());
+  std::map<int, double> mass{{kInitial, 1.0}};
+  double phantom = 0.0;  // probability mass that has left the known states
+
+  auto smoothed = [&](int from, int to) {
+    const double out =
+        static_cast<double>(out_counts_[static_cast<std::size_t>(from)]);
+    auto it = counts_.find({from, to});
+    const double count =
+        it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+    return (count + alpha) / (out + alpha * n_states);
+  };
+  // Escape probability for a step with no matching state / from the phantom.
+  auto escape = [&](int from) {
+    const double out =
+        from < 0 ? 0.0
+                 : static_cast<double>(
+                       out_counts_[static_cast<std::size_t>(from)]);
+    return alpha / (out + alpha * n_states);
+  };
+
+  for (const auto& lbl : labels) {
+    const std::vector<int> targets = states_with_label(lbl);
+    std::map<int, double> next;
+    double next_phantom = phantom * escape(-1);
+    for (const auto& [state, m] : mass) {
+      if (targets.empty()) {
+        next_phantom += m * escape(state);
+        continue;
+      }
+      for (int t : targets) next[t] += m * smoothed(state, t);
+    }
+    if (!targets.empty()) {
+      // The phantom can also re-enter known states at the escape rate.
+      for (int t : targets) next[t] += phantom * escape(-1);
+      next_phantom = phantom * escape(-1);
+    }
+    mass = std::move(next);
+    phantom = next_phantom;
+  }
+
+  double p = phantom * escape(-1);  // phantom must still "terminate"
+  for (const auto& [state, m] : mass) p += m * smoothed(state, kTerminal);
+  return std::min(p, 1.0);
+}
+
+Pfsm::BigramStat Pfsm::label_bigram(const std::string& a,
+                                    const std::string& b) const {
+  std::size_t pair_count = 0;
+  std::size_t from_total = 0;
+  for (const auto& [edge, count] : counts_) {
+    if (labels_[static_cast<std::size_t>(edge.first)] != a) continue;
+    from_total += count;
+    if (labels_[static_cast<std::size_t>(edge.second)] == b)
+      pair_count += count;
+  }
+  BigramStat stat;
+  stat.from_occurrences = from_total;
+  stat.probability = from_total == 0 ? 0.0
+                                     : static_cast<double>(pair_count) /
+                                           static_cast<double>(from_total);
+  return stat;
+}
+
+std::map<std::pair<std::string, std::string>, Pfsm::BigramStat>
+Pfsm::label_bigrams() const {
+  std::map<std::string, std::size_t> from_totals;
+  std::map<std::pair<std::string, std::string>, std::size_t> pair_counts;
+  for (const auto& [edge, count] : counts_) {
+    const std::string& a = labels_[static_cast<std::size_t>(edge.first)];
+    const std::string& b = labels_[static_cast<std::size_t>(edge.second)];
+    from_totals[a] += count;
+    pair_counts[{a, b}] += count;
+  }
+  std::map<std::pair<std::string, std::string>, BigramStat> out;
+  for (const auto& [pair, count] : pair_counts) {
+    BigramStat stat;
+    stat.from_occurrences = from_totals[pair.first];
+    stat.probability = static_cast<double>(count) /
+                       static_cast<double>(stat.from_occurrences);
+    out[pair] = stat;
+  }
+  return out;
+}
+
+std::string Pfsm::to_dot() const {
+  std::ostringstream os;
+  os << "digraph pfsm {\n  rankdir=LR;\n";
+  for (std::size_t s = 0; s < labels_.size(); ++s) {
+    os << "  s" << s << " [label=\"" << labels_[s] << "\"];\n";
+  }
+  for (const auto& [edge, count] : counts_) {
+    auto p = probabilities_.find(edge);
+    os << "  s" << edge.first << " -> s" << edge.second << " [label=\""
+       << (p == probabilities_.end() ? 0.0 : p->second) << " (" << count
+       << ")\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace behaviot

@@ -1,0 +1,35 @@
+#include "behaviot/pfsm/sequence_graph.hpp"
+
+#include <algorithm>
+
+namespace behaviot {
+
+SequenceGraph SequenceGraph::build(
+    std::span<const std::vector<std::string>> traces) {
+  SequenceGraph g;
+  for (const auto& t : traces) {
+    if (t.empty()) continue;
+    g.nodes_ += t.size();
+    // initial -> e1 -> ... -> en -> terminal contributes n+1 edges.
+    g.edges_ += t.size() + 1;
+    g.stored_.push_back(t);
+  }
+  return g;
+}
+
+SequenceGraph SequenceGraph::build(std::span<const EventTrace> traces) {
+  std::vector<std::vector<std::string>> label_traces;
+  label_traces.reserve(traces.size());
+  for (const EventTrace& t : traces) label_traces.push_back(trace_labels(t));
+  return build(label_traces);
+}
+
+bool SequenceGraph::accepts(std::span<const std::string> labels) const {
+  return std::any_of(stored_.begin(), stored_.end(),
+                     [&labels](const std::vector<std::string>& t) {
+                       return t.size() == labels.size() &&
+                              std::equal(t.begin(), t.end(), labels.begin());
+                     });
+}
+
+}  // namespace behaviot

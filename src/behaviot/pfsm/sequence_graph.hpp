@@ -1,0 +1,36 @@
+// The naive system-model baseline of §5.2 / Fig. 3: traces combined as
+// parallel event sequences between shared INITIAL and TERMINAL nodes. Each
+// event instance is its own node, so the model grows linearly with the log
+// and provides the comparison point that motivates the PFSM.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/pfsm/trace.hpp"
+
+namespace behaviot {
+
+class SequenceGraph {
+ public:
+  /// Builds the parallel-sequence model from label traces.
+  static SequenceGraph build(std::span<const std::vector<std::string>> traces);
+  static SequenceGraph build(std::span<const EventTrace> traces);
+
+  /// Nodes: one per event instance, plus INITIAL and TERMINAL.
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_; }
+  /// Edges: one per consecutive pair, plus INITIAL fan-out and TERMINAL
+  /// fan-in (= events + traces).
+  [[nodiscard]] std::size_t num_edges() const { return edges_; }
+
+  /// Deterministic acceptance: only traces identical to a stored one.
+  [[nodiscard]] bool accepts(std::span<const std::string> labels) const;
+
+ private:
+  std::size_t nodes_ = 2;  // INITIAL + TERMINAL
+  std::size_t edges_ = 0;
+  std::vector<std::vector<std::string>> stored_;
+};
+
+}  // namespace behaviot

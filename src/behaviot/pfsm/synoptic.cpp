@@ -1,0 +1,298 @@
+#include "behaviot/pfsm/synoptic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace behaviot {
+namespace {
+
+// One event instance: position `pos` of trace `trace`.
+struct Instance {
+  std::size_t trace = 0;
+  std::size_t pos = 0;
+};
+
+constexpr int kInitialPartition = 0;
+constexpr int kTerminalPartition = 1;
+
+struct RefinementState {
+  std::span<const std::vector<std::string>> traces;
+  std::vector<Instance> instances;
+  std::vector<int> partition_of;          // per instance
+  std::vector<std::string> partition_label;  // per partition id
+  int next_partition = 2;
+
+  [[nodiscard]] const std::string& label_of(std::size_t inst) const {
+    const Instance& i = instances[inst];
+    return traces[i.trace][i.pos];
+  }
+
+  /// Partition graph edges with counts, derived from instance succession.
+  [[nodiscard]] std::map<std::pair<int, int>, std::size_t> edges() const {
+    std::map<std::pair<int, int>, std::size_t> out;
+    // Map (trace, pos) -> instance index for successor lookup.
+    std::size_t idx = 0;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      if (traces[t].empty()) continue;
+      const std::size_t first = idx;
+      for (std::size_t p = 0; p + 1 < traces[t].size(); ++p) {
+        ++out[{partition_of[idx + p], partition_of[idx + p + 1]}];
+      }
+      ++out[{kInitialPartition, partition_of[first]}];
+      ++out[{partition_of[idx + traces[t].size() - 1], kTerminalPartition}];
+      idx += traces[t].size();
+    }
+    return out;
+  }
+
+  /// True when trace position `pos` is eventually followed by label `b`.
+  [[nodiscard]] bool eventually(const Instance& i, const std::string& b) const {
+    const auto& tr = traces[i.trace];
+    for (std::size_t p = i.pos + 1; p < tr.size(); ++p) {
+      if (tr[p] == b) return true;
+    }
+    return false;
+  }
+
+  /// True when trace position `pos` was preceded by label `a`.
+  [[nodiscard]] bool previously(const Instance& i, const std::string& a) const {
+    const auto& tr = traces[i.trace];
+    for (std::size_t p = 0; p < i.pos; ++p) {
+      if (tr[p] == a) return true;
+    }
+    return false;
+  }
+};
+
+/// BFS for a path `from` → `to` (≥1 edge), optionally avoiding partitions
+/// whose label equals `avoid_label`. Returns the path as partition ids.
+std::optional<std::vector<int>> find_path(
+    const std::map<std::pair<int, int>, std::size_t>& edges,
+    const RefinementState& state, int from, int to,
+    const std::string& avoid_label) {
+  std::map<int, std::vector<int>> adj;
+  for (const auto& [edge, count] : edges) {
+    (void)count;
+    adj[edge.first].push_back(edge.second);
+  }
+  std::map<int, int> parent;
+  std::deque<int> frontier;
+  // Seed with from's successors so the path has at least one edge.
+  for (int next : adj[from]) {
+    if (next != to && next >= 2 &&
+        !avoid_label.empty() &&
+        state.partition_label[static_cast<std::size_t>(next)] == avoid_label) {
+      continue;
+    }
+    if (parent.count(next) == 0) {
+      parent[next] = from;
+      frontier.push_back(next);
+    }
+  }
+  while (!frontier.empty()) {
+    const int cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) {
+      std::vector<int> path{to};
+      int p = cur;
+      while (p != from) {
+        p = parent[p];
+        path.push_back(p);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (int next : adj[cur]) {
+      if (parent.count(next) != 0) continue;
+      if (next != to && next >= 2 && !avoid_label.empty() &&
+          state.partition_label[static_cast<std::size_t>(next)] ==
+              avoid_label) {
+        continue;
+      }
+      parent[next] = cur;
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Finds a counterexample path for the invariant in the current partition
+/// graph, or nullopt when the model satisfies it.
+std::optional<std::vector<int>> find_violation(
+    const RefinementState& state,
+    const std::map<std::pair<int, int>, std::size_t>& edges,
+    const Invariant& inv) {
+  auto partitions_labeled = [&state](const std::string& lbl) {
+    std::vector<int> out;
+    for (std::size_t p = 2; p < state.partition_label.size(); ++p) {
+      if (state.partition_label[p] == lbl) out.push_back(static_cast<int>(p));
+    }
+    return out;
+  };
+
+  switch (inv.kind) {
+    case InvariantKind::kNeverFollowedBy: {
+      // Violated when some b-partition is reachable from an a-partition.
+      for (int a : partitions_labeled(inv.a)) {
+        for (int b : partitions_labeled(inv.b)) {
+          if (auto path = find_path(edges, state, a, b, "")) {
+            path->insert(path->begin(), a);
+            return path;
+          }
+        }
+      }
+      return std::nullopt;
+    }
+    case InvariantKind::kAlwaysFollowedBy: {
+      // Violated when TERMINAL is reachable from an a-partition while
+      // avoiding every b-partition.
+      for (int a : partitions_labeled(inv.a)) {
+        if (auto path =
+                find_path(edges, state, a, kTerminalPartition, inv.b)) {
+          path->insert(path->begin(), a);
+          return path;
+        }
+      }
+      return std::nullopt;
+    }
+    case InvariantKind::kAlwaysPrecededBy: {
+      // Violated when a b-partition is reachable from INITIAL avoiding all
+      // a-partitions.
+      for (int b : partitions_labeled(inv.b)) {
+        if (auto path =
+                find_path(edges, state, kInitialPartition, b, inv.a)) {
+          return path;  // INITIAL is virtual; keep path as-is
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Splits the first partition on `path` whose instances disagree on the
+/// invariant's history/future predicate. Returns true when a split happened.
+bool split_along_path(RefinementState& state, const std::vector<int>& path,
+                      const Invariant& inv) {
+  for (int part : path) {
+    if (part < 2) continue;
+    // Gather instances of this partition and their predicate values.
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < state.instances.size(); ++i) {
+      if (state.partition_of[i] == part) members.push_back(i);
+    }
+    bool any_true = false, any_false = false;
+    std::vector<bool> pred(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const Instance& inst = state.instances[members[k]];
+      const bool v = inv.kind == InvariantKind::kAlwaysPrecededBy
+                         ? state.previously(inst, inv.a)
+                         : state.eventually(inst, inv.b);
+      pred[k] = v;
+      (v ? any_true : any_false) = true;
+    }
+    if (!(any_true && any_false)) continue;
+
+    // Move the predicate-true members into a fresh partition.
+    const int fresh = state.next_partition++;
+    state.partition_label.push_back(
+        state.partition_label[static_cast<std::size_t>(part)]);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (pred[k]) state.partition_of[members[k]] = fresh;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SynopticResult infer_pfsm(std::span<const std::vector<std::string>> traces,
+                          const SynopticOptions& options) {
+  SynopticResult result;
+  result.invariants =
+      mine_invariants(traces, options.min_invariant_support);
+
+  // Initial partitioning: one partition per label (ids 0/1 reserved).
+  RefinementState state;
+  state.traces = traces;
+  state.partition_label.assign({Pfsm::kInitialLabel, Pfsm::kTerminalLabel});
+  std::map<std::string, int> label_partition;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (std::size_t p = 0; p < traces[t].size(); ++p) {
+      state.instances.push_back({t, p});
+      const std::string& lbl = traces[t][p];
+      auto [it, inserted] = label_partition.try_emplace(lbl, state.next_partition);
+      if (inserted) {
+        ++state.next_partition;
+        state.partition_label.push_back(lbl);
+      }
+      state.partition_of.push_back(it->second);
+    }
+  }
+
+  // Counterexample-guided refinement.
+  std::vector<Invariant> active = result.invariants;
+  for (std::size_t step = 0; step < options.max_refinements; ++step) {
+    const auto edges = state.edges();
+    bool refined = false;
+    for (auto it = active.begin(); it != active.end();) {
+      const auto path = find_violation(state, edges, *it);
+      if (!path) {
+        ++it;
+        continue;
+      }
+      if (split_along_path(state, *path, *it)) {
+        ++result.refinement_steps;
+        refined = true;
+        break;  // edges changed; rebuild the graph
+      }
+      // No partition on the path separates the predicate: the invariant
+      // cannot be enforced by this refinement scheme.
+      result.unsatisfied.push_back(*it);
+      it = active.erase(it);
+    }
+    if (!refined) {
+      // Either all active invariants hold, or only unsatisfiable ones were
+      // left (already moved out of `active`).
+      bool any_violation = false;
+      for (const auto& inv : active) {
+        if (find_violation(state, edges, inv)) {
+          any_violation = true;
+          break;
+        }
+      }
+      if (!any_violation) break;
+    }
+  }
+
+  // Emit the PFSM: one state per non-empty partition.
+  std::map<int, int> partition_state;
+  Pfsm& pfsm = result.pfsm;
+  partition_state[kInitialPartition] = Pfsm::kInitial;
+  partition_state[kTerminalPartition] = Pfsm::kTerminal;
+  std::set<int> used(state.partition_of.begin(), state.partition_of.end());
+  for (int part : used) {
+    partition_state[part] =
+        pfsm.add_state(state.partition_label[static_cast<std::size_t>(part)]);
+  }
+  for (const auto& [edge, count] : state.edges()) {
+    pfsm.add_transition(partition_state[edge.first],
+                        partition_state[edge.second], count);
+  }
+  pfsm.finalize();
+  return result;
+}
+
+SynopticResult infer_pfsm(std::span<const EventTrace> traces,
+                          const SynopticOptions& options) {
+  std::vector<std::vector<std::string>> label_traces;
+  label_traces.reserve(traces.size());
+  for (const EventTrace& t : traces) label_traces.push_back(trace_labels(t));
+  return infer_pfsm(label_traces, options);
+}
+
+}  // namespace behaviot

@@ -1,0 +1,49 @@
+// Synoptic-style PFSM inference [17] (§4.2).
+//
+// The algorithm follows Synoptic's structure:
+//   1. mine temporal invariants (AFby / NFby / AP) from the trace set;
+//   2. start from the coarsest partition of event instances — one partition
+//      per activity label;
+//   3. counterexample-guided refinement: while the partition graph admits a
+//      path violating a mined invariant, split a partition along the
+//      counterexample path by the invariant's history/future predicate;
+//   4. emit the PFSM with maximum-likelihood transition probabilities.
+//
+// The result accepts 100% of training traces by construction and generalizes
+// to unseen recombinations of observed transitions (§5.2 "PFSM properties").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/pfsm/invariants.hpp"
+#include "behaviot/pfsm/pfsm.hpp"
+#include "behaviot/pfsm/trace.hpp"
+
+namespace behaviot {
+
+struct SynopticOptions {
+  /// Refinement iteration cap (each iteration performs one split).
+  std::size_t max_refinements = 200;
+  /// Minimum supporting occurrences for a mined invariant to drive
+  /// refinement; raises robustness to one-off event orderings.
+  std::size_t min_invariant_support = 1;
+};
+
+struct SynopticResult {
+  Pfsm pfsm;
+  std::vector<Invariant> invariants;          ///< all mined
+  std::vector<Invariant> unsatisfied;         ///< could not be enforced
+  std::size_t refinement_steps = 0;
+};
+
+/// Infers a PFSM from label traces.
+SynopticResult infer_pfsm(std::span<const std::vector<std::string>> traces,
+                          const SynopticOptions& options = {});
+
+/// Convenience overload over event traces.
+SynopticResult infer_pfsm(std::span<const EventTrace> traces,
+                          const SynopticOptions& options = {});
+
+}  // namespace behaviot

@@ -1,0 +1,29 @@
+#include "behaviot/pfsm/trace.hpp"
+
+#include <algorithm>
+
+namespace behaviot {
+
+std::vector<EventTrace> build_traces(std::span<const UserEvent> events,
+                                     std::int64_t gap_us) {
+  std::vector<UserEvent> sorted(events.begin(), events.end());
+  std::stable_sort(sorted.begin(), sorted.end(), before);
+
+  std::vector<EventTrace> traces;
+  for (const UserEvent& e : sorted) {
+    if (traces.empty() || (e.ts - traces.back().back().ts) > gap_us) {
+      traces.emplace_back();
+    }
+    traces.back().push_back(e);
+  }
+  return traces;
+}
+
+std::vector<std::string> trace_labels(const EventTrace& trace) {
+  std::vector<std::string> labels;
+  labels.reserve(trace.size());
+  for (const UserEvent& e : trace) labels.push_back(e.label());
+  return labels;
+}
+
+}  // namespace behaviot

@@ -1,0 +1,28 @@
+// Event traces: temporally correlated user-event sequences (§4.2).
+//
+// A user-event stream is cut into traces wherever two consecutive events are
+// farther apart than a gap threshold (1 minute in the paper, chosen following
+// [33, 66, 76]).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "behaviot/pfsm/event.hpp"
+
+namespace behaviot {
+
+using EventTrace = std::vector<UserEvent>;
+
+inline constexpr std::int64_t kDefaultTraceGapUs = minutes(1.0);
+
+/// Splits a stream (sorted internally by time) into traces at gaps larger
+/// than `gap_us`.
+std::vector<EventTrace> build_traces(std::span<const UserEvent> events,
+                                     std::int64_t gap_us = kDefaultTraceGapUs);
+
+/// Label sequence of a trace (the view the PFSM operates on).
+std::vector<std::string> trace_labels(const EventTrace& trace);
+
+}  // namespace behaviot

@@ -1,0 +1,112 @@
+#include "behaviot/testbed/automation.hpp"
+
+namespace behaviot::testbed {
+
+const std::vector<Automation>& standard_automations() {
+  static const std::vector<Automation> automations = [] {
+    std::vector<Automation> a;
+    a.push_back({"R1", "Alexa/IFTTT: 'open garage' opens the Meross door",
+                 "echo_spot", "voice",
+                 {{"meross_dooropener", "open", 2.0}}});
+    a.push_back({"R2", "Alexa: all lights on", "echo_spot", "voice",
+                 {{"philips_bulb", "on", 1.0},
+                  {"tplink_bulb", "on", 0.5},
+                  {"smartlife_bulb", "on", 0.5},
+                  {"jinvoo_bulb", "on", 0.5},
+                  {"gosund_bulb", "on", 0.5},
+                  {"govee_bulb", "on", 0.5},
+                  {"magichome_strip", "on", 0.5}}});
+    a.push_back({"R3", "Alexa: all lights off", "echo_spot", "voice",
+                 {{"philips_bulb", "off", 1.0},
+                  {"tplink_bulb", "off", 0.5},
+                  {"smartlife_bulb", "off", 0.5},
+                  {"jinvoo_bulb", "off", 0.5},
+                  {"gosund_bulb", "off", 0.5},
+                  {"govee_bulb", "off", 0.5},
+                  {"magichome_strip", "off", 0.5}}});
+    a.push_back({"R4", "Alexa: 'turn on TV' via SwitchBot, strip off",
+                 "echo_spot", "voice",
+                 {{"switchbot_hub", "on", 1.5},
+                  {"magichome_strip", "off", 1.0}}});
+    a.push_back({"R5", "Alexa: 'turn off TV' via SwitchBot, strip on",
+                 "echo_spot", "voice",
+                 {{"switchbot_hub", "off", 1.5},
+                  {"magichome_strip", "on", 1.0}}});
+    a.push_back({"R6", "Doorbell ring: Wemo on, weather on Echo, Wemo off",
+                 "ring_doorbell", "ring",
+                 {{"wemo_plug", "on", 1.5},
+                  {"echo_spot", "voice", 1.0},
+                  {"wemo_plug", "off", 5.0}}});
+    a.push_back({"R7", "Doorbell motion: blink Smartlife, Jinvoo red",
+                 "ring_doorbell", "motion",
+                 {{"smartlife_bulb", "on", 1.0},
+                  {"smartlife_bulb", "off", 5.0},
+                  {"jinvoo_bulb", "color", 0.5}}});
+    a.push_back({"R8", "Ring Camera motion: Gosund on", "ring_camera",
+                 "motion", {{"gosund_bulb", "on", 1.5}}});
+    a.push_back({"R9", "D-Link motion: TPLink Bulb on", "dlink_camera",
+                 "motion", {{"tplink_bulb", "on", 1.5}}});
+    a.push_back({"R10", "App schedule: thermostat on 6AM / off 10PM",
+                 "", "",  // time-scheduled, expanded by the dataset driver
+                 {{"nest_thermostat", "on", 0.0},
+                  {"nest_thermostat", "off", 0.0}}});
+    a.push_back({"R11", "Alexa 'I am leaving': thermostat 72, garage cycle",
+                 "echo_spot", "voice",
+                 {{"nest_thermostat", "set", 2.0},
+                  {"meross_dooropener", "open", 2.0},
+                  {"meross_dooropener", "close", 300.0}}});
+    a.push_back({"R12", "Wyze motion: TPLink Plug on, clip, off",
+                 "wyze_camera", "motion",
+                 {{"tplink_plug", "on", 1.0},
+                  {"wyze_camera", "clip", 2.0},
+                  {"tplink_plug", "off", 3.0}}});
+    a.push_back({"R13", "IFTTT 'good morning': boil iKettle, Govee on",
+                 "echo_spot", "voice",
+                 {{"smarter_ikettle", "on", 2.0}, {"govee_bulb", "on", 1.0}}});
+    a.push_back({"R14", "IFTTT 'good night': Govee off", "echo_spot", "voice",
+                 {{"govee_bulb", "off", 2.0}}});
+    a.push_back({"R15", "Meross opens: TPLink Bulb on + maroon",
+                 "meross_dooropener", "open",
+                 {{"tplink_bulb", "on", 1.0}, {"tplink_bulb", "color", 1.0}}});
+    a.push_back({"R16", "Meross closes: TPLink Plug off, bulb green",
+                 "meross_dooropener", "close",
+                 {{"tplink_plug", "off", 1.0},
+                  {"tplink_bulb", "color", 1.0}}});
+    return a;
+  }();
+  return automations;
+}
+
+namespace {
+
+void expand(const std::string& device, const std::string& command,
+            Timestamp at, int depth, std::vector<ScheduledCommand>& out) {
+  if (depth > 3) return;  // guard against automation cycles
+  for (const Automation& a : standard_automations()) {
+    if (a.trigger_device != device || a.trigger_command != command ||
+        a.trigger_device.empty()) {
+      continue;
+    }
+    // R1's voice trigger is handled by the driver picking routines by id;
+    // cascading here covers device-sensed triggers only.
+    if (a.trigger_command == "voice") continue;
+    Timestamp t = at;
+    for (const AutomationAction& action : a.actions) {
+      t += seconds(action.delay_s);
+      out.push_back({action.device, action.command, t});
+      expand(action.device, action.command, t, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ScheduledCommand> fire_automations(
+    const std::string& trigger_device, const std::string& trigger_command,
+    Timestamp trigger_time) {
+  std::vector<ScheduledCommand> out;
+  expand(trigger_device, trigger_command, trigger_time, 0, out);
+  return out;
+}
+
+}  // namespace behaviot::testbed

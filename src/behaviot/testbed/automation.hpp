@@ -1,0 +1,47 @@
+// Trigger-action automations (Table 7, R1-R16).
+//
+// An automation binds a trigger (device command) to a sequence of delayed
+// action commands, as authored on the Alexa/IFTTT platforms in the paper's
+// routine experiments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "behaviot/net/time.hpp"
+
+namespace behaviot::testbed {
+
+struct AutomationAction {
+  std::string device;   ///< catalog device name
+  std::string command;  ///< physical command
+  double delay_s = 1.0;  ///< delay after the trigger (or previous action)
+};
+
+struct Automation {
+  std::string id;  ///< "R1".."R16"
+  std::string description;
+  std::string trigger_device;
+  std::string trigger_command;
+  std::vector<AutomationAction> actions;
+};
+
+/// The 16 automations of Table 7, flattened (R11's nested garage routine is
+/// inlined) and restricted to catalog devices.
+const std::vector<Automation>& standard_automations();
+
+/// A scheduled command produced by firing automations.
+struct ScheduledCommand {
+  std::string device;
+  std::string command;
+  Timestamp at;
+};
+
+/// Expands a trigger into the action commands it schedules (the trigger's
+/// own event is not included). Delays accumulate along the action list.
+std::vector<ScheduledCommand> fire_automations(
+    const std::string& trigger_device, const std::string& trigger_command,
+    Timestamp trigger_time);
+
+}  // namespace behaviot::testbed

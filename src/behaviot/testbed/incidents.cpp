@@ -1,0 +1,77 @@
+#include "behaviot/testbed/incidents.hpp"
+
+#include <algorithm>
+
+namespace behaviot::testbed {
+
+const char* to_string(IncidentKind k) {
+  switch (k) {
+    case IncidentKind::kCameraRelocation: return "camera-relocation";
+    case IncidentKind::kLabExperiment: return "lab-experiment";
+    case IncidentKind::kDeviceMisconfig: return "device-misconfig";
+    case IncidentKind::kNetworkOutage: return "network-outage";
+    case IncidentKind::kDeviceRemoval: return "device-removal";
+    case IncidentKind::kDeviceMalfunction: return "device-malfunction";
+  }
+  return "?";
+}
+
+const std::vector<Incident>& standard_incidents() {
+  static const std::vector<Incident> incidents = [] {
+    std::vector<Incident> v;
+    // Cases 1/4/5: the Wyze camera is moved to a motion-sensitive spot three
+    // times; motion events spike for the following days.
+    v.push_back({IncidentKind::kCameraRelocation, "wyze_camera", 8.0, 12.0,
+                 "camera relocated near the door (case 1)"});
+    v.push_back({IncidentKind::kCameraRelocation, "wyze_camera", 45.0, 48.0,
+                 "camera relocated again (case 4)"});
+    v.push_back({IncidentKind::kCameraRelocation, "wyze_camera", 66.0, 69.0,
+                 "camera relocated again (case 5)"});
+    // Case 2: another project runs 50 consecutive voice activations.
+    v.push_back({IncidentKind::kLabExperiment, "echo_spot", 13.0, 13.03,
+                 "50 voice activations within 30 minutes (case 2)"});
+    // Case 3: two devices reset and misconfigured, repeating events.
+    v.push_back({IncidentKind::kDeviceMisconfig, "smartlife_bulb", 15.0,
+                 15.15, "reset loop after reconfiguration (case 3)"});
+    v.push_back({IncidentKind::kDeviceMisconfig, "switchbot_hub", 15.0, 15.15,
+                 "reset loop after reconfiguration (case 3)"});
+    // Cases 6-8: documented network outages.
+    v.push_back({IncidentKind::kNetworkOutage, "", 30.40, 30.65,
+                 "campus network outage (case 6)"});
+    v.push_back({IncidentKind::kNetworkOutage, "", 52.10, 52.28,
+                 "gateway maintenance (case 7)"});
+    v.push_back({IncidentKind::kNetworkOutage, "", 70.35, 70.70,
+                 "upstream ISP outage (case 8)"});
+    // Case 7-adjacent: a device removed for another experiment.
+    v.push_back({IncidentKind::kDeviceRemoval, "tuya_camera", 40.0, 42.5,
+                 "device borrowed for another experiment"});
+    // Case 9: SwitchBot Hub malfunction — off for minutes-to-hours.
+    for (double day : {60.0, 62.0, 65.0, 68.0, 71.0, 74.0, 77.0, 80.0}) {
+      v.push_back({IncidentKind::kDeviceMalfunction, "switchbot_hub",
+                   day + 0.3, day + 0.3 + 0.04 + 0.02 * day / 20.0,
+                   "hub spontaneously powered off (case 9)"});
+    }
+    return v;
+  }();
+  return incidents;
+}
+
+OutageSpans outage_spans_for(const std::string& device_name, Timestamp t0,
+                             Timestamp t1) {
+  OutageSpans spans;
+  for (const Incident& inc : standard_incidents()) {
+    const bool offline_kind = inc.kind == IncidentKind::kNetworkOutage ||
+                              inc.kind == IncidentKind::kDeviceRemoval ||
+                              inc.kind == IncidentKind::kDeviceMalfunction;
+    if (!offline_kind) continue;
+    if (!inc.device.empty() && inc.device != device_name) continue;
+    const Timestamp from = Timestamp::from_seconds(inc.start_day * 86400.0);
+    const Timestamp to = Timestamp::from_seconds(inc.end_day * 86400.0);
+    const Timestamp lo = std::max(from, t0);
+    const Timestamp hi = std::min(to, t1);
+    if (lo < hi) spans.emplace_back(lo, hi);
+  }
+  return spans;
+}
+
+}  // namespace behaviot::testbed

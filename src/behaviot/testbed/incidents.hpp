@@ -1,0 +1,47 @@
+// Ground-truth incidents injected into the uncontrolled dataset, mirroring
+// the §6.2 case studies: a relocated camera (cases 1/4/5), a lab stress
+// experiment (case 2), device reset misconfiguration (case 3), network
+// outages and device removals (cases 6-8), and recurring device
+// malfunctions (case 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "behaviot/testbed/traffic_gen.hpp"
+
+namespace behaviot::testbed {
+
+enum class IncidentKind : std::uint8_t {
+  kCameraRelocation,   ///< motion sensitivity jumps after a move
+  kLabExperiment,      ///< burst of 50 voice activations in 30 minutes
+  kDeviceMisconfig,    ///< devices reset and stuck repeating events
+  kNetworkOutage,      ///< whole testbed offline for hours
+  kDeviceRemoval,      ///< one device unplugged for days
+  kDeviceMalfunction,  ///< intermittent hours-long blackouts
+};
+
+[[nodiscard]] const char* to_string(IncidentKind k);
+
+struct Incident {
+  IncidentKind kind = IncidentKind::kNetworkOutage;
+  std::string device;  ///< catalog name; empty = entire network
+  double start_day = 0.0;  ///< fractional days from the uncontrolled start
+  double end_day = 0.0;
+  std::string note;
+
+  [[nodiscard]] bool covers_day(std::size_t day) const {
+    return start_day < static_cast<double>(day + 1) &&
+           end_day > static_cast<double>(day);
+  }
+};
+
+/// The injected incident schedule for the 87-day uncontrolled dataset.
+const std::vector<Incident>& standard_incidents();
+
+/// Offline spans affecting `device_name` (its own incidents plus network-wide
+/// ones) clipped to [t0, t1).
+OutageSpans outage_spans_for(const std::string& device_name, Timestamp t0,
+                             Timestamp t1);
+
+}  // namespace behaviot::testbed

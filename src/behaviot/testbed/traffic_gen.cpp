@@ -1,0 +1,322 @@
+#include "behaviot/testbed/traffic_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "behaviot/net/dns.hpp"
+#include "behaviot/net/rng.hpp"
+#include "behaviot/net/tls.hpp"
+
+namespace behaviot::testbed {
+namespace {
+
+std::uint64_t mix_key(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+bool in_outage(Timestamp t, const OutageSpans& outages) {
+  for (const auto& [from, to] : outages) {
+    if (t >= from && t < to) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void GeneratedCapture::merge(GeneratedCapture&& other) {
+  packets.insert(packets.end(),
+                 std::make_move_iterator(other.packets.begin()),
+                 std::make_move_iterator(other.packets.end()));
+  truths.insert(truths.end(), std::make_move_iterator(other.truths.begin()),
+                std::make_move_iterator(other.truths.end()));
+  events.insert(events.end(), other.events.begin(), other.events.end());
+  rdns.insert(rdns.end(), other.rdns.begin(), other.rdns.end());
+  start = std::min(start, other.start);
+  end = std::max(end, other.end);
+}
+
+void GeneratedCapture::sort_packets() {
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) { return a.ts < b.ts; });
+  std::stable_sort(events.begin(), events.end(), before);
+}
+
+std::size_t apply_ground_truth(std::vector<FlowRecord>& flows,
+                               std::span<const FlowTruth> truths) {
+  std::map<std::pair<std::size_t, std::int64_t>, const FlowTruth*> index;
+  FiveTupleHash hasher;
+  for (const FlowTruth& t : truths) {
+    index[{hasher(t.tuple), t.start.micros()}] = &t;
+  }
+  std::size_t unmatched = 0;
+  for (FlowRecord& f : flows) {
+    auto it = index.find({hasher(f.tuple), f.start.micros()});
+    if (it == index.end()) {
+      ++unmatched;
+      continue;
+    }
+    f.truth = it->second->kind;
+    f.truth_label = it->second->label;
+  }
+  return unmatched;
+}
+
+TrafficGenerator::TrafficGenerator(const Catalog& catalog, std::uint64_t seed)
+    : catalog_(&catalog), seed_(seed) {
+  profiles_.reserve(catalog.size());
+  next_ports_.assign(catalog.size(), 20000);
+  Rng phase_rng(seed ^ 0x70a5e5ULL);
+  for (const DeviceInfo& info : catalog.devices()) {
+    profiles_.push_back(build_profile(info));
+    const DeviceProfile& p = profiles_.back();
+    for (std::size_t b = 0; b < p.periodic.size(); ++b) {
+      phases_[{info.id, b}] = {phase_rng.uniform(0.0, p.periodic[b].period_s)};
+    }
+  }
+}
+
+const DeviceProfile& TrafficGenerator::profile(DeviceId device) const {
+  return profiles_[device];
+}
+
+std::uint16_t TrafficGenerator::next_port(DeviceId device) {
+  std::uint16_t& p = next_ports_[device];
+  if (p >= 60000) p = 20000;
+  return ++p;
+}
+
+void TrafficGenerator::emit_flow(const DeviceInfo& info,
+                                 const std::string& domain, Transport proto,
+                                 std::uint16_t dst_port, Timestamp t,
+                                 std::span<const double> sizes,
+                                 double size_jitter, double spread_s,
+                                 EventKind kind, const std::string& label,
+                                 bool with_sni, GeneratedCapture& out,
+                                 Rng& rng) {
+  FiveTuple tuple;
+  tuple.src = {info.ip, next_port(info.id)};
+  tuple.dst = {ip_for_domain(domain), dst_port};
+  tuple.proto = proto;
+
+  const double mean_gap =
+      sizes.size() > 1
+          ? std::min(0.8, spread_s / static_cast<double>(sizes.size() - 1))
+          : 0.0;
+
+  Timestamp ts = t;
+  const Timestamp first = ts;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    Packet p;
+    p.ts = ts;
+    p.tuple = tuple;
+    p.device = info.id;
+    p.dir = (i % 2 == 0) ? Direction::kOutbound : Direction::kInbound;
+    const double sz = std::max(
+        60.0, sizes[i] + (size_jitter > 0 ? rng.normal(0.0, size_jitter) : 0.0));
+    p.size = static_cast<std::uint32_t>(sz);
+    if (with_sni && i == 0 && proto == Transport::kTcp && dst_port == 443) {
+      p.payload = make_tls_client_hello(domain);
+      p.size = std::max<std::uint32_t>(
+          p.size, static_cast<std::uint32_t>(p.payload.size()) +
+                      header_overhead(proto));
+    }
+    out.packets.push_back(std::move(p));
+    if (i + 1 < sizes.size()) {
+      // Exponential gaps, clamped below the 1 s burst threshold so one
+      // logical exchange stays one flow burst.
+      const double gap = std::min(0.9, 0.01 + rng.exponential(mean_gap + 1e-3));
+      ts += seconds(gap);
+    }
+  }
+  out.truths.push_back({tuple, first, kind, label});
+  out.start = std::min(out.start, first);
+  out.end = std::max(out.end, ts);
+}
+
+void TrafficGenerator::emit_dns_lookup(const DeviceInfo& info,
+                                       const std::string& name, Timestamp t,
+                                       GeneratedCapture& out, Rng& rng) {
+  const DeviceProfile& prof = profiles_[info.id];
+  const PeriodicBehavior& dns = prof.periodic.front();  // DNS is always first
+
+  FiveTuple tuple;
+  tuple.src = {info.ip, next_port(info.id)};
+  tuple.dst = {ip_for_domain(dns.domain), 53};
+  tuple.proto = Transport::kUdp;
+
+  const auto txid =
+      static_cast<std::uint16_t>(rng.next_u64() & 0xffff);
+  Packet query;
+  query.ts = t;
+  query.tuple = tuple;
+  query.device = info.id;
+  query.dir = Direction::kOutbound;
+  query.payload = make_dns_query(txid, name);
+  query.size = static_cast<std::uint32_t>(query.payload.size()) +
+               header_overhead(Transport::kUdp);
+
+  Packet response;
+  response.ts = t + milliseconds(8 + static_cast<std::int64_t>(
+                                          rng.uniform(0.0, 40.0)));
+  response.tuple = tuple;
+  response.device = info.id;
+  response.dir = Direction::kInbound;
+  response.payload = make_dns_response(txid, name, ip_for_domain(name));
+  response.size = static_cast<std::uint32_t>(response.payload.size()) +
+                  header_overhead(Transport::kUdp);
+
+  out.truths.push_back({tuple, t, EventKind::kPeriodic, ""});
+  out.start = std::min(out.start, t);
+  out.end = std::max(out.end, response.ts);
+  out.packets.push_back(std::move(query));
+  out.packets.push_back(std::move(response));
+}
+
+void TrafficGenerator::add_static_rdns(GeneratedCapture& out) {
+  // Resolver reverse-DNS entries (the resolvers themselves are never
+  // resolved via DNS).
+  out.rdns.emplace_back(campus_resolver_ip(), "dns.neu.edu");
+  out.rdns.emplace_back(google_dns_ip(), "dns.google");
+}
+
+void TrafficGenerator::gen_dns_bootstrap(DeviceId device, Timestamp t,
+                                         GeneratedCapture& out) {
+  const DeviceInfo& info = catalog_->by_id(device);
+  const DeviceProfile& prof = profiles_[device];
+  Rng rng(mix_key(seed_, mix_key(device, 0xb007)));
+
+  Timestamp ts = t + seconds(rng.uniform(0.5, 8.0));
+  std::set<std::string> seen;
+  auto lookup = [&](const std::string& name) {
+    if (name == prof.periodic.front().domain) return;  // resolver itself
+    if (!seen.insert(name).second) return;
+    emit_dns_lookup(info, name, ts, out, rng);
+    ts += milliseconds(60 + static_cast<std::int64_t>(rng.uniform(0, 400)));
+  };
+  for (const PeriodicBehavior& b : prof.periodic) lookup(b.domain);
+  for (const ActivitySignature& a : prof.activities) {
+    lookup(a.domain);
+    if (a.support_domain) lookup(*a.support_domain);
+  }
+  for (const AperiodicBehavior& b : prof.aperiodic) lookup(b.domain);
+}
+
+void TrafficGenerator::gen_background(DeviceId device, Timestamp t0,
+                                      Timestamp t1, const OutageSpans& outages,
+                                      GeneratedCapture& out) {
+  const DeviceInfo& info = catalog_->by_id(device);
+  const DeviceProfile& prof = profiles_[device];
+  Rng rng(mix_key(seed_, mix_key(device, static_cast<std::uint64_t>(
+                                             t0.micros()))));
+
+  // Periodic behaviors tick on an absolute grid so day-by-day generation
+  // stays phase-continuous.
+  std::size_t dns_rotation = 0;
+  for (std::size_t b = 0; b < prof.periodic.size(); ++b) {
+    const PeriodicBehavior& beh = prof.periodic[b];
+    const double offset = phases_.at({device, b}).offset_s;
+    const double period = beh.period_s;
+    auto k = static_cast<std::int64_t>(
+        std::ceil((t0.seconds() - offset) / period));
+    if (k < 0) k = 0;
+    for (;; ++k) {
+      const double grid_s = offset + static_cast<double>(k) * period;
+      if (grid_s >= t1.seconds()) break;
+      if (grid_s < t0.seconds()) continue;
+      double jitter = rng.normal(0.0, beh.jitter_s);
+      // Occasional congestion: a late beacon well beyond normal jitter,
+      // which the timer stage misses and the cluster stage must absorb.
+      if (rng.chance(0.008)) {
+        jitter += rng.uniform(4.0 * beh.jitter_s, 0.04 * period);
+      }
+      const Timestamp t = Timestamp::from_seconds(grid_s + std::abs(jitter));
+      if (t < t0 || t >= t1 || in_outage(t, outages)) continue;
+      if (beh.is_dns) {
+        // Hourly re-resolution rotates through the device's destinations.
+        std::vector<std::string> names;
+        for (const PeriodicBehavior& p : prof.periodic) {
+          if (!p.is_dns) names.push_back(p.domain);
+        }
+        for (const ActivitySignature& a : prof.activities)
+          names.push_back(a.domain);
+        if (!names.empty()) {
+          emit_dns_lookup(info, names[dns_rotation++ % names.size()], t, out,
+                          rng);
+        }
+      } else {
+        emit_flow(info, beh.domain, beh.proto, beh.dst_port, t, beh.sizes,
+                  beh.size_jitter, 0.4, EventKind::kPeriodic, "",
+                  /*with_sni=*/true, out, rng);
+      }
+    }
+  }
+
+  // Aperiodic behaviors: Poisson arrivals over the window.
+  const double window_days = (t1 - t0) / 1e6 / 86400.0;
+  for (const AperiodicBehavior& beh : prof.aperiodic) {
+    const std::uint64_t n = rng.poisson(beh.daily_rate * window_days);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Timestamp t =
+          t0 + static_cast<std::int64_t>(rng.uniform(
+                   0.0, static_cast<double>(t1 - t0)));
+      if (in_outage(t, outages)) continue;
+      emit_flow(info, beh.domain, beh.proto, beh.dst_port, t, beh.sizes,
+                beh.size_jitter, 0.8, EventKind::kAperiodic, "",
+                /*with_sni=*/true, out, rng);
+    }
+  }
+  out.start = std::min(out.start, t0);
+  out.end = std::max(out.end, t1);
+}
+
+void TrafficGenerator::gen_user_event(DeviceId device,
+                                      const std::string& command, Timestamp t,
+                                      GeneratedCapture& out) {
+  const DeviceInfo& info = catalog_->by_id(device);
+  const DeviceProfile& prof = profiles_[device];
+  const ActivitySignature* sig = prof.signature_for(command);
+  if (sig == nullptr) return;
+  Rng rng(mix_key(seed_, mix_key(device, static_cast<std::uint64_t>(
+                                             t.micros()) ^ 0xeef7)));
+
+  // Interleave out/in templates into one packet-size sequence.
+  std::vector<double> sizes;
+  const std::size_t n = sig->out_sizes.size() + sig->in_sizes.size();
+  std::size_t oi = 0, ii = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0 && oi < sig->out_sizes.size()) {
+      sizes.push_back(sig->out_sizes[oi++]);
+    } else if (ii < sig->in_sizes.size()) {
+      sizes.push_back(sig->in_sizes[ii++]);
+    } else {
+      sizes.push_back(sig->out_sizes[oi++]);
+    }
+  }
+
+  const std::string event_label = info.name + ":" + sig->label;
+  emit_flow(info, sig->domain, sig->proto, sig->dst_port, t, sizes,
+            sig->size_jitter, sig->duration_s, EventKind::kUser, event_label,
+            /*with_sni=*/true, out, rng);
+  if (sig->support_domain) {
+    // Relay leg through the support cloud, slightly later and smaller.
+    std::vector<double> relay_sizes;
+    for (double s : sizes) relay_sizes.push_back(std::max(80.0, s * 0.8));
+    emit_flow(info, *sig->support_domain, Transport::kTcp, 443,
+              t + milliseconds(300 + static_cast<std::int64_t>(
+                                         rng.uniform(0, 600))),
+              relay_sizes, sig->size_jitter, sig->duration_s, EventKind::kUser,
+              event_label, /*with_sni=*/true, out, rng);
+  }
+
+  UserEvent event;
+  event.ts = t;
+  event.device = device;
+  event.device_name = info.name;
+  event.activity = sig->label;
+  out.events.push_back(std::move(event));
+  out.end = std::max(out.end, t + seconds(sig->duration_s));
+}
+
+}  // namespace behaviot::testbed

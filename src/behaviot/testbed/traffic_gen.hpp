@@ -1,0 +1,102 @@
+// Packet-level traffic synthesis from device profiles.
+//
+// The generator produces the gateway's view: packets with headers, timing,
+// and the cleartext DNS/TLS-SNI payloads a real capture would carry, plus a
+// ground-truth side channel (per-flow kind/label and per-event records) that
+// plays the role of the paper's controlled-experiment labels.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "behaviot/flow/flow.hpp"
+#include "behaviot/net/rng.hpp"
+#include "behaviot/pfsm/event.hpp"
+#include "behaviot/testbed/device.hpp"
+
+namespace behaviot::testbed {
+
+/// Ground truth for one generated flow, joinable to assembled FlowRecords by
+/// (5-tuple, first-packet timestamp).
+struct FlowTruth {
+  FiveTuple tuple;
+  Timestamp start;
+  EventKind kind = EventKind::kPeriodic;
+  std::string label;  ///< "<device>:<label>" for user events, else ""
+};
+
+struct GeneratedCapture {
+  std::vector<Packet> packets;
+  std::vector<FlowTruth> truths;
+  std::vector<UserEvent> events;  ///< physical user events (ground truth)
+  /// Reverse-DNS fallback entries a gateway operator would configure.
+  std::vector<std::pair<Ipv4Addr, std::string>> rdns;
+  Timestamp start{std::numeric_limits<std::int64_t>::max()};
+  Timestamp end{std::numeric_limits<std::int64_t>::min()};
+
+  void merge(GeneratedCapture&& other);
+  /// Sorts packets by time (generation appends per device/behavior).
+  void sort_packets();
+};
+
+/// Applies the ground-truth side channel to assembled flows. Returns the
+/// number of flows that found no truth entry (should be 0 on simulated
+/// captures).
+std::size_t apply_ground_truth(std::vector<FlowRecord>& flows,
+                               std::span<const FlowTruth> truths);
+
+/// Time spans during which a device (or the whole network) is offline.
+using OutageSpans = std::vector<std::pair<Timestamp, Timestamp>>;
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const Catalog& catalog, std::uint64_t seed);
+
+  [[nodiscard]] const DeviceProfile& profile(DeviceId device) const;
+  [[nodiscard]] const Catalog& catalog() const { return *catalog_; }
+
+  /// DNS bootstrap: the device resolves all its destinations shortly after
+  /// `t` (as on power-up), teaching the capture's DomainResolver.
+  void gen_dns_bootstrap(DeviceId device, Timestamp t, GeneratedCapture& out);
+
+  /// Attaches the gateway operator's static reverse-DNS entries (resolver
+  /// addresses) to a capture. Part of every capture: the entries are router
+  /// configuration, not traffic.
+  static void add_static_rdns(GeneratedCapture& out);
+
+  /// Periodic + aperiodic background over [t0, t1), skipping outage spans.
+  void gen_background(DeviceId device, Timestamp t0, Timestamp t1,
+                      const OutageSpans& outages, GeneratedCapture& out);
+
+  /// One user event: emits the activity's flow(s), a FlowTruth per flow, and
+  /// the ground-truth UserEvent. Unknown commands are ignored.
+  void gen_user_event(DeviceId device, const std::string& command,
+                      Timestamp t, GeneratedCapture& out);
+
+ private:
+  struct BehaviorPhase {
+    double offset_s = 0.0;  ///< phase of the periodic grid
+  };
+
+  void emit_flow(const DeviceInfo& info, const std::string& domain,
+                 Transport proto, std::uint16_t dst_port, Timestamp t,
+                 std::span<const double> sizes, double size_jitter,
+                 double spread_s, EventKind kind, const std::string& label,
+                 bool with_sni, GeneratedCapture& out, Rng& rng);
+  void emit_dns_lookup(const DeviceInfo& info, const std::string& name,
+                       Timestamp t, GeneratedCapture& out, Rng& rng);
+
+  std::uint16_t next_port(DeviceId device);
+
+  const Catalog* catalog_;
+  std::uint64_t seed_;
+  std::vector<DeviceProfile> profiles_;  // index = DeviceId
+  std::vector<std::uint16_t> next_ports_;
+  /// Deterministic per-(device, behavior) phase offsets.
+  std::map<std::pair<DeviceId, std::size_t>, BehaviorPhase> phases_;
+};
+
+}  // namespace behaviot::testbed

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "behaviot/analysis/essential.hpp"
+#include "behaviot/analysis/party.hpp"
+#include "behaviot/analysis/report.hpp"
+
+namespace behaviot {
+namespace {
+
+TEST(PartyRegistry, VendorDomainIsFirstPartyForItsDevices) {
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("api.tplinkcloud.com", "tplink"), Party::kFirst);
+  EXPECT_EQ(r.classify("device-metrics-us.amazon.com", "amazon"),
+            Party::kFirst);
+}
+
+TEST(PartyRegistry, OtherVendorsCloudIsThirdParty) {
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("api.tplinkcloud.com", "wemo"), Party::kThird);
+  EXPECT_EQ(r.classify("alexa.com", "tplink"), Party::kThird);
+}
+
+TEST(PartyRegistry, CloudInfrastructureIsSupportParty) {
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("d1a2b3.cloudfront.net", "ring"), Party::kSupport);
+  EXPECT_EQ(r.classify("iot.us-east-1.amazonaws.com", "wyze"),
+            Party::kSupport);
+}
+
+TEST(PartyRegistry, AffiliateBrandsMapToVendor) {
+  // Smart Life is Tuya's platform: Tuya cloud is first party for it.
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("telemetry.tuyaus.com", "smartlife"), Party::kFirst);
+}
+
+TEST(PartyRegistry, TrackersAndPublicDnsAreThirdParty) {
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("metrics.adservice.net", "tplink"), Party::kThird);
+  EXPECT_EQ(r.classify("dns.google", "ring"), Party::kThird);
+  EXPECT_EQ(r.classify("0.pool.ntp.org", "ring"), Party::kThird);
+}
+
+TEST(PartyRegistry, UnknownDomainDefaultsToThird) {
+  // "All other entities are considered third parties" (§6.1).
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("totally-unknown.example.xyz", "tplink"),
+            Party::kThird);
+}
+
+TEST(PartyRegistry, EmptyDomainIsUnknown) {
+  const auto r = PartyRegistry::standard();
+  EXPECT_EQ(r.classify("", "tplink"), Party::kUnknown);
+}
+
+TEST(PartyRegistry, SuffixMatchingRespectsLabelBoundaries) {
+  const auto r = PartyRegistry::standard();
+  // "notring.com" must not match "ring.com".
+  EXPECT_EQ(r.organization("api.notring.com"), "");
+  EXPECT_EQ(r.organization("api.ring.com"), "Ring");
+  EXPECT_EQ(r.organization("ring.com"), "Ring");
+}
+
+TEST(PartyRegistry, LongestSuffixWins) {
+  PartyRegistry r;
+  r.add_domain("example.com", "Generic", Party::kThird);
+  r.add_domain("cdn.example.com", "CDN", Party::kSupport);
+  EXPECT_EQ(r.organization("x.cdn.example.com"), "CDN");
+  EXPECT_EQ(r.organization("x.example.com"), "Generic");
+}
+
+TEST(PartyNames, Spellings) {
+  EXPECT_STREQ(to_string(Party::kFirst), "first");
+  EXPECT_STREQ(to_string(Party::kSupport), "support");
+  EXPECT_STREQ(to_string(Party::kThird), "third");
+}
+
+TEST(EssentialList, VendorControlPlanesAreEssential) {
+  const auto list = EssentialList::standard();
+  EXPECT_EQ(list.classify("api.tplinkcloud.com"), Essentiality::kEssential);
+  EXPECT_EQ(list.classify("mqtt.ring.com"), Essentiality::kEssential);
+}
+
+TEST(EssentialList, TelemetryAndTrackersAreNonEssential) {
+  const auto list = EssentialList::standard();
+  EXPECT_EQ(list.classify("device-metrics-us.amazon.com"),
+            Essentiality::kNonEssential);
+  EXPECT_EQ(list.classify("mas-sdk.amazon.com"), Essentiality::kNonEssential);
+  EXPECT_EQ(list.classify("api.tracker.io"), Essentiality::kNonEssential);
+}
+
+TEST(EssentialList, SpecificNonEssentialBeatsBroaderEssential) {
+  // stats.tplinkcloud.com is telemetry inside an otherwise essential cloud.
+  const auto list = EssentialList::standard();
+  EXPECT_EQ(list.classify("stats.tplinkcloud.com"),
+            Essentiality::kNonEssential);
+  EXPECT_EQ(list.classify("api.tplinkcloud.com"), Essentiality::kEssential);
+}
+
+TEST(EssentialList, UnlistedDomains) {
+  const auto list = EssentialList::standard();
+  EXPECT_EQ(list.classify("mystery.example.org"), Essentiality::kUnlisted);
+  EXPECT_STREQ(to_string(Essentiality::kUnlisted), "unlisted");
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"Device", "Acc"});
+  t.add_row({"tplink_plug", "100%"});
+  t.add_row({"x", "9%"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Device"), std::string::npos);
+  EXPECT_NE(out.find("tplink_plug"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header line and rows share column offsets: "Acc" sits above "100%".
+  const auto header_pos = out.find("Acc");
+  const auto value_pos = out.find("100%");
+  const auto header_col = header_pos - out.rfind('\n', header_pos) - 1;
+  const auto value_col = value_pos - out.rfind('\n', value_pos) - 1;
+  EXPECT_EQ(header_col, value_col);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::percent(0.9985), "99.9%");
+  EXPECT_EQ(TablePrinter::percent(0.5, 0), "50%");
+  EXPECT_EQ(TablePrinter::fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace behaviot

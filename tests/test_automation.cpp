@@ -1,0 +1,88 @@
+#include "behaviot/testbed/automation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "behaviot/testbed/catalog.hpp"
+
+namespace behaviot::testbed {
+namespace {
+
+TEST(Automations, SixteenRoutinesDefined) {
+  EXPECT_EQ(standard_automations().size(), 16u);
+  for (const Automation& a : standard_automations()) {
+    EXPECT_FALSE(a.id.empty());
+    EXPECT_FALSE(a.actions.empty()) << a.id;
+  }
+}
+
+TEST(Automations, ActionDevicesExistInCatalog) {
+  const Catalog& catalog = Catalog::standard();
+  for (const Automation& a : standard_automations()) {
+    for (const AutomationAction& action : a.actions) {
+      const DeviceInfo* dev = catalog.by_name(action.device);
+      ASSERT_NE(dev, nullptr) << a.id << " -> " << action.device;
+      EXPECT_NE(std::find(dev->commands.begin(), dev->commands.end(),
+                          action.command),
+                dev->commands.end())
+          << a.id << " -> " << action.device << ":" << action.command;
+    }
+  }
+}
+
+TEST(FireAutomations, RingCameraMotionTurnsOnGosund) {
+  // R8: if Ring Camera motion, then turn on Gosund Bulb.
+  const auto scheduled =
+      fire_automations("ring_camera", "motion", Timestamp(0));
+  ASSERT_EQ(scheduled.size(), 1u);
+  EXPECT_EQ(scheduled[0].device, "gosund_bulb");
+  EXPECT_EQ(scheduled[0].command, "on");
+  EXPECT_GT(scheduled[0].at, Timestamp(0));
+}
+
+TEST(FireAutomations, DelaysAccumulateAlongActionList) {
+  // R12: Wyze motion → plug on (+1 s), clip (+2 s), plug off (+3 s).
+  const auto scheduled =
+      fire_automations("wyze_camera", "motion", Timestamp(0));
+  ASSERT_EQ(scheduled.size(), 3u);
+  EXPECT_EQ(scheduled[0].at, Timestamp(seconds(1.0)));
+  EXPECT_EQ(scheduled[1].at, Timestamp(seconds(3.0)));
+  EXPECT_EQ(scheduled[2].at, Timestamp(seconds(6.0)));
+}
+
+TEST(FireAutomations, MerossOpenCascadesToR15) {
+  // Opening the garage (itself often an automation action) triggers R15.
+  const auto scheduled =
+      fire_automations("meross_dooropener", "open", Timestamp(0));
+  ASSERT_EQ(scheduled.size(), 2u);
+  EXPECT_EQ(scheduled[0].device, "tplink_bulb");
+  EXPECT_EQ(scheduled[0].command, "on");
+  EXPECT_EQ(scheduled[1].command, "color");
+}
+
+TEST(FireAutomations, VoiceTriggersAreDriverDispatched) {
+  // Voice routines are selected by the dataset driver (an utterance is not
+  // identifiable from traffic); fire_automations does not expand them.
+  const auto scheduled = fire_automations("echo_spot", "voice", Timestamp(0));
+  EXPECT_TRUE(scheduled.empty());
+}
+
+TEST(FireAutomations, NonTriggerEventsScheduleNothing) {
+  EXPECT_TRUE(fire_automations("tplink_plug", "on", Timestamp(0)).empty());
+  EXPECT_TRUE(fire_automations("nonexistent", "motion", Timestamp(0)).empty());
+}
+
+TEST(FireAutomations, DoorbellRingRunsR6Sequence) {
+  const auto scheduled =
+      fire_automations("ring_doorbell", "ring", Timestamp(0));
+  ASSERT_EQ(scheduled.size(), 3u);
+  EXPECT_EQ(scheduled[0].device, "wemo_plug");
+  EXPECT_EQ(scheduled[0].command, "on");
+  EXPECT_EQ(scheduled[1].device, "echo_spot");
+  EXPECT_EQ(scheduled[2].device, "wemo_plug");
+  EXPECT_EQ(scheduled[2].command, "off");
+}
+
+}  // namespace
+}  // namespace behaviot::testbed

@@ -1,0 +1,121 @@
+#include "behaviot/analysis/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+namespace {
+
+struct Fixture {
+  std::vector<FlowRecord> flows;
+  PeriodicModelSet models;
+
+  Fixture() {
+    const auto idle = testbed::Datasets::idle(131, 0.6);
+    DomainResolver resolver;
+    testbed::configure_resolver(resolver, idle);
+    FlowAssembler assembler;
+    flows = assembler.assemble(idle.packets, resolver);
+    testbed::apply_ground_truth(flows, idle.truths);
+    models = PeriodicModelSet::infer(flows, 0.6 * 86400.0);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture fx;
+  return fx;
+}
+
+TEST(Characterize, CoversEveryCatalogDevice) {
+  const auto devices = characterize_devices(
+      fixture().models, fixture().flows, testbed::Catalog::standard(),
+      PartyRegistry::standard());
+  EXPECT_EQ(devices.size(), testbed::Catalog::standard().size());
+}
+
+TEST(Characterize, ModelCountsMatchModelSet) {
+  const auto devices = characterize_devices(
+      fixture().models, fixture().flows, testbed::Catalog::standard(),
+      PartyRegistry::standard());
+  std::size_t total = 0;
+  for (const auto& c : devices) {
+    total += c.periodic_models;
+    EXPECT_EQ(c.periods.size(), c.periodic_models) << c.name;
+    EXPECT_TRUE(std::is_sorted(c.periods.begin(), c.periods.end())) << c.name;
+  }
+  EXPECT_EQ(total, fixture().models.size());
+}
+
+TEST(Characterize, SpeakersOutModelHomeAutomation) {
+  // The §6.1 complexity observation must be visible in the summaries.
+  const auto devices = characterize_devices(
+      fixture().models, fixture().flows, testbed::Catalog::standard(),
+      PartyRegistry::standard());
+  double speakers = 0, autos = 0;
+  std::size_t n_speakers = 0, n_autos = 0;
+  for (const auto& c : devices) {
+    if (c.category == testbed::DeviceCategory::kSmartSpeaker) {
+      speakers += static_cast<double>(c.periodic_models);
+      ++n_speakers;
+    } else if (c.category == testbed::DeviceCategory::kHomeAutomation) {
+      autos += static_cast<double>(c.periodic_models);
+      ++n_autos;
+    }
+  }
+  EXPECT_GT(speakers / static_cast<double>(n_speakers),
+            2.0 * autos / static_cast<double>(n_autos));
+}
+
+TEST(Characterize, PartySplitsAreCounted) {
+  const auto devices = characterize_devices(
+      fixture().models, fixture().flows, testbed::Catalog::standard(),
+      PartyRegistry::standard());
+  std::size_t first = 0, support = 0, third = 0;
+  for (const auto& c : devices) {
+    first += c.first_party_dests;
+    support += c.support_party_dests;
+    third += c.third_party_dests;
+  }
+  EXPECT_GT(first, 0u);
+  EXPECT_GT(support, 0u);
+  EXPECT_GT(third, 0u);
+  EXPECT_GT(first, third);  // Table 5 shape: first party dominates
+}
+
+TEST(Characterize, TrafficMixIsTracked) {
+  const auto devices = characterize_devices(
+      fixture().models, fixture().flows, testbed::Catalog::standard(),
+      PartyRegistry::standard());
+  for (const auto& c : devices) {
+    if (c.total_flows() == 0) continue;
+    EXPECT_EQ(c.user_flows, 0u) << c.name;  // idle traffic has no user flows
+    EXPECT_GT(c.periodic_flows, c.aperiodic_flows) << c.name;
+  }
+}
+
+TEST(Characterize, RenderingContainsDevicesAndPeriods) {
+  const auto devices = characterize_devices(
+      fixture().models, fixture().flows, testbed::Catalog::standard(),
+      PartyRegistry::standard());
+  const std::string text = render_characterization(devices);
+  EXPECT_NE(text.find("TPLink Plug"), std::string::npos);
+  EXPECT_NE(text.find("Echo Show5"), std::string::npos);
+  EXPECT_NE(text.find("periodic models:"), std::string::npos);
+  EXPECT_NE(text.find("first /"), std::string::npos);
+}
+
+TEST(Characterize, EmptyInputsYieldZeroedEntries) {
+  const PeriodicModelSet empty;
+  const auto devices =
+      characterize_devices(empty, {}, testbed::Catalog::standard(),
+                           PartyRegistry::standard());
+  for (const auto& c : devices) {
+    EXPECT_EQ(c.periodic_models, 0u);
+    EXPECT_EQ(c.total_flows(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,138 @@
+// End-to-end smoke tests of the `behaviot` CLI: simulate → train → show →
+// score → mud, exercising the pcap and serialization formats through the
+// shipped binary.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+std::string cli_path() {
+  // tests run from build/tests (ctest) or anywhere (manual); resolve the
+  // binary relative to this test's own location.
+  const auto self = std::filesystem::read_symlink("/proc/self/exe");
+  return (self.parent_path().parent_path() / "tools" / "behaviot").string();
+}
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run(const std::string& args) {
+  CommandResult result;
+  const std::string cmd = cli_path() + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  result.exit_code = pclose(pipe);
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(::testing::TempDir() + "/behaviot_cli");
+    std::filesystem::create_directories(*dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+  }
+  static std::string* dir_;
+};
+
+std::string* CliTest::dir_ = nullptr;
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  const auto result = run("");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandPrintsUsage) {
+  const auto result = run("frobnicate");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, FullWorkflow) {
+  const std::string pcap = *dir_ + "/idle.pcap";
+  const std::string models = *dir_ + "/models.txt";
+
+  // simulate
+  auto result = run("simulate --dataset idle --days 0.1 --seed 5 --out " +
+                    pcap);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(pcap));
+
+  // train
+  result = run("train --idle " + pcap + " --window-days 0.1 --out " + models);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("periodic models"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(models));
+
+  // show
+  result = run("show --models " + models + " --device tplink_plug");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("tplink_plug"), std::string::npos);
+  EXPECT_NE(result.output.find("tplinkcloud"), std::string::npos);
+
+  // score the same capture against its own models: quiet.
+  result = run("score --models " + models + " --capture " + pcap);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("deviation alerts"), std::string::npos);
+
+  // mud
+  result = run("mud --models " + models + " --device tplink_plug");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ietf-mud:mud"), std::string::npos);
+
+  // check: MUD compliance of the capture against the inferred profile.
+  result = run("check --models " + models + " --capture " + pcap +
+               " --device tplink_plug");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("flows checked"), std::string::npos);
+}
+
+TEST_F(CliTest, ShowRejectsUnknownDevice) {
+  const std::string pcap = *dir_ + "/idle2.pcap";
+  const std::string models = *dir_ + "/models2.txt";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.05 --seed 6 --out " + pcap)
+                .exit_code,
+            0);
+  ASSERT_EQ(run("train --idle " + pcap + " --window-days 0.05 --out " +
+                models)
+                .exit_code,
+            0);
+  const auto result = run("show --models " + models + " --device nope");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown device"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainRejectsMissingCapture) {
+  const auto result =
+      run("train --idle /nonexistent.pcap --window-days 1 --out /tmp/x.txt");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, ScoreRejectsCorruptModels) {
+  const std::string bad = *dir_ + "/bad_models.txt";
+  {
+    std::FILE* f = std::fopen(bad.c_str(), "w");
+    std::fputs("not a model file\n", f);
+    std::fclose(f);
+  }
+  const auto result = run("score --models " + bad + " --capture /dev/null");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+#include "behaviot/testbed/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace behaviot::testbed {
+namespace {
+
+TEST(IdleDataset, NoUserEventsAtAll) {
+  const auto idle = Datasets::idle(/*seed=*/1, /*days=*/0.25);
+  EXPECT_TRUE(idle.events.empty());
+  EXPECT_FALSE(idle.packets.empty());
+  for (const FlowTruth& t : idle.truths) {
+    EXPECT_NE(t.kind, EventKind::kUser);
+  }
+}
+
+TEST(IdleDataset, CoversAllDevices) {
+  const auto idle = Datasets::idle(/*seed=*/2, /*days=*/0.25);
+  std::set<DeviceId> devices;
+  for (const Packet& p : idle.packets) devices.insert(p.device);
+  EXPECT_EQ(devices.size(), Catalog::standard().size());
+}
+
+TEST(IdleDataset, PacketsSortedByTime) {
+  const auto idle = Datasets::idle(/*seed=*/3, /*days=*/0.1);
+  for (std::size_t i = 1; i < idle.packets.size(); ++i) {
+    EXPECT_LE(idle.packets[i - 1].ts, idle.packets[i].ts);
+  }
+}
+
+TEST(IdleDataset, DeterministicForSeed) {
+  const auto a = Datasets::idle(4, 0.1);
+  const auto b = Datasets::idle(4, 0.1);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); i += 97) {
+    EXPECT_EQ(a.packets[i].ts, b.packets[i].ts);
+    EXPECT_EQ(a.packets[i].size, b.packets[i].size);
+  }
+  const auto c = Datasets::idle(5, 0.1);
+  EXPECT_NE(a.packets.size(), c.packets.size());
+}
+
+TEST(ActivityDataset, EveryCommandRepeats) {
+  const auto activity = Datasets::activity(/*seed=*/6, /*repetitions=*/3);
+  std::map<std::string, std::size_t> per_label;
+  for (const UserEvent& e : activity.events) {
+    ++per_label[e.label()];
+  }
+  EXPECT_FALSE(per_label.empty());
+  for (const auto& [label, count] : per_label) {
+    EXPECT_GE(count, 3u) << label;  // aggregated labels repeat even more
+  }
+  // Every activity-set device with commands produced events.
+  std::set<DeviceId> devices;
+  for (const UserEvent& e : activity.events) devices.insert(e.device);
+  std::size_t expected = 0;
+  for (const DeviceInfo* d : Catalog::standard().activity_set()) {
+    if (!d->commands.empty()) ++expected;
+  }
+  EXPECT_EQ(devices.size(), expected);
+}
+
+TEST(ActivityDataset, UserTruthsCarryLabels) {
+  const auto activity = Datasets::activity(/*seed=*/7, /*repetitions=*/2);
+  std::size_t user_flows = 0;
+  for (const FlowTruth& t : activity.truths) {
+    if (t.kind == EventKind::kUser) {
+      ++user_flows;
+      EXPECT_FALSE(t.label.empty());
+      EXPECT_NE(t.label.find(':'), std::string::npos);
+    }
+  }
+  EXPECT_GT(user_flows, 0u);
+}
+
+TEST(RoutineDataset, ProducesCorrelatedEvents) {
+  const auto routine = Datasets::routine_week(/*seed=*/8, /*days=*/2.0);
+  EXPECT_GT(routine.events.size(), 50u);
+  // Events only from routine-set devices.
+  for (const UserEvent& e : routine.events) {
+    const DeviceInfo& d = Catalog::standard().by_id(e.device);
+    EXPECT_TRUE(d.in_routine_set) << d.name;
+  }
+  // The R8 automation (ring camera motion → gosund on) appears: find a
+  // gosund event within 10 s after a ring_camera motion.
+  bool pair_found = false;
+  for (std::size_t i = 0; i < routine.events.size() && !pair_found; ++i) {
+    if (routine.events[i].device_name != "ring_camera") continue;
+    for (std::size_t j = i + 1; j < routine.events.size(); ++j) {
+      const auto gap = routine.events[j].ts - routine.events[i].ts;
+      if (gap > seconds(10.0)) break;
+      if (routine.events[j].device_name == "gosund_bulb") pair_found = true;
+    }
+  }
+  EXPECT_TRUE(pair_found);
+}
+
+TEST(UncontrolledDay, QuietDayHasBackgroundAndSomeEvents) {
+  const auto day = Datasets::uncontrolled_day(2, /*seed=*/9);
+  EXPECT_FALSE(day.packets.empty());
+  EXPECT_GT(day.events.size(), 5u);
+  EXPECT_EQ(day.start, Timestamp::from_seconds(2 * 86400.0));
+  EXPECT_EQ(day.end, Timestamp::from_seconds(3 * 86400.0));
+}
+
+TEST(UncontrolledDay, LabExperimentDayHasVoiceBurst) {
+  // Day 13 carries the 50-activation experiment (case 2).
+  const auto day = Datasets::uncontrolled_day(13, /*seed=*/9);
+  std::size_t spot_voice = 0;
+  for (const UserEvent& e : day.events) {
+    if (e.device_name == "echo_spot" && e.activity == "voice") ++spot_voice;
+  }
+  EXPECT_GE(spot_voice, 50u);
+}
+
+TEST(UncontrolledDay, OutageDayLosesTraffic) {
+  // Day 30 has a ~6 h network outage (case 6).
+  const auto outage_day = Datasets::uncontrolled_day(30, /*seed=*/9);
+  const auto normal_day = Datasets::uncontrolled_day(29, /*seed=*/9);
+  EXPECT_LT(outage_day.truths.size(), normal_day.truths.size() * 0.95);
+}
+
+TEST(UncontrolledDay, RemovedDeviceIsSilent) {
+  // tuya_camera is removed on days 40-42.
+  const auto day = Datasets::uncontrolled_day(41, /*seed=*/9);
+  const DeviceInfo* tuya = Catalog::standard().by_name("tuya_camera");
+  for (const Packet& p : day.packets) {
+    EXPECT_NE(p.device, tuya->id);
+  }
+}
+
+TEST(UncontrolledDay, RelocationBoostsWyzeMotion) {
+  // Days 8-11: the camera-relocation incident multiplies motion events.
+  auto wyze_motions = [](std::size_t day) {
+    const auto capture = Datasets::uncontrolled_day(day, /*seed=*/9);
+    std::size_t n = 0;
+    for (const UserEvent& e : capture.events) {
+      if (e.device_name == "wyze_camera" && e.activity == "motion") ++n;
+    }
+    return n;
+  };
+  // Average a few days to damp Poisson noise.
+  const std::size_t before = wyze_motions(2) + wyze_motions(4) + wyze_motions(6);
+  const std::size_t during = wyze_motions(8) + wyze_motions(9) + wyze_motions(10);
+  EXPECT_GT(during, before);
+}
+
+TEST(Incidents, ScheduleIsWellFormed) {
+  for (const Incident& inc : standard_incidents()) {
+    EXPECT_LT(inc.start_day, inc.end_day);
+    EXPECT_GE(inc.start_day, 0.0);
+    EXPECT_LE(inc.end_day, 87.0);
+    EXPECT_FALSE(inc.note.empty());
+  }
+}
+
+TEST(Incidents, OutageSpansClipToWindow) {
+  // Day 30 outage: 30.40-30.65.
+  const auto spans = outage_spans_for(
+      "", Timestamp::from_seconds(30 * 86400.0),
+      Timestamp::from_seconds(31 * 86400.0));
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_NEAR(spans[0].first.seconds(), 30.40 * 86400.0, 1.0);
+  EXPECT_NEAR(spans[0].second.seconds(), 30.65 * 86400.0, 1.0);
+  // A window that misses the incident yields nothing.
+  EXPECT_TRUE(outage_spans_for("", Timestamp(0),
+                               Timestamp::from_seconds(86400.0))
+                  .empty());
+}
+
+TEST(Incidents, DeviceScopedSpansOnlyAffectThatDevice) {
+  const Timestamp t0 = Timestamp::from_seconds(41 * 86400.0);
+  const Timestamp t1 = Timestamp::from_seconds(42 * 86400.0);
+  EXPECT_FALSE(outage_spans_for("tuya_camera", t0, t1).empty());
+  EXPECT_TRUE(outage_spans_for("ring_camera", t0, t1).empty());
+}
+
+TEST(Incidents, KindNames) {
+  EXPECT_STREQ(to_string(IncidentKind::kNetworkOutage), "network-outage");
+  EXPECT_STREQ(to_string(IncidentKind::kCameraRelocation),
+               "camera-relocation");
+}
+
+}  // namespace
+}  // namespace behaviot::testbed

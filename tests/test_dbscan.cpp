@@ -1,0 +1,115 @@
+#include "behaviot/periodic/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/net/rng.hpp"
+
+namespace behaviot {
+namespace {
+
+std::vector<std::vector<double>> blob(double cx, double cy, std::size_t n,
+                                      double spread, Rng& rng) {
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({cx + rng.normal(0, spread), cy + rng.normal(0, spread)});
+  }
+  return points;
+}
+
+TEST(Dbscan, TwoBlobsTwoClusters) {
+  Rng rng(1);
+  auto points = blob(0, 0, 40, 0.1, rng);
+  const auto other = blob(10, 10, 40, 0.1, rng);
+  points.insert(points.end(), other.begin(), other.end());
+
+  const auto result = dbscan(points, {.eps = 0.5, .min_points = 4});
+  EXPECT_EQ(result.num_clusters, 2);
+  // Same-blob points share labels; cross-blob points differ.
+  EXPECT_EQ(result.labels[0], result.labels[10]);
+  EXPECT_EQ(result.labels[40], result.labels[70]);
+  EXPECT_NE(result.labels[0], result.labels[40]);
+}
+
+TEST(Dbscan, OutliersAreNoise) {
+  Rng rng(2);
+  auto points = blob(0, 0, 30, 0.1, rng);
+  points.push_back({50.0, 50.0});
+  const auto result = dbscan(points, {.eps = 0.5, .min_points = 4});
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.labels.back(), kDbscanNoise);
+}
+
+TEST(Dbscan, AllNoiseWhenSparse) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({static_cast<double>(i * 100), 0.0});
+  }
+  const auto result = dbscan(points, {.eps = 1.0, .min_points = 3});
+  EXPECT_EQ(result.num_clusters, 0);
+  for (int label : result.labels) EXPECT_EQ(label, kDbscanNoise);
+}
+
+TEST(Dbscan, EmptyInput) {
+  const auto result =
+      dbscan(std::vector<std::vector<double>>{}, {.eps = 1.0, .min_points = 3});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(Dbscan, ChainsMergeThroughDensityConnectivity) {
+  // Points spaced 0.9 apart with eps=1.0 form one long cluster.
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 20; ++i) points.push_back({0.9 * i, 0.0});
+  const auto result = dbscan(points, {.eps = 1.0, .min_points = 3});
+  EXPECT_EQ(result.num_clusters, 1);
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(Dbscan, MinPointsBoundary) {
+  // Exactly min_points neighbors (including self) forms a cluster.
+  std::vector<std::vector<double>> points{{0, 0}, {0.1, 0}, {0, 0.1}};
+  const auto yes = dbscan(points, {.eps = 0.5, .min_points = 3});
+  EXPECT_EQ(yes.num_clusters, 1);
+  const auto no = dbscan(points, {.eps = 0.5, .min_points = 4});
+  EXPECT_EQ(no.num_clusters, 0);
+}
+
+TEST(DbscanMembership, ContainsTrainingNeighborhood) {
+  Rng rng(3);
+  const auto points = blob(5, 5, 50, 0.2, rng);
+  const DbscanMembership membership(points, {.eps = 1.0, .min_points = 4});
+  EXPECT_EQ(membership.num_clusters(), 1);
+  EXPECT_GT(membership.core_point_count(), 0u);
+  EXPECT_TRUE(membership.contains(std::vector<double>{5.0, 5.0}));
+  EXPECT_TRUE(membership.contains(std::vector<double>{5.5, 5.2}));
+  EXPECT_FALSE(membership.contains(std::vector<double>{20.0, 20.0}));
+}
+
+TEST(DbscanMembership, NoiseOnlyTrainingContainsNothing) {
+  std::vector<std::vector<double>> points{{0, 0}, {100, 100}};
+  const DbscanMembership membership(points, {.eps = 1.0, .min_points = 3});
+  EXPECT_EQ(membership.core_point_count(), 0u);
+  EXPECT_FALSE(membership.contains(std::vector<double>{0.0, 0.0}));
+}
+
+TEST(DbscanMembership, DefaultConstructedIsEmpty) {
+  const DbscanMembership membership;
+  EXPECT_FALSE(membership.contains(std::vector<double>{0.0, 0.0}));
+}
+
+// Property: DBSCAN labels are invariant to point duplication (a duplicated
+// core point stays in the same cluster).
+class DbscanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbscanProperty, DuplicatedPointSharesCluster) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 10);
+  auto points = blob(0, 0, 30, 0.3, rng);
+  points.push_back(points[5]);  // duplicate
+  const auto result = dbscan(points, {.eps = 1.0, .min_points = 3});
+  EXPECT_EQ(result.labels[5], result.labels.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,138 @@
+#include "behaviot/ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace behaviot {
+namespace {
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(DecisionTree, UntrainedReturnsZeros) {
+  const DecisionTree tree;
+  EXPECT_FALSE(tree.trained());
+  const std::vector<double> row{1.0};
+  EXPECT_TRUE(tree.predict_proba(row).empty());
+}
+
+TEST(DecisionTree, FitsLinearlySeparableData) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    X.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0 : 1);
+  }
+  Rng rng(1);
+  DecisionTree tree;
+  tree.fit(X, y, all_indices(X.size()), 2, rng);
+  EXPECT_TRUE(tree.trained());
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{15.0}), 1);
+  // Threshold lies between 9 and 10.
+  EXPECT_EQ(tree.predict(std::vector<double>{9.4}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{9.6}), 1);
+}
+
+TEST(DecisionTree, SolvesXorWithDepth) {
+  std::vector<std::vector<double>> X{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<int> y{0, 1, 1, 0};
+  // Replicate so min_samples constraints are satisfied.
+  std::vector<std::vector<double>> Xr;
+  std::vector<int> yr;
+  for (int r = 0; r < 5; ++r) {
+    for (std::size_t i = 0; i < X.size(); ++i) {
+      Xr.push_back(X[i]);
+      yr.push_back(y[i]);
+    }
+  }
+  Rng rng(2);
+  DecisionTree tree;
+  tree.fit(Xr, yr, all_indices(Xr.size()), 2, rng);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0, 0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0, 1.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0, 0.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0, 1.0}), 0);
+}
+
+TEST(DecisionTree, PureDataYieldsSingleLeaf) {
+  std::vector<std::vector<double>> X{{1}, {2}, {3}};
+  std::vector<int> y{1, 1, 1};
+  Rng rng(3);
+  DecisionTree tree;
+  tree.fit(X, y, all_indices(3), 2, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const auto proba = tree.predict_proba(std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(proba[1], 1.0);
+}
+
+TEST(DecisionTree, MaxDepthZeroForcesLeaf) {
+  std::vector<std::vector<double>> X{{0}, {1}, {2}, {3}};
+  std::vector<int> y{0, 0, 1, 1};
+  Rng rng(4);
+  DecisionTree tree({.max_depth = 0});
+  tree.fit(X, y, all_indices(4), 2, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const auto proba = tree.predict_proba(std::vector<double>{0.0});
+  EXPECT_DOUBLE_EQ(proba[0], 0.5);
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  Rng data_rng(5);
+  for (int i = 0; i < 60; ++i) {
+    X.push_back({data_rng.uniform(0, 1), data_rng.uniform(0, 1)});
+    y.push_back(static_cast<int>(data_rng.uniform_index(3)));
+  }
+  Rng rng(6);
+  DecisionTree tree({.max_depth = 4});
+  tree.fit(X, y, all_indices(X.size()), 3, rng);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> row{data_rng.uniform(0, 1),
+                                  data_rng.uniform(0, 1)};
+    const auto proba = tree.predict_proba(row);
+    double sum = 0;
+    for (double p : proba) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DecisionTree, MinSamplesLeafIsRespected) {
+  std::vector<std::vector<double>> X{{0}, {1}, {2}, {3}, {4}};
+  std::vector<int> y{0, 0, 0, 0, 1};
+  Rng rng(7);
+  // A leaf of one sample would be required to isolate the last point.
+  DecisionTree tree({.min_samples_leaf = 2});
+  tree.fit(X, y, all_indices(5), 2, rng);
+  // The split at 3.5 is forbidden; the best allowed split (or a leaf) keeps
+  // at least 2 samples per side.
+  EXPECT_TRUE(tree.trained());
+}
+
+TEST(DecisionTree, TrainsOnSubsetOnly) {
+  std::vector<std::vector<double>> X{{0}, {1}, {100}, {101}};
+  std::vector<int> y{0, 0, 1, 1};
+  const std::vector<std::size_t> subset{0, 1};  // only class 0
+  Rng rng(8);
+  DecisionTree tree;
+  tree.fit(X, y, subset, 2, rng);
+  // Trained exclusively on class 0, so everything predicts 0.
+  EXPECT_EQ(tree.predict(std::vector<double>{100.0}), 0);
+}
+
+TEST(DecisionTree, DuplicateFeatureValuesDoNotSplit) {
+  std::vector<std::vector<double>> X{{5}, {5}, {5}, {5}};
+  std::vector<int> y{0, 1, 0, 1};
+  Rng rng(9);
+  DecisionTree tree;
+  tree.fit(X, y, all_indices(4), 2, rng);
+  EXPECT_EQ(tree.node_count(), 1u);  // no boundary exists
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "behaviot/deviation/long_term_metric.hpp"
+#include "behaviot/deviation/periodic_metric.hpp"
+#include "behaviot/deviation/short_term_metric.hpp"
+#include "behaviot/deviation/thresholds.hpp"
+#include "behaviot/pfsm/synoptic.hpp"
+
+namespace behaviot {
+namespace {
+
+using Traces = std::vector<std::vector<std::string>>;
+
+// ---------- periodic-event deviation metric ----------
+
+TEST(PeriodicMetric, ZeroWhenOnSchedule) {
+  EXPECT_DOUBLE_EQ(periodic_deviation(600.0, 600.0), 0.0);
+}
+
+TEST(PeriodicMetric, PaperThresholdIsLnFiveAtFiveT) {
+  // Mp = log(|5T - T|/T + 1) = ln 5 ≈ 1.609 — the §5.3 threshold.
+  EXPECT_NEAR(periodic_deviation(5.0 * 600.0, 600.0),
+              kPeriodicDeviationThreshold, 1e-9);
+}
+
+TEST(PeriodicMetric, SymmetricInEarlyAndLate) {
+  EXPECT_DOUBLE_EQ(periodic_deviation(500.0, 600.0),
+                   periodic_deviation(700.0, 600.0));
+}
+
+TEST(PeriodicMetric, MonotonicInLateness) {
+  double prev = 0.0;
+  for (double t0 = 600.0; t0 < 6000.0; t0 += 600.0) {
+    const double m = periodic_deviation(t0, 600.0);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(PeriodicMetric, DegeneratePeriodReturnsZero) {
+  EXPECT_DOUBLE_EQ(periodic_deviation(100.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(periodic_deviation(100.0, -5.0), 0.0);
+}
+
+TEST(PeriodicMetric, NearestCycleForgivesSkippedBeacons) {
+  // An arrival at 2T is a large plain deviation but zero nearest-cycle
+  // deviation when two cycles are allowed.
+  EXPECT_GT(periodic_deviation(1200.0, 600.0), 0.6);
+  EXPECT_DOUBLE_EQ(periodic_deviation_nearest_cycle(1200.0, 600.0, 2), 0.0);
+  // Beyond max_cycles it is not forgiven.
+  EXPECT_GT(periodic_deviation_nearest_cycle(1800.0, 600.0, 2), 0.4);
+}
+
+// ---------- short-term deviation metric ----------
+
+Pfsm trained_machine() {
+  const Traces traces{
+      {"cam:motion", "bulb:on"},
+      {"cam:motion", "bulb:on"},
+      {"cam:motion", "bulb:on", "bulb:off"},
+      {"plug:on", "plug:off"},
+  };
+  return infer_pfsm(traces).pfsm;
+}
+
+TEST(ShortTermMetric, SeenTraceScoresNearOne) {
+  const Pfsm m = trained_machine();
+  const std::vector<std::string> seen{"cam:motion", "bulb:on"};
+  const double a = short_term_deviation(m, seen);
+  EXPECT_GE(a, 1.0);
+  EXPECT_LT(a, 4.0);
+}
+
+TEST(ShortTermMetric, GrowsWithInjectedNovelEvents) {
+  // Fig. 4b: the metric shifts right as unseen transitions are added.
+  const Pfsm m = trained_machine();
+  std::vector<std::string> trace{"cam:motion", "bulb:on"};
+  double prev = short_term_deviation(m, trace);
+  for (int i = 1; i <= 5; ++i) {
+    trace.insert(trace.begin() + 1, "novel:event" + std::to_string(i));
+    const double a = short_term_deviation(m, trace);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(ShortTermMetric, LowerBoundIsOne) {
+  Pfsm m;
+  const int s = m.add_state("x");
+  m.add_transition(Pfsm::kInitial, s, 100);
+  m.add_transition(s, Pfsm::kTerminal, 100);
+  m.finalize();
+  const std::vector<std::string> trace{"x"};
+  EXPECT_GE(short_term_deviation(m, trace, 1e-6), 1.0);
+  EXPECT_NEAR(short_term_deviation(m, trace, 1e-6), 1.0, 1e-3);
+}
+
+TEST(ShortTermThreshold, CalibratesMuPlusNSigma) {
+  const Pfsm m = trained_machine();
+  const Traces training{{"cam:motion", "bulb:on"}, {"plug:on", "plug:off"}};
+  const auto t3 = ShortTermThreshold::calibrate(m, training, 3.0);
+  const auto t1 = ShortTermThreshold::calibrate(m, training, 1.0);
+  EXPECT_DOUBLE_EQ(t3.value(), t3.mean + 3.0 * t3.sigma);
+  EXPECT_GT(t3.value(), t1.value());
+  EXPECT_TRUE(t3.exceeded(t3.value() + 0.1));
+  EXPECT_FALSE(t3.exceeded(t3.value()));
+}
+
+// ---------- long-term deviation metric ----------
+
+TEST(BinomialZ, ZeroWhenObservedMatchesModel) {
+  EXPECT_NEAR(binomial_z_score(0.5, 0.5, 100), 0.0, 1e-9);
+}
+
+TEST(BinomialZ, SignTracksDirection) {
+  EXPECT_GT(binomial_z_score(0.9, 0.5, 100), 0.0);
+  EXPECT_LT(binomial_z_score(0.1, 0.5, 100), 0.0);
+}
+
+TEST(BinomialZ, MagnitudeGrowsWithSampleSize) {
+  const double small = std::abs(binomial_z_score(0.7, 0.5, 10));
+  const double large = std::abs(binomial_z_score(0.7, 0.5, 1000));
+  EXPECT_GT(large, small);
+}
+
+TEST(BinomialZ, ZeroModelProbabilityIsFloored) {
+  const double z = binomial_z_score(0.5, 0.0, 50);
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_GT(z, kLongTermZThreshold);
+}
+
+TEST(BinomialZ, ZeroSamplesScoreZero) {
+  EXPECT_DOUBLE_EQ(binomial_z_score(0.5, 0.5, 0), 0.0);
+}
+
+TEST(LongTermMetric, MatchingWindowHasNoSignificantDeviations) {
+  const Pfsm m = trained_machine();
+  const Traces window{{"cam:motion", "bulb:on"},
+                      {"cam:motion", "bulb:on"},
+                      {"cam:motion", "bulb:on", "bulb:off"},
+                      {"plug:on", "plug:off"}};
+  for (const auto& d : long_term_deviations(m, window)) {
+    EXPECT_LE(d.z_abs, kLongTermZThreshold + 1.0) << d.from << "->" << d.to;
+  }
+}
+
+TEST(LongTermMetric, DuplicatedTracesShiftScoresRight) {
+  // Fig. 4c: duplicating one trace inflates its transitions' frequencies.
+  const Pfsm m = trained_machine();
+  Traces window{{"cam:motion", "bulb:on"}, {"plug:on", "plug:off"}};
+  auto max_z = [&m](const Traces& w) {
+    double best = 0.0;
+    for (const auto& d : long_term_deviations(m, w)) {
+      best = std::max(best, d.z_abs);
+    }
+    return best;
+  };
+  const double base = max_z(window);
+  for (int dup = 0; dup < 12; ++dup) {
+    window.push_back({"plug:on", "plug:off"});
+  }
+  EXPECT_GT(max_z(window), base);
+}
+
+TEST(LongTermMetric, NovelTransitionIsSignificant) {
+  const Pfsm m = trained_machine();
+  Traces window;
+  for (int i = 0; i < 10; ++i) window.push_back({"bulb:off", "cam:motion"});
+  const auto deviations = long_term_deviations(m, window);
+  ASSERT_FALSE(deviations.empty());
+  EXPECT_GT(deviations.front().z_abs, kLongTermZThreshold);
+}
+
+TEST(LongTermMetric, ResultsSortedByScore) {
+  const Pfsm m = trained_machine();
+  const Traces window{{"cam:motion", "bulb:on"}, {"bulb:off", "plug:on"}};
+  const auto deviations = long_term_deviations(m, window);
+  for (std::size_t i = 1; i < deviations.size(); ++i) {
+    EXPECT_GE(deviations[i - 1].z_abs, deviations[i].z_abs);
+  }
+}
+
+// ---------- thresholds ----------
+
+TEST(Thresholds, DefaultsMatchPaper) {
+  const DeviationThresholds t;
+  EXPECT_NEAR(t.periodic, std::log(5.0), 1e-12);
+  EXPECT_NEAR(t.long_term_z, 1.96, 0.01);
+}
+
+TEST(Thresholds, CdfKneeFindsElbow) {
+  // 95% of mass at small values, a long tail above: knee near the step.
+  std::vector<double> samples;
+  for (int i = 0; i < 95; ++i) samples.push_back(0.1 + 0.001 * i);
+  for (int i = 0; i < 5; ++i) samples.push_back(10.0 + i);
+  const double knee = cdf_knee(samples);
+  EXPECT_GE(knee, 0.1);
+  EXPECT_LE(knee, 0.3);
+}
+
+TEST(Thresholds, CdfKneeDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(cdf_knee({}), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_knee({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Thresholds, ZForConfidenceMatchesTables) {
+  EXPECT_NEAR(z_for_confidence(0.95), 1.95996, 1e-4);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.57583, 1e-4);
+  EXPECT_NEAR(z_for_confidence(0.6827), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,158 @@
+#include "behaviot/testbed/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace behaviot::testbed {
+namespace {
+
+const DeviceInfo& device(const std::string& name) {
+  const DeviceInfo* d = Catalog::standard().by_name(name);
+  EXPECT_NE(d, nullptr) << name;
+  return *d;
+}
+
+TEST(DeviceProfile, PeriodicCountMatchesCatalog) {
+  for (const DeviceInfo& info : Catalog::standard().devices()) {
+    const DeviceProfile profile = build_profile(info);
+    EXPECT_EQ(profile.periodic.size(), info.periodic_behaviors) << info.name;
+  }
+}
+
+TEST(DeviceProfile, DnsFirstNtpSecond) {
+  const DeviceProfile p = build_profile(device("tplink_plug"));
+  ASSERT_GE(p.periodic.size(), 2u);
+  EXPECT_TRUE(p.periodic[0].is_dns);
+  EXPECT_EQ(p.periodic[0].proto, Transport::kUdp);
+  EXPECT_EQ(p.periodic[0].dst_port, 53);
+  EXPECT_TRUE(p.periodic[1].is_ntp);
+  EXPECT_EQ(p.periodic[1].dst_port, 123);
+  // Hourly cadence, as in the paper's DNS/NTP examples (period 3603).
+  EXPECT_NEAR(p.periodic[0].period_s, 3603.0, 1.0);
+}
+
+TEST(DeviceProfile, DeterministicAcrossBuilds) {
+  const DeviceProfile a = build_profile(device("echo_show5"));
+  const DeviceProfile b = build_profile(device("echo_show5"));
+  ASSERT_EQ(a.periodic.size(), b.periodic.size());
+  for (std::size_t i = 0; i < a.periodic.size(); ++i) {
+    EXPECT_EQ(a.periodic[i].domain, b.periodic[i].domain);
+    EXPECT_DOUBLE_EQ(a.periodic[i].period_s, b.periodic[i].period_s);
+    EXPECT_EQ(a.periodic[i].sizes, b.periodic[i].sizes);
+  }
+}
+
+TEST(DeviceProfile, ActivitiesCoverCatalogCommands) {
+  const DeviceInfo& info = device("tplink_bulb");
+  const DeviceProfile p = build_profile(info);
+  EXPECT_EQ(p.activities.size(), info.commands.size());
+  for (const std::string& command : info.commands) {
+    EXPECT_NE(p.signature_for(command), nullptr) << command;
+  }
+  EXPECT_EQ(p.signature_for("nonexistent"), nullptr);
+}
+
+TEST(DeviceProfile, AggregatedCommandsShareSignatureShape) {
+  // tplink_plug aggregates on/off: same label → same template.
+  const DeviceProfile p = build_profile(device("tplink_plug"));
+  const ActivitySignature* on = p.signature_for("on");
+  const ActivitySignature* off = p.signature_for("off");
+  ASSERT_NE(on, nullptr);
+  ASSERT_NE(off, nullptr);
+  EXPECT_EQ(on->label, "on_off");
+  EXPECT_EQ(off->label, "on_off");
+  EXPECT_EQ(on->out_sizes, off->out_sizes);
+}
+
+TEST(DeviceProfile, DistinctActivitiesHaveDistinctTemplates) {
+  const DeviceProfile p = build_profile(device("tplink_bulb"));
+  const ActivitySignature* on = p.signature_for("on");
+  const ActivitySignature* off = p.signature_for("off");
+  ASSERT_NE(on, nullptr);
+  ASSERT_NE(off, nullptr);
+  EXPECT_NE(on->out_sizes, off->out_sizes);
+}
+
+TEST(DeviceProfile, UserEventDomainsAvoidPeriodicGroups) {
+  // ctrl.* endpoints must not collide with any periodic group's domain —
+  // except the SmartThings Hub, whose overlap is the intended quirk.
+  for (const DeviceInfo& info : Catalog::standard().devices()) {
+    if (info.name == "smartthings_hub") continue;
+    const DeviceProfile p = build_profile(info);
+    std::set<std::string> periodic_domains;
+    for (const auto& b : p.periodic) periodic_domains.insert(b.domain);
+    for (const auto& a : p.activities) {
+      EXPECT_EQ(periodic_domains.count(a.domain), 0u)
+          << info.name << " " << a.command;
+    }
+  }
+}
+
+TEST(DeviceProfile, SmartThingsHubActivityMimicsHeartbeat) {
+  // §5.1's FNR case: the hub's user events share destination and shape with
+  // a periodic behavior.
+  const DeviceProfile p = build_profile(device("smartthings_hub"));
+  ASSERT_FALSE(p.activities.empty());
+  const ActivitySignature& a = p.activities.front();
+  bool overlaps = false;
+  for (const auto& b : p.periodic) {
+    if (b.domain == a.domain) overlaps = true;
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+TEST(DeviceProfile, EchoShow5HasUserMimickingAperiodicTraffic) {
+  // §5.1's FPR case: idle flows shaped like voice events.
+  const DeviceProfile p = build_profile(device("echo_show5"));
+  bool has_mimic = false;
+  for (const auto& b : p.aperiodic) has_mimic |= b.mimics_user_activity;
+  EXPECT_TRUE(has_mimic);
+}
+
+TEST(DeviceProfile, SomeDevicesUseGoogleDns) {
+  // §6.1: 6 devices query Google DNS despite the DHCP-provided resolver.
+  std::size_t google_dns = 0;
+  for (const DeviceInfo& info : Catalog::standard().devices()) {
+    const DeviceProfile p = build_profile(info);
+    if (p.periodic.front().domain == "dns.google") ++google_dns;
+  }
+  EXPECT_GE(google_dns, 3u);
+  EXPECT_LE(google_dns, 9u);
+}
+
+TEST(DeviceProfile, NtpServersAreDiverse) {
+  // §6.1: devices sync with 17 distinct NTP servers.
+  std::set<std::string> servers;
+  for (const DeviceInfo& info : Catalog::standard().devices()) {
+    const DeviceProfile p = build_profile(info);
+    servers.insert(p.periodic[1].domain);
+  }
+  EXPECT_GE(servers.size(), 8u);
+}
+
+TEST(DeviceProfile, SameVendorDevicesDifferInPeriods) {
+  // §6.1: TP-Link Bulb and Plug contact the same cloud with different
+  // periods.
+  const DeviceProfile bulb = build_profile(device("tplink_bulb"));
+  const DeviceProfile plug = build_profile(device("tplink_plug"));
+  const double bulb_cloud = bulb.periodic.back().period_s;
+  const double plug_cloud = plug.periodic.back().period_s;
+  EXPECT_NE(bulb_cloud, plug_cloud);
+}
+
+TEST(IpForDomain, DeterministicAndPublic) {
+  const Ipv4Addr a = ip_for_domain("api.tplinkcloud.com");
+  EXPECT_EQ(a, ip_for_domain("api.tplinkcloud.com"));
+  EXPECT_FALSE(a.is_private());
+  EXPECT_NE(a, ip_for_domain("mqtt.tplinkcloud.com"));
+}
+
+TEST(IpForDomain, ResolverAddressesAreWellKnown) {
+  EXPECT_EQ(ip_for_domain("dns.google"), google_dns_ip());
+  EXPECT_EQ(ip_for_domain("dns.neu.edu"), campus_resolver_ip());
+  EXPECT_EQ(google_dns_ip().to_string(), "8.8.8.8");
+}
+
+}  // namespace
+}  // namespace behaviot::testbed

@@ -1,0 +1,135 @@
+#include "behaviot/periodic/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "behaviot/net/rng.hpp"
+
+namespace behaviot {
+namespace {
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+// Reference O(n^2) DFT for validation.
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0, 0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += x[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, MatchesNaiveDftOnRandomInput) {
+  Rng rng(1);
+  std::vector<std::complex<double>> x(64);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto fast = x;
+  fft(fast);
+  const auto slow = naive_dft(x);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-9) << k;
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-9) << k;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(2);
+  std::vector<std::complex<double>> x(256);
+  for (auto& v : x) v = {rng.uniform(-5, 5), 0.0};
+  auto buf = x;
+  fft(buf);
+  fft(buf, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(buf[i].real() / 256.0, x[i].real(), 1e-9);
+  }
+}
+
+TEST(Fft, SingleElementIsIdentity) {
+  std::vector<std::complex<double>> x{{3.0, 4.0}};
+  fft(x);
+  EXPECT_DOUBLE_EQ(x[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(x[0].imag(), 4.0);
+}
+
+TEST(PowerSpectrum, PeakAtSignalFrequency) {
+  // 512 samples of a sine with 16 cycles → peak at bin 16.
+  std::vector<double> series(512);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = std::sin(2.0 * M_PI * 16.0 * static_cast<double>(i) / 512.0);
+  }
+  const auto power = power_spectrum(series);
+  std::size_t argmax = 1;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 16u);
+}
+
+TEST(PowerSpectrum, MeanCenteringRemovesDc) {
+  const std::vector<double> series(128, 42.0);
+  const auto power = power_spectrum(series);
+  EXPECT_NEAR(power[0], 0.0, 1e-9);
+}
+
+TEST(PowerSpectrum, EmptyInput) {
+  EXPECT_TRUE(power_spectrum(std::vector<double>{}).empty());
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  Rng rng(3);
+  std::vector<double> series(300);
+  for (auto& v : series) v = rng.uniform(0, 1);
+  const auto acf = autocorrelation_fft(series, 50);
+  ASSERT_EQ(acf.size(), 51u);
+  EXPECT_NEAR(acf[0], 1.0, 1e-9);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> series(1024, 0.0);
+  for (std::size_t i = 0; i < series.size(); i += 32) series[i] = 1.0;
+  const auto acf = autocorrelation_fft(series, 64);
+  EXPECT_GT(acf[32], 0.8);
+  EXPECT_LT(std::abs(acf[16]), 0.2);
+  EXPECT_GT(acf[64], 0.6);
+}
+
+TEST(Autocorrelation, ConstantSeriesReturnsZeros) {
+  const std::vector<double> series(128, 7.0);
+  const auto acf = autocorrelation_fft(series, 10);
+  for (double v : acf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  Rng rng(4);
+  std::vector<double> series(4096);
+  for (auto& v : series) v = rng.normal();
+  const auto acf = autocorrelation_fft(series, 100);
+  for (std::size_t lag = 1; lag <= 100; ++lag) {
+    EXPECT_LT(std::abs(acf[lag]), 0.1) << lag;
+  }
+}
+
+TEST(Autocorrelation, MaxLagClampedToSeries) {
+  const std::vector<double> series{1.0, 0.0, 1.0, 0.0};
+  const auto acf = autocorrelation_fft(series, 100);
+  EXPECT_EQ(acf.size(), 4u);  // clamped to n-1 lags + lag 0
+}
+
+}  // namespace
+}  // namespace behaviot

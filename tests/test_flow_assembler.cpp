@@ -1,0 +1,138 @@
+#include "behaviot/flow/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/net/dns.hpp"
+
+namespace behaviot {
+namespace {
+
+Packet packet_at(std::int64_t us, std::uint16_t src_port = 40000,
+                 std::uint16_t dst_port = 443,
+                 Transport proto = Transport::kTcp) {
+  Packet p;
+  p.ts = Timestamp(us);
+  p.tuple = {{Ipv4Addr(192, 168, 1, 7), src_port},
+             {Ipv4Addr(54, 1, 2, 3), dst_port},
+             proto};
+  p.size = 100;
+  p.dir = Direction::kOutbound;
+  p.device = 7;
+  return p;
+}
+
+TEST(FlowAssembler, GroupsSameTupleIntoOneFlow) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const std::vector<Packet> packets{packet_at(0), packet_at(100'000),
+                                    packet_at(500'000)};
+  const auto flows = assembler.assemble(packets, resolver);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets.size(), 3u);
+  EXPECT_EQ(flows[0].device, 7);
+  EXPECT_EQ(flows[0].start, Timestamp(0));
+  EXPECT_EQ(flows[0].end, Timestamp(500'000));
+}
+
+TEST(FlowAssembler, SplitsAtBurstGap) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  // Gap of exactly 1 s does NOT split (threshold is strict >).
+  const std::vector<Packet> packets{packet_at(0), packet_at(1'000'000),
+                                    packet_at(2'000'001), packet_at(2'900'000)};
+  const auto flows = assembler.assemble(packets, resolver);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].packets.size(), 2u);
+  EXPECT_EQ(flows[1].packets.size(), 2u);
+}
+
+TEST(FlowAssembler, DistinctTuplesSeparateFlows) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const std::vector<Packet> packets{packet_at(0, 40000), packet_at(10, 40001),
+                                    packet_at(20, 40000)};
+  const auto flows = assembler.assemble(packets, resolver);
+  EXPECT_EQ(flows.size(), 2u);
+}
+
+TEST(FlowAssembler, UnsortedInputIsSorted) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const std::vector<Packet> packets{packet_at(2'500'000), packet_at(0),
+                                    packet_at(400'000)};
+  const auto flows = assembler.assemble(packets, resolver);
+  ASSERT_EQ(flows.size(), 2u);  // 0 & 0.4s together, 2.5s separate
+  EXPECT_EQ(flows[0].packets.size(), 2u);
+  EXPECT_LT(flows[0].start, flows[1].start);
+}
+
+TEST(FlowAssembler, AnnotatesDomainFromDnsSeenEarlier) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  Packet dns;
+  dns.ts = Timestamp(0);
+  dns.tuple = {{Ipv4Addr(192, 168, 1, 7), 39000},
+               {Ipv4Addr(155, 33, 10, 53), 53},
+               Transport::kUdp};
+  dns.dir = Direction::kInbound;
+  dns.payload = make_dns_response(1, "api.example.com", Ipv4Addr(54, 1, 2, 3));
+  dns.size = 100;
+  dns.device = 7;
+
+  const std::vector<Packet> packets{dns, packet_at(2'000'000)};
+  const auto flows = assembler.assemble(packets, resolver);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[1].domain, "api.example.com");
+  EXPECT_EQ(flows[1].group_key(), "api.example.com|TLS");
+}
+
+TEST(FlowAssembler, BlankDomainGroupsFallBackToIp) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const std::vector<Packet> packets{packet_at(0)};
+  const auto flows = assembler.assemble(packets, resolver);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].domain, "");
+  EXPECT_EQ(flows[0].group_key(), "54.1.2.3|TLS");
+}
+
+TEST(FlowAssembler, DropInfrastructureFiltersDnsNtp) {
+  DomainResolver resolver;
+  AssemblerOptions options;
+  options.drop_infrastructure = true;
+  const FlowAssembler assembler(options);
+  const std::vector<Packet> packets{
+      packet_at(0, 40000, 53, Transport::kUdp),
+      packet_at(10, 40001, 123, Transport::kUdp),
+      packet_at(20, 40002, 443, Transport::kTcp)};
+  const auto flows = assembler.assemble(packets, resolver);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].app, AppProtocol::kTls);
+}
+
+TEST(FlowAssembler, EmptyCapture) {
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const auto flows = assembler.assemble(std::vector<Packet>{}, resolver);
+  EXPECT_TRUE(flows.empty());
+}
+
+TEST(FlowRecord, TotalBytesAndDuration) {
+  FlowRecord f;
+  f.start = Timestamp(0);
+  f.end = Timestamp(seconds(2.0));
+  f.packets = {{Timestamp(0), 100, Direction::kOutbound, false},
+               {Timestamp(seconds(2.0)), 200, Direction::kInbound, false}};
+  EXPECT_EQ(f.total_bytes(), 300u);
+  EXPECT_DOUBLE_EQ(f.duration_seconds(), 2.0);
+}
+
+TEST(EventKind, Names) {
+  EXPECT_STREQ(to_string(EventKind::kPeriodic), "periodic");
+  EXPECT_STREQ(to_string(EventKind::kUser), "user");
+  EXPECT_STREQ(to_string(EventKind::kAperiodic), "aperiodic");
+  EXPECT_STREQ(to_string(EventKind::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,119 @@
+#include "behaviot/flow/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+FlowRecord flow_with(std::vector<PacketSummary> packets) {
+  FlowRecord f;
+  f.packets = std::move(packets);
+  if (!f.packets.empty()) {
+    f.start = f.packets.front().ts;
+    f.end = f.packets.back().ts;
+  }
+  return f;
+}
+
+PacketSummary pkt(std::int64_t us, std::uint32_t size, Direction dir,
+                  bool local = false) {
+  return {Timestamp(us), size, dir, local};
+}
+
+TEST(Features, EmptyFlowIsAllZero) {
+  const auto f = extract_features(flow_with({}));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Features, SizeStatistics) {
+  const auto f = extract_features(flow_with({
+      pkt(0, 100, Direction::kOutbound),
+      pkt(1000, 200, Direction::kInbound),
+      pkt(2000, 300, Direction::kOutbound),
+  }));
+  EXPECT_DOUBLE_EQ(f[kMeanBytes], 200.0);
+  EXPECT_DOUBLE_EQ(f[kMinBytes], 100.0);
+  EXPECT_DOUBLE_EQ(f[kMaxBytes], 300.0);
+  EXPECT_DOUBLE_EQ(f[kMedAbsDev], 100.0);
+  EXPECT_NEAR(f[kSkewLength], 0.0, 1e-12);
+}
+
+TEST(Features, TimingStatistics) {
+  const auto f = extract_features(flow_with({
+      pkt(0, 100, Direction::kOutbound),
+      pkt(seconds(0.5), 100, Direction::kOutbound),
+      pkt(seconds(1.5), 100, Direction::kOutbound),
+  }));
+  // Gaps: 0.5 s and 1.0 s.
+  EXPECT_DOUBLE_EQ(f[kMeanTbp], 0.75);
+  EXPECT_DOUBLE_EQ(f[kMedianTbp], 0.75);
+  EXPECT_DOUBLE_EQ(f[kVarTbp], 0.0625);
+}
+
+TEST(Features, SinglePacketHasZeroTimingFeatures) {
+  const auto f = extract_features(flow_with({pkt(0, 64, Direction::kOutbound)}));
+  EXPECT_DOUBLE_EQ(f[kMeanTbp], 0.0);
+  EXPECT_DOUBLE_EQ(f[kVarTbp], 0.0);
+  EXPECT_DOUBLE_EQ(f[kMedianTbp], 0.0);
+  EXPECT_DOUBLE_EQ(f[kMeanBytes], 64.0);
+}
+
+TEST(Features, DirectionalCountsExternal) {
+  const auto f = extract_features(flow_with({
+      pkt(0, 100, Direction::kOutbound),
+      pkt(1, 150, Direction::kOutbound),
+      pkt(2, 900, Direction::kInbound),
+  }));
+  EXPECT_DOUBLE_EQ(f[kNetworkOutExternal], 2.0);
+  EXPECT_DOUBLE_EQ(f[kNetworkInExternal], 1.0);
+  EXPECT_DOUBLE_EQ(f[kNetworkExternal], 3.0);
+  EXPECT_DOUBLE_EQ(f[kNetworkLocal], 0.0);
+  EXPECT_DOUBLE_EQ(f[kMeanBytesOutExternal], 125.0);
+  EXPECT_DOUBLE_EQ(f[kMeanBytesInExternal], 900.0);
+  EXPECT_DOUBLE_EQ(f[kMeanBytesOutLocal], 0.0);
+}
+
+TEST(Features, DirectionalCountsLocal) {
+  const auto f = extract_features(flow_with({
+      pkt(0, 80, Direction::kOutbound, /*local=*/true),
+      pkt(1, 120, Direction::kInbound, /*local=*/true),
+  }));
+  EXPECT_DOUBLE_EQ(f[kNetworkLocal], 2.0);
+  EXPECT_DOUBLE_EQ(f[kNetworkOutLocal], 1.0);
+  EXPECT_DOUBLE_EQ(f[kNetworkInLocal], 1.0);
+  EXPECT_DOUBLE_EQ(f[kNetworkExternal], 0.0);
+  EXPECT_DOUBLE_EQ(f[kMeanBytesOutLocal], 80.0);
+  EXPECT_DOUBLE_EQ(f[kMeanBytesInLocal], 120.0);
+}
+
+TEST(Features, ConstantSizesHaveZeroSpread) {
+  const auto f = extract_features(flow_with({
+      pkt(0, 100, Direction::kOutbound),
+      pkt(10, 100, Direction::kOutbound),
+      pkt(20, 100, Direction::kOutbound),
+  }));
+  EXPECT_DOUBLE_EQ(f[kMedAbsDev], 0.0);
+  EXPECT_DOUBLE_EQ(f[kSkewLength], 0.0);
+  EXPECT_DOUBLE_EQ(f[kKurtosisLength], 0.0);
+}
+
+TEST(Features, NamesAreTable8Spellings) {
+  EXPECT_EQ(feature_name(kMeanBytes), "meanBytes");
+  EXPECT_EQ(feature_name(kMedAbsDev), "medAbsDev");
+  EXPECT_EQ(feature_name(kMeanTbp), "meanTBP");
+  EXPECT_EQ(feature_name(kNetworkOutExternal), "network_out_external");
+  EXPECT_EQ(feature_name(kMeanBytesInLocal), "meanBytes_in_local");
+}
+
+TEST(Features, VectorHasTwentyOneDimensions) {
+  EXPECT_EQ(kNumFlowFeatures, 21u);
+  // Every index has a distinct, non-empty name.
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumFlowFeatures; ++i) {
+    names.insert(feature_name(i));
+  }
+  EXPECT_EQ(names.size(), kNumFlowFeatures);
+}
+
+}  // namespace
+}  // namespace behaviot

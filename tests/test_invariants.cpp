@@ -1,0 +1,85 @@
+#include "behaviot/pfsm/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace behaviot {
+namespace {
+
+using Traces = std::vector<std::vector<std::string>>;
+
+bool has(const std::vector<Invariant>& invs, InvariantKind kind,
+         const std::string& a, const std::string& b) {
+  return std::any_of(invs.begin(), invs.end(), [&](const Invariant& i) {
+    return i.kind == kind && i.a == a && i.b == b;
+  });
+}
+
+TEST(Invariants, AlwaysFollowedBy) {
+  const Traces traces{{"motion", "light_on"}, {"motion", "beep", "light_on"}};
+  const auto invs = mine_invariants(traces);
+  EXPECT_TRUE(has(invs, InvariantKind::kAlwaysFollowedBy, "motion", "light_on"));
+}
+
+TEST(Invariants, AFbyBrokenByOneCounterexample) {
+  const Traces traces{{"motion", "light_on"}, {"motion"}};
+  const auto invs = mine_invariants(traces);
+  EXPECT_FALSE(
+      has(invs, InvariantKind::kAlwaysFollowedBy, "motion", "light_on"));
+}
+
+TEST(Invariants, NeverFollowedBy) {
+  // "light_off" precedes "motion" somewhere (so the pair co-occurs), but
+  // "light_off" is never followed by "motion".
+  const Traces traces{{"motion", "light_off"}, {"light_off"}};
+  const auto invs = mine_invariants(traces);
+  EXPECT_TRUE(
+      has(invs, InvariantKind::kNeverFollowedBy, "light_off", "motion"));
+}
+
+TEST(Invariants, AlwaysPrecededBy) {
+  const Traces traces{{"doorbell", "chime"}, {"doorbell", "pause", "chime"}};
+  const auto invs = mine_invariants(traces);
+  EXPECT_TRUE(has(invs, InvariantKind::kAlwaysPrecededBy, "doorbell", "chime"));
+}
+
+TEST(Invariants, APBrokenWhenEventAppearsAlone) {
+  const Traces traces{{"doorbell", "chime"}, {"chime"}};
+  const auto invs = mine_invariants(traces);
+  EXPECT_FALSE(
+      has(invs, InvariantKind::kAlwaysPrecededBy, "doorbell", "chime"));
+}
+
+TEST(Invariants, MinSupportFiltersRareEvidence) {
+  const Traces traces{{"rare", "follow"}};
+  EXPECT_TRUE(has(mine_invariants(traces, 1),
+                  InvariantKind::kAlwaysFollowedBy, "rare", "follow"));
+  EXPECT_FALSE(has(mine_invariants(traces, 2),
+                   InvariantKind::kAlwaysFollowedBy, "rare", "follow"));
+}
+
+TEST(Invariants, RepeatedLabelWithinTrace) {
+  // "a" occurs twice; the second occurrence is not followed by "b", breaking
+  // AFby(a, b).
+  const Traces traces{{"a", "b", "a"}};
+  const auto invs = mine_invariants(traces);
+  EXPECT_FALSE(has(invs, InvariantKind::kAlwaysFollowedBy, "a", "b"));
+  // But every "b" is preceded by an "a".
+  EXPECT_TRUE(has(invs, InvariantKind::kAlwaysPrecededBy, "a", "b"));
+}
+
+TEST(Invariants, EmptyTraceSet) {
+  EXPECT_TRUE(mine_invariants(Traces{}).empty());
+  EXPECT_TRUE(mine_invariants(Traces{{}}).empty());
+}
+
+TEST(Invariants, ToStringRendering) {
+  const Invariant inv{InvariantKind::kNeverFollowedBy, "x", "y"};
+  EXPECT_EQ(inv.to_string(), "x NFby y");
+  EXPECT_STREQ(to_string(InvariantKind::kAlwaysFollowedBy), "AFby");
+  EXPECT_STREQ(to_string(InvariantKind::kAlwaysPrecededBy), "AP");
+}
+
+}  // namespace
+}  // namespace behaviot

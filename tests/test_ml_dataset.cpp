@@ -1,0 +1,96 @@
+#include "behaviot/ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace behaviot {
+namespace {
+
+std::vector<int> labels_mix(std::size_t zeros, std::size_t ones) {
+  std::vector<int> y(zeros, 0);
+  y.insert(y.end(), ones, 1);
+  return y;
+}
+
+TEST(Dataset, AddAndQuery) {
+  Dataset d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.num_features(), 0u);
+  d.add({1.0, 2.0, 3.0}, 1);
+  d.add({4.0, 5.0, 6.0}, 0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.y[0], 1);
+}
+
+TEST(StratifiedKfold, PartitionsAllIndicesExactlyOnce) {
+  const auto y = labels_mix(40, 20);
+  const auto folds = stratified_kfold(y, 5, 1);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (std::size_t i : fold) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), y.size());
+}
+
+TEST(StratifiedKfold, PreservesClassProportions) {
+  const auto y = labels_mix(50, 25);
+  const auto folds = stratified_kfold(y, 5, 2);
+  for (const auto& fold : folds) {
+    std::size_t ones = 0;
+    for (std::size_t i : fold) ones += static_cast<std::size_t>(y[i]);
+    EXPECT_EQ(fold.size(), 15u);
+    EXPECT_EQ(ones, 5u);
+  }
+}
+
+TEST(StratifiedKfold, DeterministicAcrossCalls) {
+  const auto y = labels_mix(30, 30);
+  EXPECT_EQ(stratified_kfold(y, 3, 7), stratified_kfold(y, 3, 7));
+  EXPECT_NE(stratified_kfold(y, 3, 7), stratified_kfold(y, 3, 8));
+}
+
+TEST(StratifiedSplit, RespectsTestFraction) {
+  const auto y = labels_mix(80, 20);
+  const auto split = stratified_split(y, 0.25, 3);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::size_t test_ones = 0;
+  for (std::size_t i : split.test) test_ones += static_cast<std::size_t>(y[i]);
+  EXPECT_EQ(test_ones, 5u);
+}
+
+TEST(StratifiedSplit, TinyClassesGetAtLeastOneTestSample) {
+  std::vector<int> y{0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  const auto split = stratified_split(y, 0.1, 4);
+  std::size_t test_ones = 0;
+  for (std::size_t i : split.test) test_ones += static_cast<std::size_t>(y[i]);
+  EXPECT_GE(test_ones, 1u);
+}
+
+TEST(StratifiedSplit, SingletonClassStaysInTraining) {
+  std::vector<int> y{0, 0, 0, 0, 1};
+  const auto split = stratified_split(y, 0.2, 5);
+  // The lone class-1 sample must not vanish from training.
+  bool one_in_train = false;
+  for (std::size_t i : split.train) one_in_train |= (y[i] == 1);
+  EXPECT_TRUE(one_in_train);
+}
+
+TEST(Bootstrap, SampleSizeMatchesAndDrawsWithReplacement) {
+  Rng rng(6);
+  const auto sample = bootstrap_indices(100, rng);
+  EXPECT_EQ(sample.size(), 100u);
+  for (std::size_t i : sample) EXPECT_LT(i, 100u);
+  // With replacement: ~63 distinct values expected, far from 100.
+  std::set<std::size_t> distinct(sample.begin(), sample.end());
+  EXPECT_LT(distinct.size(), 90u);
+  EXPECT_GT(distinct.size(), 40u);
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,75 @@
+#include "behaviot/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+TEST(BinaryCounts, EmptyIsZero) {
+  const BinaryCounts c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.0);
+}
+
+TEST(BinaryCounts, AccuracyFormula) {
+  const BinaryCounts c{.true_positive = 40,
+                       .true_negative = 50,
+                       .false_positive = 5,
+                       .false_negative = 5};
+  EXPECT_EQ(c.total(), 100u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.9);
+}
+
+TEST(BinaryCounts, FnrIsMissedPositivesOverPositives) {
+  const BinaryCounts c{.true_positive = 30,
+                       .true_negative = 100,
+                       .false_positive = 0,
+                       .false_negative = 10};
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.25);
+}
+
+TEST(BinaryCounts, FprIsFalseAlarmsOverNegatives) {
+  const BinaryCounts c{.true_positive = 0,
+                       .true_negative = 999,
+                       .false_positive = 1,
+                       .false_negative = 0};
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.001);
+}
+
+TEST(BinaryCounts, PerfectClassifier) {
+  const BinaryCounts c{.true_positive = 10, .true_negative = 90};
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.0);
+}
+
+TEST(MulticlassAccuracy, Basics) {
+  const std::vector<std::string> truth{"on", "off", "on", "color"};
+  const std::vector<std::string> pred{"on", "off", "off", "color"};
+  EXPECT_DOUBLE_EQ(multiclass_accuracy(truth, pred), 0.75);
+}
+
+TEST(MulticlassAccuracy, MismatchedSizesReturnZero) {
+  const std::vector<std::string> truth{"a", "b"};
+  const std::vector<std::string> pred{"a"};
+  EXPECT_DOUBLE_EQ(multiclass_accuracy(truth, pred), 0.0);
+}
+
+TEST(MulticlassAccuracy, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(multiclass_accuracy({}, {}), 0.0);
+}
+
+TEST(Confusion, CountsPairs) {
+  const std::vector<std::string> truth{"on", "on", "off", "off"};
+  const std::vector<std::string> pred{"on", "off", "off", "off"};
+  const auto m = confusion(truth, pred);
+  EXPECT_EQ(m.at({"on", "on"}), 1u);
+  EXPECT_EQ(m.at({"on", "off"}), 1u);
+  EXPECT_EQ(m.at({"off", "off"}), 2u);
+  EXPECT_EQ(m.count({"off", "on"}), 0u);
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,216 @@
+#include "behaviot/deviation/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/pfsm/synoptic.hpp"
+
+namespace behaviot {
+namespace {
+
+using Traces = std::vector<std::vector<std::string>>;
+
+/// Minimal fixture: one periodic model (600 s heartbeat) and a tiny PFSM.
+struct MonitorFixture {
+  PeriodicModelSet periodic;
+  Pfsm pfsm;
+  ShortTermThreshold short_term;
+
+  MonitorFixture() {
+    // Synthesize idle flows: one group, 600 s period, 1 day.
+    std::vector<FlowRecord> flows;
+    for (double t = 0; t < 86400.0; t += 600.0) {
+      FlowRecord f;
+      f.device = 1;
+      f.tuple = {{Ipv4Addr(192, 168, 1, 11), 40000},
+                 {Ipv4Addr(54, 2, 2, 2), 443},
+                 Transport::kTcp};
+      f.domain = "hb.vendor.com";
+      f.app = AppProtocol::kTls;
+      f.start = f.end = Timestamp::from_seconds(t);
+      f.packets = {{f.start, 120, Direction::kOutbound, false},
+                   {f.start + milliseconds(40), 90, Direction::kInbound,
+                    false}};
+      f.truth = EventKind::kPeriodic;
+      flows.push_back(std::move(f));
+    }
+    periodic = PeriodicModelSet::infer(flows, 86400.0);
+
+    const Traces traces{{"cam:motion", "bulb:on"},
+                        {"cam:motion", "bulb:on"},
+                        {"plug:on", "plug:off"}};
+    pfsm = infer_pfsm(traces).pfsm;
+    short_term = ShortTermThreshold::calibrate(pfsm, traces);
+  }
+
+  [[nodiscard]] FlowRecord heartbeat_at(double t_s) const {
+    FlowRecord f;
+    f.device = 1;
+    f.tuple = {{Ipv4Addr(192, 168, 1, 11), 41000},
+               {Ipv4Addr(54, 2, 2, 2), 443},
+               Transport::kTcp};
+    f.domain = "hb.vendor.com";
+    f.app = AppProtocol::kTls;
+    f.start = f.end = Timestamp::from_seconds(t_s);
+    f.packets = {{f.start, 120, Direction::kOutbound, false}};
+    return f;
+  }
+
+  [[nodiscard]] static EventTrace trace_of(
+      const std::vector<std::string>& labels, double t0_s) {
+    EventTrace trace;
+    double t = t0_s;
+    for (const auto& l : labels) {
+      UserEvent e;
+      const auto colon = l.find(':');
+      e.device_name = l.substr(0, colon);
+      e.activity = l.substr(colon + 1);
+      e.ts = Timestamp::from_seconds(t);
+      t += 5.0;
+      trace.push_back(e);
+    }
+    return trace;
+  }
+};
+
+TEST(DeviationMonitor, QuietWindowRaisesNothing) {
+  MonitorFixture fx;
+  ASSERT_EQ(fx.periodic.size(), 1u);
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+
+  std::vector<FlowRecord> flows;
+  for (double t = 0; t < 86400.0; t += 600.0) {
+    flows.push_back(fx.heartbeat_at(t));
+  }
+  const std::vector<EventTrace> traces{
+      MonitorFixture::trace_of({"cam:motion", "bulb:on"}, 1000.0)};
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), flows, traces);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(DeviationMonitor, SilencedHeartbeatTriggersPeriodicAlert) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+
+  // First window: normal. Second window: device goes silent (outage).
+  std::vector<FlowRecord> day1;
+  for (double t = 0; t < 86400.0; t += 600.0) day1.push_back(fx.heartbeat_at(t));
+  auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), day1, {});
+  EXPECT_TRUE(alerts.empty());
+
+  const std::vector<FlowRecord> empty_day;
+  alerts = monitor.evaluate_window(Timestamp::from_seconds(86400.0),
+                                   Timestamp::from_seconds(2 * 86400.0),
+                                   empty_day, {});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].source, DeviationSource::kPeriodic);
+  EXPECT_EQ(alerts[0].device, 1);
+  EXPECT_GT(alerts[0].score, kPeriodicDeviationThreshold);
+  EXPECT_NE(alerts[0].context.find("silent"), std::string::npos);
+}
+
+TEST(DeviationMonitor, LateArrivalWithinToleranceIsQuiet) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  std::vector<FlowRecord> flows;
+  for (double t = 0; t < 86400.0; t += 600.0) {
+    flows.push_back(fx.heartbeat_at(t + 3.0));  // tiny jitter
+  }
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), flows, {});
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(DeviationMonitor, NovelTraceTriggersShortTermAlert) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  const std::vector<EventTrace> traces{MonitorFixture::trace_of(
+      {"kettle:on", "door:open", "plug:off", "cam:motion"}, 100.0)};
+  std::vector<FlowRecord> flows;
+  for (double t = 0; t < 86400.0; t += 600.0) flows.push_back(fx.heartbeat_at(t));
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), flows, traces);
+  bool short_term = false;
+  for (const auto& a : alerts) {
+    short_term |= a.source == DeviationSource::kShortTerm;
+  }
+  EXPECT_TRUE(short_term);
+}
+
+TEST(DeviationMonitor, RepeatedNovelTraceIsDedupedWithinWindow) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  std::vector<EventTrace> traces;
+  for (int i = 0; i < 5; ++i) {
+    traces.push_back(
+        MonitorFixture::trace_of({"ghost:event", "plug:on"}, 100.0 + i * 200));
+  }
+  std::vector<FlowRecord> flows;
+  for (double t = 0; t < 86400.0; t += 600.0) flows.push_back(fx.heartbeat_at(t));
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), flows, traces);
+  std::size_t short_term = 0;
+  for (const auto& a : alerts) {
+    short_term += a.source == DeviationSource::kShortTerm ? 1 : 0;
+  }
+  EXPECT_EQ(short_term, 1u);
+}
+
+TEST(DeviationMonitor, FrequencyShiftTriggersLongTermAlert) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  // The model has cam:motion → bulb:on at p=1.0. A window where motion is
+  // followed by plug:off instead shifts transition frequencies.
+  std::vector<EventTrace> traces;
+  for (int i = 0; i < 15; ++i) {
+    traces.push_back(
+        MonitorFixture::trace_of({"cam:motion", "plug:off"}, 100.0 + i * 300));
+  }
+  std::vector<FlowRecord> flows;
+  for (double t = 0; t < 86400.0; t += 600.0) flows.push_back(fx.heartbeat_at(t));
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), flows, traces);
+  bool long_term = false;
+  for (const auto& a : alerts) {
+    long_term |= a.source == DeviationSource::kLongTerm;
+  }
+  EXPECT_TRUE(long_term);
+}
+
+TEST(DeviationMonitor, ResetForgetsTimers) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  std::vector<FlowRecord> day1;
+  for (double t = 0; t < 86400.0; t += 600.0) day1.push_back(fx.heartbeat_at(t));
+  (void)monitor.evaluate_window(Timestamp(0),
+                                Timestamp::from_seconds(86400.0), day1, {});
+  monitor.reset();
+  // After reset, an empty window raises nothing (no armed timers).
+  const auto alerts = monitor.evaluate_window(
+      Timestamp::from_seconds(86400.0), Timestamp::from_seconds(2 * 86400.0),
+      {}, {});
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(DeviationMonitor, AlertsSortedByTime) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  std::vector<EventTrace> traces{
+      MonitorFixture::trace_of({"zz:x", "plug:on"}, 50000.0),
+      MonitorFixture::trace_of({"aa:y", "plug:on"}, 100.0)};
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), {}, traces);
+  for (std::size_t i = 1; i < alerts.size(); ++i) {
+    EXPECT_LE(alerts[i - 1].when, alerts[i].when);
+  }
+}
+
+TEST(DeviationSource, Names) {
+  EXPECT_STREQ(to_string(DeviationSource::kPeriodic), "periodic");
+  EXPECT_STREQ(to_string(DeviationSource::kShortTerm), "short-term");
+  EXPECT_STREQ(to_string(DeviationSource::kLongTerm), "long-term");
+}
+
+}  // namespace
+}  // namespace behaviot

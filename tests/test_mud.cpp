@@ -1,0 +1,173 @@
+#include "behaviot/core/mud_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+namespace {
+
+struct MudFixture;
+const MudFixture& shared_fixture();
+
+struct MudFixture {
+  PeriodicModelSet periodic;
+  std::vector<FlowRecord> user_flows;
+  DeviceId plug_id = 0;
+
+  MudFixture() {
+    const auto idle = testbed::Datasets::idle(81, 0.6);
+    DomainResolver resolver;
+    testbed::configure_resolver(resolver, idle);
+    FlowAssembler assembler;
+    auto idle_flows = assembler.assemble(idle.packets, resolver);
+    testbed::apply_ground_truth(idle_flows, idle.truths);
+    periodic = PeriodicModelSet::infer(idle_flows, 0.6 * 86400.0);
+
+    const auto activity = testbed::Datasets::activity(82, 3);
+    auto flows = assembler.assemble(activity.packets, resolver);
+    testbed::apply_ground_truth(flows, activity.truths);
+    for (FlowRecord& f : flows) {
+      if (f.truth == EventKind::kUser) user_flows.push_back(std::move(f));
+    }
+    plug_id = testbed::Catalog::standard().by_name("tplink_plug")->id;
+  }
+};
+
+const MudFixture& shared_fixture() {
+  static const MudFixture fixture;
+  return fixture;
+}
+
+TEST(MudProfile, ContainsPeriodicAndUserEntries) {
+  const MudFixture& fx = shared_fixture();
+  const MudProfile profile = generate_mud_profile(
+      fx.plug_id, "tplink_plug", fx.periodic, fx.user_flows);
+  EXPECT_EQ(profile.device_name, "tplink_plug");
+  std::size_t periodic_entries = 0, user_entries = 0;
+  for (const MudAclEntry& e : profile.entries) {
+    if (e.kind == "periodic") {
+      ++periodic_entries;
+      EXPECT_TRUE(e.period_seconds.has_value());
+    } else {
+      EXPECT_EQ(e.kind, "user-event");
+      EXPECT_FALSE(e.period_seconds.has_value());
+      ++user_entries;
+    }
+  }
+  // The paper's §7.2 TP-Link example: cloud + DNS + NTP periodic entries
+  // plus the control endpoint.
+  EXPECT_GE(periodic_entries, 2u);
+  EXPECT_GE(user_entries, 1u);
+}
+
+TEST(MudProfile, UserEntriesDeduplicateDomains) {
+  const MudFixture& fx = shared_fixture();
+  const MudProfile profile = generate_mud_profile(
+      fx.plug_id, "tplink_plug", fx.periodic, fx.user_flows);
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const MudAclEntry& e : profile.entries) {
+    if (e.kind != "user-event") continue;
+    EXPECT_TRUE(seen.insert({e.domain, e.protocol}).second)
+        << e.domain << "/" << e.protocol;
+  }
+}
+
+TEST(MudProfile, IgnoresOtherDevicesFlows) {
+  const MudFixture& fx = shared_fixture();
+  const DeviceId other =
+      testbed::Catalog::standard().by_name("tplink_bulb")->id;
+  const MudProfile plug_profile = generate_mud_profile(
+      fx.plug_id, "tplink_plug", fx.periodic, fx.user_flows);
+  for (const MudAclEntry& e : plug_profile.entries) {
+    (void)other;
+    // The bulb's UDP side channel (port 9999) never leaks into the plug.
+    EXPECT_NE(e.domain, "");
+  }
+}
+
+TEST(MudProfile, JsonRenderingIsWellFormed) {
+  MudProfile profile;
+  profile.device_name = "demo";
+  profile.entries.push_back({"api.vendor.com", "TLS", 600.0, "periodic"});
+  profile.entries.push_back({"ctrl.vendor.com", "TLS", std::nullopt,
+                             "user-event"});
+  const std::string json = profile.to_json();
+  EXPECT_NE(json.find("\"ietf-mud:mud\""), std::string::npos);
+  EXPECT_NE(json.find("\"dst-dnsname\": \"api.vendor.com\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"period-seconds\": 600"), std::string::npos);
+  // Exactly one comma between the two entries, none after the last.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MudCompliance, ProfileOwnTrafficIsCompliant) {
+  // The flows a profile was generated from must all comply with it.
+  const MudFixture& fx = shared_fixture();
+  const MudProfile profile = generate_mud_profile(
+      fx.plug_id, "tplink_plug", fx.periodic, fx.user_flows);
+  // User flows of the plug comply by construction...
+  const auto user_violations =
+      check_mud_compliance(profile, fx.plug_id, fx.user_flows);
+  EXPECT_TRUE(user_violations.empty());
+}
+
+TEST(MudCompliance, ForeignDestinationIsFlagged) {
+  const MudFixture& fx = shared_fixture();
+  const MudProfile profile = generate_mud_profile(
+      fx.plug_id, "tplink_plug", fx.periodic, fx.user_flows);
+
+  FlowRecord exfil;
+  exfil.device = fx.plug_id;
+  exfil.domain = "evil.exfiltration.example";
+  exfil.app = AppProtocol::kTls;
+  exfil.tuple = {{Ipv4Addr(192, 168, 1, 20), 45000},
+                 {Ipv4Addr(54, 66, 66, 66), 443},
+                 Transport::kTcp};
+  exfil.start = Timestamp::from_seconds(1000.0);
+  const auto violations =
+      check_mud_compliance(profile, fx.plug_id, std::vector<FlowRecord>{exfil});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].domain, "evil.exfiltration.example");
+  EXPECT_EQ(violations[0].reason, "unknown destination");
+}
+
+TEST(MudCompliance, WrongProtocolOnKnownDestinationIsFlagged) {
+  MudProfile profile;
+  profile.device_name = "demo";
+  profile.entries.push_back({"api.vendor.com", "TLS", 600.0, "periodic"});
+
+  FlowRecord flow;
+  flow.device = 1;
+  flow.domain = "api.vendor.com";
+  flow.app = AppProtocol::kOtherUdp;  // UDP to a TLS-only destination
+  flow.start = Timestamp(0);
+  const auto violations =
+      check_mud_compliance(profile, 1, std::vector<FlowRecord>{flow});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].reason, "unknown protocol for destination");
+}
+
+TEST(MudCompliance, OtherDevicesAreIgnored) {
+  MudProfile profile;
+  profile.device_name = "demo";
+  FlowRecord foreign;
+  foreign.device = 99;
+  foreign.domain = "whatever.example";
+  EXPECT_TRUE(check_mud_compliance(profile, 1,
+                                   std::vector<FlowRecord>{foreign})
+                  .empty());
+}
+
+TEST(MudProfile, EmptyModelsYieldEmptyProfile) {
+  const PeriodicModelSet empty;
+  const MudProfile profile =
+      generate_mud_profile(0, "ghost", empty, {});
+  EXPECT_TRUE(profile.entries.empty());
+  EXPECT_NE(profile.to_json().find("ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace behaviot

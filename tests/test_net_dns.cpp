@@ -1,0 +1,85 @@
+#include "behaviot/net/dns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+TEST(Dns, ResponseRoundTrip) {
+  const Ipv4Addr addr(54, 1, 2, 3);
+  const auto payload = make_dns_response(0x1234, "api.example.com", addr, 600);
+  const auto binding = parse_dns_response(payload);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->name, "api.example.com");
+  EXPECT_EQ(binding->address, addr);
+  EXPECT_EQ(binding->ttl, 600u);
+}
+
+TEST(Dns, NamesAreLowercasedOnParse) {
+  const auto payload =
+      make_dns_response(1, "API.Example.COM", Ipv4Addr(1, 2, 3, 4));
+  const auto binding = parse_dns_response(payload);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->name, "api.example.com");
+}
+
+TEST(Dns, QueryIsNotParsedAsResponse) {
+  const auto query = make_dns_query(7, "example.com");
+  EXPECT_FALSE(parse_dns_response(query).has_value());
+}
+
+TEST(Dns, CompressionPointerIsFollowed) {
+  // make_dns_response emits the answer name as a pointer to offset 12; the
+  // round-trip test above covers it, but verify the pointer byte is present.
+  const auto payload = make_dns_response(1, "x.y", Ipv4Addr(9, 9, 9, 9));
+  bool has_pointer = false;
+  for (std::size_t i = 0; i + 1 < payload.size(); ++i) {
+    if (payload[i] == 0xc0 && payload[i + 1] == 12) has_pointer = true;
+  }
+  EXPECT_TRUE(has_pointer);
+}
+
+TEST(Dns, SingleLabelName) {
+  const auto payload = make_dns_response(1, "localhost", Ipv4Addr(127, 0, 0, 1));
+  const auto binding = parse_dns_response(payload);
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->name, "localhost");
+}
+
+TEST(Dns, TruncatedPayloadIsRejected) {
+  auto payload = make_dns_response(1, "api.example.com", Ipv4Addr(1, 2, 3, 4));
+  payload.resize(payload.size() - 6);  // chop the A record data
+  EXPECT_FALSE(parse_dns_response(payload).has_value());
+}
+
+TEST(Dns, TooShortPayloadIsRejected) {
+  EXPECT_FALSE(parse_dns_response({0x01, 0x02, 0x03}).has_value());
+}
+
+TEST(Dns, ZeroAnswerResponseIsRejected) {
+  auto query = make_dns_query(7, "example.com");
+  query[2] = 0x81;  // set QR bit: a response with ANCOUNT=0
+  query[3] = 0x80;
+  EXPECT_FALSE(parse_dns_response(query).has_value());
+}
+
+TEST(Dns, PointerLoopDoesNotHang) {
+  // Craft a response whose name is a pointer to itself.
+  std::vector<std::uint8_t> evil = {
+      0x00, 0x01, 0x81, 0x80, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      0xc0, 0x0c,              // answer name: pointer to itself
+      0x00, 0x01, 0x00, 0x01,  // TYPE A, CLASS IN
+      0x00, 0x00, 0x01, 0x2c,  // TTL
+      0x00, 0x04, 1, 2, 3, 4};
+  EXPECT_FALSE(parse_dns_response(evil).has_value());
+}
+
+TEST(Dns, DifferentTransactionIds) {
+  const auto a = make_dns_query(0x1111, "a.com");
+  const auto b = make_dns_query(0x2222, "a.com");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+}  // namespace
+}  // namespace behaviot

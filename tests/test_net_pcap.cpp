@@ -1,0 +1,127 @@
+#include "behaviot/net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace behaviot {
+namespace {
+
+Packet make_packet(std::int64_t us, Transport proto, Direction dir,
+                   std::uint32_t size, std::vector<std::uint8_t> payload = {}) {
+  Packet p;
+  p.ts = Timestamp(us);
+  const std::uint16_t dst_port = proto == Transport::kUdp ? 53 : 443;
+  p.tuple = {{Ipv4Addr(192, 168, 1, 20), 40000},
+             {Ipv4Addr(54, 10, 20, 30), dst_port},
+             proto};
+  p.size = size;
+  p.dir = dir;
+  p.payload = std::move(payload);
+  return p;
+}
+
+TEST(PcapRoundTrip, PreservesTimingSizesAndTuples) {
+  std::vector<Packet> in;
+  in.push_back(make_packet(1'000'000, Transport::kTcp, Direction::kOutbound, 120));
+  in.push_back(make_packet(1'200'000, Transport::kTcp, Direction::kInbound, 90));
+  in.push_back(make_packet(2'500'000, Transport::kUdp, Direction::kOutbound, 80));
+
+  const auto bytes = serialize_pcap(in);
+  const PcapReadResult out = parse_pcap(bytes);
+  ASSERT_EQ(out.packets.size(), in.size());
+  EXPECT_EQ(out.skipped, 0u);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out.packets[i].ts, in[i].ts) << i;
+    EXPECT_EQ(out.packets[i].size, in[i].size) << i;
+    EXPECT_EQ(out.packets[i].tuple, in[i].tuple) << i;
+    EXPECT_EQ(out.packets[i].dir, in[i].dir) << i;
+  }
+}
+
+TEST(PcapRoundTrip, PreservesPayloadBytes) {
+  std::vector<std::uint8_t> payload{0xde, 0xad, 0xbe, 0xef, 0x01};
+  auto p = make_packet(500, Transport::kUdp, Direction::kOutbound,
+                       28 + 5, payload);
+  const auto out = parse_pcap(serialize_pcap({p}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].payload, payload);
+}
+
+TEST(PcapRoundTrip, InboundFramesRecanonicalize) {
+  // An inbound packet is written with swapped src/dst on the wire; the
+  // parser must restore device-side orientation via the private-IP rule.
+  auto p = make_packet(100, Transport::kTcp, Direction::kInbound, 200);
+  const auto out = parse_pcap(serialize_pcap({p}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].dir, Direction::kInbound);
+  EXPECT_EQ(out.packets[0].tuple.src.ip, Ipv4Addr(192, 168, 1, 20));
+  EXPECT_EQ(out.packets[0].tuple.dst.ip, Ipv4Addr(54, 10, 20, 30));
+}
+
+TEST(PcapRoundTrip, LocalTrafficKeepsSenderAsSource) {
+  Packet p;
+  p.ts = Timestamp(100);
+  p.tuple = {{Ipv4Addr(192, 168, 1, 20), 5000},
+             {Ipv4Addr(192, 168, 1, 30), 6000},
+             Transport::kUdp};
+  p.size = 100;
+  p.dir = Direction::kOutbound;
+  const auto out = parse_pcap(serialize_pcap({p}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].tuple.src.ip, Ipv4Addr(192, 168, 1, 20));
+  EXPECT_EQ(out.packets[0].dir, Direction::kOutbound);
+}
+
+TEST(PcapParse, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes(24, 0);
+  EXPECT_THROW(parse_pcap(bytes), std::runtime_error);
+}
+
+TEST(PcapParse, RejectsTruncatedHeader) {
+  std::vector<std::uint8_t> bytes(10, 0);
+  EXPECT_THROW(parse_pcap(bytes), std::runtime_error);
+}
+
+TEST(PcapParse, ToleratesTruncatedLastRecord) {
+  auto bytes = serialize_pcap(
+      {make_packet(1, Transport::kTcp, Direction::kOutbound, 100),
+       make_packet(2, Transport::kTcp, Direction::kOutbound, 100)});
+  bytes.resize(bytes.size() - 10);  // chop into the final record
+  const auto out = parse_pcap(bytes);
+  EXPECT_EQ(out.packets.size(), 1u);
+}
+
+TEST(PcapParse, MinimumSizeIsHeaderOverhead) {
+  // A declared size below the header overhead is clamped up by the writer.
+  auto p = make_packet(1, Transport::kTcp, Direction::kOutbound, 10);
+  const auto out = parse_pcap(serialize_pcap({p}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].size, header_overhead(Transport::kTcp));
+}
+
+TEST(PcapWriter, WritesReadableFile) {
+  const std::string path = ::testing::TempDir() + "/behaviot_test.pcap";
+  {
+    PcapWriter writer(path);
+    writer.write(make_packet(1'000, Transport::kTcp, Direction::kOutbound, 150));
+    writer.write(make_packet(2'000, Transport::kUdp, Direction::kInbound, 80));
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  const auto out = read_pcap(path);
+  EXPECT_EQ(out.packets.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(PcapWriter("/nonexistent_dir_xyz/file.pcap"),
+               std::runtime_error);
+}
+
+TEST(PcapReader, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_pcap("/nonexistent_file.pcap"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace behaviot

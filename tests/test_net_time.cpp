@@ -1,0 +1,54 @@
+#include "behaviot/net/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+TEST(Timestamp, DefaultIsZero) {
+  EXPECT_EQ(Timestamp{}.micros(), 0);
+  EXPECT_DOUBLE_EQ(Timestamp{}.seconds(), 0.0);
+}
+
+TEST(Timestamp, FromSecondsRoundTrips) {
+  const Timestamp t = Timestamp::from_seconds(12.5);
+  EXPECT_EQ(t.micros(), 12'500'000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 12.5);
+}
+
+TEST(Timestamp, ArithmeticAndComparison) {
+  const Timestamp a(1'000'000);
+  const Timestamp b = a + seconds(2.0);
+  EXPECT_EQ(b.micros(), 3'000'000);
+  EXPECT_EQ(b - a, 2'000'000);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b - seconds(2.0), a);
+}
+
+TEST(Timestamp, CompoundAddition) {
+  Timestamp t(10);
+  t += 5;
+  EXPECT_EQ(t.micros(), 15);
+}
+
+TEST(DurationHelpers, Conversions) {
+  EXPECT_EQ(microseconds(7), 7);
+  EXPECT_EQ(milliseconds(3), 3'000);
+  EXPECT_EQ(seconds(1.5), 1'500'000);
+  EXPECT_EQ(minutes(2.0), 120'000'000);
+  EXPECT_EQ(hours(1.0), 3'600'000'000LL);
+  EXPECT_EQ(days(1.0), 86'400'000'000LL);
+}
+
+TEST(FormatTimestamp, RendersDayHourMinute) {
+  const Timestamp t = Timestamp::from_seconds(86400.0 + 3600.0 + 61.5);
+  EXPECT_EQ(format_timestamp(t), "d1 01:01:01.500000");
+}
+
+TEST(FormatTimestamp, HandlesZeroAndNegative) {
+  EXPECT_EQ(format_timestamp(Timestamp(0)), "d0 00:00:00.000000");
+  EXPECT_EQ(format_timestamp(Timestamp(-1'500'000)), "-d0 00:00:01.500000");
+}
+
+}  // namespace
+}  // namespace behaviot

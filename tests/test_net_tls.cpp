@@ -1,0 +1,61 @@
+#include "behaviot/net/tls.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+TEST(TlsSni, RoundTrip) {
+  const auto hello = make_tls_client_hello("mqtt.tplinkcloud.com");
+  const auto sni = parse_tls_sni(hello);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "mqtt.tplinkcloud.com");
+}
+
+class SniNames : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SniNames, RoundTripsVariousLengths) {
+  const std::string name = GetParam();
+  const auto sni = parse_tls_sni(make_tls_client_hello(name));
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, SniNames,
+    ::testing::Values("a.b", "x.example.com",
+                      "very-long-subdomain-label-for-testing.svc.cloud.example.org",
+                      "d1a2b3.cloudfront.net"));
+
+TEST(TlsSni, RejectsEmptyPayload) {
+  EXPECT_FALSE(parse_tls_sni({}).has_value());
+}
+
+TEST(TlsSni, RejectsNonHandshakeRecord) {
+  auto hello = make_tls_client_hello("a.com");
+  hello[0] = 0x17;  // application data
+  EXPECT_FALSE(parse_tls_sni(hello).has_value());
+}
+
+TEST(TlsSni, RejectsNonClientHello) {
+  auto hello = make_tls_client_hello("a.com");
+  hello[5] = 0x02;  // server hello
+  EXPECT_FALSE(parse_tls_sni(hello).has_value());
+}
+
+TEST(TlsSni, RejectsTruncatedExtensions) {
+  auto hello = make_tls_client_hello("api.example.com");
+  hello.resize(hello.size() - 4);
+  EXPECT_FALSE(parse_tls_sni(hello).has_value());
+}
+
+TEST(TlsSni, EncryptedLookingBytesAreIgnored) {
+  std::vector<std::uint8_t> garbage(128);
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  EXPECT_FALSE(parse_tls_sni(garbage).has_value());
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,146 @@
+#include "behaviot/pfsm/pfsm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+/// INITIAL -> on -> off -> TERMINAL, with a 30% on->on self-ish alternative.
+Pfsm simple_machine() {
+  Pfsm m;
+  const int on = m.add_state("plug:on");
+  const int off = m.add_state("plug:off");
+  m.add_transition(Pfsm::kInitial, on, 10);
+  m.add_transition(on, off, 7);
+  m.add_transition(on, on, 3);
+  m.add_transition(off, Pfsm::kTerminal, 7);
+  m.add_transition(on, Pfsm::kTerminal, 3);
+  m.finalize();
+  return m;
+}
+
+TEST(Pfsm, InitialAndTerminalExist) {
+  const Pfsm m;
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_EQ(m.label(Pfsm::kInitial), "INITIAL");
+  EXPECT_EQ(m.label(Pfsm::kTerminal), "TERMINAL");
+}
+
+TEST(Pfsm, TransitionProbabilitiesNormalizePerSource) {
+  const Pfsm m = simple_machine();
+  double on_out = 0.0;
+  for (const auto& t : m.transitions()) {
+    if (m.label(t.from) == "plug:on") on_out += t.probability;
+  }
+  EXPECT_NEAR(on_out, 1.0, 1e-9);
+}
+
+TEST(Pfsm, AcceptsObservedSequences) {
+  const Pfsm m = simple_machine();
+  const std::vector<std::string> ok{"plug:on", "plug:off"};
+  EXPECT_TRUE(m.accepts(ok));
+  const std::vector<std::string> ok2{"plug:on", "plug:on", "plug:off"};
+  EXPECT_TRUE(m.accepts(ok2));
+}
+
+TEST(Pfsm, RejectsUnknownLabelOrBadOrder) {
+  const Pfsm m = simple_machine();
+  const std::vector<std::string> unknown{"camera:motion"};
+  EXPECT_FALSE(m.accepts(unknown));
+  const std::vector<std::string> bad_order{"plug:off", "plug:on"};
+  EXPECT_FALSE(m.accepts(bad_order));  // off only reaches TERMINAL
+}
+
+TEST(Pfsm, EmptyTraceAcceptanceRequiresInitialToTerminalEdge) {
+  const Pfsm m = simple_machine();
+  EXPECT_FALSE(m.accepts(std::vector<std::string>{}));
+  Pfsm direct;
+  direct.add_transition(Pfsm::kInitial, Pfsm::kTerminal, 1);
+  direct.finalize();
+  EXPECT_TRUE(direct.accepts(std::vector<std::string>{}));
+}
+
+TEST(Pfsm, TraceProbabilityMatchesPathProduct) {
+  const Pfsm m = simple_machine();
+  // P(on|init) = 1, P(off|on) = 0.538.., P(term|off) = 1 with counts
+  // 10/10, 7/13, 7/7 — smoothing shifts slightly; use tiny alpha.
+  const std::vector<std::string> trace{"plug:on", "plug:off"};
+  const double p = m.trace_probability(trace, /*alpha=*/1e-9);
+  EXPECT_NEAR(p, 1.0 * (7.0 / 13.0) * 1.0, 1e-6);
+}
+
+TEST(Pfsm, SmoothedProbabilityPositiveForUnseenTrace) {
+  const Pfsm m = simple_machine();
+  const std::vector<std::string> unseen{"plug:off", "plug:off", "plug:on"};
+  const double p = m.trace_probability(unseen, 0.01);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.05);
+}
+
+TEST(Pfsm, UnseenTraceScoresBelowSeenTrace) {
+  const Pfsm m = simple_machine();
+  const std::vector<std::string> seen{"plug:on", "plug:off"};
+  const std::vector<std::string> unseen{"plug:off", "plug:on"};
+  EXPECT_GT(m.trace_probability(seen), m.trace_probability(unseen));
+}
+
+TEST(Pfsm, ProbabilityDecreasesWithInjectedNovelEvents) {
+  const Pfsm m = simple_machine();
+  std::vector<std::string> trace{"plug:on", "plug:off"};
+  double prev = m.trace_probability(trace);
+  for (int i = 0; i < 3; ++i) {
+    trace.insert(trace.begin() + 1, "ghost:event" + std::to_string(i));
+    const double p = m.trace_probability(trace);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Pfsm, LabelBigramAggregation) {
+  const Pfsm m = simple_machine();
+  const auto stat = m.label_bigram("plug:on", "plug:off");
+  EXPECT_EQ(stat.from_occurrences, 13u);
+  EXPECT_NEAR(stat.probability, 7.0 / 13.0, 1e-9);
+  const auto missing = m.label_bigram("plug:off", "plug:on");
+  EXPECT_DOUBLE_EQ(missing.probability, 0.0);
+}
+
+TEST(Pfsm, LabelBigramsEnumeration) {
+  const Pfsm m = simple_machine();
+  const auto bigrams = m.label_bigrams();
+  EXPECT_EQ(bigrams.count({"INITIAL", "plug:on"}), 1u);
+  EXPECT_EQ(bigrams.count({"plug:off", "TERMINAL"}), 1u);
+  EXPECT_NEAR(bigrams.at({"plug:on", "plug:on"}).probability, 3.0 / 13.0,
+              1e-9);
+}
+
+TEST(Pfsm, StatesWithLabelFindsSplitStates) {
+  Pfsm m;
+  m.add_state("x");
+  m.add_state("x");
+  m.add_state("y");
+  EXPECT_EQ(m.states_with_label("x").size(), 2u);
+  EXPECT_EQ(m.states_with_label("y").size(), 1u);
+  EXPECT_TRUE(m.states_with_label("z").empty());
+}
+
+TEST(Pfsm, DotExportContainsStatesAndEdges) {
+  const Pfsm m = simple_machine();
+  const std::string dot = m.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("plug:on"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Pfsm, ProbabilityCappedAtOne) {
+  Pfsm m;
+  const int s = m.add_state("only");
+  m.add_transition(Pfsm::kInitial, s, 1);
+  m.add_transition(s, Pfsm::kTerminal, 1);
+  m.finalize();
+  const std::vector<std::string> trace{"only"};
+  EXPECT_LE(m.trace_probability(trace, 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace behaviot

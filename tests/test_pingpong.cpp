@@ -1,0 +1,142 @@
+#include "behaviot/baseline/pingpong.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+namespace {
+
+FlowRecord make_flow(DeviceId device, std::vector<std::uint32_t> sizes,
+                     Transport proto = Transport::kTcp,
+                     const std::string& label = "dev:on") {
+  FlowRecord f;
+  f.device = device;
+  f.tuple = {{Ipv4Addr(192, 168, 1, 10), 40000},
+             {Ipv4Addr(54, 1, 1, 1), 443},
+             proto};
+  f.truth = EventKind::kUser;
+  f.truth_label = label;
+  Timestamp t(0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    f.packets.push_back({t, sizes[i],
+                         i % 2 == 0 ? Direction::kOutbound
+                                    : Direction::kInbound,
+                         false});
+    t += milliseconds(50);
+  }
+  f.start = Timestamp(0);
+  f.end = t;
+  return f;
+}
+
+TEST(PingPong, LearnsAndMatchesStableSignatures) {
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back(make_flow(1, {200, 120, 340, 90}));
+  }
+  const auto clf = PingPongClassifier::train(train);
+  EXPECT_EQ(clf.num_signatures(), 1u);
+  EXPECT_EQ(clf.classify(make_flow(1, {201, 119, 342, 91})).activity,
+            "dev:on");
+}
+
+TEST(PingPong, RangeSlackBoundsMatching) {
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) train.push_back(make_flow(1, {200, 120}));
+  const auto clf = PingPongClassifier::train(train, {.signature_packets = 2});
+  EXPECT_TRUE(clf.classify(make_flow(1, {205, 125})).matched());
+  EXPECT_FALSE(clf.classify(make_flow(1, {260, 125})).matched());
+}
+
+TEST(PingPong, UdpFlowsAreNotLearnedNorMatched) {
+  // The documented PingPong limitation the paper exploits in Table 3.
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back(make_flow(1, {200, 120, 340, 90}, Transport::kUdp));
+  }
+  const auto clf = PingPongClassifier::train(train);
+  EXPECT_EQ(clf.num_signatures(), 0u);
+  EXPECT_FALSE(
+      clf.classify(make_flow(1, {200, 120, 340, 90}, Transport::kUdp))
+          .matched());
+}
+
+TEST(PingPong, DirectionsMustMatch) {
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) train.push_back(make_flow(1, {200, 120, 300, 80}));
+  const auto clf = PingPongClassifier::train(train);
+  // Same sizes, flipped directions.
+  FlowRecord flipped = make_flow(1, {200, 120, 300, 80});
+  for (auto& p : flipped.packets) {
+    p.dir = p.dir == Direction::kOutbound ? Direction::kInbound
+                                          : Direction::kOutbound;
+  }
+  EXPECT_FALSE(clf.classify(flipped).matched());
+}
+
+TEST(PingPong, SignatureFoundAtAnyOffset) {
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) train.push_back(make_flow(1, {200, 120, 300, 80}));
+  const auto clf = PingPongClassifier::train(train);
+  // Prepend unrelated chatter; signature appears later in the flow.
+  FlowRecord shifted = make_flow(1, {60, 60, 200, 120, 300, 80});
+  EXPECT_TRUE(clf.classify(shifted).matched());
+}
+
+TEST(PingPong, UnstableTrainingFlowsAreDropped) {
+  // Wildly varying sizes produce an over-wide signature; the self-match
+  // validation keeps it, but a flow of different *direction pattern* fails.
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 6; ++i) {
+    // Alternate direction patterns between samples → majority pattern
+    // mismatches half the flows → dropped by min_self_match.
+    std::vector<std::uint32_t> sizes{100, 100, 100, 100};
+    FlowRecord f = make_flow(1, sizes);
+    if (i % 2 == 0) {
+      for (auto& p : f.packets) {
+        p.dir = p.dir == Direction::kOutbound ? Direction::kInbound
+                                              : Direction::kOutbound;
+      }
+    }
+    train.push_back(f);
+  }
+  const auto clf =
+      PingPongClassifier::train(train, {.min_self_match = 0.9});
+  EXPECT_EQ(clf.num_signatures(), 0u);
+}
+
+TEST(PingPong, ShortFlowsCannotMatchLongSignatures) {
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) train.push_back(make_flow(1, {200, 120, 300, 80}));
+  const auto clf = PingPongClassifier::train(train);
+  EXPECT_FALSE(clf.classify(make_flow(1, {200, 120})).matched());
+}
+
+TEST(PingPong, PerDeviceSignatureIsolation) {
+  std::vector<FlowRecord> train;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back(make_flow(1, {200, 120, 300, 80}, Transport::kTcp, "a:on"));
+    train.push_back(make_flow(2, {500, 400, 700, 60}, Transport::kTcp, "b:on"));
+  }
+  const auto clf = PingPongClassifier::train(train);
+  EXPECT_EQ(clf.num_signatures(), 2u);
+  // Device 2's pattern on device 1 does not match device 1's signature.
+  EXPECT_FALSE(clf.classify(make_flow(1, {500, 400, 700, 60})).matched());
+  EXPECT_EQ(clf.activities_for(1).size(), 1u);
+}
+
+TEST(PingPong, TrainsOnTestbedActivityData) {
+  const auto capture = testbed::Datasets::activity(61, 6);
+  DomainResolver resolver;
+  testbed::configure_resolver(resolver, capture);
+  FlowAssembler assembler;
+  auto flows = assembler.assemble(capture.packets, resolver);
+  testbed::apply_ground_truth(flows, capture.truths);
+  const auto clf = PingPongClassifier::train(flows);
+  EXPECT_GT(clf.num_signatures(), 10u);
+}
+
+}  // namespace
+}  // namespace behaviot

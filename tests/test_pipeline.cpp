@@ -1,0 +1,142 @@
+#include "behaviot/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+/// Shared small-scale trained pipeline (expensive: built once).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new Pipeline();
+    resolver_ = new DomainResolver();
+    const auto idle = testbed::Datasets::idle(71, /*days=*/1.0);
+    const auto activity = testbed::Datasets::activity(72, /*repetitions=*/6);
+    const auto routine = testbed::Datasets::routine_week(73, /*days=*/2.0);
+    idle_flows_ = new auto(pipeline_->to_flows(idle, *resolver_));
+    activity_flows_ = new auto(pipeline_->to_flows(activity, *resolver_));
+    routine_flows_ = new auto(pipeline_->to_flows(routine, *resolver_));
+    models_ = new BehaviorModelSet(pipeline_->train(
+        *idle_flows_, 86400.0, *activity_flows_, *routine_flows_));
+  }
+
+  static void TearDownTestSuite() {
+    delete models_;
+    delete routine_flows_;
+    delete activity_flows_;
+    delete idle_flows_;
+    delete resolver_;
+    delete pipeline_;
+  }
+
+  static Pipeline* pipeline_;
+  static DomainResolver* resolver_;
+  static std::vector<FlowRecord>* idle_flows_;
+  static std::vector<FlowRecord>* activity_flows_;
+  static std::vector<FlowRecord>* routine_flows_;
+  static BehaviorModelSet* models_;
+};
+
+Pipeline* PipelineTest::pipeline_ = nullptr;
+DomainResolver* PipelineTest::resolver_ = nullptr;
+std::vector<FlowRecord>* PipelineTest::idle_flows_ = nullptr;
+std::vector<FlowRecord>* PipelineTest::activity_flows_ = nullptr;
+std::vector<FlowRecord>* PipelineTest::routine_flows_ = nullptr;
+BehaviorModelSet* PipelineTest::models_ = nullptr;
+
+TEST_F(PipelineTest, FlowsCarryGroundTruthAndDomains) {
+  ASSERT_FALSE(idle_flows_->empty());
+  std::size_t annotated = 0;
+  for (const FlowRecord& f : *idle_flows_) {
+    EXPECT_NE(f.truth, EventKind::kUnknown);
+    if (!f.domain.empty()) ++annotated;
+  }
+  // DNS bootstrap + SNI should annotate nearly everything.
+  EXPECT_GT(static_cast<double>(annotated) /
+                static_cast<double>(idle_flows_->size()),
+            0.95);
+}
+
+TEST_F(PipelineTest, TrainsAllThreeModelFamilies) {
+  EXPECT_GT(models_->periodic.size(), 250u);
+  EXPECT_GT(models_->user_actions.size(), 20u);
+  EXPECT_GT(models_->pfsm.num_states(), 10u);
+  EXPECT_GT(models_->pfsm.num_transitions(), 20u);
+  EXPECT_FALSE(models_->training_traces.empty());
+  EXPECT_GT(models_->short_term.value(), 1.0);
+}
+
+TEST_F(PipelineTest, IdleCoverageMatchesPaperShape) {
+  // Paper Table 2: 99.8% periodic coverage in idle. Allow slack for the
+  // 1-day fixture (long periods lack cycles).
+  EXPECT_GT(models_->periodic.stats().coverage(), 0.93);
+}
+
+TEST_F(PipelineTest, ClassifyPartitionsIdleTraffic) {
+  const auto classified = pipeline_->classify(*idle_flows_, *models_);
+  std::size_t periodic = 0, user = 0, aperiodic = 0;
+  for (EventKind kind : classified.kinds) {
+    periodic += kind == EventKind::kPeriodic ? 1 : 0;
+    user += kind == EventKind::kUser ? 1 : 0;
+    aperiodic += kind == EventKind::kAperiodic ? 1 : 0;
+  }
+  const auto total = static_cast<double>(idle_flows_->size());
+  EXPECT_GT(static_cast<double>(periodic) / total, 0.9);
+  // FPR on idle (§5.1: 0.09%): generous bound for the small fixture.
+  EXPECT_LT(static_cast<double>(user) / total, 0.02);
+  EXPECT_GT(classified.periodic_via_timer, classified.periodic_via_cluster);
+}
+
+TEST_F(PipelineTest, ClassifyRecoversRoutineUserEvents) {
+  const auto classified = pipeline_->classify(*routine_flows_, *models_);
+  EXPECT_FALSE(classified.user_events.empty());
+  // Merged events should approximate the ground truth event count.
+  std::size_t truth_events = 0;
+  std::set<std::string> seen;
+  for (const FlowRecord& f : *routine_flows_) {
+    if (f.truth == EventKind::kUser) ++truth_events;
+  }
+  EXPECT_GT(truth_events, 0u);
+  EXPECT_GT(classified.user_events.size(), truth_events / 4);
+  EXPECT_LT(classified.user_events.size(), truth_events * 2);
+}
+
+TEST_F(PipelineTest, TracesRespectGapOption) {
+  const auto classified = pipeline_->classify(*routine_flows_, *models_);
+  const auto traces = pipeline_->traces_of(classified.user_events);
+  ASSERT_FALSE(traces.empty());
+  for (const EventTrace& trace : traces) {
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_LE(trace[i].ts - trace[i - 1].ts, kDefaultTraceGapUs);
+    }
+  }
+}
+
+TEST_F(PipelineTest, TrainingTracesAreAcceptedByPfsm) {
+  // §5.2 property (i): 100% of training traces map to valid paths.
+  for (const auto& labels : models_->training_traces) {
+    EXPECT_TRUE(models_->pfsm.accepts(labels));
+  }
+}
+
+TEST_F(PipelineTest, EventMergingCollapsesRelayFlows) {
+  // Devices with a support relay emit 2 flows per event; merged events must
+  // not double-count.
+  const auto classified = pipeline_->classify(*routine_flows_, *models_);
+  std::map<std::string, std::size_t> flow_count, event_count;
+  for (std::size_t i = 0; i < routine_flows_->size(); ++i) {
+    if (classified.kinds[i] == EventKind::kUser) {
+      ++flow_count[classified.labels[i]];
+    }
+  }
+  for (const UserEvent& e : classified.user_events) {
+    ++event_count[e.label()];
+  }
+  for (const auto& [label, events] : event_count) {
+    EXPECT_LE(events, flow_count[label]) << label;
+  }
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,222 @@
+// Cross-module property tests: randomized inputs, structural invariants.
+// These complement the per-module unit tests by checking the guarantees the
+// pipeline relies on across a sweep of seeds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/net/rng.hpp"
+#include "behaviot/periodic/period_detector.hpp"
+#include "behaviot/pfsm/sequence_graph.hpp"
+#include "behaviot/pfsm/synoptic.hpp"
+
+namespace behaviot {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range<std::uint64_t>(1, 16));
+
+// ---------- assembler invariants ----------
+
+std::vector<Packet> random_packets(Rng& rng, std::size_t n) {
+  std::vector<Packet> packets;
+  packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Packet p;
+    p.ts = Timestamp::from_seconds(rng.uniform(0.0, 3600.0));
+    p.tuple = {{Ipv4Addr(192, 168, 1,
+                         static_cast<std::uint8_t>(10 + rng.uniform_index(5))),
+                static_cast<std::uint16_t>(40000 + rng.uniform_index(20))},
+               {Ipv4Addr(54, 1, 1,
+                         static_cast<std::uint8_t>(rng.uniform_index(4))),
+                443},
+               rng.chance(0.5) ? Transport::kTcp : Transport::kUdp};
+    p.size = static_cast<std::uint32_t>(60 + rng.uniform_index(1400));
+    p.dir = rng.chance(0.5) ? Direction::kOutbound : Direction::kInbound;
+    p.device = static_cast<DeviceId>(p.tuple.src.ip.value() & 0xff);
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+TEST_P(SeedSweep, AssemblerConservesPackets) {
+  Rng rng(GetParam());
+  const auto packets = random_packets(rng, 500);
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const auto flows = assembler.assemble(packets, resolver);
+
+  // Every packet lands in exactly one flow.
+  std::size_t total = 0;
+  for (const auto& f : flows) total += f.packets.size();
+  EXPECT_EQ(total, packets.size());
+
+  for (const auto& f : flows) {
+    // Flows are internally time-ordered and respect the burst gap.
+    for (std::size_t i = 1; i < f.packets.size(); ++i) {
+      EXPECT_LE(f.packets[i - 1].ts, f.packets[i].ts);
+      EXPECT_LE(f.packets[i].ts - f.packets[i - 1].ts, seconds(1.0));
+    }
+    EXPECT_EQ(f.start, f.packets.front().ts);
+    EXPECT_EQ(f.end, f.packets.back().ts);
+  }
+  // Output is sorted by start time.
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_LE(flows[i - 1].start, flows[i].start);
+  }
+}
+
+TEST_P(SeedSweep, AssemblerSplitsAreMaximal) {
+  // Two consecutive flows of the same tuple must be separated by more than
+  // the burst gap (otherwise they should have been one flow).
+  Rng rng(GetParam() + 100);
+  const auto packets = random_packets(rng, 400);
+  DomainResolver resolver;
+  const FlowAssembler assembler;
+  const auto flows = assembler.assemble(packets, resolver);
+  std::map<FiveTuple, Timestamp, std::less<FiveTuple>> last_end;
+  for (const auto& f : flows) {
+    auto it = last_end.find(f.tuple);
+    if (it != last_end.end()) {
+      EXPECT_GT(f.start - it->second, seconds(1.0)) << f.tuple.to_string();
+    }
+    last_end[f.tuple] = f.end;
+  }
+}
+
+// ---------- periodicity invariants ----------
+
+TEST_P(SeedSweep, DetectionIsTranslationInvariant) {
+  Rng rng(GetParam() + 200);
+  const double period = 300.0 + rng.uniform(0, 3000);
+  const double window = 86400.0;
+  std::vector<double> times;
+  for (double t = rng.uniform(0, period); t < window; t += period) {
+    times.push_back(t + rng.normal(0, 0.01 * period));
+  }
+  const PeriodDetector detector;
+  const auto base = detector.dominant_period(times, window);
+  ASSERT_TRUE(base.has_value());
+
+  // Shift all times by an arbitrary offset: same period detected.
+  std::vector<double> shifted;
+  const double offset = rng.uniform(1e4, 1e6);
+  for (double t : times) shifted.push_back(t + offset);
+  const auto moved = detector.dominant_period(shifted, window);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_NEAR(moved->period_seconds, base->period_seconds,
+              0.02 * base->period_seconds);
+}
+
+TEST_P(SeedSweep, DetectionSurvivesSubsampling) {
+  // Dropping a small fraction of beacons (packet loss) keeps the period.
+  Rng rng(GetParam() + 300);
+  const double period = 600.0;
+  const double window = 86400.0 * 2;
+  std::vector<double> times;
+  for (double t = 5.0; t < window; t += period) {
+    if (rng.chance(0.9)) times.push_back(t + rng.normal(0, 5.0));
+  }
+  const PeriodDetector detector;
+  const auto detected = detector.dominant_period(times, window);
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_NEAR(detected->period_seconds, period, 0.05 * period);
+}
+
+// ---------- PFSM invariants ----------
+
+std::vector<std::vector<std::string>> random_traces(Rng& rng,
+                                                    std::size_t n_traces) {
+  const std::vector<std::string> alphabet{
+      "cam:motion", "bulb:on", "bulb:off", "plug:on_off",
+      "spot:voice", "door:open", "door:close"};
+  std::vector<std::vector<std::string>> traces;
+  for (std::size_t t = 0; t < n_traces; ++t) {
+    std::vector<std::string> trace;
+    const std::size_t len = 1 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      trace.push_back(alphabet[rng.uniform_index(alphabet.size())]);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+TEST_P(SeedSweep, PfsmAcceptsItsTrainingLog) {
+  // §5.2 property (i) must hold for arbitrary logs, not just routine data.
+  Rng rng(GetParam() + 400);
+  const auto traces = random_traces(rng, 30);
+  const auto result = infer_pfsm(traces);
+  for (const auto& t : traces) {
+    EXPECT_TRUE(result.pfsm.accepts(t));
+  }
+}
+
+TEST_P(SeedSweep, PfsmProbabilitiesAreProbabilities) {
+  Rng rng(GetParam() + 500);
+  const auto traces = random_traces(rng, 25);
+  const auto pfsm = infer_pfsm(traces).pfsm;
+  // Outgoing probabilities of every state sum to 1 (or 0 for TERMINAL).
+  std::map<int, double> outgoing;
+  for (const auto& t : pfsm.transitions()) {
+    outgoing[t.from] += t.probability;
+    EXPECT_GE(t.probability, 0.0);
+    EXPECT_LE(t.probability, 1.0 + 1e-9);
+  }
+  for (const auto& [state, sum] : outgoing) {
+    EXPECT_NEAR(sum, 1.0, 1e-9) << pfsm.label(state);
+  }
+  // Trace probabilities are valid probabilities.
+  for (const auto& t : traces) {
+    const double p = pfsm.trace_probability(t);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(SeedSweep, PfsmNeverLargerThanSequenceGraph) {
+  Rng rng(GetParam() + 600);
+  const auto traces = random_traces(rng, 40);
+  const auto pfsm = infer_pfsm(traces).pfsm;
+  const auto graph = SequenceGraph::build(traces);
+  EXPECT_LE(pfsm.num_states(), graph.num_nodes());
+}
+
+TEST_P(SeedSweep, MinedInvariantsHoldOnTheTraces) {
+  // Sanity of the miner itself: every mined invariant must actually hold
+  // when re-checked directly against the trace set.
+  Rng rng(GetParam() + 700);
+  const auto traces = random_traces(rng, 20);
+  for (const Invariant& inv : mine_invariants(traces)) {
+    for (const auto& trace : traces) {
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const bool followed = [&] {
+          for (std::size_t j = i + 1; j < trace.size(); ++j) {
+            if (trace[j] == inv.b) return true;
+          }
+          return false;
+        }();
+        if (inv.kind == InvariantKind::kAlwaysFollowedBy &&
+            trace[i] == inv.a) {
+          EXPECT_TRUE(followed) << inv.to_string();
+        }
+        if (inv.kind == InvariantKind::kNeverFollowedBy && trace[i] == inv.a) {
+          EXPECT_FALSE(followed) << inv.to_string();
+        }
+        if (inv.kind == InvariantKind::kAlwaysPrecededBy &&
+            trace[i] == inv.b) {
+          bool preceded = false;
+          for (std::size_t j = 0; j < i; ++j) {
+            if (trace[j] == inv.a) preceded = true;
+          }
+          EXPECT_TRUE(preceded) << inv.to_string();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace behaviot

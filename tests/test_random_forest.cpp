@@ -1,0 +1,132 @@
+#include "behaviot/ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+Dataset gaussian_blobs(std::uint64_t seed, std::size_t per_class) {
+  Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({rng.normal(0, 1), rng.normal(0, 1)}, 0);
+    d.add({rng.normal(6, 1), rng.normal(6, 1)}, 1);
+  }
+  return d;
+}
+
+TEST(RandomForest, UntrainedPredictsZeroVector) {
+  const RandomForest forest;
+  const std::vector<double> row{1.0, 2.0};
+  const auto proba = forest.predict_proba(row);
+  EXPECT_TRUE(proba.empty());
+}
+
+TEST(RandomForest, SeparatesGaussianBlobs) {
+  const Dataset d = gaussian_blobs(1, 100);
+  RandomForest forest({.num_trees = 15, .seed = 5});
+  forest.fit(d, 2);
+  EXPECT_EQ(forest.num_trees(), 15u);
+
+  Rng rng(2);
+  int correct = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const bool cls1 = i % 2 == 1;
+    const double cx = cls1 ? 6.0 : 0.0;
+    const std::vector<double> row{cx + rng.normal(0, 1), cx + rng.normal(0, 1)};
+    if (forest.predict(row) == (cls1 ? 1 : 0)) ++correct;
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(RandomForest, ProbabilitiesAreCalibratedAtCenters) {
+  const Dataset d = gaussian_blobs(3, 150);
+  RandomForest forest({.num_trees = 30, .seed = 9});
+  forest.fit(d, 2);
+  const auto p0 = forest.predict_proba(std::vector<double>{0.0, 0.0});
+  const auto p1 = forest.predict_proba(std::vector<double>{6.0, 6.0});
+  EXPECT_GT(p0[0], 0.9);
+  EXPECT_GT(p1[1], 0.9);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const Dataset d = gaussian_blobs(4, 50);
+  RandomForest a({.num_trees = 10, .seed = 77});
+  RandomForest b({.num_trees = 10, .seed = 77});
+  a.fit(d, 2);
+  b.fit(d, 2);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> row{rng.uniform(-3, 9), rng.uniform(-3, 9)};
+    EXPECT_EQ(a.predict_proba(row), b.predict_proba(row));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsDifferSomewhere) {
+  const Dataset d = gaussian_blobs(6, 50);
+  RandomForest a({.num_trees = 5, .seed = 1});
+  RandomForest b({.num_trees = 5, .seed = 2});
+  a.fit(d, 2);
+  b.fit(d, 2);
+  Rng rng(7);
+  bool any_diff = false;
+  for (int i = 0; i < 200 && !any_diff; ++i) {
+    const std::vector<double> row{rng.uniform(-3, 9), rng.uniform(-3, 9)};
+    any_diff = a.predict_proba(row) != b.predict_proba(row);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, EmptyDatasetIsHarmless) {
+  RandomForest forest;
+  forest.fit(Dataset{}, 2);
+  EXPECT_EQ(forest.num_trees(), 0u);
+}
+
+TEST(RandomForest, MulticlassPrediction) {
+  Rng rng(8);
+  Dataset d;
+  for (int i = 0; i < 80; ++i) {
+    d.add({rng.normal(0, 0.5)}, 0);
+    d.add({rng.normal(5, 0.5)}, 1);
+    d.add({rng.normal(10, 0.5)}, 2);
+  }
+  RandomForest forest({.num_trees = 20, .seed = 3});
+  forest.fit(d, 3);
+  EXPECT_EQ(forest.predict(std::vector<double>{0.1}), 0);
+  EXPECT_EQ(forest.predict(std::vector<double>{5.1}), 1);
+  EXPECT_EQ(forest.predict(std::vector<double>{9.8}), 2);
+}
+
+// Property: forest accuracy improves (or stays) with more trees on a fixed
+// noisy problem.
+TEST(RandomForest, BaggingStabilizesNoisyLabels) {
+  Rng rng(10);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const bool cls1 = i % 2 == 1;
+    const double cx = cls1 ? 2.0 : 0.0;
+    // 10% label noise.
+    const int label = rng.chance(0.1) ? (cls1 ? 0 : 1) : (cls1 ? 1 : 0);
+    d.add({cx + rng.normal(0, 0.7), cx + rng.normal(0, 0.7)}, label);
+  }
+  auto accuracy = [&](std::size_t trees) {
+    RandomForest forest({.num_trees = trees, .seed = 11});
+    forest.fit(d, 2);
+    Rng eval(12);
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+      const bool cls1 = i % 2 == 1;
+      const double cx = cls1 ? 2.0 : 0.0;
+      const std::vector<double> row{cx + eval.normal(0, 0.7),
+                                    cx + eval.normal(0, 0.7)};
+      if (forest.predict(row) == (cls1 ? 1 : 0)) ++correct;
+    }
+    return correct;
+  };
+  EXPECT_GE(accuracy(25) + 8, accuracy(1));  // ensemble ≥ single tree (slack)
+}
+
+}  // namespace
+}  // namespace behaviot

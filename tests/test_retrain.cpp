@@ -1,0 +1,112 @@
+#include "behaviot/periodic/retrain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+PeriodicModel model(DeviceId device, const std::string& domain,
+                    double period, std::size_t support = 100) {
+  PeriodicModel m;
+  m.device = device;
+  m.domain = domain;
+  m.group = domain + "|TLS";
+  m.app = AppProtocol::kTls;
+  m.period_seconds = period;
+  m.tolerance_seconds = std::max(1.0, 0.02 * period);
+  m.support = support;
+  return m;
+}
+
+TEST(Retrain, UnchangedModelsAreKept) {
+  const auto deployed = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0), model(2, "hb.b.com", 1800.0)});
+  const auto fresh = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0), model(2, "hb.b.com", 1800.0)});
+  RetrainSummary summary;
+  const auto merged = merge_periodic_models(deployed, fresh, summary);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(summary.kept, 2u);
+  EXPECT_EQ(summary.drifted, 0u);
+  EXPECT_EQ(summary.added, 0u);
+}
+
+TEST(Retrain, SmallChangesCountAsUpdates) {
+  const auto deployed =
+      PeriodicModelSet::from_models({model(1, "hb.a.com", 600.0)});
+  const auto fresh =
+      PeriodicModelSet::from_models({model(1, "hb.a.com", 610.0)});
+  RetrainSummary summary;
+  const auto merged = merge_periodic_models(deployed, fresh, summary);
+  EXPECT_EQ(summary.updated, 1u);
+  EXPECT_EQ(summary.drifted, 0u);
+  // Fresh parameters win.
+  EXPECT_DOUBLE_EQ(merged.find(1, "hb.a.com|TLS")->period_seconds, 610.0);
+}
+
+TEST(Retrain, LargeChangesAreDriftWithNotes) {
+  const auto deployed =
+      PeriodicModelSet::from_models({model(1, "hb.a.com", 600.0)});
+  const auto fresh =
+      PeriodicModelSet::from_models({model(1, "hb.a.com", 1200.0)});
+  RetrainSummary summary;
+  const auto merged = merge_periodic_models(deployed, fresh, summary);
+  EXPECT_EQ(summary.drifted, 1u);
+  ASSERT_EQ(summary.drift_notes.size(), 1u);
+  EXPECT_NE(summary.drift_notes[0].find("600"), std::string::npos);
+  EXPECT_NE(summary.drift_notes[0].find("1200"), std::string::npos);
+  EXPECT_DOUBLE_EQ(merged.find(1, "hb.a.com|TLS")->period_seconds, 1200.0);
+}
+
+TEST(Retrain, NewGroupsAreAdded) {
+  const auto deployed =
+      PeriodicModelSet::from_models({model(1, "hb.a.com", 600.0)});
+  const auto fresh = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0), model(1, "telemetry.a.com", 3600.0)});
+  RetrainSummary summary;
+  const auto merged = merge_periodic_models(deployed, fresh, summary);
+  EXPECT_EQ(summary.added, 1u);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_NE(merged.find(1, "telemetry.a.com|TLS"), nullptr);
+}
+
+TEST(Retrain, AbsentGroupsAreRetainedThenDropped) {
+  auto deployed = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0, /*support=*/100)});
+  const auto fresh = PeriodicModelSet::from_models({});
+
+  // Merge repeatedly with empty fresh sets: support decays until dropped.
+  RetrainSummary summary;
+  std::size_t generations = 0;
+  while (true) {
+    const auto merged = merge_periodic_models(deployed, fresh, summary);
+    if (summary.dropped == 1) break;
+    ASSERT_EQ(summary.retained, 1u);
+    deployed = merged;
+    ASSERT_LT(++generations, 32u) << "absence decay must terminate";
+  }
+  EXPECT_GE(generations, 2u);  // survives at least a couple of quiet windows
+}
+
+TEST(Retrain, MixedScenario) {
+  const auto deployed = PeriodicModelSet::from_models({
+      model(1, "hb.a.com", 600.0),       // unchanged
+      model(1, "sync.a.com", 3600.0),    // drifts
+      model(2, "hb.b.com", 236.0, 2),    // disappears (low support)
+  });
+  const auto fresh = PeriodicModelSet::from_models({
+      model(1, "hb.a.com", 600.0),
+      model(1, "sync.a.com", 7200.0),
+      model(3, "hb.c.com", 1800.0),  // new device appears
+  });
+  RetrainSummary summary;
+  const auto merged = merge_periodic_models(deployed, fresh, summary);
+  EXPECT_EQ(summary.kept, 1u);
+  EXPECT_EQ(summary.drifted, 1u);
+  EXPECT_EQ(summary.added, 1u);
+  EXPECT_EQ(summary.retained + summary.dropped, 1u);
+  EXPECT_NE(merged.find(3, "hb.c.com|TLS"), nullptr);
+}
+
+}  // namespace
+}  // namespace behaviot

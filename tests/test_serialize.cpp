@@ -1,0 +1,161 @@
+#include "behaviot/core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "behaviot/periodic/periodic_classifier.hpp"
+#include "behaviot/pfsm/synoptic.hpp"
+
+namespace behaviot {
+namespace {
+
+BehaviorModelSet small_models() {
+  BehaviorModelSet models;
+
+  std::vector<PeriodicModel> periodic;
+  PeriodicModel hb;
+  hb.device = 3;
+  hb.group = "hb.vendor.com|TLS";
+  hb.domain = "hb.vendor.com";
+  hb.app = AppProtocol::kTls;
+  hb.period_seconds = 600.125;
+  hb.tolerance_seconds = 12.5;
+  hb.autocorr_score = 0.93;
+  hb.support = 144;
+  hb.secondary_periods = {3600.0};
+  periodic.push_back(hb);
+  PeriodicModel unnamed;
+  unnamed.device = 4;
+  unnamed.group = "54.1.2.3|UDP";
+  unnamed.domain = "";  // blank destination (the paper's unresolved case)
+  unnamed.app = AppProtocol::kOtherUdp;
+  unnamed.period_seconds = 236.0;
+  unnamed.tolerance_seconds = 3.0;
+  unnamed.support = 10;
+  periodic.push_back(unnamed);
+  models.periodic = PeriodicModelSet::from_models(periodic);
+
+  const std::vector<std::vector<std::string>> traces{
+      {"cam:motion", "bulb:on"}, {"plug:on_off", "plug:on_off"}};
+  models.pfsm = infer_pfsm(traces).pfsm;
+  models.training_traces = traces;
+  models.short_term = ShortTermThreshold::calibrate(models.pfsm, traces);
+  models.thresholds.short_term = models.short_term.value();
+  return models;
+}
+
+TEST(Serialize, RoundTripPreservesPeriodicModels) {
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  const BehaviorModelSet loaded = load_models(buffer);
+
+  ASSERT_EQ(loaded.periodic.size(), original.periodic.size());
+  const PeriodicModel* hb = loaded.periodic.find(3, "hb.vendor.com|TLS");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_DOUBLE_EQ(hb->period_seconds, 600.125);
+  EXPECT_DOUBLE_EQ(hb->tolerance_seconds, 12.5);
+  EXPECT_DOUBLE_EQ(hb->autocorr_score, 0.93);
+  EXPECT_EQ(hb->support, 144u);
+  EXPECT_EQ(hb->app, AppProtocol::kTls);
+  ASSERT_EQ(hb->secondary_periods.size(), 1u);
+  EXPECT_DOUBLE_EQ(hb->secondary_periods[0], 3600.0);
+
+  const PeriodicModel* unnamed = loaded.periodic.find(4, "54.1.2.3|UDP");
+  ASSERT_NE(unnamed, nullptr);
+  EXPECT_TRUE(unnamed->domain.empty());
+}
+
+TEST(Serialize, RoundTripPreservesPfsmBehavior) {
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  const BehaviorModelSet loaded = load_models(buffer);
+
+  EXPECT_EQ(loaded.pfsm.num_states(), original.pfsm.num_states());
+  EXPECT_EQ(loaded.pfsm.num_transitions(), original.pfsm.num_transitions());
+  for (const auto& trace : original.training_traces) {
+    EXPECT_TRUE(loaded.pfsm.accepts(trace));
+    EXPECT_DOUBLE_EQ(loaded.pfsm.trace_probability(trace),
+                     original.pfsm.trace_probability(trace));
+  }
+}
+
+TEST(Serialize, RoundTripPreservesThresholds) {
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  const BehaviorModelSet loaded = load_models(buffer);
+  EXPECT_DOUBLE_EQ(loaded.short_term.value(), original.short_term.value());
+  EXPECT_DOUBLE_EQ(loaded.thresholds.periodic, original.thresholds.periodic);
+  EXPECT_DOUBLE_EQ(loaded.thresholds.long_term_z,
+                   original.thresholds.long_term_z);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/behaviot_models.txt";
+  save_models_file(path, small_models());
+  const BehaviorModelSet loaded = load_models_file(path);
+  EXPECT_EQ(loaded.periodic.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not-a-model v1\n");
+  EXPECT_THROW(load_models(buffer), SerializationError);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::stringstream buffer("behaviot-models v999\nperiodic 0\n");
+  EXPECT_THROW(load_models(buffer), SerializationError);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_models(truncated), SerializationError);
+}
+
+TEST(Serialize, RejectsDanglingTransition) {
+  std::stringstream buffer(
+      "behaviot-models v1\nperiodic 0\npfsm 2\ntransitions 1\n0 99 5\n");
+  EXPECT_THROW(load_models(buffer), SerializationError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_models_file("/nonexistent/behaviot.txt"),
+               SerializationError);
+}
+
+TEST(Serialize, LoadedModelsDriveTimerClassification) {
+  // The deserialized set classifies via timers even without clusters.
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  const BehaviorModelSet loaded = load_models(buffer);
+
+  PeriodicEventClassifier classifier(loaded.periodic);
+  FlowRecord flow;
+  flow.device = 3;
+  flow.domain = "hb.vendor.com";
+  flow.app = AppProtocol::kTls;
+  flow.tuple = {{Ipv4Addr(192, 168, 1, 13), 40000},
+                {Ipv4Addr(54, 9, 9, 9), 443},
+                Transport::kTcp};
+  flow.start = Timestamp(0);
+  EXPECT_TRUE(classifier.classify(flow).periodic);  // first sighting arms
+  flow.start = Timestamp::from_seconds(600.125);
+  EXPECT_TRUE(classifier.classify(flow).periodic);  // on schedule
+  flow.start = Timestamp::from_seconds(600.125 + 900.0);
+  const auto off_schedule = classifier.classify(flow);
+  EXPECT_FALSE(off_schedule.via_timer);
+}
+
+}  // namespace
+}  // namespace behaviot

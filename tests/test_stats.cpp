@@ -1,0 +1,94 @@
+#include "behaviot/net/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/net/rng.hpp"
+
+namespace behaviot {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(stats::mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(stats::mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stats::variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, SampleStddevUsesBesselCorrection) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::sample_stddev(xs), 1.0);
+  EXPECT_DOUBLE_EQ(stats::sample_stddev(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(stats::median({1, 3, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(stats::median({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::median({9}), 9.0);
+}
+
+TEST(Stats, MedianAbsDeviation) {
+  const std::vector<double> xs{1, 1, 2, 2, 4, 6, 9};
+  // median = 2, |x - 2| = {1,1,0,0,2,4,7}, median of that = 1.
+  EXPECT_DOUBLE_EQ(stats::median_abs_deviation(xs), 1.0);
+  EXPECT_DOUBLE_EQ(stats::median_abs_deviation(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, SkewnessSignsMatchShape) {
+  const std::vector<double> right_skewed{1, 1, 1, 1, 10};
+  const std::vector<double> left_skewed{10, 10, 10, 10, 1};
+  EXPECT_GT(stats::skewness(right_skewed), 0.5);
+  EXPECT_LT(stats::skewness(left_skewed), -0.5);
+  EXPECT_DOUBLE_EQ(stats::skewness(std::vector<double>{5, 5, 5}), 0.0);
+}
+
+TEST(Stats, SymmetricDataHasNearZeroSkew) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_NEAR(stats::skewness(xs), 0.0, 1e-12);
+}
+
+TEST(Stats, KurtosisOfNormalSamplesNearZero) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(stats::kurtosis(xs), 0.0, 0.15);
+}
+
+TEST(Stats, KurtosisDegenerate) {
+  EXPECT_DOUBLE_EQ(stats::kurtosis(std::vector<double>{1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::kurtosis(std::vector<double>{1}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(stats::percentile({}, 50), 0.0);
+}
+
+// Property sweep: median lies within [min, max] and MAD >= 0 on random data.
+class StatsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsProperty, MedianBoundedAndMadNonNegative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  const std::size_t n = 1 + rng.uniform_index(200);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform(-100, 100));
+  const double med = stats::median(xs);
+  EXPECT_GE(med, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_LE(med, *std::max_element(xs.begin(), xs.end()));
+  EXPECT_GE(stats::median_abs_deviation(xs), 0.0);
+  EXPECT_GE(stats::variance(xs), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, StatsProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,127 @@
+#include "behaviot/pfsm/synoptic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/pfsm/sequence_graph.hpp"
+
+namespace behaviot {
+namespace {
+
+using Traces = std::vector<std::vector<std::string>>;
+
+TEST(Synoptic, AcceptsEveryTrainingTrace) {
+  const Traces traces{
+      {"cam:motion", "bulb:on"},
+      {"cam:motion", "bulb:on", "bulb:off"},
+      {"plug:on", "plug:off"},
+      {"doorbell:ring", "plug:on", "speaker:voice", "plug:off"},
+  };
+  const auto result = infer_pfsm(traces);
+  for (const auto& t : traces) {
+    EXPECT_TRUE(result.pfsm.accepts(t));
+  }
+}
+
+TEST(Synoptic, GeneralizesToRecombinations) {
+  // The PFSM is generative (§5.2): it accepts unseen traces assembled from
+  // observed transitions.
+  const Traces traces{
+      {"a", "b", "c"},
+      {"a", "b", "b", "c"},
+  };
+  const auto result = infer_pfsm(traces);
+  const std::vector<std::string> unseen{"a", "b", "b", "b", "c"};
+  EXPECT_TRUE(result.pfsm.accepts(unseen));
+}
+
+TEST(Synoptic, RejectsUnknownLabels) {
+  const Traces traces{{"a", "b"}};
+  const auto result = infer_pfsm(traces);
+  const std::vector<std::string> bad{"a", "zzz"};
+  EXPECT_FALSE(result.pfsm.accepts(bad));
+}
+
+TEST(Synoptic, MinesInvariantsFromTraces) {
+  const Traces traces{{"motion", "light"}, {"motion", "pause", "light"}};
+  const auto result = infer_pfsm(traces);
+  EXPECT_FALSE(result.invariants.empty());
+}
+
+TEST(Synoptic, RefinementSplitsContextDependentStates) {
+  // "b" behaves differently depending on context: after "a" it is always
+  // followed by "c"; after "x" it never is. The coarse one-state-per-label
+  // model merges both, creating a path x->b->c that violates NFby(x, c)...
+  const Traces traces{
+      {"a", "b", "c"}, {"a", "b", "c"}, {"a", "b", "c"},
+      {"x", "b"},      {"x", "b"},      {"x", "b"},
+  };
+  const auto result = infer_pfsm(traces);
+  // Refinement must have split "b" (or reported the invariant unsatisfied).
+  EXPECT_GT(result.refinement_steps, 0u);
+  // All training traces still accepted after refinement.
+  for (const auto& t : traces) EXPECT_TRUE(result.pfsm.accepts(t));
+  // The machine has two "b" states post-split.
+  EXPECT_GE(result.pfsm.states_with_label("b").size(), 2u);
+}
+
+TEST(Synoptic, StateCountStaysNearLabelCount) {
+  // Fig. 3's point: PFSM states grow with the alphabet, not the log.
+  Traces traces;
+  for (int rep = 0; rep < 30; ++rep) {
+    traces.push_back({"m", "on"});
+    traces.push_back({"m", "on", "off"});
+    traces.push_back({"ring", "plug"});
+  }
+  const auto result = infer_pfsm(traces);
+  // 5 labels + INITIAL/TERMINAL, plus at most a few refinement splits.
+  EXPECT_LE(result.pfsm.num_states(), 12u);
+
+  const auto graph = SequenceGraph::build(traces);
+  EXPECT_GT(graph.num_nodes(), result.pfsm.num_states() * 5);
+}
+
+TEST(Synoptic, EmptyInput) {
+  const auto result = infer_pfsm(Traces{});
+  EXPECT_EQ(result.pfsm.num_states(), 2u);
+  EXPECT_EQ(result.pfsm.num_transitions(), 0u);
+}
+
+TEST(Synoptic, EventTraceOverload) {
+  UserEvent e1;
+  e1.ts = Timestamp(0);
+  e1.device_name = "plug";
+  e1.activity = "on";
+  UserEvent e2 = e1;
+  e2.ts = Timestamp(seconds(5.0));
+  e2.activity = "off";
+  const std::vector<EventTrace> traces{{e1, e2}};
+  const auto result = infer_pfsm(traces);
+  const std::vector<std::string> labels{"plug:on", "plug:off"};
+  EXPECT_TRUE(result.pfsm.accepts(labels));
+}
+
+TEST(SequenceGraph, CountsMatchParallelSequenceFormula) {
+  const Traces traces{{"a", "b"}, {"c"}, {"a", "b", "c"}};
+  const auto graph = SequenceGraph::build(traces);
+  // nodes = 6 events + INITIAL + TERMINAL; edges = events + traces.
+  EXPECT_EQ(graph.num_nodes(), 8u);
+  EXPECT_EQ(graph.num_edges(), 9u);
+}
+
+TEST(SequenceGraph, AcceptsOnlyExactTraces) {
+  const Traces traces{{"a", "b"}};
+  const auto graph = SequenceGraph::build(traces);
+  EXPECT_TRUE(graph.accepts(std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(graph.accepts(std::vector<std::string>{"a"}));
+  EXPECT_FALSE(graph.accepts(std::vector<std::string>{"a", "b", "b"}));
+}
+
+TEST(SequenceGraph, EmptyTracesSkipped) {
+  const Traces traces{{}, {"a"}};
+  const auto graph = SequenceGraph::build(traces);
+  EXPECT_EQ(graph.num_nodes(), 3u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,78 @@
+#include "behaviot/pfsm/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace behaviot {
+namespace {
+
+UserEvent ev(double t_s, const std::string& device,
+             const std::string& activity) {
+  UserEvent e;
+  e.ts = Timestamp::from_seconds(t_s);
+  e.device_name = device;
+  e.activity = activity;
+  return e;
+}
+
+TEST(Traces, EmptyStream) {
+  EXPECT_TRUE(build_traces(std::vector<UserEvent>{}).empty());
+}
+
+TEST(Traces, SingleEventSingleTrace) {
+  const std::vector<UserEvent> events{ev(0, "plug", "on")};
+  const auto traces = build_traces(events);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].size(), 1u);
+}
+
+TEST(Traces, SplitsAtGapsOverOneMinute) {
+  const std::vector<UserEvent> events{
+      ev(0, "cam", "motion"), ev(5, "bulb", "on"),     // trace 1
+      ev(120, "plug", "on"), ev(150, "plug", "off"),   // trace 2 (gap 115 s)
+      ev(400, "cam", "motion"),                        // trace 3 (gap 250 s)
+  };
+  const auto traces = build_traces(events);
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].size(), 2u);
+  EXPECT_EQ(traces[1].size(), 2u);
+  EXPECT_EQ(traces[2].size(), 1u);
+}
+
+TEST(Traces, ExactGapBoundaryStaysTogether) {
+  // Gap of exactly 60 s does not split (threshold is strict >).
+  const std::vector<UserEvent> events{ev(0, "a", "x"), ev(60, "b", "y")};
+  EXPECT_EQ(build_traces(events).size(), 1u);
+  const std::vector<UserEvent> events2{ev(0, "a", "x"), ev(60.001, "b", "y")};
+  EXPECT_EQ(build_traces(events2).size(), 2u);
+}
+
+TEST(Traces, UnsortedInputIsSortedFirst) {
+  const std::vector<UserEvent> events{ev(100, "b", "y"), ev(0, "a", "x"),
+                                      ev(95, "c", "z")};
+  const auto traces = build_traces(events);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0][0].device_name, "a");
+  EXPECT_EQ(traces[1][0].device_name, "c");
+  EXPECT_EQ(traces[1][1].device_name, "b");
+}
+
+TEST(Traces, CustomGap) {
+  const std::vector<UserEvent> events{ev(0, "a", "x"), ev(10, "b", "y")};
+  EXPECT_EQ(build_traces(events, seconds(5.0)).size(), 2u);
+  EXPECT_EQ(build_traces(events, seconds(15.0)).size(), 1u);
+}
+
+TEST(Traces, LabelsCombineDeviceAndActivity) {
+  const EventTrace trace{ev(0, "tplink_plug", "on"), ev(1, "cam", "motion")};
+  const auto labels = trace_labels(trace);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "tplink_plug:on");
+  EXPECT_EQ(labels[1], "cam:motion");
+}
+
+TEST(UserEvent, LabelFormat) {
+  EXPECT_EQ(ev(0, "bulb", "color").label(), "bulb:color");
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -1,0 +1,184 @@
+#include "behaviot/testbed/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot::testbed {
+namespace {
+
+const Catalog& catalog() { return Catalog::standard(); }
+
+TEST(TrafficGenerator, BackgroundBeaconCountTracksPeriods) {
+  TrafficGenerator gen(catalog(), 1);
+  const DeviceInfo* plug = catalog().by_name("tplink_plug");
+  GeneratedCapture out;
+  const double window_s = 6.0 * 3600;
+  gen.gen_background(plug->id, Timestamp(0), Timestamp::from_seconds(window_s),
+                     {}, out);
+  // Expected flows: sum over periodic behaviors of window/period (+ a few
+  // aperiodic). The plug has 3 behaviors: DNS 3603, NTP 3603, cloud.
+  double expected = 0;
+  for (const auto& b : gen.profile(plug->id).periodic) {
+    expected += window_s / b.period_s;
+  }
+  EXPECT_NEAR(static_cast<double>(out.truths.size()), expected,
+              expected * 0.35 + 3.0);
+}
+
+TEST(TrafficGenerator, BackgroundIsPhaseContinuousAcrossWindows) {
+  // Generating [0, 12h) in one call or as two 6 h calls must produce the
+  // same periodic grid (same truth count, no boundary duplication).
+  TrafficGenerator gen_full(catalog(), 2);
+  TrafficGenerator gen_split(catalog(), 2);
+  const DeviceInfo* plug = catalog().by_name("tplink_plug");
+
+  GeneratedCapture full;
+  gen_full.gen_background(plug->id, Timestamp(0),
+                          Timestamp::from_seconds(12 * 3600.0), {}, full);
+  GeneratedCapture split;
+  gen_split.gen_background(plug->id, Timestamp(0),
+                           Timestamp::from_seconds(6 * 3600.0), {}, split);
+  gen_split.gen_background(plug->id, Timestamp::from_seconds(6 * 3600.0),
+                           Timestamp::from_seconds(12 * 3600.0), {}, split);
+  // Aperiodic arrivals may differ (independent Poisson draws); periodic
+  // grids must agree within the aperiodic budget.
+  EXPECT_NEAR(static_cast<double>(full.truths.size()),
+              static_cast<double>(split.truths.size()), 4.0);
+}
+
+TEST(TrafficGenerator, OutagesSuppressBackground) {
+  TrafficGenerator gen(catalog(), 3);
+  const DeviceInfo* cam = catalog().by_name("ring_camera");
+  GeneratedCapture normal;
+  gen.gen_background(cam->id, Timestamp(0), Timestamp::from_seconds(86400), {},
+                     normal);
+  TrafficGenerator gen2(catalog(), 3);
+  GeneratedCapture outage;
+  const OutageSpans spans{{Timestamp::from_seconds(3600 * 6),
+                           Timestamp::from_seconds(3600 * 18)}};
+  gen2.gen_background(cam->id, Timestamp(0), Timestamp::from_seconds(86400),
+                      spans, outage);
+  EXPECT_LT(outage.truths.size(), normal.truths.size());
+  for (const FlowTruth& t : outage.truths) {
+    const bool inside = t.start >= spans[0].first && t.start < spans[0].second;
+    EXPECT_FALSE(inside);
+  }
+}
+
+TEST(TrafficGenerator, UserEventEmitsTruthAndEvent) {
+  TrafficGenerator gen(catalog(), 4);
+  const DeviceInfo* bulb = catalog().by_name("tplink_bulb");
+  GeneratedCapture out;
+  gen.gen_user_event(bulb->id, "on", Timestamp::from_seconds(100), out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].device_name, "tplink_bulb");
+  EXPECT_EQ(out.events[0].activity, "on");
+  ASSERT_GE(out.truths.size(), 1u);
+  for (const FlowTruth& t : out.truths) {
+    EXPECT_EQ(t.kind, EventKind::kUser);
+    EXPECT_EQ(t.label, "tplink_bulb:on");
+  }
+  EXPECT_FALSE(out.packets.empty());
+}
+
+TEST(TrafficGenerator, UnknownCommandIsIgnored) {
+  TrafficGenerator gen(catalog(), 5);
+  GeneratedCapture out;
+  gen.gen_user_event(catalog().by_name("tplink_plug")->id, "fly",
+                     Timestamp(0), out);
+  EXPECT_TRUE(out.events.empty());
+  EXPECT_TRUE(out.packets.empty());
+}
+
+TEST(TrafficGenerator, GroundTruthJoinsEveryFlow) {
+  TrafficGenerator gen(catalog(), 6);
+  const DeviceInfo* plug = catalog().by_name("amazon_plug");
+  GeneratedCapture capture;
+  gen.gen_dns_bootstrap(plug->id, Timestamp(0), capture);
+  gen.gen_background(plug->id, Timestamp(0), Timestamp::from_seconds(7200), {},
+                     capture);
+  gen.gen_user_event(plug->id, "on", Timestamp::from_seconds(3000), capture);
+  capture.sort_packets();
+
+  DomainResolver resolver;
+  configure_resolver(resolver, capture);
+  FlowAssembler assembler;
+  auto flows = assembler.assemble(capture.packets, resolver);
+  const std::size_t unmatched = apply_ground_truth(flows, capture.truths);
+  EXPECT_EQ(unmatched, 0u);
+  for (const FlowRecord& f : flows) {
+    EXPECT_NE(f.truth, EventKind::kUnknown);
+  }
+}
+
+TEST(TrafficGenerator, DnsBootstrapTeachesResolver) {
+  TrafficGenerator gen(catalog(), 7);
+  const DeviceInfo* bulb = catalog().by_name("govee_bulb");
+  GeneratedCapture capture;
+  TrafficGenerator::add_static_rdns(capture);  // gateway's resolver config
+  gen.gen_dns_bootstrap(bulb->id, Timestamp(0), capture);
+  capture.sort_packets();
+
+  DomainResolver resolver;
+  configure_resolver(resolver, capture);
+  for (const Packet& p : capture.packets) resolver.observe(p);
+
+  // Every periodic destination of the device resolves (DNS or rDNS).
+  for (const auto& behavior : gen.profile(bulb->id).periodic) {
+    EXPECT_EQ(resolver.resolve(ip_for_domain(behavior.domain)),
+              behavior.domain);
+  }
+}
+
+TEST(TrafficGenerator, TlsFlowsCarrySni) {
+  TrafficGenerator gen(catalog(), 8);
+  const DeviceInfo* cam = catalog().by_name("ring_camera");
+  GeneratedCapture out;
+  gen.gen_background(cam->id, Timestamp(0), Timestamp::from_seconds(86400), {},
+                     out);
+  bool any_sni = false;
+  for (const Packet& p : out.packets) {
+    if (!p.payload.empty() && p.tuple.dst.port == 443) any_sni = true;
+  }
+  EXPECT_TRUE(any_sni);
+}
+
+TEST(TrafficGenerator, FlowPacketsStayWithinBurstGap) {
+  // All packets of one generated flow must be < 1 s apart, or the assembler
+  // would split them and the truth join would fail.
+  TrafficGenerator gen(catalog(), 9);
+  const DeviceInfo* bulb = catalog().by_name("tplink_bulb");
+  GeneratedCapture out;
+  for (int i = 0; i < 20; ++i) {
+    gen.gen_user_event(bulb->id, "color",
+                       Timestamp::from_seconds(100.0 * (i + 1)), out);
+  }
+  std::map<FiveTuple, Timestamp, std::less<FiveTuple>> last;
+  for (const Packet& p : out.packets) {
+    auto it = last.find(p.tuple);
+    if (it != last.end()) {
+      EXPECT_LT(p.ts - it->second, seconds(1.0));
+    }
+    last[p.tuple] = p.ts;
+  }
+}
+
+TEST(GeneratedCapture, MergeCombines) {
+  GeneratedCapture a;
+  a.start = Timestamp(0);
+  a.end = Timestamp(100);
+  a.packets.resize(2);
+  GeneratedCapture b;
+  b.start = Timestamp(50);
+  b.end = Timestamp(300);
+  b.packets.resize(3);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.packets.size(), 5u);
+  EXPECT_EQ(a.start, Timestamp(0));
+  EXPECT_EQ(a.end, Timestamp(300));
+}
+
+}  // namespace
+}  // namespace behaviot::testbed

@@ -1,0 +1,105 @@
+#include "behaviot/ml/unsupervised.hpp"
+
+#include <gtest/gtest.h>
+
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+namespace {
+
+/// Candidate event flows: ground-truth user flows from the activity dataset
+/// (what a deployment would have after periodic filtering, §7.3).
+struct Fixture {
+  std::vector<FlowRecord> user_flows;
+
+  explicit Fixture(std::uint64_t seed, std::size_t reps) {
+    const auto capture = testbed::Datasets::activity(seed, reps);
+    DomainResolver resolver;
+    testbed::configure_resolver(resolver, capture);
+    FlowAssembler assembler;
+    auto flows = assembler.assemble(capture.packets, resolver);
+    testbed::apply_ground_truth(flows, capture.truths);
+    for (FlowRecord& f : flows) {
+      if (f.truth == EventKind::kUser) user_flows.push_back(std::move(f));
+    }
+  }
+};
+
+TEST(Unsupervised, ClustersEmergePerDevice) {
+  const Fixture fx(121, 10);
+  const auto models = UnsupervisedActionModels::train(fx.user_flows);
+  EXPECT_GT(models.num_clusters(), 20u);
+  const auto* bulb = testbed::Catalog::standard().by_name("tplink_bulb");
+  EXPECT_GE(models.labels_for(bulb->id).size(), 2u);
+}
+
+TEST(Unsupervised, ClustersArePureAgainstGroundTruth) {
+  // The §7.3 claim only works if unsupervised clusters correspond to real
+  // activities; measure cluster purity against the hidden labels.
+  const Fixture fx(122, 10);
+  const auto models = UnsupervisedActionModels::train(fx.user_flows);
+  EXPECT_GT(models.purity(fx.user_flows), 0.9);
+}
+
+TEST(Unsupervised, GeneralizesToHeldOutTraffic) {
+  const Fixture train(123, 10);
+  const auto models = UnsupervisedActionModels::train(train.user_flows);
+  const Fixture test(124, 3);
+  std::size_t matched = 0;
+  for (const FlowRecord& f : test.user_flows) {
+    matched += models.classify(f).matched() ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(matched) /
+                static_cast<double>(test.user_flows.size()),
+            0.7);
+  EXPECT_GT(models.purity(test.user_flows), 0.85);
+}
+
+TEST(Unsupervised, SameActivityMapsToSameCluster) {
+  const Fixture fx(125, 10);
+  const auto models = UnsupervisedActionModels::train(fx.user_flows);
+  // Two flows with the same truth label on the same device should land in
+  // the same pseudo-cluster (spot check on a frequent label).
+  std::map<std::string, std::set<std::string>> label_to_clusters;
+  for (const FlowRecord& f : fx.user_flows) {
+    const auto prediction = models.classify(f);
+    if (prediction.matched()) {
+      label_to_clusters[f.truth_label].insert(prediction.label);
+    }
+  }
+  std::size_t single_cluster_labels = 0, labels_total = 0;
+  for (const auto& [label, clusters] : label_to_clusters) {
+    ++labels_total;
+    if (clusters.size() == 1) ++single_cluster_labels;
+  }
+  ASSERT_GT(labels_total, 0u);
+  EXPECT_GT(static_cast<double>(single_cluster_labels) /
+                static_cast<double>(labels_total),
+            0.7);
+}
+
+TEST(Unsupervised, UnknownDeviceUnmatched) {
+  const Fixture fx(126, 6);
+  const auto models = UnsupervisedActionModels::train(fx.user_flows);
+  FlowRecord flow;
+  flow.device = 9999;
+  EXPECT_FALSE(models.classify(flow).matched());
+  EXPECT_TRUE(models.labels_for(9999).empty());
+}
+
+TEST(Unsupervised, EmptyTrainingIsHarmless) {
+  const auto models = UnsupervisedActionModels::train({});
+  EXPECT_EQ(models.num_clusters(), 0u);
+  EXPECT_DOUBLE_EQ(models.purity({}), 0.0);
+}
+
+TEST(Unsupervised, TinyInputBelowMinClusterSize) {
+  Fixture fx(127, 1);
+  fx.user_flows.resize(std::min<std::size_t>(fx.user_flows.size(), 3));
+  const auto models = UnsupervisedActionModels::train(fx.user_flows);
+  EXPECT_EQ(models.num_clusters(), 0u);
+}
+
+}  // namespace
+}  // namespace behaviot

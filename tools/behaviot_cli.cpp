@@ -1,0 +1,280 @@
+// behaviot — command-line front end for the library.
+//
+// Drives the gateway workflow end-to-end on pcap files:
+//
+//   behaviot simulate --dataset idle --days 2 --seed 7 --out idle.pcap
+//       Write a simulated testbed capture as a classic .pcap file.
+//       Datasets: idle | activity | routine | uncontrolled-day:<N>
+//
+//   behaviot train --idle idle.pcap --window-days 2 --out models.txt
+//       Infer periodic models from an idle capture and save them (with the
+//       default deviation thresholds). User-action models need labeled
+//       interactions and are therefore trained via the library API, not
+//       from raw pcaps — see README.
+//
+//   behaviot show --models models.txt [--device <name>]
+//       Print the saved models.
+//
+//   behaviot score --models models.txt --capture day.pcap
+//       Evaluate a capture against saved models and print periodic
+//       deviation alerts.
+//
+//   behaviot mud --models models.txt --device <name>
+//       Emit a MUD-like profile for one device.
+//
+//   behaviot check --models models.txt --capture day.pcap --device <name>
+//       MUD compliance: flag the device's flows that match no profile
+//       entry (unknown destination or protocol).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "behaviot/core/mud_profile.hpp"
+#include "behaviot/core/pipeline.hpp"
+#include "behaviot/core/serialize.hpp"
+#include "behaviot/deviation/monitor.hpp"
+#include "behaviot/net/pcap.hpp"
+
+using namespace behaviot;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: behaviot <simulate|train|show|score|mud> [options]\n"
+               "  simulate --dataset idle|activity|routine|uncontrolled-day:N"
+               " [--days D] [--seed S] --out FILE.pcap\n"
+               "  train    --idle FILE.pcap --window-days D --out MODELS.txt\n"
+               "  show     --models MODELS.txt [--device NAME]\n"
+               "  score    --models MODELS.txt --capture FILE.pcap\n"
+               "  mud      --models MODELS.txt --device NAME\n"
+               "  check    --models MODELS.txt --capture FILE.pcap"
+               " --device NAME\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+/// Reads a pcap and restores device identity from the catalog's lease table.
+std::vector<Packet> load_capture(const std::string& path) {
+  auto parsed = read_pcap(path);
+  const auto& catalog = testbed::Catalog::standard();
+  for (Packet& p : parsed.packets) {
+    const auto* device = catalog.by_ip(p.tuple.src.ip);
+    if (device != nullptr) p.device = device->id;
+  }
+  std::fprintf(stderr, "loaded %zu packets (%zu skipped) from %s\n",
+               parsed.packets.size(), parsed.skipped, path.c_str());
+  return std::move(parsed.packets);
+}
+
+DomainResolver make_resolver() {
+  DomainResolver resolver;
+  testbed::GeneratedCapture rdns_only;
+  testbed::TrafficGenerator::add_static_rdns(rdns_only);
+  testbed::configure_resolver(resolver, rdns_only);
+  return resolver;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  const std::string dataset = flags.count("dataset") ? flags.at("dataset")
+                                                     : "idle";
+  const double days = flags.count("days") ? std::stod(flags.at("days")) : 1.0;
+  const std::uint64_t seed =
+      flags.count("seed") ? std::stoull(flags.at("seed")) : 1;
+  if (flags.count("out") == 0) return usage();
+
+  testbed::GeneratedCapture capture;
+  if (dataset == "idle") {
+    capture = testbed::Datasets::idle(seed, days);
+  } else if (dataset == "activity") {
+    capture = testbed::Datasets::activity(seed);
+  } else if (dataset == "routine") {
+    capture = testbed::Datasets::routine_week(seed, days);
+  } else if (dataset.rfind("uncontrolled-day:", 0) == 0) {
+    capture = testbed::Datasets::uncontrolled_day(
+        std::stoul(dataset.substr(std::strlen("uncontrolled-day:"))), seed);
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+    return 2;
+  }
+
+  PcapWriter writer(flags.at("out"));
+  for (const Packet& p : capture.packets) writer.write(p);
+  std::printf("wrote %zu packets to %s (%zu ground-truth user events "
+              "withheld — pcap carries traffic only)\n",
+              writer.packets_written(), flags.at("out").c_str(),
+              capture.events.size());
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  if (flags.count("idle") == 0 || flags.count("out") == 0) return usage();
+  const double window_days =
+      flags.count("window-days") ? std::stod(flags.at("window-days")) : 1.0;
+
+  const auto packets = load_capture(flags.at("idle"));
+  DomainResolver resolver = make_resolver();
+  FlowAssembler assembler;
+  const auto flows = assembler.assemble(packets, resolver);
+  std::fprintf(stderr, "assembled %zu flows\n", flows.size());
+
+  BehaviorModelSet models;
+  models.periodic = PeriodicModelSet::infer(flows, window_days * 86400.0);
+  save_models_file(flags.at("out"), models);
+  std::printf("inferred %zu periodic models (coverage %.1f%%), saved to %s\n",
+              models.periodic.size(),
+              models.periodic.stats().coverage() * 100.0,
+              flags.at("out").c_str());
+  return 0;
+}
+
+int cmd_show(const std::map<std::string, std::string>& flags) {
+  if (flags.count("models") == 0) return usage();
+  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const auto& catalog = testbed::Catalog::standard();
+
+  const testbed::DeviceInfo* only = nullptr;
+  if (flags.count("device")) {
+    only = catalog.by_name(flags.at("device"));
+    if (only == nullptr) {
+      std::fprintf(stderr, "unknown device '%s'\n",
+                   flags.at("device").c_str());
+      return 2;
+    }
+  }
+  std::printf("periodic models: %zu; PFSM: %zu states / %zu transitions; "
+              "thresholds: periodic %.2f, short-term %.2f, |z| %.2f\n\n",
+              models.periodic.size(), models.pfsm.num_states(),
+              models.pfsm.num_transitions(), models.thresholds.periodic,
+              models.short_term.value(), models.thresholds.long_term_z);
+  for (const PeriodicModel& m : models.periodic.all()) {
+    if (only != nullptr && m.device != only->id) continue;
+    const char* device_name = m.device < catalog.size()
+                                  ? catalog.by_id(m.device).name.c_str()
+                                  : "?";
+    std::printf("%-20s %-4s %-32s T=%8.1fs tol=%6.1fs support=%zu\n",
+                device_name, to_string(m.app), m.domain.c_str(),
+                m.period_seconds, m.tolerance_seconds, m.support);
+  }
+  return 0;
+}
+
+int cmd_score(const std::map<std::string, std::string>& flags) {
+  if (flags.count("models") == 0 || flags.count("capture") == 0) {
+    return usage();
+  }
+  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const auto packets = load_capture(flags.at("capture"));
+  if (packets.empty()) {
+    std::fprintf(stderr, "empty capture\n");
+    return 1;
+  }
+  DomainResolver resolver = make_resolver();
+  FlowAssembler assembler;
+  const auto flows = assembler.assemble(packets, resolver);
+
+  DeviationMonitor monitor(models.periodic, models.pfsm, models.short_term);
+  // Two passes: the first primes the timers, the second scores. A gateway
+  // deployment would stream windows; for a one-shot file we split in half.
+  const Timestamp start = flows.front().start;
+  const Timestamp end = flows.back().end + seconds(1.0);
+  const Timestamp mid((start.micros() + end.micros()) / 2);
+  std::vector<FlowRecord> first_half, second_half;
+  for (const FlowRecord& f : flows) {
+    (f.start < mid ? first_half : second_half).push_back(f);
+  }
+  (void)monitor.evaluate_window(start, mid, first_half, {});
+  const auto alerts = monitor.evaluate_window(mid, end, second_half, {});
+
+  const auto& catalog = testbed::Catalog::standard();
+  std::printf("%zu flows, %zu deviation alerts in the scored half\n",
+              flows.size(), alerts.size());
+  for (const auto& a : alerts) {
+    const char* device_name = a.device < catalog.size()
+                                  ? catalog.by_id(a.device).name.c_str()
+                                  : "(system)";
+    std::printf("  [%s] %-18s score %6.2f (thr %4.2f)  %s\n",
+                to_string(a.source), device_name, a.score, a.threshold,
+                a.context.substr(0, 80).c_str());
+  }
+  return 0;
+}
+
+int cmd_mud(const std::map<std::string, std::string>& flags) {
+  if (flags.count("models") == 0 || flags.count("device") == 0) {
+    return usage();
+  }
+  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const auto* device =
+      testbed::Catalog::standard().by_name(flags.at("device"));
+  if (device == nullptr) {
+    std::fprintf(stderr, "unknown device '%s'\n", flags.at("device").c_str());
+    return 2;
+  }
+  const MudProfile profile =
+      generate_mud_profile(device->id, device->name, models.periodic, {});
+  std::printf("%s", profile.to_json().c_str());
+  return 0;
+}
+
+int cmd_check(const std::map<std::string, std::string>& flags) {
+  if (flags.count("models") == 0 || flags.count("capture") == 0 ||
+      flags.count("device") == 0) {
+    return usage();
+  }
+  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const auto* device =
+      testbed::Catalog::standard().by_name(flags.at("device"));
+  if (device == nullptr) {
+    std::fprintf(stderr, "unknown device '%s'\n", flags.at("device").c_str());
+    return 2;
+  }
+  const auto packets = load_capture(flags.at("capture"));
+  DomainResolver resolver = make_resolver();
+  FlowAssembler assembler;
+  const auto flows = assembler.assemble(packets, resolver);
+
+  const MudProfile profile = generate_mud_profile(
+      device->id, device->name, models.periodic, {});
+  const auto violations = check_mud_compliance(profile, device->id, flows);
+  std::size_t device_flows = 0;
+  for (const auto& f : flows) device_flows += f.device == device->id ? 1 : 0;
+  std::printf("%s: %zu flows checked against %zu ACL entries, %zu "
+              "non-compliant\n",
+              device->display.c_str(), device_flows, profile.entries.size(),
+              violations.size());
+  for (const auto& v : violations) {
+    std::printf("  NONCOMPLIANT %-14s %-40s %s\n", v.protocol.c_str(),
+                v.domain.c_str(), v.reason.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv);
+  try {
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "train") return cmd_train(flags);
+    if (command == "show") return cmd_show(flags);
+    if (command == "score") return cmd_score(flags);
+    if (command == "mud") return cmd_mud(flags);
+    if (command == "check") return cmd_check(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
