@@ -1,14 +1,30 @@
 // Micro-benchmarks (google-benchmark): throughput of the pipeline's hot
 // paths. Useful for the §7.2 deployment claim that the system is light
 // enough for a home gateway.
+//
+// The main() additionally times full pipeline train+classify at 1 thread and
+// at >= 4 threads and writes machine-readable BENCH_pipeline.json (path
+// overridable via BEHAVIOT_BENCH_JSON; skip with
+// BEHAVIOT_SKIP_PIPELINE_BENCH=1) so successive PRs accumulate a perf
+// trajectory. The run also cross-checks the runtime's determinism guarantee:
+// serialized models must be byte-identical across thread counts.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "behaviot/core/pipeline.hpp"
+#include "behaviot/core/serialize.hpp"
 #include "behaviot/flow/assembler.hpp"
 #include "behaviot/flow/features.hpp"
 #include "behaviot/ml/random_forest.hpp"
 #include "behaviot/periodic/fft.hpp"
 #include "behaviot/periodic/period_detector.hpp"
 #include "behaviot/pfsm/synoptic.hpp"
+#include "behaviot/runtime/runtime.hpp"
 #include "behaviot/testbed/datasets.hpp"
 
 namespace behaviot {
@@ -113,7 +129,123 @@ void BM_SynopticInference(benchmark::State& state) {
 }
 BENCHMARK(BM_SynopticInference);
 
+void BM_ForestFit(benchmark::State& state) {
+  runtime::set_global_threads(static_cast<std::size_t>(state.range(0)));
+  Rng rng(9);
+  Dataset data;
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> row(kNumFlowFeatures);
+    for (auto& v : row) v = rng.uniform(0, 1000);
+    data.add(std::move(row), i % 2);
+  }
+  for (auto _ : state) {
+    RandomForest forest({.num_trees = 30, .seed = 5});
+    forest.fit(data, 2);
+    benchmark::DoNotOptimize(forest);
+  }
+  runtime::set_global_threads(0);
+}
+BENCHMARK(BM_ForestFit)->Arg(1)->Arg(4);
+
+/// Wall-clock of one pipeline train + classify pass at `threads`.
+struct PipelineTiming {
+  double train_ms = 0.0;
+  double classify_ms = 0.0;
+  std::string serialized;  ///< model bytes, for the determinism cross-check
+};
+
+PipelineTiming time_pipeline(std::size_t threads) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms = [](Clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+
+  runtime::set_global_threads(threads);
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto idle = testbed::Datasets::idle(111, /*days=*/1.0);
+  const auto activity = testbed::Datasets::activity(112, /*repetitions=*/6);
+  const auto routine = testbed::Datasets::routine_week(113, /*days=*/2.0);
+  const auto idle_flows = pipeline.to_flows(idle, resolver);
+  const auto activity_flows = pipeline.to_flows(activity, resolver);
+  const auto routine_flows = pipeline.to_flows(routine, resolver);
+
+  PipelineTiming t;
+  const auto t0 = Clock::now();
+  const auto models =
+      pipeline.train(idle_flows, 86400.0, activity_flows, routine_flows);
+  const auto t1 = Clock::now();
+  benchmark::DoNotOptimize(pipeline.classify(idle_flows, models));
+  benchmark::DoNotOptimize(pipeline.classify(routine_flows, models));
+  const auto t2 = Clock::now();
+
+  t.train_ms = ms(t1 - t0);
+  t.classify_ms = ms(t2 - t1);
+  std::ostringstream os;
+  save_models(os, models);
+  t.serialized = os.str();
+  return t;
+}
+
+/// Emits BENCH_pipeline.json: train/classify wall-clock at 1 vs N threads
+/// plus the byte-identity verdict. Returns false on I/O failure.
+bool write_pipeline_bench_json(const std::string& path) {
+  const std::size_t parallel_threads =
+      std::max<std::size_t>(4, runtime::default_threads());
+  const PipelineTiming serial = time_pipeline(1);
+  const PipelineTiming parallel = time_pipeline(parallel_threads);
+  runtime::set_global_threads(0);
+
+  const bool identical = serial.serialized == parallel.serialized;
+  const double serial_total = serial.train_ms + serial.classify_ms;
+  const double parallel_total = parallel.train_ms + parallel.classify_ms;
+
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "{\n"
+     << "  \"benchmark\": \"pipeline_train_classify\",\n"
+     << "  \"dataset\": {\"idle_days\": 1.0, \"activity_repetitions\": 6, "
+        "\"routine_days\": 2.0},\n"
+     << "  \"hardware_threads\": " << runtime::default_threads() << ",\n"
+     << "  \"runs\": [\n"
+     << "    {\"threads\": 1, \"train_ms\": " << serial.train_ms
+     << ", \"classify_ms\": " << serial.classify_ms
+     << ", \"total_ms\": " << serial_total << "},\n"
+     << "    {\"threads\": " << parallel_threads
+     << ", \"train_ms\": " << parallel.train_ms
+     << ", \"classify_ms\": " << parallel.classify_ms
+     << ", \"total_ms\": " << parallel_total << "}\n"
+     << "  ],\n"
+     << "  \"speedup_train\": " << serial.train_ms / parallel.train_ms
+     << ",\n"
+     << "  \"speedup_classify\": "
+     << serial.classify_ms / parallel.classify_ms << ",\n"
+     << "  \"speedup_total\": " << serial_total / parallel_total << ",\n"
+     << "  \"models_bit_identical\": " << (identical ? "true" : "false")
+     << "\n}\n";
+  std::cerr << "BENCH_pipeline: train " << serial.train_ms << " ms -> "
+            << parallel.train_ms << " ms, classify " << serial.classify_ms
+            << " ms -> " << parallel.classify_ms << " ms at "
+            << parallel_threads << " threads; models "
+            << (identical ? "bit-identical" : "DIVERGED") << "; wrote "
+            << path << "\n";
+  return identical && os.good();
+}
+
 }  // namespace
 }  // namespace behaviot
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (std::getenv("BEHAVIOT_SKIP_PIPELINE_BENCH") == nullptr) {
+    const char* json_path = std::getenv("BEHAVIOT_BENCH_JSON");
+    if (!behaviot::write_pipeline_bench_json(
+            json_path != nullptr ? json_path : "BENCH_pipeline.json")) {
+      return 1;
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,10 @@
 #include "behaviot/core/pipeline.hpp"
 
 #include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
 
@@ -57,28 +61,65 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
   out.kinds.resize(flows.size(), EventKind::kAperiodic);
   out.labels.resize(flows.size());
 
-  PeriodicEventClassifier periodic(models.periodic);
+  // Periodic stages (timer + cluster): the timer carries state *within* a
+  // (device, group) stream — the last accepted occurrence — but streams are
+  // mutually independent, so each group classifies in parallel with its own
+  // classifier. Flow indices stay in input (time) order inside a group, and
+  // every index writes only its own kinds/labels slot, so the outcome is
+  // identical to the former sequential sweep at any thread count.
+  std::map<std::pair<DeviceId, std::string>, std::vector<std::size_t>>
+      by_group;
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    const FlowRecord& flow = flows[i];
-    const PeriodicClassification p = periodic.classify(flow);
-    if (p.periodic) {
-      out.kinds[i] = EventKind::kPeriodic;
-      out.periodic_via_timer += p.via_timer ? 1 : 0;
-      out.periodic_via_cluster += p.via_cluster ? 1 : 0;
-      continue;
-    }
-    const UserActionPrediction u = models.user_actions.classify(flow);
+    by_group[{flows[i].device, flows[i].group_key()}].push_back(i);
+  }
+  using GroupIndices = std::pair<const std::pair<DeviceId, std::string>,
+                                 std::vector<std::size_t>>;
+  std::vector<const GroupIndices*> group_list;
+  group_list.reserve(by_group.size());
+  for (const GroupIndices& g : by_group) group_list.push_back(&g);
+
+  struct GroupCounts {
+    std::size_t via_timer = 0;
+    std::size_t via_cluster = 0;
+  };
+  const auto counts = runtime::global_pool().parallel_map(
+      group_list, [&](const GroupIndices* g) -> GroupCounts {
+        GroupCounts c;
+        PeriodicEventClassifier periodic(models.periodic);
+        for (const std::size_t i : g->second) {
+          const PeriodicClassification p = periodic.classify(flows[i]);
+          if (p.periodic) {
+            out.kinds[i] = EventKind::kPeriodic;
+            c.via_timer += p.via_timer ? 1 : 0;
+            c.via_cluster += p.via_cluster ? 1 : 0;
+          }
+        }
+        return c;
+      });
+  for (const GroupCounts& c : counts) {
+    out.periodic_via_timer += c.via_timer;
+    out.periodic_via_cluster += c.via_cluster;
+  }
+
+  // User-action stage: stateless per flow — flat data-parallel sweep over
+  // everything the periodic stages did not claim.
+  runtime::parallel_for(0, flows.size(), [&](std::size_t i) {
+    if (out.kinds[i] == EventKind::kPeriodic) return;
+    const UserActionPrediction u = models.user_actions.classify(flows[i]);
     if (u.is_user_event()) {
       out.kinds[i] = EventKind::kUser;
       out.labels[i] = u.activity;
     }
-  }
+  });
 
   // Merge same-label user flows within the merge window into one event
-  // (control flow + relay flow of the same physical action).
+  // (control flow + relay flow of the same physical action). Event merging
+  // is inherently sequential (each decision depends on the previously
+  // emitted event of the label), so it stays a single ordered pass.
   const auto merge_us =
       static_cast<std::int64_t>(options_.event_merge_window_s * 1e6);
-  std::map<std::string, Timestamp> last_emitted;
+  std::unordered_map<std::string, Timestamp> last_emitted;
+  last_emitted.reserve(models.user_actions.size() * 4);
   for (std::size_t i = 0; i < flows.size(); ++i) {
     if (out.kinds[i] != EventKind::kUser) continue;
     const std::string& label = out.labels[i];

@@ -13,6 +13,7 @@ std::vector<std::vector<std::size_t>> stratified_kfold(
 
   Rng rng(seed);
   std::vector<std::vector<std::size_t>> folds(k);
+  for (auto& fold : folds) fold.reserve(labels.size() / k + by_class.size());
   for (auto& [label, indices] : by_class) {
     rng.shuffle(indices);
     for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -31,6 +32,11 @@ TrainTestSplit stratified_split(std::span<const int> labels,
 
   Rng rng(seed);
   TrainTestSplit split;
+  split.train.reserve(labels.size());
+  split.test.reserve(
+      static_cast<std::size_t>(static_cast<double>(labels.size()) *
+                               test_fraction) +
+      by_class.size());
   for (auto& [label, indices] : by_class) {
     rng.shuffle(indices);
     // At least one test sample per class when the class has >1 members.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "behaviot/runtime/runtime.hpp"
+
 namespace behaviot {
 
 RandomForest::RandomForest(ForestOptions options) : options_(options) {}
@@ -20,15 +22,18 @@ void RandomForest::fit(const Dataset& data, int num_classes) {
                 std::max(1.0, std::floor(std::sqrt(
                                   static_cast<double>(data.num_features())))));
 
-  Rng root(options_.seed);
-  trees_.reserve(options_.num_trees);
-  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+  // Trees train data-parallel: each tree draws from its own forked RNG
+  // stream keyed by the tree index, so the forest is bit-identical at any
+  // thread count (and identical to the former sequential loop).
+  const Rng root(options_.seed);
+  std::vector<DecisionTree> trees(options_.num_trees,
+                                  DecisionTree(tree_options));
+  runtime::parallel_for(0, options_.num_trees, [&](std::size_t t) {
     Rng tree_rng = root.fork(t);
     const auto sample = bootstrap_indices(data.size(), tree_rng);
-    DecisionTree tree(tree_options);
-    tree.fit(data.X, data.y, sample, num_classes, tree_rng);
-    trees_.push_back(std::move(tree));
-  }
+    trees[t].fit(data.X, data.y, sample, num_classes, tree_rng);
+  });
+  trees_ = std::move(trees);
 }
 
 std::vector<double> RandomForest::predict_proba(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "behaviot/runtime/runtime.hpp"
+
 namespace behaviot {
 
 UserActionModels UserActionModels::train(
@@ -27,43 +29,72 @@ UserActionModels UserActionModels::train(
     device_background[f.device].push_back(extract_features(f));
   }
 
-  Rng rng(options.seed);
+  // One forest per (device, activity); forests are independent, so they
+  // train data-parallel. Stream ids are assigned in the deterministic map
+  // iteration order *before* the fan-out, so every forest draws the same RNG
+  // stream — and therefore the same negatives and trees — at any thread
+  // count. (Each forest's own per-tree loop also runs parallel when this
+  // outer level is serial; nested calls degrade to inline execution.)
+  struct ForestTask {
+    DeviceId device = kUnknownDevice;
+    const std::string* activity = nullptr;
+    const std::vector<FeatureVector>* pos_rows = nullptr;
+    const std::map<std::string, std::vector<FeatureVector>>* by_activity =
+        nullptr;
+    std::uint64_t stream = 0;
+  };
+  std::vector<ForestTask> tasks;
   std::uint64_t stream = 0;
   for (auto& [device, by_activity] : positives) {
     for (auto& [activity, pos_rows] : by_activity) {
-      Dataset data;
-      for (const auto& row : pos_rows) {
-        data.add(std::vector<double>(row.begin(), row.end()), 1);
-      }
-      // Negatives: flows of *other* activities of this device...
-      std::vector<const FeatureVector*> neg_pool;
-      for (const auto& [other, rows] : by_activity) {
-        if (other == activity) continue;
-        for (const auto& r : rows) neg_pool.push_back(&r);
-      }
-      // ...plus idle/background flows of this device.
-      if (auto it = device_background.find(device);
-          it != device_background.end()) {
-        for (const auto& r : it->second) neg_pool.push_back(&r);
-      }
-      Rng local = rng.fork(stream++);
-      const std::size_t max_neg =
-          options.max_negatives_per_positive * std::max<std::size_t>(
-                                                   pos_rows.size(), 1);
-      if (neg_pool.size() > max_neg) {
-        local.shuffle(neg_pool);
-        neg_pool.resize(max_neg);
-      }
-      for (const FeatureVector* r : neg_pool) {
-        data.add(std::vector<double>(r->begin(), r->end()), 0);
-      }
-
-      ForestOptions forest_options = options.forest;
-      forest_options.seed = options.seed ^ (stream * 0x9e3779b97f4a7c15ULL);
-      RandomForest forest(forest_options);
-      forest.fit(data, /*num_classes=*/2);
-      models.classifiers_[device].push_back({activity, std::move(forest)});
+      tasks.push_back({device, &activity, &pos_rows, &by_activity, stream++});
     }
+  }
+
+  const Rng rng(options.seed);
+  auto forests = runtime::parallel_map(
+      tasks, [&](const ForestTask& task) -> RandomForest {
+        const std::string& activity = *task.activity;
+        const auto& pos_rows = *task.pos_rows;
+        Dataset data;
+        for (const auto& row : pos_rows) {
+          data.add(std::vector<double>(row.begin(), row.end()), 1);
+        }
+        // Negatives: flows of *other* activities of this device...
+        std::vector<const FeatureVector*> neg_pool;
+        for (const auto& [other, rows] : *task.by_activity) {
+          if (other == activity) continue;
+          for (const auto& r : rows) neg_pool.push_back(&r);
+        }
+        // ...plus idle/background flows of this device.
+        if (auto it = device_background.find(task.device);
+            it != device_background.end()) {
+          for (const auto& r : it->second) neg_pool.push_back(&r);
+        }
+        Rng local = rng.fork(task.stream);
+        const std::size_t max_neg =
+            options.max_negatives_per_positive *
+            std::max<std::size_t>(pos_rows.size(), 1);
+        if (neg_pool.size() > max_neg) {
+          local.shuffle(neg_pool);
+          neg_pool.resize(max_neg);
+        }
+        data.X.reserve(data.size() + neg_pool.size());
+        data.y.reserve(data.size() + neg_pool.size());
+        for (const FeatureVector* r : neg_pool) {
+          data.add(std::vector<double>(r->begin(), r->end()), 0);
+        }
+
+        ForestOptions forest_options = options.forest;
+        forest_options.seed =
+            options.seed ^ ((task.stream + 1) * 0x9e3779b97f4a7c15ULL);
+        RandomForest forest(forest_options);
+        forest.fit(data, /*num_classes=*/2);
+        return forest;
+      });
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    models.classifiers_[tasks[i].device].push_back(
+        {*tasks[i].activity, std::move(forests[i])});
   }
   return models;
 }

@@ -1,10 +1,44 @@
 #include "behaviot/periodic/fft.hpp"
 
 #include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
 
 namespace behaviot {
+namespace {
+
+/// Twiddle factors exp(-2*pi*i*j/n) for j = 0..n/2-1, cached per transform
+/// size. Tables are computed once and never evicted; std::map node stability
+/// keeps returned references valid while the cache grows, so concurrent FFTs
+/// (the parallel period-detection stage) only contend on the brief lookup.
+const std::vector<std::complex<double>>& twiddle_table(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::vector<std::complex<double>>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::vector<std::complex<double>> table(n / 2);
+    for (std::size_t j = 0; j < table.size(); ++j) {
+      const double angle = -2.0 * M_PI * static_cast<double>(j) /
+                           static_cast<double>(n);
+      table[j] = {std::cos(angle), std::sin(angle)};
+    }
+    it = cache.emplace(n, std::move(table)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
+  constexpr std::size_t kMaxPow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  if (n > kMaxPow2) {
+    throw std::overflow_error(
+        "next_pow2: no std::size_t power of two >= the requested size");
+  }
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -22,18 +56,20 @@ void fft(std::vector<std::complex<double>>& data, bool inverse) {
     if (i < j) std::swap(data[i], data[j]);
   }
 
+  // The stage-`len` twiddle w_len^k equals the order-n root at index
+  // k * (n / len); one table serves every stage (and is more accurate than
+  // the incremental multiply it replaces, which drifts over long runs).
+  const auto& roots = twiddle_table(n);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> w =
+            inverse ? std::conj(roots[k * stride]) : roots[k * stride];
         const std::complex<double> u = data[i + k];
         const std::complex<double> v = data[i + k + len / 2] * w;
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }

@@ -12,7 +12,8 @@
 
 namespace behaviot {
 
-/// Smallest power of two >= n (n >= 1).
+/// Smallest power of two >= n (n >= 1). Throws std::overflow_error when n
+/// exceeds the largest std::size_t power of two (no such power exists).
 [[nodiscard]] std::size_t next_pow2(std::size_t n);
 
 /// In-place iterative radix-2 Cooley-Tukey. `data.size()` must be a power of

@@ -5,7 +5,9 @@
 namespace behaviot {
 
 PeriodicEventClassifier::PeriodicEventClassifier(const PeriodicModelSet& models)
-    : models_(&models) {}
+    : models_(&models) {
+  last_seen_.reserve(models.size());
+}
 
 void PeriodicEventClassifier::reset() { last_seen_.clear(); }
 
@@ -39,7 +41,8 @@ PeriodicClassification PeriodicEventClassifier::classify(
 
   if (!out.periodic) {
     // Stage 2: density-cluster membership on the flow features.
-    if (models_->in_periodic_cluster(flow.device, extract_features(flow))) {
+    if (models_->in_periodic_cluster(flow.device, extract_features(flow),
+                                     scaled_row_)) {
       out.periodic = out.via_cluster = true;
     }
   }

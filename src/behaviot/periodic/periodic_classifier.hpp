@@ -8,8 +8,10 @@
 // cluster learned from idle traffic.
 #pragma once
 
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "behaviot/periodic/periodic_model.hpp"
 
@@ -43,7 +45,14 @@ class PeriodicEventClassifier {
 
  private:
   const PeriodicModelSet* models_;
-  std::map<std::pair<DeviceId, std::string>, Timestamp> last_seen_;
+  /// Per-group timer state; hot per-flow lookup, so hashed rather than
+  /// ordered (iteration order is never observed).
+  std::unordered_map<std::pair<DeviceId, std::string>, Timestamp,
+                     DeviceGroupHash>
+      last_seen_;
+  /// Reusable scaled-feature row for the cluster stage (kills the per-flow
+  /// allocation that dominated stage-2 classification).
+  std::vector<double> scaled_row_;
 };
 
 }  // namespace behaviot

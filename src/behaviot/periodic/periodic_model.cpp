@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "behaviot/net/stats.hpp"
+#include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
 
@@ -22,11 +24,17 @@ FeatureScaler::FeatureScaler(std::span<const FeatureVector> rows) {
 }
 
 std::vector<double> FeatureScaler::transform(const FeatureVector& row) const {
-  std::vector<double> out(kNumFlowFeatures);
+  std::vector<double> out;
+  transform_into(row, out);
+  return out;
+}
+
+void FeatureScaler::transform_into(const FeatureVector& row,
+                                   std::vector<double>& out) const {
+  out.resize(kNumFlowFeatures);
   for (std::size_t d = 0; d < kNumFlowFeatures; ++d) {
     out[d] = (row[d] - mean_[d]) / scale_[d];
   }
-  return out;
 }
 
 namespace {
@@ -65,49 +73,92 @@ PeriodicModelSet PeriodicModelSet::infer(
   set.stats_.groups_total = groups.size();
 
   const PeriodDetector detector(options.detector);
+
+  // Period detection (FFT + autocorrelation per group) dominates inference;
+  // groups are independent, so they run data-parallel. Each group writes its
+  // own result slot and the ordered `groups` map fixes the assembly order,
+  // so the inferred set is identical at every thread count.
+  using Group = std::pair<const std::pair<DeviceId, std::string>,
+                          std::vector<const FlowRecord*>>;
+  std::vector<const Group*> group_list;
+  group_list.reserve(groups.size());
+  for (const Group& g : groups) group_list.push_back(&g);
+
+  struct GroupResult {
+    std::optional<PeriodicModel> model;
+    std::vector<FeatureVector> rows;  ///< features of the group's flows
+  };
+  auto results = runtime::parallel_map(
+      group_list, [&](const Group* g) -> GroupResult {
+        GroupResult result;
+        const auto& [key, flows] = *g;
+        if (flows.size() < options.min_group_flows) return result;
+        std::vector<double> times;
+        times.reserve(flows.size());
+        for (const FlowRecord* f : flows) times.push_back(f->start.seconds());
+        std::sort(times.begin(), times.end());
+
+        const auto periods = detector.detect(times, window_seconds);
+        if (periods.empty()) return result;
+
+        PeriodicModel model;
+        model.device = key.first;
+        model.group = key.second;
+        model.domain = flows.front()->domain;
+        model.app = flows.front()->app;
+        model.period_seconds = periods.front().period_seconds;
+        model.autocorr_score = periods.front().autocorr_score;
+        model.support = flows.size();
+        model.tolerance_seconds = learn_tolerance(times, model.period_seconds);
+        for (std::size_t i = 1; i < periods.size(); ++i) {
+          model.secondary_periods.push_back(periods[i].period_seconds);
+        }
+        result.model = std::move(model);
+        result.rows.reserve(flows.size());
+        for (const FlowRecord* f : flows) {
+          result.rows.push_back(extract_features(*f));
+        }
+        return result;
+      });
+
+  // Sequential assembly in group order.
   std::map<DeviceId, std::vector<FeatureVector>> periodic_features;
-
-  for (auto& [key, flows] : groups) {
-    if (flows.size() < options.min_group_flows) continue;
-    std::vector<double> times;
-    times.reserve(flows.size());
-    for (const FlowRecord* f : flows) times.push_back(f->start.seconds());
-    std::sort(times.begin(), times.end());
-
-    const auto periods = detector.detect(times, window_seconds);
-    if (periods.empty()) continue;
-
-    PeriodicModel model;
-    model.device = key.first;
-    model.group = key.second;
-    model.domain = flows.front()->domain;
-    model.app = flows.front()->app;
-    model.period_seconds = periods.front().period_seconds;
-    model.autocorr_score = periods.front().autocorr_score;
-    model.support = flows.size();
-    model.tolerance_seconds = learn_tolerance(times, model.period_seconds);
-    for (std::size_t i = 1; i < periods.size(); ++i) {
-      model.secondary_periods.push_back(periods[i].period_seconds);
-    }
-
-    set.index_[key] = set.models_.size();
-    set.models_.push_back(std::move(model));
-    set.stats_.flows_in_periodic_groups += flows.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    GroupResult& result = results[i];
+    if (!result.model) continue;
+    const DeviceId device = result.model->device;
+    set.index_[group_list[i]->first] = set.models_.size();
+    set.stats_.flows_in_periodic_groups += result.model->support;
     ++set.stats_.groups_periodic;
-
-    auto& rows = periodic_features[key.first];
-    for (const FlowRecord* f : flows) rows.push_back(extract_features(*f));
+    set.models_.push_back(std::move(*result.model));
+    auto& rows = periodic_features[device];
+    rows.reserve(rows.size() + result.rows.size());
+    rows.insert(rows.end(), result.rows.begin(), result.rows.end());
   }
 
   // Fit the per-device standardizer and density clusters on periodic flows.
-  for (auto& [device, rows] : periodic_features) {
-    FeatureScaler scaler(rows);
-    std::vector<std::vector<double>> scaled;
-    scaled.reserve(rows.size());
-    for (const auto& r : rows) scaled.push_back(scaler.transform(r));
-    set.clusters_.emplace(device,
-                          DbscanMembership(scaled, options.dbscan));
-    set.scalers_.emplace(device, std::move(scaler));
+  // DBSCAN is quadratic in the device's row count; devices are independent.
+  using DeviceRows = std::pair<const DeviceId, std::vector<FeatureVector>>;
+  std::vector<const DeviceRows*> device_list;
+  device_list.reserve(periodic_features.size());
+  for (const DeviceRows& d : periodic_features) device_list.push_back(&d);
+
+  struct DeviceFit {
+    FeatureScaler scaler;
+    DbscanMembership clusters;
+  };
+  auto fits = runtime::parallel_map(
+      device_list, [&](const DeviceRows* d) -> DeviceFit {
+        const auto& rows = d->second;
+        FeatureScaler scaler(rows);
+        std::vector<std::vector<double>> scaled;
+        scaled.reserve(rows.size());
+        for (const auto& r : rows) scaled.push_back(scaler.transform(r));
+        return {scaler, DbscanMembership(scaled, options.dbscan)};
+      });
+  for (std::size_t i = 0; i < device_list.size(); ++i) {
+    set.clusters_.emplace(device_list[i]->first, std::move(fits[i].clusters));
+    set.scalers_.emplace(device_list[i]->first, std::move(fits[i].scaler));
   }
   return set;
 }
@@ -141,10 +192,18 @@ std::vector<const PeriodicModel*> PeriodicModelSet::models_for(
 
 bool PeriodicModelSet::in_periodic_cluster(
     DeviceId device, const FeatureVector& features) const {
+  std::vector<double> scratch;
+  return in_periodic_cluster(device, features, scratch);
+}
+
+bool PeriodicModelSet::in_periodic_cluster(
+    DeviceId device, const FeatureVector& features,
+    std::vector<double>& scratch) const {
   auto sc = scalers_.find(device);
   auto cl = clusters_.find(device);
   if (sc == scalers_.end() || cl == clusters_.end()) return false;
-  return cl->second.contains(sc->second.transform(features));
+  sc->second.transform_into(features, scratch);
+  return cl->second.contains(scratch);
 }
 
 }  // namespace behaviot

@@ -7,6 +7,8 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "behaviot/flow/features.hpp"
@@ -39,9 +41,25 @@ class FeatureScaler {
 
   [[nodiscard]] std::vector<double> transform(const FeatureVector& row) const;
 
+  /// Allocation-free variant: writes into `out` (resized to the feature
+  /// count), so per-flow classification can reuse one buffer.
+  void transform_into(const FeatureVector& row, std::vector<double>& out) const;
+
  private:
   FeatureVector mean_{};
   FeatureVector scale_{};  // stddev, floored at a small epsilon
+};
+
+/// Hash for the (device, group_key) pair keying the hot lookup maps of the
+/// classification path.
+struct DeviceGroupHash {
+  [[nodiscard]] std::size_t operator()(
+      const std::pair<DeviceId, std::string>& key) const noexcept {
+    const std::size_t h = std::hash<std::string>{}(key.second);
+    // splitmix-style mix of the device id into the string hash.
+    return h ^ (static_cast<std::size_t>(key.first) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  }
 };
 
 struct PeriodicInferenceOptions {
@@ -94,9 +112,17 @@ class PeriodicModelSet {
   [[nodiscard]] bool in_periodic_cluster(DeviceId device,
                                          const FeatureVector& features) const;
 
+  /// Allocation-free variant for the per-flow hot path: `scratch` holds the
+  /// scaled row between calls so no vector is allocated per flow.
+  [[nodiscard]] bool in_periodic_cluster(DeviceId device,
+                                         const FeatureVector& features,
+                                         std::vector<double>& scratch) const;
+
  private:
   std::vector<PeriodicModel> models_;
-  std::map<std::pair<DeviceId, std::string>, std::size_t> index_;
+  std::unordered_map<std::pair<DeviceId, std::string>, std::size_t,
+                     DeviceGroupHash>
+      index_;
   std::map<DeviceId, FeatureScaler> scalers_;
   std::map<DeviceId, DbscanMembership> clusters_;
   PeriodicInferenceStats stats_;

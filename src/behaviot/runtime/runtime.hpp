@@ -1,0 +1,112 @@
+// Deterministic parallel execution runtime for the pipeline's hot paths.
+//
+// A small chunked thread pool (no work stealing): each `parallel_for` splits
+// its index range into fixed-size chunks and workers claim chunks from a
+// single atomic cursor. Which thread executes which chunk is nondeterministic,
+// but every index writes to its own dedicated output slot, so any computation
+// whose per-index work is pure produces bit-identical results at every thread
+// count. The pipeline relies on this: training with 1 thread and N threads
+// must serialize to byte-identical `BehaviorModelSet`s.
+//
+// Rules of use:
+//  - `threads == 1` (or a pool on a single-core machine) never spawns
+//    workers; every call runs inline on the caller's thread.
+//  - Nested calls are safe: a `parallel_for` issued from inside a worker (or
+//    from inside the caller's own chunk) runs serially on that thread rather
+//    than deadlocking on the shared pool.
+//  - Exceptions thrown by the body are caught, the remaining chunks are
+//    abandoned, and the first exception is rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace behaviot::runtime {
+
+struct RuntimeOptions {
+  /// Worker count. 0 = use the BEHAVIOT_THREADS environment variable when it
+  /// is set to a positive integer, otherwise hardware concurrency.
+  std::size_t threads = 0;
+  /// Scheduling grain: chunks handed out per thread. More chunks smooth out
+  /// imbalanced per-index work at the cost of more cursor traffic.
+  std::size_t chunks_per_thread = 8;
+};
+
+/// Thread count a default-constructed pool resolves to: BEHAVIOT_THREADS
+/// when set to a positive integer, else hardware concurrency (>= 1).
+[[nodiscard]] std::size_t default_threads();
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(RuntimeOptions options = {});
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in a parallel region (workers + caller).
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Calls `fn(i)` for every i in [begin, end) and blocks until all calls
+  /// return. Rethrows the first exception thrown by `fn`.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Maps `fn` over `items` into a result vector aligned with the input.
+  /// The result type must be default-constructible and move-assignable.
+  template <typename Items, typename Fn>
+  auto parallel_map(const Items& items, Fn&& fn) {
+    using Out = std::decay_t<std::invoke_result_t<Fn&, decltype(items[0])>>;
+    std::vector<Out> out(items.size());
+    parallel_for(0, items.size(),
+                 [&](std::size_t i) { out[i] = fn(items[i]); });
+    return out;
+  }
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void run_job(Job& job);
+
+  RuntimeOptions options_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals a new job generation
+  std::condition_variable done_cv_;  ///< signals all workers finished a job
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;  ///< workers still inside the current job
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by the pipeline's parallel stages. Lazily
+/// constructed with `RuntimeOptions{}` (honoring BEHAVIOT_THREADS).
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Replaces the global pool with one of `threads` threads (0 = re-resolve
+/// the default). Must not race with in-flight parallel work; intended for
+/// startup configuration, tests, and benchmarks.
+void set_global_threads(std::size_t threads);
+
+/// Thread count of the current global pool.
+[[nodiscard]] std::size_t global_threads();
+
+/// Convenience wrappers over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+template <typename Items, typename Fn>
+auto parallel_map(const Items& items, Fn&& fn) {
+  return global_pool().parallel_map(items, std::forward<Fn>(fn));
+}
+
+}  // namespace behaviot::runtime

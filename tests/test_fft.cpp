@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "behaviot/net/rng.hpp"
 
@@ -16,6 +18,18 @@ TEST(NextPow2, Values) {
   EXPECT_EQ(next_pow2(1000), 1024u);
   EXPECT_EQ(next_pow2(1024), 1024u);
   EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(NextPow2, OverflowBoundary) {
+  // The largest representable power of two is its own ceiling; anything
+  // above it must throw instead of looping forever on the shifted-out bit.
+  constexpr std::size_t kMaxPow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  EXPECT_EQ(next_pow2(kMaxPow2 - 1), kMaxPow2);
+  EXPECT_EQ(next_pow2(kMaxPow2), kMaxPow2);
+  EXPECT_THROW(next_pow2(kMaxPow2 + 1), std::overflow_error);
+  EXPECT_THROW(next_pow2(std::numeric_limits<std::size_t>::max()),
+               std::overflow_error);
 }
 
 // Reference O(n^2) DFT for validation.
