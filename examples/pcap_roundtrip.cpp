@@ -5,6 +5,7 @@
 //
 //   $ ./pcap_roundtrip [output.pcap]
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "behaviot/core/pipeline.hpp"
@@ -25,9 +26,20 @@ int main(int argc, char** argv) {
   }
 
   std::printf("[2/3] reading the capture back ...\n");
-  const PcapReadResult parsed = read_pcap(path);
-  std::printf("      %zu packets parsed, %zu skipped\n",
-              parsed.packets.size(), parsed.skipped);
+  // Stream the file record-by-record through a small fixed-size chunk
+  // buffer — the gateway ingestion mode: peak memory stays bounded by one
+  // record no matter how large the capture grows.
+  PcapReadResult parsed;
+  {
+    std::ifstream file(path, std::ios::binary);
+    PcapReader reader(file, {.policy = ParsePolicy::kLenient,
+                             .chunk_size = 16 * 1024});
+    while (auto p = reader.next()) parsed.packets.push_back(std::move(*p));
+    parsed.stats = reader.stats();
+    parsed.skipped = parsed.stats.skipped();
+    std::printf("      %s\n      streamed with a %zu-byte buffer\n",
+                parsed.stats.summary().c_str(), reader.buffer_capacity());
+  }
 
   // Re-attach device identity by source IP, as a gateway deployment would
   // (the catalog doubles as the DHCP lease table).

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "behaviot/core/model_set.hpp"
+#include "behaviot/net/parse_policy.hpp"
 
 namespace behaviot {
 
@@ -34,7 +35,20 @@ void save_models_file(const std::string& path,
 /// cluster stage is not serialized (it is a cache over training features);
 /// loaded models classify via timers, which the paper's timer-first design
 /// makes the dominant path.
-BehaviorModelSet load_models(std::istream& is);
-BehaviorModelSet load_models_file(const std::string& path);
+///
+/// The header (magic + version) must always parse — a file that fails there
+/// is not a model file and throws SerializationError in either policy.
+/// After the header, kStrict (the default) throws SerializationError at the
+/// first malformed token; kLenient stops at the damage instead, returning
+/// every fully parsed entry up to that point and counting the abandonment
+/// in `stats->sections_dropped`. Counts are validated (digits only, capped
+/// against the remaining input size) so corrupt files fail cleanly instead
+/// of driving huge reserve() allocations.
+BehaviorModelSet load_models(std::istream& is,
+                             ParsePolicy policy = ParsePolicy::kStrict,
+                             ParseStats* stats = nullptr);
+BehaviorModelSet load_models_file(const std::string& path,
+                                  ParsePolicy policy = ParsePolicy::kStrict,
+                                  ParseStats* stats = nullptr);
 
 }  // namespace behaviot

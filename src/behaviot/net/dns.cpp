@@ -33,18 +33,25 @@ void put_name(std::vector<std::uint8_t>& out, const std::string& name) {
 }
 
 // Decodes a (possibly compressed) name starting at `off`. Advances `off`
-// past the name in the original record. Returns false on malformed input.
+// past the name in the original record. Returns false on malformed input,
+// leaving the offending position in `err_off`.
 bool read_name(const std::vector<std::uint8_t>& buf, std::size_t& off,
-               std::string& out) {
+               std::string& out, std::size_t& err_off) {
   std::size_t pos = off;
   bool jumped = false;
   int hops = 0;
   out.clear();
   while (true) {
-    if (pos >= buf.size() || ++hops > 64) return false;
+    if (pos >= buf.size() || ++hops > 64) {
+      err_off = pos;
+      return false;
+    }
     const std::uint8_t len = buf[pos];
     if ((len & 0xc0) == 0xc0) {  // compression pointer
-      if (pos + 1 >= buf.size()) return false;
+      if (pos + 1 >= buf.size()) {
+        err_off = pos;
+        return false;
+      }
       const std::size_t target =
           (static_cast<std::size_t>(len & 0x3f) << 8) | buf[pos + 1];
       if (!jumped) off = pos + 2;
@@ -56,7 +63,10 @@ bool read_name(const std::vector<std::uint8_t>& buf, std::size_t& off,
       if (!jumped) off = pos + 1;
       break;
     }
-    if (pos + 1 + len > buf.size()) return false;
+    if (pos + 1 + len > buf.size()) {
+      err_off = pos;
+      return false;
+    }
     if (!out.empty()) out.push_back('.');
     for (std::size_t i = 0; i < len; ++i) {
       out.push_back(static_cast<char>(
@@ -110,33 +120,57 @@ std::vector<std::uint8_t> make_dns_response(std::uint16_t txid,
 }
 
 std::optional<DnsBinding> parse_dns_response(
-    const std::vector<std::uint8_t>& payload) {
-  if (payload.size() < 12) return std::nullopt;
+    const std::vector<std::uint8_t>& payload, ParsePolicy policy,
+    ParseStats* stats) {
+  const auto malformed = [&](const char* what,
+                             std::size_t off) -> std::optional<DnsBinding> {
+    if (stats != nullptr) ++stats->malformed;
+    if (policy == ParsePolicy::kStrict) {
+      // A corrupt length or pointer can place the detection point far past
+      // the buffer; clamp so the reported offset stays within the input.
+      throw ParseError(std::string("dns: ") + what,
+                       std::min(off, payload.size()));
+    }
+    return std::nullopt;
+  };
+
+  if (payload.size() < 12) {
+    return malformed("payload shorter than header", payload.size());
+  }
   auto u16_at = [&payload](std::size_t i) {
     return static_cast<std::uint16_t>((payload[i] << 8) | payload[i + 1]);
   };
   const std::uint16_t flags = u16_at(2);
-  if ((flags & 0x8000) == 0) return std::nullopt;  // not a response
+  if ((flags & 0x8000) == 0) return std::nullopt;  // a query, not a response
   const std::uint16_t qdcount = u16_at(4);
   const std::uint16_t ancount = u16_at(6);
   if (ancount == 0) return std::nullopt;
 
   std::size_t off = 12;
+  std::size_t err_off = 0;
   std::string qname;
   for (std::uint16_t q = 0; q < qdcount; ++q) {
-    if (!read_name(payload, off, qname)) return std::nullopt;
+    if (!read_name(payload, off, qname, err_off)) {
+      return malformed("malformed question name", err_off);
+    }
     off += 4;  // qtype + qclass
   }
   for (std::uint16_t a = 0; a < ancount; ++a) {
     std::string rname;
-    if (!read_name(payload, off, rname)) return std::nullopt;
-    if (off + 10 > payload.size()) return std::nullopt;
+    if (!read_name(payload, off, rname, err_off)) {
+      return malformed("malformed answer name", err_off);
+    }
+    if (off + 10 > payload.size()) {
+      return malformed("truncated resource record", off);
+    }
     const std::uint16_t rtype = u16_at(off);
     const std::uint32_t ttl = (std::uint32_t{u16_at(off + 4)} << 16) |
                               u16_at(off + 6);
     const std::uint16_t rdlen = u16_at(off + 8);
     off += 10;
-    if (off + rdlen > payload.size()) return std::nullopt;
+    if (off + rdlen > payload.size()) {
+      return malformed("resource data overruns payload", off);
+    }
     if (rtype == 1 && rdlen == 4) {
       const Ipv4Addr addr((std::uint32_t{payload[off]} << 24) |
                           (std::uint32_t{payload[off + 1]} << 16) |

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "behaviot/net/ip.hpp"
+#include "behaviot/net/parse_policy.hpp"
 
 namespace behaviot {
 
@@ -30,9 +31,12 @@ std::vector<std::uint8_t> make_dns_response(std::uint16_t txid,
                                             std::uint32_t ttl = 300);
 
 /// Extracts the first A-record binding from a response payload. Handles
-/// name compression; returns nullopt for queries, malformed payloads, or
-/// responses with no A answers.
+/// name compression. Returns nullopt for queries and for responses with no
+/// A answers (clean non-matches in both policies). Structurally malformed
+/// payloads return nullopt under kLenient (counted in `stats->malformed`
+/// when given) and throw ParseError with a byte offset under kStrict.
 std::optional<DnsBinding> parse_dns_response(
-    const std::vector<std::uint8_t>& payload);
+    const std::vector<std::uint8_t>& payload,
+    ParsePolicy policy = ParsePolicy::kLenient, ParseStats* stats = nullptr);
 
 }  // namespace behaviot

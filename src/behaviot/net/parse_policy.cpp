@@ -1,0 +1,25 @@
+#include "behaviot/net/parse_policy.hpp"
+
+#include <sstream>
+
+namespace behaviot {
+
+ParseError::ParseError(const std::string& what, std::uint64_t offset)
+    : std::runtime_error(what + " (at byte offset " + std::to_string(offset) +
+                         ")"),
+      offset_(offset) {}
+
+std::string ParseStats::summary() const {
+  std::ostringstream os;
+  os << "records " << records << ", packets " << packets << ", skipped "
+     << skipped();
+  if (skipped() > 0) {
+    os << " (non-ip " << non_ip << ", non-tcp/udp " << non_transport
+       << ", malformed " << malformed << ", truncated " << truncated << ")";
+  }
+  if (snapped_payloads > 0) os << ", snapped payloads " << snapped_payloads;
+  if (sections_dropped > 0) os << ", sections dropped " << sections_dropped;
+  return os.str();
+}
+
+}  // namespace behaviot

@@ -2,14 +2,25 @@
 
 #include <cstring>
 #include <fstream>
+#include <istream>
 #include <stdexcept>
+#include <streambuf>
 
 namespace behaviot {
 namespace {
 
-constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // µs-resolution, host order
+// The four classic-pcap magics, as read little-endian from the first four
+// file bytes: native vs byte-swapped writer, µs vs ns timestamp resolution.
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
 constexpr std::uint32_t kLinkTypeEthernet = 1;
 constexpr std::uint32_t kSnapLen = 65535;
+// Upper bound on a single record's captured length. Anything larger than
+// this cannot be a sane Ethernet record and means the framing is garbage
+// (it also bounds the reader's buffer growth).
+constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
 constexpr std::size_t kEthernetHeader = 14;
 constexpr std::size_t kIpv4Header = 20;
 
@@ -47,7 +58,7 @@ std::uint32_t get_u32le(const std::uint8_t* p) {
 }
 
 void append_global_header(std::vector<std::uint8_t>& out) {
-  put_u32le(out, kMagic);
+  put_u32le(out, kMagicMicro);
   put_u32le(out, 0x00040002);  // version 2.4 (minor, major as LE u16 pair)
   put_u32le(out, 0);           // thiszone
   put_u32le(out, 0);           // sigfigs
@@ -65,8 +76,6 @@ void append_packet(std::vector<std::uint8_t>& out, const Packet& p) {
 
   const std::uint32_t overhead = header_overhead(p.tuple.proto);
   const std::uint32_t ip_len = std::max(p.size, overhead);
-  const std::size_t transport_header =
-      p.tuple.proto == Transport::kTcp ? 20u : 8u;
   const std::size_t payload_len = ip_len - overhead;
 
   std::vector<std::uint8_t> frame;
@@ -114,15 +123,138 @@ void append_packet(std::vector<std::uint8_t>& out, const Packet& p) {
   const std::size_t have = std::min(p.payload.size(), payload_len);
   frame.insert(frame.end(), p.payload.begin(), p.payload.begin() + have);
   frame.insert(frame.end(), payload_len - have, 0);
-  (void)transport_header;
 
-  // Record header.
+  // Record header. ts_sec/ts_usec are unsigned in the classic format, so
+  // pre-epoch timestamps are unrepresentable — reject rather than emit
+  // wrapped garbage fields.
   const std::int64_t us = p.ts.micros();
+  if (us < 0) {
+    throw std::runtime_error(
+        "pcap: cannot serialize pre-epoch (negative) timestamp " +
+        std::to_string(us) + "us");
+  }
   put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
   put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
   put_u32le(out, static_cast<std::uint32_t>(frame.size()));
   put_u32le(out, static_cast<std::uint32_t>(frame.size()));
   out.insert(out.end(), frame.begin(), frame.end());
+}
+
+// Parses one captured Ethernet frame into `out`. Returns true on success;
+// on skip, classifies the reason in `stats` (throwing instead in strict mode
+// when the frame is internally inconsistent rather than merely foreign).
+// `frame_offset` is the file offset of the frame's first byte.
+bool parse_frame(const std::uint8_t* frame, std::size_t incl,
+                 std::uint64_t frame_offset, std::int64_t ts_us,
+                 ParsePolicy policy, ParseStats& stats, Packet& out) {
+  if (incl < kEthernetHeader + kIpv4Header ||
+      get_u16be(frame + 12) != 0x0800) {
+    ++stats.non_ip;  // ARP, IPv6, LLDP… — valid capture content, not ours
+    return false;
+  }
+  const std::uint8_t* ip = frame + kEthernetHeader;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if ((ip[0] >> 4) != 4) {
+    ++stats.non_ip;
+    return false;
+  }
+  if (ihl < 20) {
+    ++stats.malformed;
+    if (policy == ParsePolicy::kStrict) {
+      throw ParseError("pcap: IPv4 header length " + std::to_string(ihl) +
+                           " below minimum 20",
+                       frame_offset + kEthernetHeader);
+    }
+    return false;
+  }
+  const std::uint8_t proto_num = ip[9];
+  if (proto_num != 6 && proto_num != 17) {
+    ++stats.non_transport;
+    return false;
+  }
+  const Transport proto = proto_num == 6 ? Transport::kTcp : Transport::kUdp;
+  const std::size_t min_transport = proto == Transport::kTcp ? 20u : 8u;
+  if (incl < kEthernetHeader + ihl + min_transport) {
+    // Snapped too short to even read ports — nothing to salvage.
+    ++stats.truncated;
+    return false;
+  }
+  const std::uint16_t ip_len = get_u16be(ip + 2);
+  const std::uint8_t* transport = ip + ihl;
+  const std::size_t transport_hdr =
+      proto == Transport::kTcp
+          ? static_cast<std::size_t>(transport[12] >> 4) * 4
+          : 8;
+  if (transport_hdr < min_transport ||
+      incl < kEthernetHeader + ihl + transport_hdr) {
+    ++stats.malformed;
+    if (policy == ParsePolicy::kStrict) {
+      throw ParseError("pcap: TCP data offset " +
+                           std::to_string(transport_hdr) + " inconsistent",
+                       frame_offset + kEthernetHeader + ihl + 12);
+    }
+    return false;
+  }
+  if (ip_len < ihl + transport_hdr) {
+    ++stats.malformed;
+    if (policy == ParsePolicy::kStrict) {
+      throw ParseError("pcap: declared IP length " + std::to_string(ip_len) +
+                           " smaller than headers",
+                       frame_offset + kEthernetHeader + 2);
+    }
+    return false;
+  }
+
+  // Transport payload length comes from the IP header's declared total
+  // length, NOT from the captured length: sub-60-byte frames carry Ethernet
+  // trailer padding that would otherwise leak into DNS/TLS parsing. When the
+  // capture was snapped (captured < declared), clamp to what is present.
+  const std::size_t declared_payload = ip_len - ihl - transport_hdr;
+  const std::size_t available =
+      incl - kEthernetHeader - ihl - transport_hdr;
+  const std::size_t take = std::min(declared_payload, available);
+  if (take < declared_payload) ++stats.snapped_payloads;
+
+  const Ipv4Addr from_ip(get_u32be(ip + 12));
+  const Ipv4Addr to_ip(get_u32be(ip + 16));
+  const std::uint16_t from_port = get_u16be(transport);
+  const std::uint16_t to_port = get_u16be(transport + 2);
+  const std::uint8_t* payload = transport + transport_hdr;
+
+  out.ts = Timestamp(ts_us);
+  out.size = ip_len;
+  // Canonicalize: the device side is the private endpoint; if both are
+  // private (local traffic) or both public, keep the sender as src.
+  const bool from_private = from_ip.is_private();
+  const bool to_private = to_ip.is_private();
+  if (!from_private && to_private) {
+    out.tuple = {{to_ip, to_port}, {from_ip, from_port}, proto};
+    out.dir = Direction::kInbound;
+  } else {
+    out.tuple = {{from_ip, from_port}, {to_ip, to_port}, proto};
+    out.dir = Direction::kOutbound;
+  }
+  out.payload.assign(payload, payload + take);
+  return true;
+}
+
+// Read-only streambuf view over a byte span, so the in-memory parse_pcap
+// entry point reuses the streaming reader without copying its input.
+class MemBuf : public std::streambuf {
+ public:
+  MemBuf(const std::uint8_t* data, std::size_t size) {
+    auto* p = const_cast<char*>(reinterpret_cast<const char*>(data));
+    setg(p, p, p + size);
+  }
+};
+
+PcapReadResult read_all(std::istream& in, ParsePolicy policy) {
+  PcapReader reader(in, {.policy = policy});
+  PcapReadResult result;
+  while (auto p = reader.next()) result.packets.push_back(std::move(*p));
+  result.stats = reader.stats();
+  result.skipped = result.stats.skipped();
+  return result;
 }
 
 }  // namespace
@@ -167,82 +299,124 @@ std::vector<std::uint8_t> serialize_pcap(const std::vector<Packet>& packets) {
   return out;
 }
 
-PcapReadResult parse_pcap(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 24) throw std::runtime_error("pcap: truncated header");
-  const std::uint32_t magic = get_u32le(bytes.data());
-  if (magic != kMagic) throw std::runtime_error("pcap: bad magic");
-  if (get_u32le(bytes.data() + 20) != kLinkTypeEthernet)
-    throw std::runtime_error("pcap: unsupported link type");
-
-  PcapReadResult result;
-  std::size_t off = 24;
-  while (off + 16 <= bytes.size()) {
-    const std::uint32_t ts_sec = get_u32le(bytes.data() + off);
-    const std::uint32_t ts_usec = get_u32le(bytes.data() + off + 4);
-    const std::uint32_t incl = get_u32le(bytes.data() + off + 8);
-    off += 16;
-    if (off + incl > bytes.size()) break;  // truncated tail record
-    const std::uint8_t* frame = bytes.data() + off;
-    off += incl;
-
-    if (incl < kEthernetHeader + kIpv4Header ||
-        get_u16be(frame + 12) != 0x0800) {
-      ++result.skipped;
-      continue;
-    }
-    const std::uint8_t* ip = frame + kEthernetHeader;
-    const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
-    const std::uint8_t proto_num = ip[9];
-    if ((ip[0] >> 4) != 4 || ihl < 20 ||
-        (proto_num != 6 && proto_num != 17) ||
-        incl < kEthernetHeader + ihl + (proto_num == 6 ? 20u : 8u)) {
-      ++result.skipped;
-      continue;
-    }
-    const Transport proto =
-        proto_num == 6 ? Transport::kTcp : Transport::kUdp;
-    const std::uint16_t ip_len = get_u16be(ip + 2);
-    const Ipv4Addr from_ip(get_u32be(ip + 12));
-    const Ipv4Addr to_ip(get_u32be(ip + 16));
-    const std::uint8_t* transport = ip + ihl;
-    const std::uint16_t from_port = get_u16be(transport);
-    const std::uint16_t to_port = get_u16be(transport + 2);
-    const std::size_t transport_hdr =
-        proto == Transport::kTcp
-            ? static_cast<std::size_t>(transport[12] >> 4) * 4
-            : 8;
-    const std::uint8_t* payload = transport + transport_hdr;
-    const std::size_t frame_payload =
-        incl - kEthernetHeader - ihl - transport_hdr;
-
-    Packet p;
-    p.ts = Timestamp(static_cast<std::int64_t>(ts_sec) * 1'000'000 + ts_usec);
-    p.size = ip_len;
-    // Canonicalize: the device side is the private endpoint; if both are
-    // private (local traffic) or both public, keep the sender as src.
-    const bool from_private = from_ip.is_private();
-    const bool to_private = to_ip.is_private();
-    if (!from_private && to_private) {
-      p.tuple = {{to_ip, to_port}, {from_ip, from_port}, proto};
-      p.dir = Direction::kInbound;
-    } else {
-      p.tuple = {{from_ip, from_port}, {to_ip, to_port}, proto};
-      p.dir = Direction::kOutbound;
-    }
-    p.payload.assign(payload, payload + frame_payload);
-    // Strip trailing zero padding added by the writer for synthetic sizes.
-    while (!p.payload.empty() && p.payload.back() == 0) p.payload.pop_back();
-    result.packets.push_back(std::move(p));
-  }
-  return result;
+std::uint32_t PcapReader::u32(const std::uint8_t* p) const {
+  return swapped_ ? get_u32be(p) : get_u32le(p);
 }
 
-PcapReadResult read_pcap(const std::string& path) {
+PcapReader::PcapReader(std::istream& in, const PcapReaderOptions& options)
+    : in_(&in),
+      policy_(options.policy),
+      chunk_(std::max<std::size_t>(options.chunk_size, 64)) {
+  if (!ensure(24)) {
+    throw ParseError("pcap: truncated header", offset_at(end_));
+  }
+  const std::uint8_t* h = buf_.data();
+  switch (get_u32le(h)) {
+    case kMagicMicro:
+      break;
+    case kMagicMicroSwapped:
+      swapped_ = true;
+      break;
+    case kMagicNano:
+      nanos_ = true;
+      break;
+    case kMagicNanoSwapped:
+      swapped_ = true;
+      nanos_ = true;
+      break;
+    default:
+      throw ParseError("pcap: bad magic", 0);
+  }
+  snaplen_ = u32(h + 16);
+  if (u32(h + 20) != kLinkTypeEthernet) {
+    throw ParseError("pcap: unsupported link type", 20);
+  }
+  pos_ = 24;
+}
+
+bool PcapReader::ensure(std::size_t need) {
+  if (end_ - pos_ >= need) return true;
+  if (pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    base_offset_ += pos_;
+    end_ -= pos_;
+    pos_ = 0;
+  }
+  if (buf_.size() < std::max(need, chunk_)) {
+    buf_.resize(std::max(need, chunk_));
+  }
+  while (end_ < need && in_->good()) {
+    in_->read(reinterpret_cast<char*>(buf_.data() + end_),
+              static_cast<std::streamsize>(buf_.size() - end_));
+    end_ += static_cast<std::size_t>(in_->gcount());
+    if (in_->gcount() == 0) break;
+  }
+  return end_ - pos_ >= need;
+}
+
+std::optional<Packet> PcapReader::next() {
+  while (!done_) {
+    if (!ensure(16)) {
+      if (end_ - pos_ > 0) {  // partial record header at EOF
+        ++stats_.truncated;
+        if (policy_ == ParsePolicy::kStrict) {
+          throw ParseError("pcap: truncated record header", offset_at(pos_));
+        }
+        pos_ = end_;
+      }
+      done_ = true;
+      break;
+    }
+    const std::uint64_t rec_off = offset_at(pos_);
+    const std::uint8_t* rec = buf_.data() + pos_;
+    const std::uint32_t ts_sec = u32(rec);
+    const std::uint32_t ts_frac = u32(rec + 4);
+    const std::uint32_t incl = u32(rec + 8);
+    if (incl > kMaxRecordBytes) {
+      ++stats_.malformed;
+      if (policy_ == ParsePolicy::kStrict) {
+        throw ParseError("pcap: record length " + std::to_string(incl) +
+                             " exceeds " + std::to_string(kMaxRecordBytes),
+                         rec_off + 8);
+      }
+      done_ = true;  // framing is lost; no way to resynchronize
+      break;
+    }
+    if (!ensure(16 + std::size_t{incl})) {
+      ++stats_.truncated;
+      if (policy_ == ParsePolicy::kStrict) {
+        throw ParseError("pcap: truncated record body", rec_off);
+      }
+      pos_ = end_;
+      done_ = true;
+      break;
+    }
+    ++stats_.records;
+    const std::uint8_t* frame = buf_.data() + pos_ + 16;
+    pos_ += 16 + incl;
+    const std::int64_t ts_us =
+        static_cast<std::int64_t>(ts_sec) * 1'000'000 +
+        (nanos_ ? ts_frac / 1'000 : ts_frac);
+    Packet p;
+    if (parse_frame(frame, incl, rec_off + 16, ts_us, policy_, stats_, p)) {
+      ++stats_.packets;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+PcapReadResult parse_pcap(const std::vector<std::uint8_t>& bytes,
+                          ParsePolicy policy) {
+  MemBuf sb(bytes.data(), bytes.size());
+  std::istream in(&sb);
+  return read_all(in, policy);
+}
+
+PcapReadResult read_pcap(const std::string& path, ParsePolicy policy) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("read_pcap: cannot open " + path);
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
-                                  std::istreambuf_iterator<char>());
-  return parse_pcap(bytes);
+  return read_all(file, policy);
 }
 
 }  // namespace behaviot

@@ -1,5 +1,7 @@
 #include "behaviot/net/tls.hpp"
 
+#include <algorithm>
+
 namespace behaviot {
 namespace {
 
@@ -50,33 +52,60 @@ std::vector<std::uint8_t> make_tls_client_hello(const std::string& sni) {
 }
 
 std::optional<std::string> parse_tls_sni(
-    const std::vector<std::uint8_t>& payload) {
-  // Record header (5) + handshake header (4).
+    const std::vector<std::uint8_t>& payload, ParsePolicy policy,
+    ParseStats* stats) {
+  const auto malformed = [&](const char* what,
+                             std::size_t off) -> std::optional<std::string> {
+    if (stats != nullptr) ++stats->malformed;
+    if (policy == ParsePolicy::kStrict) {
+      // A corrupt length field can place the detection point far past the
+      // buffer; clamp so the reported offset stays within the input.
+      throw ParseError(std::string("tls: ") + what,
+                       std::min(off, payload.size()));
+    }
+    return std::nullopt;
+  };
+
+  // Record header (5) + handshake header (4). Anything that does not start
+  // like a ClientHello is simply other traffic, not a parse failure.
   if (payload.size() < 9 || payload[0] != 0x16 || payload[5] != 0x01)
     return std::nullopt;
   std::size_t off = 9;
   // client_version + random.
-  if (off + 34 > payload.size()) return std::nullopt;
+  if (off + 34 > payload.size()) {
+    return malformed("hello truncated before random", payload.size());
+  }
   off += 34;
   // session id.
-  if (off >= payload.size()) return std::nullopt;
+  if (off >= payload.size()) return malformed("missing session id", off);
   off += 1 + payload[off];
   // cipher suites.
-  if (off + 2 > payload.size()) return std::nullopt;
+  if (off + 2 > payload.size()) return malformed("missing cipher suites", off);
   off += 2 + get_u16(payload, off);
   // compression methods.
-  if (off >= payload.size()) return std::nullopt;
+  if (off >= payload.size()) {
+    return malformed("missing compression methods", off);
+  }
   off += 1 + payload[off];
   // extensions.
-  if (off + 2 > payload.size()) return std::nullopt;
-  const std::size_t ext_end =
-      std::min<std::size_t>(off + 2 + get_u16(payload, off), payload.size());
+  if (off + 2 > payload.size()) {
+    return malformed("missing extensions length", off);
+  }
+  const std::size_t declared_end = off + 2 + get_u16(payload, off);
+  if (policy == ParsePolicy::kStrict && declared_end > payload.size()) {
+    return malformed("extensions overrun payload", off);
+  }
+  // Lenient mode clamps: a ClientHello split across TCP segments still
+  // yields its SNI when the extension happens to be in the captured part.
+  const std::size_t ext_end = std::min(declared_end, payload.size());
   off += 2;
   while (off + 4 <= ext_end) {
     const std::uint16_t type = get_u16(payload, off);
     const std::uint16_t len = get_u16(payload, off + 2);
     off += 4;
-    if (off + len > ext_end) return std::nullopt;
+    if (off + len > ext_end) {
+      return malformed("extension overruns extensions block", off);
+    }
     if (type == 0x0000 && len >= 5) {
       // server_name_list: u16 list length, then entries of
       // (u8 type, u16 length, bytes).
@@ -86,7 +115,9 @@ std::optional<std::string> parse_tls_sni(
         const std::uint8_t name_type = payload[p];
         const std::uint16_t name_len = get_u16(payload, p + 1);
         p += 3;
-        if (p + name_len > list_end) return std::nullopt;
+        if (p + name_len > list_end) {
+          return malformed("server name overruns list", p);
+        }
         if (name_type == 0) {
           return std::string(payload.begin() + static_cast<long>(p),
                              payload.begin() + static_cast<long>(p + name_len));

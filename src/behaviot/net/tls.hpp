@@ -11,14 +11,21 @@
 #include <string>
 #include <vector>
 
+#include "behaviot/net/parse_policy.hpp"
+
 namespace behaviot {
 
 /// Builds a TLS 1.2-style ClientHello record with a server_name extension.
 std::vector<std::uint8_t> make_tls_client_hello(const std::string& sni);
 
-/// Extracts the host_name from a ClientHello payload, if present and
-/// well-formed. Tolerant of extra extensions; returns nullopt otherwise.
+/// Extracts the host_name from a ClientHello payload. Payloads that are not
+/// ClientHello records at all, or that carry no server_name extension,
+/// return nullopt in both policies. Once the payload is committed to being
+/// a ClientHello, internally inconsistent length fields return nullopt
+/// under kLenient (counted in `stats->malformed` when given) and throw
+/// ParseError with a byte offset under kStrict.
 std::optional<std::string> parse_tls_sni(
-    const std::vector<std::uint8_t>& payload);
+    const std::vector<std::uint8_t>& payload,
+    ParsePolicy policy = ParsePolicy::kLenient, ParseStats* stats = nullptr);
 
 }  // namespace behaviot

@@ -4,6 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "behaviot/core/fuzz_corpus.hpp"
 
 namespace behaviot {
 namespace {
@@ -121,6 +125,144 @@ TEST(PcapWriter, ThrowsOnUnopenablePath) {
 
 TEST(PcapReader, ThrowsOnMissingFile) {
   EXPECT_THROW(read_pcap("/nonexistent_file.pcap"), std::runtime_error);
+}
+
+TEST(PcapParse, AcceptsAllFourMagicVariants) {
+  // Native/byte-swapped × microsecond/nanosecond headers must all decode
+  // to the same packets (nanosecond timestamps scaled down to µs).
+  std::vector<Packet> in;
+  in.push_back(make_packet(1'234'567, Transport::kTcp, Direction::kOutbound,
+                           40 + 2, {0x41, 0x42}));
+  in.push_back(make_packet(2'000'003, Transport::kUdp, Direction::kInbound,
+                           28 + 1, {0x99}));
+  const auto native = serialize_pcap(in);
+  for (const bool swapped : {false, true}) {
+    for (const bool nanos : {false, true}) {
+      const auto variant = fuzz::pcap_variant(native, swapped, nanos);
+      const auto out = parse_pcap(variant, ParsePolicy::kStrict);
+      ASSERT_EQ(out.packets.size(), in.size())
+          << "swapped=" << swapped << " nanos=" << nanos;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out.packets[i].ts, in[i].ts)
+            << "swapped=" << swapped << " nanos=" << nanos << " packet " << i;
+        EXPECT_EQ(out.packets[i].tuple, in[i].tuple) << i;
+        EXPECT_EQ(out.packets[i].payload, in[i].payload) << i;
+      }
+    }
+  }
+}
+
+TEST(PcapParse, TrimsEthernetTrailerPadding) {
+  // Frames shorter than the 60-byte Ethernet minimum are padded on the wire;
+  // the padding sits after the IP datagram and must not leak into payload.
+  auto bytes =
+      serialize_pcap({make_packet(10, Transport::kUdp, Direction::kOutbound,
+                                  28 + 4, {0x01, 0x02, 0x03, 0x04})});
+  // Append 8 trailer bytes to the record and patch incl/orig lengths
+  // (offsets 32/36: 24-byte global header + ts_sec + ts_frac).
+  const std::size_t record_len = bytes.size() - 40;
+  for (int i = 0; i < 8; ++i) bytes.push_back(0xEE);
+  const auto patched = static_cast<std::uint32_t>(record_len + 8);
+  for (const std::size_t off : {std::size_t{32}, std::size_t{36}}) {
+    bytes[off + 0] = static_cast<std::uint8_t>(patched & 0xff);
+    bytes[off + 1] = static_cast<std::uint8_t>((patched >> 8) & 0xff);
+    bytes[off + 2] = static_cast<std::uint8_t>((patched >> 16) & 0xff);
+    bytes[off + 3] = static_cast<std::uint8_t>((patched >> 24) & 0xff);
+  }
+  const auto out = parse_pcap(bytes, ParsePolicy::kStrict);
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].payload,
+            (std::vector<std::uint8_t>{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(PcapRoundTrip, PreservesTrailingZeroPayloadBytes) {
+  // Payloads that genuinely end in 0x00 (common in binary IoT protocols)
+  // must survive the round trip — length comes from the IP header, so
+  // trailing zeros are data, not padding.
+  const std::vector<std::uint8_t> payload{0x17, 0x03, 0x00, 0x00, 0x00};
+  const auto out = parse_pcap(serialize_pcap(
+      {make_packet(5, Transport::kTcp, Direction::kOutbound, 40 + 5,
+                   payload)}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].payload, payload);
+}
+
+TEST(PcapWriter, RejectsNegativeTimestamps) {
+  // ts_sec/ts_usec are unsigned on the wire; a pre-epoch timestamp would
+  // serialize as garbage, so the writer refuses it outright.
+  const auto p = make_packet(-1, Transport::kTcp, Direction::kOutbound, 100);
+  EXPECT_THROW(serialize_pcap({p}), std::runtime_error);
+}
+
+TEST(PcapParse, StrictThrowsTypedErrorWithOffsetOnMalformedFrame) {
+  auto bytes = serialize_pcap(
+      {make_packet(1, Transport::kTcp, Direction::kOutbound, 100)});
+  // Corrupt the IP version/IHL byte (offset 40+14: record header + Ethernet).
+  bytes[40 + 14] = 0x41;  // IHL=1 → header shorter than the minimum 20
+  try {
+    parse_pcap(bytes, ParsePolicy::kStrict);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.offset(), 40u);
+    EXPECT_LT(e.offset(), bytes.size());
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  // The same frame under kLenient is counted, not thrown.
+  const auto out = parse_pcap(bytes, ParsePolicy::kLenient);
+  EXPECT_EQ(out.packets.size(), 0u);
+  EXPECT_EQ(out.stats.malformed, 1u);
+}
+
+TEST(PcapStreamingReader, MatchesBatchParserOnFiles) {
+  const std::string path = ::testing::TempDir() + "/behaviot_stream.pcap";
+  std::vector<Packet> in;
+  for (int i = 0; i < 300; ++i) {
+    in.push_back(make_packet(1'000 * (i + 1),
+                             i % 3 == 0 ? Transport::kUdp : Transport::kTcp,
+                             i % 2 == 0 ? Direction::kOutbound
+                                        : Direction::kInbound,
+                             60 + static_cast<std::uint32_t>(i % 200),
+                             std::vector<std::uint8_t>(i % 32, 0xab)));
+  }
+  {
+    PcapWriter writer(path);
+    for (const Packet& p : in) writer.write(p);
+  }
+  const auto batch = read_pcap(path);
+
+  std::ifstream file(path, std::ios::binary);
+  PcapReader reader(file, {.chunk_size = 512});
+  std::vector<Packet> streamed;
+  while (auto p = reader.next()) streamed.push_back(std::move(*p));
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(streamed.size(), batch.packets.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].ts, batch.packets[i].ts) << i;
+    EXPECT_EQ(streamed[i].tuple, batch.packets[i].tuple) << i;
+    EXPECT_EQ(streamed[i].payload, batch.packets[i].payload) << i;
+  }
+  // The chunk buffer grows to hold at most one record, not the file.
+  EXPECT_LE(reader.buffer_capacity(), 512u + 16u + 65535u);
+}
+
+TEST(PcapStreamingReader, LenientStopsCleanlyOnMidRecordTruncation) {
+  const auto bytes = serialize_pcap(
+      {make_packet(1, Transport::kTcp, Direction::kOutbound, 100),
+       make_packet(2, Transport::kTcp, Direction::kOutbound, 100)});
+  const std::string text(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size() - 7);
+  std::istringstream in(text);
+  PcapReader reader(in, {.policy = ParsePolicy::kLenient});
+  std::size_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(reader.stats().truncated, 1u);
+
+  std::istringstream strict_in(text);
+  PcapReader strict_reader(strict_in, {.policy = ParsePolicy::kStrict});
+  EXPECT_NO_THROW(strict_reader.next());          // first record is whole
+  EXPECT_THROW(strict_reader.next(), ParseError);  // second is cut short
 }
 
 }  // namespace

@@ -133,6 +133,79 @@ TEST(Serialize, MissingFileThrows) {
                SerializationError);
 }
 
+TEST(Serialize, RejectsNegativeCount) {
+  // stoul("-1") silently wraps to 2^64-1; the loader must reject the token
+  // instead of attempting a 2^64-element reserve().
+  std::stringstream buffer("behaviot-models v1\nperiodic -1\n");
+  EXPECT_THROW(load_models(buffer), SerializationError);
+}
+
+TEST(Serialize, RejectsNonNumericCount) {
+  std::stringstream buffer("behaviot-models v1\nperiodic lots\n");
+  EXPECT_THROW(load_models(buffer), SerializationError);
+}
+
+TEST(Serialize, RejectsOversizedCount) {
+  // A count no remaining input could possibly satisfy is structural
+  // corruption, caught before any allocation proportional to it.
+  std::stringstream buffer("behaviot-models v1\nperiodic 918273645\n");
+  EXPECT_THROW(load_models(buffer), SerializationError);
+
+  std::stringstream saved;
+  save_models(saved, small_models());
+  std::string text = saved.str();
+  const auto cut = text.find("traces ");
+  ASSERT_NE(cut, std::string::npos);
+  text.resize(cut);
+  text += "traces 400000000\n";  // no input this size could back that count
+  std::stringstream trace_buffer(text);
+  EXPECT_THROW(load_models(trace_buffer), SerializationError);
+}
+
+TEST(Serialize, LenientLoadRecoversCompletedSections) {
+  // Under kLenient a corrupt later section is dropped and counted, while
+  // every section parsed before it is preserved.
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  std::string text = buffer.str();
+  const auto cut = text.find("traces ");
+  ASSERT_NE(cut, std::string::npos);
+  text.resize(cut);
+  text += "traces -9\n";  // corrupt final section
+
+  std::stringstream strict_in(text);
+  EXPECT_THROW(load_models(strict_in, ParsePolicy::kStrict),
+               SerializationError);
+
+  std::stringstream lenient_in(text);
+  ParseStats stats;
+  const BehaviorModelSet loaded =
+      load_models(lenient_in, ParsePolicy::kLenient, &stats);
+  EXPECT_EQ(stats.sections_dropped, 1u);
+  EXPECT_EQ(loaded.periodic.size(), original.periodic.size());
+  EXPECT_EQ(loaded.pfsm.num_states(), original.pfsm.num_states());
+  EXPECT_DOUBLE_EQ(loaded.thresholds.periodic, original.thresholds.periodic);
+  EXPECT_TRUE(loaded.training_traces.empty());
+}
+
+TEST(Serialize, LenientLoadSurvivesTruncationMidSection) {
+  const BehaviorModelSet original = small_models();
+  std::stringstream buffer;
+  save_models(buffer, original);
+  std::string text = buffer.str();
+  const auto cut = text.find("pfsm ");
+  ASSERT_NE(cut, std::string::npos);
+  text.resize(cut + 6);  // chop inside the pfsm section
+
+  std::stringstream lenient_in(text);
+  ParseStats stats;
+  const BehaviorModelSet loaded =
+      load_models(lenient_in, ParsePolicy::kLenient, &stats);
+  EXPECT_GE(stats.sections_dropped, 1u);
+  EXPECT_EQ(loaded.periodic.size(), original.periodic.size());
+}
+
 TEST(Serialize, LoadedModelsDriveTimerClassification) {
   // The deserialized set classifies via timers even without clusters.
   const BehaviorModelSet original = small_models();

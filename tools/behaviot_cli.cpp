@@ -50,8 +50,25 @@ int usage() {
                "  score    --models MODELS.txt --capture FILE.pcap\n"
                "  mud      --models MODELS.txt --device NAME\n"
                "  check    --models MODELS.txt --capture FILE.pcap"
-               " --device NAME\n");
+               " --device NAME\n"
+               "common:\n"
+               "  --parse strict|lenient   capture/model parse policy"
+               " (default lenient:\n"
+               "      damaged records are skipped and reported; strict stops"
+               " at the first\n"
+               "      malformation with its byte offset)\n");
   return 2;
+}
+
+/// Parse policy for pcap/model ingestion from the common --parse flag.
+ParsePolicy parse_policy(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("parse");
+  if (it == flags.end() || it->second == "lenient") {
+    return ParsePolicy::kLenient;
+  }
+  if (it->second == "strict") return ParsePolicy::kStrict;
+  throw std::runtime_error("unknown --parse policy '" + it->second +
+                           "' (want strict|lenient)");
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv) {
@@ -64,16 +81,32 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
 }
 
 /// Reads a pcap and restores device identity from the catalog's lease table.
-std::vector<Packet> load_capture(const std::string& path) {
-  auto parsed = read_pcap(path);
+std::vector<Packet> load_capture(const std::string& path, ParsePolicy policy) {
+  auto parsed = read_pcap(path, policy);
   const auto& catalog = testbed::Catalog::standard();
   for (Packet& p : parsed.packets) {
     const auto* device = catalog.by_ip(p.tuple.src.ip);
     if (device != nullptr) p.device = device->id;
   }
-  std::fprintf(stderr, "loaded %zu packets (%zu skipped) from %s\n",
-               parsed.packets.size(), parsed.skipped, path.c_str());
+  std::fprintf(stderr, "loaded %s: %s\n", path.c_str(),
+               parsed.stats.summary().c_str());
   return std::move(parsed.packets);
+}
+
+/// Loads a model file under the selected policy, reporting any sections a
+/// lenient load had to abandon.
+BehaviorModelSet load_models_reporting(const std::string& path,
+                                       ParsePolicy policy) {
+  ParseStats stats;
+  BehaviorModelSet models = load_models_file(path, policy, &stats);
+  if (stats.sections_dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: %s is damaged — %zu model section(s) dropped by"
+                 " the lenient load (re-run with --parse strict for the"
+                 " offending byte)\n",
+                 path.c_str(), stats.sections_dropped);
+  }
+  return models;
 }
 
 DomainResolver make_resolver() {
@@ -121,7 +154,7 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   const double window_days =
       flags.count("window-days") ? std::stod(flags.at("window-days")) : 1.0;
 
-  const auto packets = load_capture(flags.at("idle"));
+  const auto packets = load_capture(flags.at("idle"), parse_policy(flags));
   DomainResolver resolver = make_resolver();
   FlowAssembler assembler;
   const auto flows = assembler.assemble(packets, resolver);
@@ -139,7 +172,8 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
 
 int cmd_show(const std::map<std::string, std::string>& flags) {
   if (flags.count("models") == 0) return usage();
-  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const BehaviorModelSet models =
+      load_models_reporting(flags.at("models"), parse_policy(flags));
   const auto& catalog = testbed::Catalog::standard();
 
   const testbed::DeviceInfo* only = nullptr;
@@ -172,8 +206,9 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
   if (flags.count("models") == 0 || flags.count("capture") == 0) {
     return usage();
   }
-  const BehaviorModelSet models = load_models_file(flags.at("models"));
-  const auto packets = load_capture(flags.at("capture"));
+  const BehaviorModelSet models =
+      load_models_reporting(flags.at("models"), parse_policy(flags));
+  const auto packets = load_capture(flags.at("capture"), parse_policy(flags));
   if (packets.empty()) {
     std::fprintf(stderr, "empty capture\n");
     return 1;
@@ -213,7 +248,8 @@ int cmd_mud(const std::map<std::string, std::string>& flags) {
   if (flags.count("models") == 0 || flags.count("device") == 0) {
     return usage();
   }
-  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const BehaviorModelSet models =
+      load_models_reporting(flags.at("models"), parse_policy(flags));
   const auto* device =
       testbed::Catalog::standard().by_name(flags.at("device"));
   if (device == nullptr) {
@@ -231,14 +267,16 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
       flags.count("device") == 0) {
     return usage();
   }
-  const BehaviorModelSet models = load_models_file(flags.at("models"));
+  const BehaviorModelSet models =
+      load_models_reporting(flags.at("models"), parse_policy(flags));
   const auto* device =
       testbed::Catalog::standard().by_name(flags.at("device"));
   if (device == nullptr) {
     std::fprintf(stderr, "unknown device '%s'\n", flags.at("device").c_str());
     return 2;
   }
-  const auto packets = load_capture(flags.at("capture"));
+  const auto packets =
+      load_capture(flags.at("capture"), parse_policy(flags));
   DomainResolver resolver = make_resolver();
   FlowAssembler assembler;
   const auto flows = assembler.assemble(packets, resolver);
