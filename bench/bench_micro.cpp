@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "behaviot/core/pipeline.hpp"
@@ -21,6 +22,8 @@
 #include "behaviot/flow/assembler.hpp"
 #include "behaviot/flow/features.hpp"
 #include "behaviot/ml/random_forest.hpp"
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
 #include "behaviot/periodic/fft.hpp"
 #include "behaviot/periodic/period_detector.hpp"
 #include "behaviot/pfsm/synoptic.hpp"
@@ -147,19 +150,50 @@ void BM_ForestFit(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestFit)->Arg(1)->Arg(4);
 
+// Observability primitives: a counter add and a stage span must be cheap
+// enough to leave compiled into every hot path, and near-free when the
+// registry is disabled (the "disabled-mode overhead guarantee" in DESIGN.md).
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry::set_enabled(state.range(0) != 0);
+  auto& c = obs::counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+    benchmark::ClobberMemory();
+  }
+  obs::MetricsRegistry::set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_ObsStageSpan(benchmark::State& state) {
+  obs::MetricsRegistry::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    obs::StageSpan span("bench.span");
+    benchmark::ClobberMemory();
+  }
+  obs::MetricsRegistry::set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsStageSpan)->Arg(0)->Arg(1);
+
 /// Wall-clock of one pipeline train + classify pass at `threads`.
 struct PipelineTiming {
   double train_ms = 0.0;
   double classify_ms = 0.0;
   std::string serialized;  ///< model bytes, for the determinism cross-check
+  /// Per-stage span totals (ms) harvested from the metrics registry, empty
+  /// when the run executed with the registry disabled.
+  std::map<std::string, double> stage_ms;
 };
 
-PipelineTiming time_pipeline(std::size_t threads) {
+PipelineTiming time_pipeline(std::size_t threads, bool with_metrics) {
   using Clock = std::chrono::steady_clock;
   const auto ms = [](Clock::duration d) {
     return std::chrono::duration<double, std::milli>(d).count();
   };
 
+  obs::MetricsRegistry::set_enabled(with_metrics);
+  obs::MetricsRegistry::global().reset_values();
   runtime::set_global_threads(threads);
   Pipeline pipeline;
   DomainResolver resolver;
@@ -181,6 +215,15 @@ PipelineTiming time_pipeline(std::size_t threads) {
 
   t.train_ms = ms(t1 - t0);
   t.classify_ms = ms(t2 - t1);
+  if (with_metrics) {
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    for (const auto& [name, h] : snap.histograms) {
+      if (name.rfind(obs::kSpanMetricPrefix, 0) == 0 && h.count > 0) {
+        t.stage_ms[name.substr(obs::kSpanMetricPrefix.size())] = h.sum;
+      }
+    }
+  }
+  obs::MetricsRegistry::set_enabled(false);
   std::ostringstream os;
   save_models(os, models);
   t.serialized = os.str();
@@ -188,17 +231,26 @@ PipelineTiming time_pipeline(std::size_t threads) {
 }
 
 /// Emits BENCH_pipeline.json: train/classify wall-clock at 1 vs N threads
-/// plus the byte-identity verdict. Returns false on I/O failure.
+/// (registry disabled, comparable with the PR-1 baseline trajectory), the
+/// byte-identity verdict, per-stage span timings from an instrumented run,
+/// and the instrumented-vs-disabled totals that bound the observability
+/// overhead. Returns false on I/O failure.
 bool write_pipeline_bench_json(const std::string& path) {
   const std::size_t parallel_threads =
       std::max<std::size_t>(4, runtime::default_threads());
-  const PipelineTiming serial = time_pipeline(1);
-  const PipelineTiming parallel = time_pipeline(parallel_threads);
+  const PipelineTiming serial = time_pipeline(1, /*with_metrics=*/false);
+  const PipelineTiming parallel =
+      time_pipeline(parallel_threads, /*with_metrics=*/false);
+  const PipelineTiming instrumented =
+      time_pipeline(parallel_threads, /*with_metrics=*/true);
   runtime::set_global_threads(0);
 
-  const bool identical = serial.serialized == parallel.serialized;
+  const bool identical = serial.serialized == parallel.serialized &&
+                         parallel.serialized == instrumented.serialized;
   const double serial_total = serial.train_ms + serial.classify_ms;
   const double parallel_total = parallel.train_ms + parallel.classify_ms;
+  const double instrumented_total =
+      instrumented.train_ms + instrumented.classify_ms;
 
   std::ofstream os(path, std::ios::trunc);
   if (!os) return false;
@@ -221,12 +273,26 @@ bool write_pipeline_bench_json(const std::string& path) {
      << "  \"speedup_classify\": "
      << serial.classify_ms / parallel.classify_ms << ",\n"
      << "  \"speedup_total\": " << serial_total / parallel_total << ",\n"
+     << "  \"observability\": {\n"
+     << "    \"disabled_total_ms\": " << parallel_total << ",\n"
+     << "    \"enabled_total_ms\": " << instrumented_total << ",\n"
+     << "    \"enabled_over_disabled\": "
+     << instrumented_total / parallel_total << ",\n"
+     << "    \"stages_ms\": {";
+  bool first = true;
+  for (const auto& [stage, ms] : instrumented.stage_ms) {
+    os << (first ? "\n" : ",\n") << "      \"" << stage << "\": " << ms;
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "}\n  },\n"
      << "  \"models_bit_identical\": " << (identical ? "true" : "false")
      << "\n}\n";
   std::cerr << "BENCH_pipeline: train " << serial.train_ms << " ms -> "
             << parallel.train_ms << " ms, classify " << serial.classify_ms
             << " ms -> " << parallel.classify_ms << " ms at "
-            << parallel_threads << " threads; models "
+            << parallel_threads << " threads (instrumented total "
+            << instrumented_total << " ms vs " << parallel_total
+            << " ms disabled); models "
             << (identical ? "bit-identical" : "DIVERGED") << "; wrote "
             << path << "\n";
   return identical && os.good();

@@ -1,5 +1,7 @@
 #include "behaviot/core/deviation_engine.hpp"
 
+#include "behaviot/obs/span.hpp"
+
 namespace behaviot {
 
 DeviationEngine::DeviationEngine(const BehaviorModelSet& models,
@@ -11,6 +13,7 @@ DeviationEngine::DeviationEngine(const BehaviorModelSet& models,
 
 std::vector<DeviationAlert> DeviationEngine::process_window(
     const testbed::GeneratedCapture& capture) {
+  obs::StageSpan span("deviation.window");
   const std::vector<FlowRecord> flows =
       pipeline_.to_flows(capture, resolver_);
   const Pipeline::Classified classified =
@@ -19,6 +22,12 @@ std::vector<DeviationAlert> DeviationEngine::process_window(
       pipeline_.traces_of(classified.user_events);
   ++windows_;
   return monitor_.evaluate_window(capture.start, capture.end, flows, traces);
+}
+
+void DeviationEngine::reset() {
+  monitor_.reset();
+  resolver_ = DomainResolver{};
+  windows_ = 0;
 }
 
 }  // namespace behaviot

@@ -19,6 +19,12 @@ class DeviationEngine {
   std::vector<DeviationAlert> process_window(
       const testbed::GeneratedCapture& capture);
 
+  /// Forgets all streaming state — monitor timers and silence episodes,
+  /// accumulated DNS knowledge, and the window count — so the engine can
+  /// replay a second capture from scratch. Without this, a re-run inherits
+  /// stale last-seen timers and reports phantom silences.
+  void reset();
+
   /// Windows processed so far.
   [[nodiscard]] std::size_t windows_processed() const { return windows_; }
 

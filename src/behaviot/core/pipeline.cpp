@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
 #include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
@@ -13,6 +15,7 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
 std::vector<FlowRecord> Pipeline::to_flows(
     const testbed::GeneratedCapture& capture,
     DomainResolver& resolver) const {
+  obs::StageSpan span("pipeline.to_flows");
   testbed::configure_resolver(resolver, capture);
   FlowAssembler assembler(options_.assembler);
   std::vector<FlowRecord> flows = assembler.assemble(capture.packets, resolver);
@@ -25,6 +28,7 @@ BehaviorModelSet Pipeline::train(std::span<const FlowRecord> idle_flows,
                                  std::span<const FlowRecord> activity_flows,
                                  std::span<const FlowRecord> routine_flows)
     const {
+  obs::StageSpan span("pipeline.train");
   BehaviorModelSet models;
 
   // (1) Periodic models from idle traffic (unsupervised, §4.1).
@@ -39,6 +43,7 @@ BehaviorModelSet Pipeline::train(std::span<const FlowRecord> idle_flows,
 
   // (3) System behavior: classify the routine capture with the device
   // models, extract user-event traces, and run Synoptic inference.
+  obs::StageSpan system_span("system_model");
   const Classified routine = classify(routine_flows, models);
   const std::vector<EventTrace> traces = traces_of(routine.user_events);
   SynopticResult synoptic = infer_pfsm(traces, options_.synoptic);
@@ -57,6 +62,7 @@ BehaviorModelSet Pipeline::train(std::span<const FlowRecord> idle_flows,
 
 Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
                                         const BehaviorModelSet& models) const {
+  obs::StageSpan span("pipeline.classify");
   Classified out;
   out.kinds.resize(flows.size(), EventKind::kAperiodic);
   out.labels.resize(flows.size());
@@ -139,6 +145,19 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
     out.user_events.push_back(std::move(event));
   }
   std::sort(out.user_events.begin(), out.user_events.end(), before);
+
+  if (obs::MetricsRegistry::enabled()) {
+    std::size_t user_flows = 0;
+    for (const EventKind k : out.kinds) {
+      user_flows += k == EventKind::kUser ? 1 : 0;
+    }
+    obs::counter("classify.flows").add(flows.size());
+    obs::counter("classify.periodic_via_timer").add(out.periodic_via_timer);
+    obs::counter("classify.periodic_via_cluster")
+        .add(out.periodic_via_cluster);
+    obs::counter("classify.user_flows").add(user_flows);
+    obs::counter("classify.user_events").add(out.user_events.size());
+  }
   return out;
 }
 

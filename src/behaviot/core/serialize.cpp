@@ -8,6 +8,8 @@
 #include <optional>
 #include <sstream>
 
+#include "behaviot/obs/metrics.hpp"
+
 namespace behaviot {
 namespace {
 
@@ -162,6 +164,7 @@ BehaviorModelSet load_models(std::istream& is, ParsePolicy policy,
   const auto drop_section = [&](const SerializationError&) {
     if (policy == ParsePolicy::kStrict) throw;
     if (stats != nullptr) ++stats->sections_dropped;
+    obs::counter("ingest.sections_dropped").inc();
   };
 
   const std::string magic = get_token(is, "magic");

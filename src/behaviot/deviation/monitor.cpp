@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "behaviot/obs/metrics.hpp"
+
 namespace behaviot {
 
 const char* to_string(DeviationSource s) {
@@ -33,6 +35,30 @@ void DeviationMonitor::reset() {
 std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     Timestamp window_start, Timestamp window_end,
     std::span<const FlowRecord> flows, std::span<const EventTrace> traces) {
+  static auto& windows_counter = obs::counter("deviation.windows");
+  static auto& purged_counter = obs::counter("deviation.stale_keys_purged");
+  windows_counter.inc();
+
+  // Purge streaming state keyed by (device, group) pairs that no longer
+  // exist in the model set: retraining may drop or replace models, and a
+  // timer inherited from a previous model era would otherwise score a
+  // phantom multi-day silence the moment a same-named model reappears.
+  if (!last_seen_.empty() || !silence_reported_.empty()) {
+    std::set<std::pair<DeviceId, std::string>> live;
+    for (const PeriodicModel& m : periodic_->all()) {
+      live.emplace(m.device, m.group);
+    }
+    const auto stale = [&live](const auto& key) {
+      return live.count(key) == 0;
+    };
+    std::size_t purged = 0;
+    purged += std::erase_if(last_seen_, [&](const auto& kv) {
+      return stale(kv.first);
+    });
+    purged += std::erase_if(silence_reported_, stale);
+    if (purged > 0) purged_counter.add(purged);
+  }
+
   std::vector<DeviationAlert> alerts;
 
   // ---- Periodic-event deviation (per-device metric) ----
@@ -89,11 +115,10 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     }
     // Count-up timer at window end: silence since the last occurrence. A
     // continuing silence is one deviation, not one per window.
-    {
+    if (had_history || it != occur.end()) {
       const double elapsed = static_cast<double>(window_end - last) / 1e6;
-      if ((had_history || it != occur.end()) &&
-          silence_reported_.count(key) == 0) {
-        const double m = periodic_deviation(elapsed, T);
+      const double m = periodic_deviation(elapsed, T);
+      if (silence_reported_.count(key) == 0) {
         if (m > worst && m > options_.thresholds.periodic) {
           worst = m;
           worst_at = window_end;
@@ -101,6 +126,10 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
                   std::to_string(T) + "s";
           silence_reported_.insert(key);
         }
+      } else if (m > options_.thresholds.periodic) {
+        static auto& suppressed =
+            obs::counter("deviation.silences_suppressed");
+        suppressed.inc();
       }
     }
     if (worst > options_.thresholds.periodic) {
@@ -204,6 +233,19 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
             [](const DeviationAlert& a, const DeviationAlert& b) {
               return a.when < b.when;
             });
+
+  if (obs::MetricsRegistry::enabled()) {
+    static auto& periodic_alerts = obs::counter("deviation.alerts.periodic");
+    static auto& short_alerts = obs::counter("deviation.alerts.short_term");
+    static auto& long_alerts = obs::counter("deviation.alerts.long_term");
+    for (const DeviationAlert& a : alerts) {
+      switch (a.source) {
+        case DeviationSource::kPeriodic: periodic_alerts.inc(); break;
+        case DeviationSource::kShortTerm: short_alerts.inc(); break;
+        case DeviationSource::kLongTerm: long_alerts.inc(); break;
+      }
+    }
+  }
   return alerts;
 }
 

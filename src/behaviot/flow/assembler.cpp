@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
+
 namespace behaviot {
 
 FlowAssembler::FlowAssembler(AssemblerOptions options) : options_(options) {}
 
 std::vector<FlowRecord> FlowAssembler::assemble(
     std::span<const Packet> packets, DomainResolver& resolver) const {
+  obs::StageSpan span("flow.assemble");
   // Sort indices by time; stable so simultaneous packets keep capture order.
   std::vector<std::size_t> order(packets.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -64,6 +68,13 @@ std::vector<FlowRecord> FlowAssembler::assemble(
     if (a.start != b.start) return a.start < b.start;
     return a.tuple < b.tuple;
   });
+
+  static auto& packets_in = obs::counter("flow.packets_in");
+  static auto& assembled = obs::counter("flow.assembled");
+  static auto& dropped = obs::counter("flow.infrastructure_dropped");
+  packets_in.add(packets.size());
+  assembled.add(out.size());
+  dropped.add(flows.size() - out.size());
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "behaviot/obs/metrics.hpp"
 #include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
@@ -34,6 +35,11 @@ void RandomForest::fit(const Dataset& data, int num_classes) {
     trees[t].fit(data.X, data.y, sample, num_classes, tree_rng);
   });
   trees_ = std::move(trees);
+
+  static auto& forests_fit = obs::counter("ml.forests_fit");
+  static auto& trees_fit = obs::counter("ml.trees_fit");
+  forests_fit.inc();
+  trees_fit.add(trees_.size());
 }
 
 std::vector<double> RandomForest::predict_proba(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
 #include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
@@ -9,6 +11,7 @@ namespace behaviot {
 UserActionModels UserActionModels::train(
     std::span<const FlowRecord> labeled, std::span<const FlowRecord> background,
     const UserActionTrainOptions& options) {
+  obs::StageSpan span("ml.user_actions_train");
   UserActionModels models;
   models.decision_threshold_ = options.decision_threshold;
 
@@ -96,6 +99,7 @@ UserActionModels UserActionModels::train(
     models.classifiers_[tasks[i].device].push_back(
         {*tasks[i].activity, std::move(forests[i])});
   }
+  obs::counter("ml.user_action_models").add(tasks.size());
   return models;
 }
 

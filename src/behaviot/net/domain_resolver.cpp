@@ -2,6 +2,7 @@
 
 #include "behaviot/net/dns.hpp"
 #include "behaviot/net/tls.hpp"
+#include "behaviot/obs/metrics.hpp"
 
 namespace behaviot {
 
@@ -15,12 +16,16 @@ bool DomainResolver::observe(const Packet& packet) {
       classify_app_protocol(packet.tuple.proto, packet.tuple.dst.port);
   if (app == AppProtocol::kDns && packet.dir == Direction::kInbound) {
     if (auto binding = parse_dns_response(packet.payload)) {
+      static auto& dns_learned = obs::counter("ingest.dns_bindings");
+      dns_learned.inc();
       from_dns_[binding->address.value()] = binding->name;
       return true;
     }
   }
   if (app == AppProtocol::kTls && packet.dir == Direction::kOutbound) {
     if (auto sni = parse_tls_sni(packet.payload)) {
+      static auto& sni_learned = obs::counter("ingest.sni_bindings");
+      sni_learned.inc();
       from_sni_[packet.tuple.dst.ip.value()] = *sni;
       return true;
     }

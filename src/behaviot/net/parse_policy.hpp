@@ -56,4 +56,10 @@ struct ParseStats {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Bridges one parse's ParseStats into the global metrics registry: each
+/// field adds onto the matching "ingest.*" counter, so successive captures
+/// accumulate (a long-running gateway's totals). No-op when the registry is
+/// disabled or the struct is all zeros.
+void record_parse_stats(const ParseStats& stats);
+
 }  // namespace behaviot

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <streambuf>
 
+#include "behaviot/obs/span.hpp"
+
 namespace behaviot {
 namespace {
 
@@ -249,11 +251,13 @@ class MemBuf : public std::streambuf {
 };
 
 PcapReadResult read_all(std::istream& in, ParsePolicy policy) {
+  obs::StageSpan span("ingest.pcap");
   PcapReader reader(in, {.policy = policy});
   PcapReadResult result;
   while (auto p = reader.next()) result.packets.push_back(std::move(*p));
   result.stats = reader.stats();
   result.skipped = result.stats.skipped();
+  record_parse_stats(result.stats);
   return result;
 }
 

@@ -90,9 +90,12 @@ namespace behaviot::stats {
   return s / static_cast<double>(xs.size()) - 3.0;
 }
 
-/// Linear-interpolated percentile, q in [0, 100].
+/// Linear-interpolated percentile. `q` is clamped to [0, 100] (a negative
+/// rank would otherwise wrap through the size_t cast and index out of
+/// bounds); NaN clamps to 0.
 [[nodiscard]] inline double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
+  q = std::isnan(q) ? 0.0 : std::clamp(q, 0.0, 100.0);
   std::sort(xs.begin(), xs.end());
   const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -1,0 +1,194 @@
+#include "behaviot/obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "behaviot/obs/span.hpp"
+
+namespace behaviot::obs {
+
+namespace {
+
+/// Formats a double with enough precision to round-trip typical wall-clock
+/// and ratio values without scientific-notation surprises in JSON.
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool is_span_metric(const std::string& name) {
+  return name.rfind(kSpanMetricPrefix, 0) == 0;
+}
+
+std::string span_stage(const std::string& name) {
+  return name.substr(kSpanMetricPrefix.size());
+}
+
+std::string prom_sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << fmt_double(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < h.bounds.size()) {
+        os << fmt_double(h.bounds[i]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << h.buckets[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"spans\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!is_span_metric(name)) continue;
+    const double mean =
+        h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(span_stage(name))
+       << "\": {\"calls\": " << h.count
+       << ", \"total_ms\": " << fmt_double(h.sum)
+       << ", \"mean_ms\": " << fmt_double(mean) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string prom = "behaviot_" + prom_sanitize(name) + "_total";
+    os << "# TYPE " << prom << " counter\n" << prom << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string prom = "behaviot_" + prom_sanitize(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << " " << fmt_double(v) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    // Span histograms share one metric family, distinguished by a stage
+    // label; other histograms get their own family.
+    const bool span = is_span_metric(name);
+    const std::string prom =
+        span ? "behaviot_stage_ms" : "behaviot_" + prom_sanitize(name);
+    const std::string label =
+        span ? "stage=\"" + span_stage(name) + "\"" : std::string();
+    os << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << prom << "_bucket{" << label << (label.empty() ? "" : ",")
+         << "le=\""
+         << (i < h.bounds.size() ? fmt_double(h.bounds[i]) : "+Inf")
+         << "\"} " << cumulative << "\n";
+    }
+    const std::string braces = label.empty() ? "" : "{" + label + "}";
+    os << prom << "_sum" << braces << " " << fmt_double(h.sum) << "\n"
+       << prom << "_count" << braces << " " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string summary_table(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  bool any_span = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (is_span_metric(name)) {
+      any_span = true;
+      break;
+    }
+  }
+  if (any_span) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-44s %8s %12s %12s\n", "stage",
+                  "calls", "total ms", "mean ms");
+    os << line;
+    for (const auto& [name, h] : snap.histograms) {
+      if (!is_span_metric(name) || h.count == 0) continue;
+      std::snprintf(line, sizeof(line), "%-44s %8llu %12.2f %12.3f\n",
+                    span_stage(name).c_str(),
+                    static_cast<unsigned long long>(h.count), h.sum,
+                    h.sum / static_cast<double>(h.count));
+      os << line;
+    }
+  }
+  bool any_counter = false;
+  for (const auto& [name, v] : snap.counters) {
+    if (v == 0) continue;
+    if (!any_counter) {
+      os << (any_span ? "\n" : "");
+      char line[160];
+      std::snprintf(line, sizeof(line), "%-44s %12s\n", "counter", "value");
+      os << line;
+      any_counter = true;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-44s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    os << line;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (v == 0.0) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-44s %12.4f  (gauge)\n", name.c_str(),
+                  v);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace behaviot::obs

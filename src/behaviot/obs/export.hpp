@@ -1,0 +1,28 @@
+// Snapshot exporters: machine-readable JSON (behaviot_cli --metrics),
+// Prometheus text exposition (scrape-ready), and a human end-of-run summary
+// table.
+#pragma once
+
+#include <string>
+
+#include "behaviot/obs/metrics.hpp"
+
+namespace behaviot::obs {
+
+/// JSON document with four top-level objects: "counters", "gauges",
+/// "histograms" (bucket arrays with an "inf" tail), and "spans" — the
+/// span histograms re-expressed as {calls, total_ms, mean_ms} keyed by
+/// stage path, which is what dashboards usually want first.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snap);
+
+/// Prometheus text exposition format (version 0.0.4). Instrument names are
+/// sanitized to [a-zA-Z0-9_] and prefixed "behaviot_"; histograms emit
+/// cumulative le-labeled buckets plus _sum/_count, span histograms under
+/// behaviot_stage_ms{stage="..."}.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Fixed-width table of stage timings and non-zero counters/gauges for
+/// end-of-run terminal output.
+[[nodiscard]] std::string summary_table(const MetricsSnapshot& snap);
+
+}  // namespace behaviot::obs

@@ -1,0 +1,123 @@
+#include "behaviot/obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace behaviot::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double x) noexcept {
+  if (!MetricsRegistry::enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+void Histogram::reset_value() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> default_latency_bounds_ms() {
+  static constexpr std::array<double, 13> kBounds{
+      0.05, 0.1, 0.5, 1.0,    5.0,    10.0,   50.0,
+      100.0, 500.0, 1000.0, 5000.0, 10000.0, 60000.0};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    it = shard.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    it = shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          upper_bounds.empty() ? default_latency_bounds_ms()
+                                               : upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset_values() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto& [name, c] : shard.counters) c->reset_value();
+    for (auto& [name, g] : shard.gauges) g->reset_value();
+    for (auto& [name, h] : shard.histograms) h->reset_value();
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters[name] = c->value();
+    }
+    for (const auto& [name, g] : shard.gauges) {
+      snap.gauges[name] = g->value();
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      HistogramSnapshot hs;
+      hs.bounds = h->bounds();
+      hs.buckets.reserve(hs.bounds.size() + 1);
+      for (std::size_t i = 0; i <= hs.bounds.size(); ++i) {
+        hs.buckets.push_back(h->bucket_count(i));
+      }
+      hs.count = h->count();
+      hs.sum = h->sum();
+      snap.histograms.emplace(name, std::move(hs));
+    }
+  }
+  return snap;
+}
+
+}  // namespace behaviot::obs

@@ -1,0 +1,183 @@
+// Process-wide observability registry: named counters, gauges, and
+// fixed-bucket histograms, safe to update from any thread of the PR-1
+// runtime pool.
+//
+// Design constraints, in order:
+//  1. Hot-path updates must be cheap: instruments are plain structs of
+//     relaxed atomics, obtained once (the returned references are stable for
+//     the process lifetime) and updated lock-free. The registry mutex is
+//     only taken on first lookup of a name.
+//  2. Near-zero overhead when disabled: every update is gated on one
+//     process-wide relaxed atomic flag — a load and a predictable branch,
+//     no clock reads, no allocation. StageSpan (span.hpp) skips its clock
+//     reads entirely when the registry is disabled.
+//  3. Lookups shard by name hash so concurrent first-touch registration
+//     from pool workers does not convoy on a single mutex.
+//
+// Instruments are never unregistered; `reset_values()` zeroes values in
+// place (per-run CLI output, test isolation) without invalidating cached
+// references.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace behaviot::obs {
+
+/// Monotonic event count (flows assembled, records skipped, alerts raised…).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept;
+  void inc() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time measurement (coverage ratio, model count after retrain…).
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  void add(double v) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// N buckets; one implicit +inf bucket catches the rest. Bounds are fixed at
+/// first registration — there is no dynamic resizing on the hot path.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double x) noexcept;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Per-bucket count (index bounds().size() is the +inf bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Wall-clock latency buckets (milliseconds) used for stage spans and any
+/// histogram registered without explicit bounds.
+[[nodiscard]] std::span<const double> default_latency_bounds_ms();
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< finite upper bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+inf last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every instrument, keyed by name in deterministic
+/// (lexicographic) order — the exporters' input.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every pipeline stage records into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Recording on/off switch for the whole process. Off by default in
+  /// library use; the CLI (--metrics), tests, and benches turn it on.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Finds or registers an instrument. The returned reference is valid for
+  /// the registry's lifetime — cache it at the call site. A histogram's
+  /// bounds are set by the first registration (empty = default latency
+  /// buckets); later callers get the existing instrument as-is.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> upper_bounds = {});
+
+  /// Zeroes every instrument's value; registrations (and cached references)
+  /// survive.
+  void reset_values();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  };
+  [[nodiscard]] Shard& shard_for(std::string_view name);
+
+  static std::atomic<bool> enabled_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Convenience accessors over the global registry.
+[[nodiscard]] inline Counter& counter(std::string_view name) {
+  return MetricsRegistry::global().counter(name);
+}
+[[nodiscard]] inline Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::global().gauge(name);
+}
+[[nodiscard]] inline Histogram& histogram(
+    std::string_view name, std::span<const double> upper_bounds = {}) {
+  return MetricsRegistry::global().histogram(name, upper_bounds);
+}
+
+inline void Counter::add(std::uint64_t n) noexcept {
+  if (MetricsRegistry::enabled()) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+inline void Gauge::set(double v) noexcept {
+  if (MetricsRegistry::enabled()) {
+    value_.store(v, std::memory_order_relaxed);
+  }
+}
+
+inline void Gauge::add(double v) noexcept {
+  if (MetricsRegistry::enabled()) {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace behaviot::obs

@@ -1,0 +1,43 @@
+#include "behaviot/obs/span.hpp"
+
+#include "behaviot/obs/metrics.hpp"
+
+namespace behaviot::obs {
+
+namespace {
+
+/// Path of the innermost live span on this thread ("" at top level).
+thread_local std::string tls_span_path;
+
+}  // namespace
+
+StageSpan::StageSpan(std::string_view stage) {
+  if (!MetricsRegistry::enabled()) return;
+  active_ = true;
+  if (tls_span_path.empty()) {
+    path_ = stage;
+  } else {
+    path_ = tls_span_path + "/";
+    path_ += stage;
+  }
+  tls_span_path = path_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+StageSpan::~StageSpan() {
+  if (!active_) return;
+  const double ms = elapsed_ms();
+  // Restore the parent path even if this span outlived a registry disable.
+  const auto sep = path_.rfind('/');
+  tls_span_path = sep == std::string::npos ? "" : path_.substr(0, sep);
+  histogram(std::string(kSpanMetricPrefix) + path_).observe(ms);
+}
+
+double StageSpan::elapsed_ms() const {
+  if (!active_) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace behaviot::obs

@@ -1,0 +1,48 @@
+// RAII wall-clock stage timers with thread-local nesting.
+//
+// A StageSpan opened while another span is live on the same thread records
+// under the parent's path joined with '/', so the end-of-run report shows
+// where time went inside composite stages:
+//
+//   StageSpan train("pipeline.train");
+//   { StageSpan s("periodic_infer"); ... }   // records pipeline.train/periodic_infer
+//
+// Each span's wall time is observed into the global registry histogram named
+// "span.<path>" (milliseconds, default latency buckets), so count, total and
+// distribution are all available to the exporters. When the registry is
+// disabled a span does nothing — not even a clock read.
+//
+// Spans nest per thread (the path stack is thread_local). The pipeline only
+// opens spans on the orchestrating thread; pool workers inherit nothing,
+// which keeps worker hot loops span-free by construction.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+namespace behaviot::obs {
+
+class StageSpan {
+ public:
+  explicit StageSpan(std::string_view stage);
+  ~StageSpan();
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// Wall time since construction; 0 when the registry is disabled.
+  [[nodiscard]] double elapsed_ms() const;
+
+  /// Full '/'-joined path ("" when the registry is disabled).
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  bool active_ = false;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Name prefix of the registry histograms spans record into.
+inline constexpr std::string_view kSpanMetricPrefix = "span.";
+
+}  // namespace behaviot::obs

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "behaviot/net/stats.hpp"
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
 #include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
@@ -61,6 +63,7 @@ double learn_tolerance(const std::vector<double>& times_s, double period_s) {
 PeriodicModelSet PeriodicModelSet::infer(
     std::span<const FlowRecord> idle_flows, double window_seconds,
     const PeriodicInferenceOptions& options) {
+  obs::StageSpan span("periodic.infer");
   PeriodicModelSet set;
   set.stats_.total_flows = idle_flows.size();
 
@@ -159,6 +162,13 @@ PeriodicModelSet PeriodicModelSet::infer(
   for (std::size_t i = 0; i < device_list.size(); ++i) {
     set.clusters_.emplace(device_list[i]->first, std::move(fits[i].clusters));
     set.scalers_.emplace(device_list[i]->first, std::move(fits[i].scaler));
+  }
+
+  if (obs::MetricsRegistry::enabled()) {
+    obs::counter("periodic.groups_total").add(set.stats_.groups_total);
+    obs::counter("periodic.groups_periodic").add(set.stats_.groups_periodic);
+    obs::counter("periodic.models_inferred").add(set.models_.size());
+    obs::gauge("periodic.coverage").set(set.stats_.coverage());
   }
   return set;
 }

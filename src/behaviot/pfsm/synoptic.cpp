@@ -6,6 +6,9 @@
 #include <optional>
 #include <set>
 
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
+
 namespace behaviot {
 namespace {
 
@@ -212,6 +215,8 @@ bool split_along_path(RefinementState& state, const std::vector<int>& path,
 
 SynopticResult infer_pfsm(std::span<const std::vector<std::string>> traces,
                           const SynopticOptions& options) {
+  obs::StageSpan span("pfsm.infer");
+  obs::counter("pfsm.training_traces").add(traces.size());
   SynopticResult result;
   result.invariants =
       mine_invariants(traces, options.min_invariant_support);

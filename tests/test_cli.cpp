@@ -102,6 +102,69 @@ TEST_F(CliTest, FullWorkflow) {
   EXPECT_NE(result.output.find("flows checked"), std::string::npos);
 }
 
+TEST_F(CliTest, MetricsFlagWritesJsonAndSummary) {
+  const std::string pcap = *dir_ + "/metrics.pcap";
+  const std::string models = *dir_ + "/metrics_models.txt";
+  const std::string metrics = *dir_ + "/metrics.json";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.1 --seed 7 --out " + pcap)
+                .exit_code,
+            0);
+  ASSERT_EQ(run("train --idle " + pcap + " --window-days 0.1 --out " + models)
+                .exit_code,
+            0);
+
+  const auto result = run("score --models " + models + " --capture " + pcap +
+                          " --metrics " + metrics);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  ASSERT_TRUE(std::filesystem::exists(metrics));
+  // End-of-run summary table on stderr.
+  EXPECT_NE(result.output.find("stage"), std::string::npos) << result.output;
+
+  std::string json;
+  {
+    std::FILE* f = std::fopen(metrics.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::array<char, 512> buf{};
+    std::size_t n = 0;
+    while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+      json.append(buf.data(), n);
+    }
+    std::fclose(f);
+  }
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("ingest.records"), std::string::npos);
+  EXPECT_NE(json.find("cli.score"), std::string::npos);
+  EXPECT_NE(json.find("deviation.windows"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsFlagWritesPrometheusText) {
+  const std::string pcap = *dir_ + "/metrics2.pcap";
+  const std::string prom = *dir_ + "/metrics.prom";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.05 --seed 8 --out " + pcap)
+                .exit_code,
+            0);
+  const auto result =
+      run("simulate --dataset idle --days 0.05 --seed 8 --out " + pcap +
+          " --metrics " + prom);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  ASSERT_TRUE(std::filesystem::exists(prom));
+  std::string text;
+  {
+    std::FILE* f = std::fopen(prom.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::array<char, 512> buf{};
+    std::size_t n = 0;
+    while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+      text.append(buf.data(), n);
+    }
+    std::fclose(f);
+  }
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.find("behaviot_"), std::string::npos);
+  EXPECT_NE(text.find("behaviot_stage_ms"), std::string::npos);
+}
+
 TEST_F(CliTest, ShowRejectsUnknownDevice) {
   const std::string pcap = *dir_ + "/idle2.pcap";
   const std::string models = *dir_ + "/models2.txt";

@@ -93,6 +93,34 @@ TEST_F(IntegrationTest, MisconfigDayFiresAlerts) {
   EXPECT_TRUE(hit);
 }
 
+TEST_F(IntegrationTest, ResetReplaysIdenticallyToFreshEngine) {
+  // Replaying the same capture after reset() must match a fresh engine:
+  // stale timers and DNS knowledge would otherwise leak phantom alerts
+  // into the second run.
+  auto run = [&](DeviationEngine& e) {
+    std::vector<std::string> log;
+    for (std::size_t day = 1; day <= 2; ++day) {
+      const auto alerts =
+          e.process_window(testbed::Datasets::uncontrolled_day(day, 94));
+      for (const auto& a : alerts) {
+        log.push_back(std::string(to_string(a.source)) + "|" + a.context);
+      }
+    }
+    return log;
+  };
+
+  DeviationEngine engine(*models_);
+  const auto first = run(engine);
+  EXPECT_EQ(engine.windows_processed(), 2u);
+
+  engine.reset();
+  EXPECT_EQ(engine.windows_processed(), 0u);
+  EXPECT_EQ(run(engine), first);
+
+  DeviationEngine fresh(*models_);
+  EXPECT_EQ(run(fresh), first);
+}
+
 TEST_F(IntegrationTest, PcapRoundTripPreservesPipelineResults) {
   // Export a small capture to pcap bytes, re-ingest, and verify flows agree
   // — the pipeline works identically on "real" capture files.

@@ -178,6 +178,83 @@ TEST(DeviationMonitor, FrequencyShiftTriggersLongTermAlert) {
   EXPECT_TRUE(long_term);
 }
 
+TEST(DeviationMonitor, SilenceEpisodeAlertsOnceUntilTrafficResumes) {
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  const double day = 86400.0;
+  auto window = [&](int day_idx, bool with_traffic) {
+    std::vector<FlowRecord> flows;
+    if (with_traffic) {
+      for (double t = 0; t < day; t += 600.0) {
+        flows.push_back(fx.heartbeat_at(day_idx * day + t));
+      }
+    }
+    return monitor.evaluate_window(Timestamp::from_seconds(day_idx * day),
+                                   Timestamp::from_seconds((day_idx + 1) * day),
+                                   flows, {});
+  };
+  auto silence_alerts = [](const std::vector<DeviationAlert>& alerts) {
+    std::size_t n = 0;
+    for (const auto& a : alerts) {
+      n += a.context.find("silent") != std::string::npos ? 1 : 0;
+    }
+    return n;
+  };
+
+  EXPECT_TRUE(window(0, true).empty());
+  // Three consecutive silent windows: the episode alerts exactly once.
+  EXPECT_EQ(silence_alerts(window(1, false)), 1u);
+  EXPECT_EQ(silence_alerts(window(2, false)), 0u);
+  EXPECT_EQ(silence_alerts(window(3, false)), 0u);
+  // Traffic resumes (the resume window itself may alert on the giant
+  // inter-arrival gap, but not on silence)...
+  EXPECT_EQ(silence_alerts(window(4, true)), 0u);
+  // ...and a fresh outage is a new episode: it alerts again, once.
+  EXPECT_EQ(silence_alerts(window(5, false)), 1u);
+  EXPECT_EQ(silence_alerts(window(6, false)), 0u);
+}
+
+TEST(DeviationMonitor, RetrainingPurgesStaleStreamingState) {
+  MonitorFixture fx;
+  const std::vector<PeriodicModel> trained = fx.periodic.all();
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  const double day = 86400.0;
+
+  // Day 1: traffic arms the timer. Day 2: silence alerts once.
+  std::vector<FlowRecord> day1;
+  for (double t = 0; t < day; t += 600.0) day1.push_back(fx.heartbeat_at(t));
+  EXPECT_TRUE(monitor
+                  .evaluate_window(Timestamp(0), Timestamp::from_seconds(day),
+                                   day1, {})
+                  .empty());
+  auto alerts = monitor.evaluate_window(Timestamp::from_seconds(day),
+                                        Timestamp::from_seconds(2 * day), {},
+                                        {});
+  ASSERT_EQ(alerts.size(), 1u);
+
+  // Retraining drops the model: the silent window raises nothing and the
+  // monitor purges the group's timer and silence-episode marker.
+  fx.periodic = PeriodicModelSet::from_models({});
+  EXPECT_TRUE(monitor
+                  .evaluate_window(Timestamp::from_seconds(2 * day),
+                                   Timestamp::from_seconds(3 * day), {}, {})
+                  .empty());
+
+  // The model returns after retraining. Without the purge the group would
+  // inherit the old era's silence_reported_ marker and stay suppressed;
+  // with it, the new era's silence alerts afresh — scored from the window
+  // start, not from the day-1 timer.
+  fx.periodic = PeriodicModelSet::from_models(trained);
+  alerts = monitor.evaluate_window(Timestamp::from_seconds(3 * day),
+                                   Timestamp::from_seconds(4 * day), {}, {});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].source, DeviationSource::kPeriodic);
+  EXPECT_NE(alerts[0].context.find("silent"), std::string::npos);
+  const double one_window =
+      periodic_deviation(day, trained[0].period_seconds);
+  EXPECT_NEAR(alerts[0].score, one_window, 1e-9);
+}
+
 TEST(DeviationMonitor, ResetForgetsTimers) {
   MonitorFixture fx;
   DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);

@@ -1,0 +1,312 @@
+// Observability subsystem: registry semantics, disabled-mode no-ops, span
+// nesting, thread safety under the runtime pool, exporter formats, and the
+// end-to-end counter contract on a known synthetic capture.
+#include "behaviot/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "behaviot/core/pipeline.hpp"
+#include "behaviot/deviation/monitor.hpp"
+#include "behaviot/net/pcap.hpp"
+#include "behaviot/obs/export.hpp"
+#include "behaviot/obs/span.hpp"
+#include "behaviot/pfsm/synoptic.hpp"
+#include "behaviot/runtime/runtime.hpp"
+
+namespace behaviot {
+namespace {
+
+/// Every test runs with a freshly zeroed, enabled registry and leaves it
+/// disabled (the library default) behind.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::set_enabled(true);
+    obs::MetricsRegistry::global().reset_values();
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::set_enabled(false);
+    obs::MetricsRegistry::global().reset_values();
+  }
+};
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  auto& c = obs::counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same instrument; references stay stable across lookups.
+  EXPECT_EQ(&obs::counter("test.counter"), &c);
+  obs::MetricsRegistry::global().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  auto& g = obs::gauge("test.gauge");
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsUpperBoundInclusive) {
+  const std::vector<double> bounds{1.0, 10.0};
+  auto& h = obs::histogram("test.hist", bounds);
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(5.0);   // bucket 1
+  h.observe(100.0); // +inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  h.reset_value();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+}
+
+TEST_F(ObsTest, HistogramDefaultsToLatencyBounds) {
+  auto& h = obs::histogram("test.hist_default");
+  const auto def = obs::default_latency_bounds_ms();
+  ASSERT_EQ(h.bounds().size(), def.size());
+  for (std::size_t i = 0; i < def.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bounds()[i], def[i]);
+  }
+}
+
+TEST_F(ObsTest, DisabledRegistryDropsEveryUpdate) {
+  auto& c = obs::counter("test.disabled_counter");
+  auto& g = obs::gauge("test.disabled_gauge");
+  auto& h = obs::histogram("test.disabled_hist");
+  obs::MetricsRegistry::set_enabled(false);
+  c.add(7);
+  g.set(3.0);
+  h.observe(1.0);
+  {
+    obs::StageSpan span("test.disabled_span");
+    EXPECT_TRUE(span.path().empty());
+    EXPECT_DOUBLE_EQ(span.elapsed_ms(), 0.0);
+  }
+  obs::MetricsRegistry::set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.histograms.count("span.test.disabled_span"), 0u);
+}
+
+TEST_F(ObsTest, SpansNestIntoSlashJoinedPaths) {
+  {
+    obs::StageSpan outer("outer");
+    EXPECT_EQ(outer.path(), "outer");
+    {
+      obs::StageSpan inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+    }
+    // Sibling after the first child nests under the same parent again.
+    obs::StageSpan sibling("sibling");
+    EXPECT_EQ(sibling.path(), "outer/sibling");
+  }
+  obs::StageSpan top("top");
+  EXPECT_EQ(top.path(), "top");
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.histograms.at("span.outer").count, 1u);
+  EXPECT_EQ(snap.histograms.at("span.outer/inner").count, 1u);
+  EXPECT_EQ(snap.histograms.at("span.outer/sibling").count, 1u);
+}
+
+TEST_F(ObsTest, ConcurrentUpdatesFromPoolWorkersAreLossless) {
+  auto& c = obs::counter("test.pool_counter");
+  auto& h = obs::histogram("test.pool_hist", std::vector<double>{0.5});
+  constexpr std::size_t kN = 20000;
+  runtime::parallel_for(0, kN, [&](std::size_t i) {
+    c.inc();
+    h.observe(i % 2 == 0 ? 0.25 : 1.0);
+  });
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_EQ(h.bucket_count(0), kN / 2);
+  EXPECT_EQ(h.bucket_count(1), kN / 2);
+}
+
+TEST_F(ObsTest, ConcurrentFirstTouchRegistrationIsSafe) {
+  // Many workers race to register overlapping names; every name must end
+  // up as exactly one instrument with a lossless total.
+  runtime::parallel_for(0, 1000, [&](std::size_t i) {
+    obs::counter("test.race." + std::to_string(i % 16)).inc();
+  });
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  std::uint64_t total = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind("test.race.", 0) == 0) total += v;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST_F(ObsTest, JsonExporterShapes) {
+  obs::counter("json.counter").add(3);
+  obs::gauge("json.gauge").set(0.5);
+  obs::histogram("json.hist", std::vector<double>{1.0}).observe(0.5);
+  { obs::StageSpan span("json_stage"); }
+  const auto json = obs::to_json(obs::MetricsRegistry::global().snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"json.gauge\": 0.5"), std::string::npos);
+  // Span histograms appear under "spans" keyed by stage path with
+  // calls/total/mean, not as a raw histogram entry.
+  EXPECT_NE(json.find("\"json_stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ms\""), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExporterShapes) {
+  obs::counter("prom.skipped.total-weird name").add(2);
+  obs::gauge("prom.coverage").set(0.75);
+  obs::histogram("prom.hist", std::vector<double>{1.0, 2.0}).observe(1.5);
+  { obs::StageSpan span("prom_stage"); }
+  const auto text =
+      obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+  // Counter: sanitized name, behaviot_ prefix, _total suffix, TYPE line.
+  EXPECT_NE(text.find("# TYPE behaviot_prom_skipped_total_weird_name_total "
+                      "counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("behaviot_prom_skipped_total_weird_name_total 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("behaviot_prom_coverage 0.75"), std::string::npos);
+  // Histogram: cumulative le buckets + _sum/_count.
+  EXPECT_NE(text.find("behaviot_prom_hist_bucket{le=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("behaviot_prom_hist_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("behaviot_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("behaviot_prom_hist_count 1"), std::string::npos);
+  // Spans fold into one behaviot_stage_ms family labeled by stage.
+  EXPECT_NE(text.find("behaviot_stage_ms_count{stage=\"prom_stage\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, SummaryTableListsStagesAndCounters) {
+  obs::counter("table.flows").add(12);
+  { obs::StageSpan span("table_stage"); }
+  const auto table =
+      obs::summary_table(obs::MetricsRegistry::global().snapshot());
+  EXPECT_NE(table.find("table_stage"), std::string::npos);
+  EXPECT_NE(table.find("table.flows"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+}
+
+// ---- End-to-end counter contract on a known synthetic capture ----
+
+TEST_F(ObsTest, IngestCountersMatchParseStats) {
+  const auto capture = testbed::Datasets::idle(95, /*days=*/0.05);
+  auto bytes = serialize_pcap(capture.packets);
+  // Damage the tail: chop the last record mid-payload so the lenient parse
+  // classifies exactly one truncated skip.
+  ASSERT_GT(bytes.size(), 40u);
+  bytes.resize(bytes.size() - 10);
+  const auto parsed = parse_pcap(bytes);
+  ASSERT_EQ(parsed.stats.truncated, 1u);
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("ingest.records"), parsed.stats.records);
+  EXPECT_EQ(snap.counters.at("ingest.packets"), parsed.stats.packets);
+  EXPECT_EQ(snap.counters.at("ingest.skipped.non_ip"), parsed.stats.non_ip);
+  EXPECT_EQ(snap.counters.at("ingest.skipped.non_transport"),
+            parsed.stats.non_transport);
+  EXPECT_EQ(snap.counters.at("ingest.skipped.malformed"),
+            parsed.stats.malformed);
+  EXPECT_EQ(snap.counters.at("ingest.skipped.truncated"),
+            parsed.stats.truncated);
+  EXPECT_EQ(snap.counters.at("ingest.snapped_payloads"),
+            parsed.stats.snapped_payloads);
+  EXPECT_EQ(snap.histograms.at("span.ingest.pcap").count, 1u);
+}
+
+TEST_F(ObsTest, PipelineCountersMatchClassifierOutput) {
+  Pipeline pipeline;
+  DomainResolver resolver;
+  const auto capture = testbed::Datasets::idle(95, /*days=*/0.1);
+  const auto flows = pipeline.to_flows(capture, resolver);
+  ASSERT_FALSE(flows.empty());
+
+  auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("flow.assembled"), flows.size());
+  EXPECT_GE(snap.counters.at("flow.packets_in"), flows.size());
+  EXPECT_EQ(snap.histograms.at("span.pipeline.to_flows").count, 1u);
+  EXPECT_EQ(snap.histograms.at("span.pipeline.to_flows/flow.assemble").count,
+            1u);
+
+  const auto periodic = PeriodicModelSet::infer(flows, 86400.0 * 0.1);
+  snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("periodic.models_inferred"), periodic.size());
+  EXPECT_EQ(snap.histograms.at("span.periodic.infer").count, 1u);
+
+  BehaviorModelSet models;
+  models.periodic = periodic;
+  const auto classified = pipeline.classify(flows, models);
+  snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("classify.flows"), flows.size());
+  EXPECT_EQ(snap.counters.at("classify.periodic_via_timer"),
+            classified.periodic_via_timer);
+  EXPECT_EQ(snap.counters.at("classify.user_events"),
+            classified.user_events.size());
+}
+
+TEST_F(ObsTest, DeviationCountersMatchAlerts) {
+  // One modeled heartbeat group; a normal day, then an outage day.
+  std::vector<FlowRecord> idle;
+  for (double t = 0; t < 86400.0; t += 600.0) {
+    FlowRecord f;
+    f.device = 1;
+    f.tuple = {{Ipv4Addr(192, 168, 1, 11), 40000},
+               {Ipv4Addr(54, 2, 2, 2), 443},
+               Transport::kTcp};
+    f.domain = "hb.vendor.com";
+    f.app = AppProtocol::kTls;
+    f.start = f.end = Timestamp::from_seconds(t);
+    f.packets = {{f.start, 120, Direction::kOutbound, false}};
+    idle.push_back(std::move(f));
+  }
+  const auto periodic = PeriodicModelSet::infer(idle, 86400.0);
+  ASSERT_EQ(periodic.size(), 1u);
+  const std::vector<std::vector<std::string>> traces{
+      {"cam:motion", "bulb:on"}, {"cam:motion", "bulb:on"}};
+  const Pfsm pfsm = infer_pfsm(traces).pfsm;
+  const auto short_term = ShortTermThreshold::calibrate(pfsm, traces);
+
+  DeviationMonitor monitor(periodic, pfsm, short_term);
+  const auto quiet = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), idle, {});
+  EXPECT_TRUE(quiet.empty());
+  const auto outage = monitor.evaluate_window(
+      Timestamp::from_seconds(86400.0), Timestamp::from_seconds(2 * 86400.0),
+      {}, {});
+  ASSERT_EQ(outage.size(), 1u);
+  // A third silent window: alert suppressed (same episode), counted as such.
+  const auto still_out = monitor.evaluate_window(
+      Timestamp::from_seconds(2 * 86400.0),
+      Timestamp::from_seconds(3 * 86400.0), {}, {});
+  EXPECT_TRUE(still_out.empty());
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("deviation.windows"), 3u);
+  EXPECT_EQ(snap.counters.at("deviation.alerts.periodic"), 1u);
+  EXPECT_EQ(snap.counters.at("deviation.silences_suppressed"), 1u);
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "behaviot/net/rng.hpp"
 
 namespace behaviot {
@@ -71,6 +73,27 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 40.0);
   EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 25.0);
   EXPECT_DOUBLE_EQ(stats::percentile({}, 50), 0.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeQuantiles) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  // Out-of-range q clamps to the nearest valid quantile instead of
+  // indexing out of bounds.
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, -1), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, -1e9), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 101), 40.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 1e9), 40.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, nan), 10.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 7.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 7.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 7.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, -5), 7.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 250), 7.0);
 }
 
 // Property sweep: median lies within [min, max] and MAD >= 0 on random data.

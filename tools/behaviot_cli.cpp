@@ -27,6 +27,7 @@
 //       entry (unknown destination or protocol).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -35,6 +36,9 @@
 #include "behaviot/core/serialize.hpp"
 #include "behaviot/deviation/monitor.hpp"
 #include "behaviot/net/pcap.hpp"
+#include "behaviot/obs/export.hpp"
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
 
 using namespace behaviot;
 
@@ -56,7 +60,14 @@ int usage() {
                " (default lenient:\n"
                "      damaged records are skipped and reported; strict stops"
                " at the first\n"
-               "      malformation with its byte offset)\n");
+               "      malformation with its byte offset)\n"
+               "  --metrics FILE           record pipeline metrics (stage"
+               " timings, ingestion\n"
+               "      skip counters, alert counts) and write them to FILE:"
+               " JSON, or\n"
+               "      Prometheus text exposition when FILE ends in .prom;"
+               " also prints an\n"
+               "      end-of-run summary table to stderr\n");
   return 2;
 }
 
@@ -299,20 +310,53 @@ int cmd_check(const std::map<std::string, std::string>& flags) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const std::string& command,
+             const std::map<std::string, std::string>& flags) {
+  obs::StageSpan span("cli." + command);
+  if (command == "simulate") return cmd_simulate(flags);
+  if (command == "train") return cmd_train(flags);
+  if (command == "show") return cmd_show(flags);
+  if (command == "score") return cmd_score(flags);
+  if (command == "mud") return cmd_mud(flags);
+  if (command == "check") return cmd_check(flags);
+  return usage();
+}
+
+/// Writes the registry to `path` (Prometheus text for .prom, JSON otherwise)
+/// and prints the summary table to stderr. Returns false on I/O failure.
+bool write_metrics(const std::string& path) {
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  const bool prom = path.size() >= 5 && path.rfind(".prom") == path.size() - 5;
+  os << (prom ? obs::to_prometheus(snap) : obs::to_json(snap));
+  std::fprintf(stderr, "\n%swrote metrics to %s\n",
+               obs::summary_table(snap).c_str(), path.c_str());
+  return os.good();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const auto flags = parse_flags(argc, argv);
+  const auto metrics = flags.find("metrics");
+  if (metrics != flags.end()) obs::MetricsRegistry::set_enabled(true);
+  int rc = 2;
   try {
-    if (command == "simulate") return cmd_simulate(flags);
-    if (command == "train") return cmd_train(flags);
-    if (command == "show") return cmd_show(flags);
-    if (command == "score") return cmd_score(flags);
-    if (command == "mud") return cmd_mud(flags);
-    if (command == "check") return cmd_check(flags);
+    rc = dispatch(command, flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  // Metrics are written even after a failed command: the counters up to the
+  // failure are exactly what an operator wants to see.
+  if (metrics != flags.end() && !write_metrics(metrics->second)) rc = 1;
+  return rc;
 }
