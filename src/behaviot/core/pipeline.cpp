@@ -108,13 +108,18 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
   }
 
   // User-action stage: stateless per flow — flat data-parallel sweep over
-  // everything the periodic stages did not claim.
+  // everything the periodic stages did not claim. Confidence and vote margin
+  // ride along per flow so merged user events can carry their provenance.
+  std::vector<double> confidences(flows.size(), 0.0);
+  std::vector<double> margins(flows.size(), 0.0);
   runtime::parallel_for(0, flows.size(), [&](std::size_t i) {
     if (out.kinds[i] == EventKind::kPeriodic) return;
     const UserActionPrediction u = models.user_actions.classify(flows[i]);
     if (u.is_user_event()) {
       out.kinds[i] = EventKind::kUser;
       out.labels[i] = u.activity;
+      confidences[i] = u.confidence;
+      margins[i] = u.vote_margin();
     }
   });
 
@@ -142,6 +147,8 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
     event.device_name = label.substr(0, colon);
     event.activity = colon == std::string::npos ? label
                                                 : label.substr(colon + 1);
+    event.confidence = confidences[i];
+    event.vote_margin = margins[i];
     out.user_events.push_back(std::move(event));
   }
   std::sort(out.user_events.begin(), out.user_events.end(), before);

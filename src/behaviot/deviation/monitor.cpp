@@ -1,9 +1,13 @@
 #include "behaviot/deviation/monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
+#include "behaviot/flow/features.hpp"
 #include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/trace.hpp"
 
 namespace behaviot {
 
@@ -38,6 +42,7 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
   static auto& windows_counter = obs::counter("deviation.windows");
   static auto& purged_counter = obs::counter("deviation.stale_keys_purged");
   windows_counter.inc();
+  obs::trace_instant("deviation.window");
 
   // Purge streaming state keyed by (device, group) pairs that no longer
   // exist in the model set: retraining may drop or replace models, and a
@@ -62,15 +67,26 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
   std::vector<DeviationAlert> alerts;
 
   // ---- Periodic-event deviation (per-device metric) ----
-  // Collect window occurrences per modeled group.
-  std::map<std::pair<DeviceId, std::string>, std::vector<Timestamp>> occur;
+  // Collect window occurrences per modeled group. The flow pointer rides
+  // along so the worst deviation's flow can be located against the trained
+  // density clusters for the alert's provenance record.
+  struct Occurrence {
+    Timestamp at;
+    const FlowRecord* flow = nullptr;
+  };
+  std::map<std::pair<DeviceId, std::string>, std::vector<Occurrence>> occur;
   for (const FlowRecord& f : flows) {
     const std::string group = f.group_key();
     if (periodic_->find(f.device, group) != nullptr) {
-      occur[{f.device, group}].push_back(f.start);
+      occur[{f.device, group}].push_back({f.start, &f});
     }
   }
-  for (auto& [key, times] : occur) std::sort(times.begin(), times.end());
+  for (auto& [key, times] : occur) {
+    std::stable_sort(times.begin(), times.end(),
+                     [](const Occurrence& a, const Occurrence& b) {
+                       return a.at < b.at;
+                     });
+  }
 
   // Per-device best alert when aggregation is on.
   struct DeviceWorst {
@@ -78,6 +94,7 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     Timestamp when;
     std::string context;
     std::size_t groups = 0;
+    AlertExplanation explanation;
   };
   std::map<DeviceId, DeviceWorst> device_worst;
 
@@ -85,7 +102,9 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     const std::pair<DeviceId, std::string> key{model.device, model.group};
     const double T = model.period_seconds;
     double worst = 0.0;
+    double worst_elapsed = 0.0;
     Timestamp worst_at = window_end;
+    const FlowRecord* worst_flow = nullptr;
     std::string cause;
 
     auto it = occur.find(key);
@@ -96,22 +115,24 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
 
     if (it != occur.end()) {
       silence_reported_.erase(key);  // traffic resumed: new episode may alert
-      for (Timestamp t : it->second) {
-        if (!had_history && t == it->second.front()) {
-          last = t;
+      for (const Occurrence& o : it->second) {
+        if (!had_history && o.at == it->second.front().at) {
+          last = o.at;
           continue;  // first sighting ever: arm the timer silently
         }
-        const double elapsed = static_cast<double>(t - last) / 1e6;
+        const double elapsed = static_cast<double>(o.at - last) / 1e6;
         const double m = periodic_deviation(elapsed, T);
         if (m > worst) {
           worst = m;
-          worst_at = t;
+          worst_elapsed = elapsed;
+          worst_at = o.at;
+          worst_flow = o.flow;
           cause = "inter-arrival " + std::to_string(elapsed) + "s vs period " +
                   std::to_string(T) + "s";
         }
-        last = t;
+        last = o.at;
       }
-      last_seen_[key] = it->second.back();
+      last_seen_[key] = it->second.back().at;
     }
     // Count-up timer at window end: silence since the last occurrence. A
     // continuing silence is one deviation, not one per window.
@@ -121,7 +142,9 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
       if (silence_reported_.count(key) == 0) {
         if (m > worst && m > options_.thresholds.periodic) {
           worst = m;
+          worst_elapsed = elapsed;
           worst_at = window_end;
+          worst_flow = nullptr;  // a silence has no flow to locate
           cause = "silent for " + std::to_string(elapsed) + "s vs period " +
                   std::to_string(T) + "s";
           silence_reported_.insert(key);
@@ -133,6 +156,21 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
       }
     }
     if (worst > options_.thresholds.periodic) {
+      AlertExplanation ex;
+      ex.metric = "Mp";
+      ex.observed = worst_elapsed;
+      ex.expected = T;
+      ex.threshold = options_.thresholds.periodic;
+      ex.model_group = model.group;
+      ex.support = model.support;
+      if (worst_flow != nullptr) {
+        const auto evidence = periodic_->cluster_evidence(
+            model.device, extract_features(*worst_flow));
+        if (evidence && evidence->cluster != kDbscanNoise) {
+          ex.cluster_id = evidence->cluster;
+          ex.cluster_distance = evidence->distance;
+        }
+      }
       if (options_.aggregate_periodic_per_device) {
         DeviceWorst& dw = device_worst[model.device];
         ++dw.groups;
@@ -140,6 +178,7 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
           dw.score = worst;
           dw.when = worst_at;
           dw.context = model.group + ": " + cause;
+          dw.explanation = std::move(ex);
         }
       } else {
         DeviationAlert a;
@@ -149,11 +188,12 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
         a.score = worst;
         a.threshold = options_.thresholds.periodic;
         a.context = model.group + ": " + cause;
+        a.explanation = std::move(ex);
         alerts.push_back(std::move(a));
       }
     }
   }
-  for (const auto& [device, dw] : device_worst) {
+  for (auto& [device, dw] : device_worst) {
     DeviationAlert a;
     a.source = DeviationSource::kPeriodic;
     a.when = dw.when;
@@ -165,6 +205,7 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
       a.context += " (+" + std::to_string(dw.groups - 1) +
                    " co-deviating groups)";
     }
+    a.explanation = std::move(dw.explanation);
     alerts.push_back(std::move(a));
   }
   primed_ = true;
@@ -197,6 +238,19 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
         seq += l;
       }
       a.context = "trace [" + seq + "]";
+      a.explanation.metric = "A_T";
+      a.explanation.observed = score;
+      a.explanation.expected = short_term_.mean;
+      a.explanation.threshold = short_term_.value();
+      a.explanation.model_group = seq;
+      a.explanation.support = labels.size();
+      // The weakest forest vote among the trace's events: how tentatively
+      // the classifier inferred the sequence the PFSM now rejects.
+      double min_margin = std::numeric_limits<double>::infinity();
+      for (const UserEvent& e : trace) {
+        min_margin = std::min(min_margin, e.vote_margin);
+      }
+      if (std::isfinite(min_margin)) a.explanation.vote_margin = min_margin;
       alerts.push_back(std::move(a));
     }
   }
@@ -226,6 +280,12 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
                 std::to_string(d.observed_p) + " vs model p0=" +
                 std::to_string(d.model_p) + " over n=" +
                 std::to_string(d.occurrences);
+    a.explanation.metric = "|z|";
+    a.explanation.observed = d.observed_p;
+    a.explanation.expected = d.model_p;
+    a.explanation.threshold = z_threshold;
+    a.explanation.model_group = d.from + " -> " + d.to;
+    a.explanation.support = d.occurrences;
     alerts.push_back(std::move(a));
   }
 
@@ -245,6 +305,13 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
         case DeviationSource::kLongTerm: long_alerts.inc(); break;
       }
     }
+  }
+  if (obs::Tracer::enabled()) {
+    auto& tracer = obs::Tracer::global();
+    for (const DeviationAlert& a : alerts) {
+      tracer.instant(std::string("alert.") + to_string(a.source));
+    }
+    tracer.counter("deviation.alerts", static_cast<double>(alerts.size()));
   }
   return alerts;
 }

@@ -26,6 +26,32 @@ enum class DeviationSource : std::uint8_t {
 
 [[nodiscard]] const char* to_string(DeviationSource s);
 
+/// Decision provenance: the machine-readable evidence behind one alert,
+/// sufficient to reconstruct *why* the monitor fired without re-running it.
+/// `metric`/`observed`/`expected`/`threshold` are populated for every
+/// source; the remaining fields depend on it:
+///  - periodic: `model_group` is the deviating (device, group) key's group,
+///    `support` the model's training support, and — when the worst deviation
+///    was an observed flow rather than a silence and the model set carries a
+///    fitted cluster stage — `cluster_id`/`cluster_distance` locate that
+///    flow against the trained density clusters.
+///  - short-term: `model_group` is the deviating trace's label sequence,
+///    `support` its length, `vote_margin` the weakest forest vote margin
+///    among the trace's inferred events.
+///  - long-term: `model_group` is the "from -> to" transition, `support`
+///    the occurrence count n behind the binomial test.
+struct AlertExplanation {
+  std::string metric;       ///< "Mp" | "A_T" | "|z|"
+  double observed = 0.0;    ///< measured quantity (elapsed s / A_T / p̂)
+  double expected = 0.0;    ///< model expectation (period T / µ / p0)
+  double threshold = 0.0;   ///< the crossed threshold, in score units
+  std::string model_group;  ///< group key / trace signature / transition
+  int cluster_id = -1;             ///< nearest DBSCAN cluster; -1 when n/a
+  double cluster_distance = -1.0;  ///< distance to nearest core; <0 when n/a
+  double vote_margin = -1.0;       ///< weakest event vote margin; <0 when n/a
+  std::size_t support = 0;  ///< model support / trace length / n
+};
+
 struct DeviationAlert {
   DeviationSource source = DeviationSource::kPeriodic;
   Timestamp when;
@@ -34,6 +60,8 @@ struct DeviationAlert {
   double threshold = 0.0;
   /// Human-readable explanation: which model/trace/transition deviated.
   std::string context;
+  /// Machine-readable provenance (always populated by evaluate_window).
+  AlertExplanation explanation;
 };
 
 struct MonitorOptions {

@@ -112,9 +112,15 @@ UserActionPrediction UserActionModels::classify(const FlowRecord& flow) const {
   const std::vector<double> row(features.begin(), features.end());
   for (const BinaryClassifier& clf : it->second) {
     const double p = clf.forest.predict_proba(row)[1];
-    if (p >= decision_threshold_ && p > best.confidence) {
+    if (p < decision_threshold_) continue;
+    if (p > best.confidence) {
+      best.runner_up = best.activity;
+      best.runner_up_confidence = best.confidence;
       best.activity = clf.activity;
       best.confidence = p;
+    } else if (p > best.runner_up_confidence) {
+      best.runner_up = clf.activity;
+      best.runner_up_confidence = p;
     }
   }
   return best;

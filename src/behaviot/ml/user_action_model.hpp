@@ -20,8 +20,19 @@ namespace behaviot {
 struct UserActionPrediction {
   std::string activity;  ///< empty when no classifier fired
   double confidence = 0.0;
+  /// Runner-up activity and its probability (provenance: how contested the
+  /// vote was). Empty/0 when only one classifier fired.
+  std::string runner_up;
+  double runner_up_confidence = 0.0;
 
   [[nodiscard]] bool is_user_event() const { return !activity.empty(); }
+
+  /// Winning probability minus the runner-up's: the forest vote margin
+  /// reported in alert explanations. Equals `confidence` for uncontested
+  /// predictions; 0 when nothing fired.
+  [[nodiscard]] double vote_margin() const {
+    return confidence - runner_up_confidence;
+  }
 };
 
 struct UserActionTrainOptions {

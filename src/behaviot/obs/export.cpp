@@ -1,10 +1,14 @@
 #include "behaviot/obs/export.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <sstream>
 
+#include "behaviot/obs/json.hpp"
 #include "behaviot/obs/span.hpp"
 
 namespace behaviot::obs {
@@ -20,23 +24,10 @@ std::string fmt_double(double v) {
   return buf;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
+/// Shared escaper (obs/json.hpp): unlike the previous local version it also
+/// escapes bytes >= 0x7f, so a name carrying raw capture bytes can never
+/// produce an invalid JSON document.
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 bool is_span_metric(const std::string& name) {
   return name.rfind(kSpanMetricPrefix, 0) == 0;
@@ -55,7 +46,64 @@ std::string prom_sanitize(const std::string& name) {
   return out;
 }
 
+/// Collision-free family naming: sanitization is lossy ("a.b" and "a_b"
+/// both map to "a_b"), and silently merging two instruments into one
+/// Prometheus family corrupts both series. Each logical instrument claims
+/// its sanitized family name; a name already claimed by a *different*
+/// instrument gets a deterministic "_2"/"_3"... suffix (instruments are
+/// processed in the snapshot's lexicographic order, so the assignment is
+/// stable across exports).
+class PromNamer {
+ public:
+  /// `family` is the fully assembled candidate name; `instrument` the
+  /// logical source identity (instrument name + kind, or a shared sentinel
+  /// for families that intentionally pool several instruments).
+  std::string claim(const std::string& family, const std::string& instrument) {
+    auto it = claimed_.find(family);
+    if (it == claimed_.end()) {
+      claimed_.emplace(family, instrument);
+      return family;
+    }
+    if (it->second == instrument) return family;
+    for (int n = 2;; ++n) {
+      const std::string candidate = family + "_" + std::to_string(n);
+      auto c = claimed_.find(candidate);
+      if (c == claimed_.end()) {
+        claimed_.emplace(candidate, instrument);
+        return candidate;
+      }
+      if (c->second == instrument) return candidate;
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> claimed_;  ///< family -> instrument
+};
+
 }  // namespace
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t below = cumulative;
+    cumulative += h.buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= h.bounds.size()) {
+      // +Inf tail: no upper edge to interpolate toward.
+      return h.bounds.empty() ? 0.0 : h.bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+    const double hi = h.bounds[i];
+    if (h.buckets[i] == 0) return hi;
+    const double frac = (target - static_cast<double>(below)) /
+                        static_cast<double>(h.buckets[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
 
 std::string to_json(const MetricsSnapshot& snap) {
   std::ostringstream os;
@@ -78,6 +126,9 @@ std::string to_json(const MetricsSnapshot& snap) {
   for (const auto& [name, h] : snap.histograms) {
     os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
        << "\": {\"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+       << ", \"p50\": " << fmt_double(histogram_quantile(h, 0.50))
+       << ", \"p95\": " << fmt_double(histogram_quantile(h, 0.95))
+       << ", \"p99\": " << fmt_double(histogram_quantile(h, 0.99))
        << ", \"buckets\": [";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) os << ", ";
@@ -110,24 +161,36 @@ std::string to_json(const MetricsSnapshot& snap) {
 
 std::string to_prometheus(const MetricsSnapshot& snap) {
   std::ostringstream os;
+  PromNamer namer;
+  std::set<std::string> typed;  ///< families whose # TYPE line was emitted
+  const auto type_line = [&](const std::string& family, const char* type) {
+    if (typed.insert(family).second) {
+      os << "# TYPE " << family << " " << type << "\n";
+    }
+  };
   for (const auto& [name, v] : snap.counters) {
-    const std::string prom = "behaviot_" + prom_sanitize(name) + "_total";
-    os << "# TYPE " << prom << " counter\n" << prom << " " << v << "\n";
+    const std::string prom = namer.claim(
+        "behaviot_" + prom_sanitize(name) + "_total", "counter:" + name);
+    type_line(prom, "counter");
+    os << prom << " " << v << "\n";
   }
   for (const auto& [name, v] : snap.gauges) {
-    const std::string prom = "behaviot_" + prom_sanitize(name);
-    os << "# TYPE " << prom << " gauge\n"
-       << prom << " " << fmt_double(v) << "\n";
+    const std::string prom =
+        namer.claim("behaviot_" + prom_sanitize(name), "gauge:" + name);
+    type_line(prom, "gauge");
+    os << prom << " " << fmt_double(v) << "\n";
   }
   for (const auto& [name, h] : snap.histograms) {
     // Span histograms share one metric family, distinguished by a stage
     // label; other histograms get their own family.
     const bool span = is_span_metric(name);
     const std::string prom =
-        span ? "behaviot_stage_ms" : "behaviot_" + prom_sanitize(name);
+        span ? namer.claim("behaviot_stage_ms", "histogram:span")
+             : namer.claim("behaviot_" + prom_sanitize(name),
+                           "histogram:" + name);
     const std::string label =
         span ? "stage=\"" + span_stage(name) + "\"" : std::string();
-    os << "# TYPE " << prom << " histogram\n";
+    type_line(prom, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       cumulative += h.buckets[i];
@@ -139,6 +202,18 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     const std::string braces = label.empty() ? "" : "{" + label + "}";
     os << prom << "_sum" << braces << " " << fmt_double(h.sum) << "\n"
        << prom << "_count" << braces << " " << h.count << "\n";
+    // Sibling summary family: pre-estimated quantiles for consumers that
+    // don't run histogram_quantile() themselves.
+    const std::string summary = namer.claim(
+        prom + "_summary", span ? "summary:span" : "summary:" + name);
+    type_line(summary, "summary");
+    for (const double q : {0.5, 0.95, 0.99}) {
+      os << summary << "{" << label << (label.empty() ? "" : ",")
+         << "quantile=\"" << fmt_double(q) << "\"} "
+         << fmt_double(histogram_quantile(h, q)) << "\n";
+    }
+    os << summary << "_sum" << braces << " " << fmt_double(h.sum) << "\n"
+       << summary << "_count" << braces << " " << h.count << "\n";
   }
   return os.str();
 }

@@ -1,0 +1,257 @@
+#include "behaviot/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace behaviot::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (u < 0x20 || u >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("json: not a number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw std::runtime_error("json: not a string");
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error("json: not an array");
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json: " + std::string(what) + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return Value(number());
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.insert_or_assign(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(out));
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    for (;;) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(out));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The emitters only produce \u00XX (Latin-1 range); decode those
+          // back to the original byte and re-encode anything above as '?'
+          // rather than implementing surrogate pairs.
+          out += code <= 0xff ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start ||
+        !std::isfinite(out)) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace behaviot::obs::json

@@ -1,6 +1,7 @@
 #include "behaviot/obs/span.hpp"
 
 #include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/trace.hpp"
 
 namespace behaviot::obs {
 
@@ -11,9 +12,12 @@ thread_local std::string tls_span_path;
 
 }  // namespace
 
+const std::string& current_span_path() { return tls_span_path; }
+
 StageSpan::StageSpan(std::string_view stage) {
-  if (!MetricsRegistry::enabled()) return;
-  active_ = true;
+  active_ = MetricsRegistry::enabled();
+  traced_ = Tracer::enabled();
+  if (!active_ && !traced_) return;
   if (tls_span_path.empty()) {
     path_ = stage;
   } else {
@@ -22,19 +26,23 @@ StageSpan::StageSpan(std::string_view stage) {
   }
   tls_span_path = path_;
   start_ = std::chrono::steady_clock::now();
+  if (traced_) Tracer::global().span_begin(path_);
 }
 
 StageSpan::~StageSpan() {
-  if (!active_) return;
+  if (!active_ && !traced_) return;
+  // End the trace lane before the histogram update so the rendered span
+  // covers only the stage's own work.
+  if (traced_) Tracer::global().span_end(path_);
   const double ms = elapsed_ms();
-  // Restore the parent path even if this span outlived a registry disable.
+  // Restore the parent path even if this span outlived a recorder disable.
   const auto sep = path_.rfind('/');
   tls_span_path = sep == std::string::npos ? "" : path_.substr(0, sep);
-  histogram(std::string(kSpanMetricPrefix) + path_).observe(ms);
+  if (active_) histogram(std::string(kSpanMetricPrefix) + path_).observe(ms);
 }
 
 double StageSpan::elapsed_ms() const {
-  if (!active_) return 0.0;
+  if (!active_ && !traced_) return 0.0;
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start_)
       .count();

@@ -9,12 +9,17 @@
 //
 // Each span's wall time is observed into the global registry histogram named
 // "span.<path>" (milliseconds, default latency buckets), so count, total and
-// distribution are all available to the exporters. When the registry is
-// disabled a span does nothing — not even a clock read.
+// distribution are all available to the exporters. When the event tracer
+// (trace.hpp) is armed, the span additionally emits begin/end trace events
+// named by its full path, which is what renders the per-thread flamegraph
+// lanes in Perfetto. When both the registry and the tracer are disabled a
+// span does nothing — not even a clock read.
 //
 // Spans nest per thread (the path stack is thread_local). The pipeline only
 // opens spans on the orchestrating thread; pool workers inherit nothing,
-// which keeps worker hot loops span-free by construction.
+// which keeps worker hot loops span-free by construction — the runtime
+// tags worker chunks with the *submitting* span's path instead (see
+// runtime.hpp).
 #pragma once
 
 #include <chrono>
@@ -30,19 +35,24 @@ class StageSpan {
   StageSpan(const StageSpan&) = delete;
   StageSpan& operator=(const StageSpan&) = delete;
 
-  /// Wall time since construction; 0 when the registry is disabled.
+  /// Wall time since construction; 0 when neither recorder is enabled.
   [[nodiscard]] double elapsed_ms() const;
 
-  /// Full '/'-joined path ("" when the registry is disabled).
+  /// Full '/'-joined path ("" when neither recorder is enabled).
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
-  bool active_ = false;
+  bool active_ = false;  ///< metrics registry recording
+  bool traced_ = false;  ///< event tracer recording
   std::string path_;
   std::chrono::steady_clock::time_point start_{};
 };
 
 /// Name prefix of the registry histograms spans record into.
 inline constexpr std::string_view kSpanMetricPrefix = "span.";
+
+/// Path of the innermost live span on the calling thread ("" at top level).
+/// The runtime pool reads this at submit time to tag worker chunks.
+[[nodiscard]] const std::string& current_span_path();
 
 }  // namespace behaviot::obs

@@ -75,7 +75,10 @@ DbscanMembership::DbscanMembership(
     for (std::size_t j = 0; j < points.size(); ++j) {
       if (sq_distance(points[i], points[j]) <= eps_sq) ++density;
     }
-    if (density >= options.min_points) cores_.push_back(points[i]);
+    if (density >= options.min_points) {
+      cores_.push_back(points[i]);
+      core_clusters_.push_back(fit.labels[i]);
+    }
   }
 }
 
@@ -85,6 +88,24 @@ bool DbscanMembership::contains(std::span<const double> query) const {
     if (sq_distance(core, query) <= eps_sq) return true;
   }
   return false;
+}
+
+DbscanMembership::Nearest DbscanMembership::nearest(
+    std::span<const double> query) const {
+  Nearest out;
+  double best_sq = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const double d = sq_distance(cores_[i], query);
+    if (d < best_sq) {
+      best_sq = d;
+      out.cluster = core_clusters_[i];
+    }
+  }
+  if (out.cluster != kDbscanNoise) {
+    out.distance = std::sqrt(best_sq);
+    out.inside = best_sq <= eps_ * eps_;
+  }
+  return out;
 }
 
 }  // namespace behaviot

@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include <limits>
+
 namespace behaviot {
 
 inline constexpr int kDbscanNoise = -1;
@@ -43,11 +45,23 @@ class DbscanMembership {
   /// True when `query` is density-reachable from the trained clusters.
   [[nodiscard]] bool contains(std::span<const double> query) const;
 
+  /// Evidence for alert provenance: which trained cluster is closest to a
+  /// query, and how far away (euclidean distance to the nearest core point).
+  /// `cluster == kDbscanNoise` and an infinite distance when no clusters
+  /// were trained. `inside` mirrors contains(): distance <= eps.
+  struct Nearest {
+    int cluster = kDbscanNoise;
+    double distance = std::numeric_limits<double>::infinity();
+    bool inside = false;
+  };
+  [[nodiscard]] Nearest nearest(std::span<const double> query) const;
+
   [[nodiscard]] std::size_t core_point_count() const { return cores_.size(); }
   [[nodiscard]] int num_clusters() const { return num_clusters_; }
 
  private:
   std::vector<std::vector<double>> cores_;
+  std::vector<int> core_clusters_;  ///< cluster id per retained core point
   double eps_ = 0.5;
   int num_clusters_ = 0;
 };

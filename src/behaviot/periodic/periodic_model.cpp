@@ -216,4 +216,12 @@ bool PeriodicModelSet::in_periodic_cluster(
   return cl->second.contains(scratch);
 }
 
+std::optional<DbscanMembership::Nearest> PeriodicModelSet::cluster_evidence(
+    DeviceId device, const FeatureVector& features) const {
+  auto sc = scalers_.find(device);
+  auto cl = clusters_.find(device);
+  if (sc == scalers_.end() || cl == clusters_.end()) return std::nullopt;
+  return cl->second.nearest(sc->second.transform(features));
+}
+
 }  // namespace behaviot

@@ -118,6 +118,13 @@ class PeriodicModelSet {
                                          const FeatureVector& features,
                                          std::vector<double>& scratch) const;
 
+  /// Provenance query (not a hot path): the nearest trained density cluster
+  /// for a flow's features and the distance to its closest core point.
+  /// `std::nullopt` when the device has no fitted cluster stage (e.g. a
+  /// deserialized model set).
+  [[nodiscard]] std::optional<DbscanMembership::Nearest> cluster_evidence(
+      DeviceId device, const FeatureVector& features) const;
+
  private:
   std::vector<PeriodicModel> models_;
   std::unordered_map<std::pair<DeviceId, std::string>, std::size_t,

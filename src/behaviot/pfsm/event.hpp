@@ -14,6 +14,11 @@ struct UserEvent {
   DeviceId device = kUnknownDevice;
   std::string device_name;
   std::string activity;
+  /// Provenance from the inferring classifier: winning forest probability
+  /// and its margin over the runner-up activity. 1.0/1.0 for ground-truth
+  /// events (the simulator emits certainties, not votes).
+  double confidence = 1.0;
+  double vote_margin = 1.0;
 
   /// State label in the PFSM, e.g. "tplink_plug:on".
   [[nodiscard]] std::string label() const {

@@ -5,6 +5,10 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
+
+#include "behaviot/obs/span.hpp"
+#include "behaviot/obs/trace.hpp"
 
 namespace behaviot::runtime {
 namespace {
@@ -41,6 +45,10 @@ struct ThreadPool::Job {
   std::atomic<bool> failed{false};     ///< abandon unclaimed chunks
   std::mutex error_mu;
   std::exception_ptr error;
+  /// Trace span name for each executed chunk; empty when tracing is off at
+  /// submit time. Captured once by the submitting thread (its innermost
+  /// StageSpan path + "/task"), read-only during the job.
+  std::string trace_label;
 };
 
 ThreadPool::ThreadPool(RuntimeOptions options) : options_(options) {
@@ -48,7 +56,7 @@ ThreadPool::ThreadPool(RuntimeOptions options) : options_(options) {
   if (options_.chunks_per_thread == 0) options_.chunks_per_thread = 1;
   workers_.reserve(options_.threads - 1);
   for (std::size_t i = 0; i + 1 < options_.threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -62,11 +70,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_job(Job& job) {
+  const bool traced = !job.trace_label.empty() && obs::Tracer::enabled();
   while (!job.failed.load(std::memory_order_relaxed)) {
     const std::size_t c = job.cursor.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.num_chunks) break;
     const std::size_t lo = job.begin + c * job.chunk;
     const std::size_t hi = std::min(job.end, lo + job.chunk);
+    if (traced) obs::Tracer::global().span_begin(job.trace_label);
     try {
       for (std::size_t i = lo; i < hi; ++i) (*job.fn)(i);
     } catch (...) {
@@ -76,11 +86,13 @@ void ThreadPool::run_job(Job& job) {
       }
       job.failed.store(true, std::memory_order_relaxed);
     }
+    if (traced) obs::Tracer::global().span_end(job.trace_label);
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   tls_in_parallel_region = true;
+  obs::Tracer::set_thread_label("pool-worker-" + std::to_string(worker_index));
   std::uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;
@@ -113,6 +125,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   job.fn = &fn;
   job.begin = begin;
   job.end = end;
+  if (obs::Tracer::enabled()) {
+    const std::string& parent = obs::current_span_path();
+    job.trace_label = parent.empty() ? "parallel_for" : parent + "/task";
+  }
   const std::size_t target_chunks = threads() * options_.chunks_per_thread;
   job.chunk = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
   job.num_chunks = (n + job.chunk - 1) / job.chunk;

@@ -16,6 +16,12 @@
 //    than deadlocking on the shared pool.
 //  - Exceptions thrown by the body are caught, the remaining chunks are
 //    abandoned, and the first exception is rethrown on the calling thread.
+//
+// When the event tracer (obs/trace.hpp) is armed, each claimed chunk is
+// recorded as a span on the executing thread, labeled with the submitting
+// thread's innermost StageSpan path plus "/task" — so a parallel stage
+// renders as per-thread lanes of chunk spans under the stage's name in
+// Perfetto. Workers label themselves "pool-worker-<i>" in exported traces.
 #pragma once
 
 #include <condition_variable>
@@ -73,7 +79,7 @@ class ThreadPool {
  private:
   struct Job;
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   static void run_job(Job& job);
 
   RuntimeOptions options_;

@@ -1,12 +1,16 @@
 // End-to-end smoke tests of the `behaviot` CLI: simulate → train → show →
-// score → mud, exercising the pcap and serialization formats through the
-// shipped binary.
+// score → mud → explain, exercising the pcap, serialization, alert-report,
+// and trace formats through the shipped binary.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <set>
 #include <string>
+
+#include "behaviot/obs/json.hpp"
 
 namespace {
 
@@ -22,9 +26,11 @@ struct CommandResult {
   std::string output;
 };
 
-CommandResult run(const std::string& args) {
+/// `env` is prepended to the shell command ("NAME=value", may be empty).
+CommandResult run(const std::string& args, const std::string& env = "") {
   CommandResult result;
-  const std::string cmd = cli_path() + " " + args + " 2>&1";
+  const std::string cmd =
+      (env.empty() ? "" : env + " ") + cli_path() + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return result;
   std::array<char, 512> buf{};
@@ -33,6 +39,19 @@ CommandResult run(const std::string& args) {
   }
   result.exit_code = pclose(pipe);
   return result;
+}
+
+std::string read_file(const std::string& path) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return text;
+  std::array<char, 512> buf{};
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    text.append(buf.data(), n);
+  }
+  std::fclose(f);
+  return text;
 }
 
 class CliTest : public ::testing::Test {
@@ -120,17 +139,7 @@ TEST_F(CliTest, MetricsFlagWritesJsonAndSummary) {
   // End-of-run summary table on stderr.
   EXPECT_NE(result.output.find("stage"), std::string::npos) << result.output;
 
-  std::string json;
-  {
-    std::FILE* f = std::fopen(metrics.c_str(), "r");
-    ASSERT_NE(f, nullptr);
-    std::array<char, 512> buf{};
-    std::size_t n = 0;
-    while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
-      json.append(buf.data(), n);
-    }
-    std::fclose(f);
-  }
+  const std::string json = read_file(metrics);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"spans\""), std::string::npos);
   EXPECT_NE(json.find("ingest.records"), std::string::npos);
@@ -149,17 +158,7 @@ TEST_F(CliTest, MetricsFlagWritesPrometheusText) {
           " --metrics " + prom);
   ASSERT_EQ(result.exit_code, 0) << result.output;
   ASSERT_TRUE(std::filesystem::exists(prom));
-  std::string text;
-  {
-    std::FILE* f = std::fopen(prom.c_str(), "r");
-    ASSERT_NE(f, nullptr);
-    std::array<char, 512> buf{};
-    std::size_t n = 0;
-    while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
-      text.append(buf.data(), n);
-    }
-    std::fclose(f);
-  }
+  const std::string text = read_file(prom);
   EXPECT_NE(text.find("# TYPE"), std::string::npos);
   EXPECT_NE(text.find("behaviot_"), std::string::npos);
   EXPECT_NE(text.find("behaviot_stage_ms"), std::string::npos);
@@ -183,6 +182,134 @@ TEST_F(CliTest, ShowRejectsUnknownDevice) {
 TEST_F(CliTest, TrainRejectsMissingCapture) {
   const auto result =
       run("train --idle /nonexistent.pcap --window-days 1 --out /tmp/x.txt");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFlagWritesChromeJsonWithWorkerLanes) {
+  const std::string pcap = *dir_ + "/trace.pcap";
+  const std::string models = *dir_ + "/trace_models.txt";
+  const std::string trace = *dir_ + "/trace.json";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.1 --seed 5 --out " + pcap)
+                .exit_code,
+            0);
+
+  // Train with a 4-thread pool so parallel stages fan out to worker lanes.
+  const auto result = run("train --idle " + pcap + " --window-days 0.1 --out " +
+                              models + " --trace " + trace,
+                          "BEHAVIOT_THREADS=4");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote trace to"), std::string::npos)
+      << result.output;
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  // The file must be one valid JSON document with the Chrome trace-event
+  // shape: a traceEvents array of ph/name/pid/tid records.
+  const auto doc = behaviot::obs::json::parse(read_file(trace));
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  std::map<double, std::string> thread_names;
+  std::set<double> chunk_lanes;
+  std::map<double, int> depth;
+  bool worker_named = false;
+  for (const auto& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    const std::string& name = e.at("name").as_string();
+    const double tid = e.at("tid").as_number();
+    (void)e.at("pid").as_number();
+    if (ph == "M" && name == "thread_name") {
+      const std::string& label = e.at("args").at("name").as_string();
+      thread_names[tid] = label;
+      worker_named |= label.rfind("pool-worker-", 0) == 0;
+    }
+    if (ph == "B") {
+      ++depth[tid];
+      const std::string suffix = "/task";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        chunk_lanes.insert(tid);
+      }
+    }
+    if (ph == "E") {
+      --depth[tid];
+      ASSERT_GE(depth[tid], 0) << "unbalanced span end on tid " << tid;
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed span on tid " << tid;
+  }
+  EXPECT_TRUE(worker_named);
+  // A parallel stage rendered chunks on at least two lanes.
+  EXPECT_GE(chunk_lanes.size(), 2u);
+  // Every lane carrying chunk spans has a thread_name metadata record.
+  for (const double tid : chunk_lanes) {
+    EXPECT_EQ(thread_names.count(tid), 1u) << "unnamed lane " << tid;
+  }
+}
+
+TEST_F(CliTest, ScoreWritesAlertReportAndExplainRendersIt) {
+  const std::string idle = *dir_ + "/explain_idle.pcap";
+  const std::string models = *dir_ + "/explain_models.txt";
+  const std::string outage = *dir_ + "/explain_day30.pcap";
+  const std::string report = *dir_ + "/alerts.json";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.1 --seed 5 --out " + idle)
+                .exit_code,
+            0);
+  ASSERT_EQ(run("train --idle " + idle + " --window-days 0.1 --out " + models)
+                .exit_code,
+            0);
+  // Day 30 of the uncontrolled dataset carries a scheduled network outage
+  // (incidents.cpp), so scoring it against idle models must raise periodic
+  // deviations deterministically.
+  ASSERT_EQ(run("simulate --dataset uncontrolled-day:30 --seed 5 --out " +
+                outage)
+                .exit_code,
+            0);
+
+  auto result = run("score --models " + models + " --capture " + outage +
+                    " --alerts " + report);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("with provenance"), std::string::npos)
+      << result.output;
+  ASSERT_TRUE(std::filesystem::exists(report));
+
+  // The report is valid JSON carrying a populated explanation per alert.
+  const auto doc = behaviot::obs::json::parse(read_file(report));
+  EXPECT_EQ(doc.at("version").as_number(), 1.0);
+  const auto& alerts = doc.at("alerts").as_array();
+  ASSERT_FALSE(alerts.empty());
+  for (const auto& a : alerts) {
+    const auto& ex = a.at("explanation");
+    EXPECT_FALSE(ex.at("metric").as_string().empty());
+    EXPECT_FALSE(ex.at("model_group").as_string().empty());
+    EXPECT_GT(ex.at("threshold").as_number(), 0.0);
+    (void)ex.at("observed").as_number();
+    (void)ex.at("expected").as_number();
+    (void)ex.at("support").as_number();
+  }
+
+  // explain renders every alert's provenance block.
+  result = run("explain --alerts " + report);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("crossed threshold"), std::string::npos);
+  EXPECT_NE(result.output.find("model group:"), std::string::npos);
+  EXPECT_NE(result.output.find("alert(s) explained"), std::string::npos);
+
+  // Source filtering narrows the rendering without failing.
+  result = run("explain --alerts " + report + " --source periodic");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("[periodic]"), std::string::npos);
+
+  // A malformed report is rejected loudly.
+  const std::string bad = *dir_ + "/bad_report.json";
+  {
+    std::FILE* f = std::fopen(bad.c_str(), "w");
+    std::fputs("{\"version\": 99}", f);
+    std::fclose(f);
+  }
+  result = run("explain --alerts " + bad);
   EXPECT_NE(result.exit_code, 0);
   EXPECT_NE(result.output.find("error"), std::string::npos);
 }

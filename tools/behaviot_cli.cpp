@@ -25,12 +25,20 @@
 //   behaviot check --models models.txt --capture day.pcap --device <name>
 //       MUD compliance: flag the device's flows that match no profile
 //       entry (unknown destination or protocol).
+//
+//   behaviot explain --alerts report.json [--source periodic|short-term|
+//       long-term]
+//       Render the provenance of each alert in a report written by
+//       `score --alerts FILE`: observed vs expected value, crossed
+//       threshold, model group, and cluster/vote evidence.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "behaviot/analysis/alert_report.hpp"
 #include "behaviot/core/mud_profile.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
@@ -39,6 +47,7 @@
 #include "behaviot/obs/export.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
+#include "behaviot/obs/trace.hpp"
 
 using namespace behaviot;
 
@@ -46,15 +55,19 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: behaviot <simulate|train|show|score|mud> [options]\n"
+               "usage: behaviot <simulate|train|show|score|mud|check|explain>"
+               " [options]\n"
                "  simulate --dataset idle|activity|routine|uncontrolled-day:N"
                " [--days D] [--seed S] --out FILE.pcap\n"
                "  train    --idle FILE.pcap --window-days D --out MODELS.txt\n"
                "  show     --models MODELS.txt [--device NAME]\n"
-               "  score    --models MODELS.txt --capture FILE.pcap\n"
+               "  score    --models MODELS.txt --capture FILE.pcap"
+               " [--alerts REPORT.json]\n"
                "  mud      --models MODELS.txt --device NAME\n"
                "  check    --models MODELS.txt --capture FILE.pcap"
                " --device NAME\n"
+               "  explain  --alerts REPORT.json [--source"
+               " periodic|short-term|long-term]\n"
                "common:\n"
                "  --parse strict|lenient   capture/model parse policy"
                " (default lenient:\n"
@@ -67,7 +80,13 @@ int usage() {
                " JSON, or\n"
                "      Prometheus text exposition when FILE ends in .prom;"
                " also prints an\n"
-               "      end-of-run summary table to stderr\n");
+               "      end-of-run summary table to stderr\n"
+               "  --trace FILE             record an execution timeline and"
+               " write it to FILE\n"
+               "      as Chrome trace-event JSON (open in Perfetto or"
+               " chrome://tracing);\n"
+               "      parallel stages render as per-thread lanes of chunk"
+               " spans\n");
   return 2;
 }
 
@@ -252,6 +271,45 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
                 to_string(a.source), device_name, a.score, a.threshold,
                 a.context.substr(0, 80).c_str());
   }
+  if (flags.count("alerts")) {
+    const std::string& path = flags.at("alerts");
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write alerts to %s\n", path.c_str());
+      return 1;
+    }
+    os << alerts_to_json(alerts);
+    std::fprintf(stderr, "wrote %zu alert(s) with provenance to %s\n",
+                 alerts.size(), path.c_str());
+    if (!os.good()) return 1;
+  }
+  return 0;
+}
+
+int cmd_explain(const std::map<std::string, std::string>& flags) {
+  if (flags.count("alerts") == 0) return usage();
+  std::ifstream is(flags.at("alerts"));
+  if (!is) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 flags.at("alerts").c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto alerts = alerts_from_json(buf.str());
+
+  const auto& catalog = testbed::Catalog::standard();
+  std::size_t shown = 0;
+  for (const auto& a : alerts) {
+    if (flags.count("source") && flags.at("source") != to_string(a.source)) {
+      continue;
+    }
+    const std::string device_name =
+        a.device < catalog.size() ? catalog.by_id(a.device).name : "(system)";
+    std::printf("%s\n", render_alert_explanation(a, device_name).c_str());
+    ++shown;
+  }
+  std::printf("%zu of %zu alert(s) explained\n", shown, alerts.size());
   return 0;
 }
 
@@ -321,7 +379,29 @@ int dispatch(const std::string& command,
   if (command == "score") return cmd_score(flags);
   if (command == "mud") return cmd_mud(flags);
   if (command == "check") return cmd_check(flags);
+  if (command == "explain") return cmd_explain(flags);
   return usage();
+}
+
+/// Stops the tracer and writes its snapshot to `path` as Chrome trace-event
+/// JSON. Returns false on I/O failure.
+bool write_trace(const std::string& path) {
+  obs::Tracer::global().stop();
+  const auto snap = obs::Tracer::global().snapshot();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  os << obs::trace_to_chrome_json(snap);
+  std::fprintf(stderr,
+               "wrote trace to %s (%llu events on %zu threads, %llu dropped)"
+               " — open in Perfetto or chrome://tracing\n",
+               path.c_str(),
+               static_cast<unsigned long long>(snap.total_events),
+               snap.threads.size(),
+               static_cast<unsigned long long>(snap.total_dropped));
+  return os.good();
 }
 
 /// Writes the registry to `path` (Prometheus text for .prom, JSON otherwise)
@@ -348,6 +428,11 @@ int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
   const auto metrics = flags.find("metrics");
   if (metrics != flags.end()) obs::MetricsRegistry::set_enabled(true);
+  const auto trace = flags.find("trace");
+  if (trace != flags.end()) {
+    obs::Tracer::set_thread_label("main");
+    obs::Tracer::global().start();
+  }
   int rc = 2;
   try {
     rc = dispatch(command, flags);
@@ -355,8 +440,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
   }
-  // Metrics are written even after a failed command: the counters up to the
-  // failure are exactly what an operator wants to see.
+  // Metrics and traces are written even after a failed command: the record
+  // up to the failure is exactly what an operator wants to see.
   if (metrics != flags.end() && !write_metrics(metrics->second)) rc = 1;
+  if (trace != flags.end() && !write_trace(trace->second)) rc = 1;
   return rc;
 }
