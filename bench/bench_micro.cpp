@@ -15,13 +15,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 
+#include "behaviot/chaos/fault_injector.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
 #include "behaviot/flow/assembler.hpp"
 #include "behaviot/flow/features.hpp"
 #include "behaviot/ml/random_forest.hpp"
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 #include "behaviot/obs/trace.hpp"
@@ -217,10 +220,13 @@ struct PipelineTiming {
   /// Tracer tallies for the run (zero unless it ran with tracing armed).
   std::uint64_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
+  /// Faults injected when the run executed under a chaos spec.
+  std::uint64_t faults_injected = 0;
 };
 
 PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
-                             bool with_trace = false) {
+                             bool with_trace = false,
+                             const chaos::FaultSpec* chaos_spec = nullptr) {
   using Clock = std::chrono::steady_clock;
   const auto ms = [](Clock::duration d) {
     return std::chrono::duration<double, std::milli>(d).count();
@@ -232,9 +238,17 @@ PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
   runtime::set_global_threads(threads);
   Pipeline pipeline;
   DomainResolver resolver;
-  const auto idle = testbed::Datasets::idle(111, /*days=*/1.0);
-  const auto activity = testbed::Datasets::activity(112, /*repetitions=*/6);
-  const auto routine = testbed::Datasets::routine_week(113, /*days=*/2.0);
+  auto idle = testbed::Datasets::idle(111, /*days=*/1.0);
+  auto activity = testbed::Datasets::activity(112, /*repetitions=*/6);
+  auto routine = testbed::Datasets::routine_week(113, /*days=*/2.0);
+  std::unique_ptr<chaos::FaultInjector> injector;
+  if (chaos_spec != nullptr) {
+    injector = std::make_unique<chaos::FaultInjector>(*chaos_spec);
+    injector->apply(idle);
+    injector->apply(activity);
+    injector->apply(routine);
+    injector->arm_feature_chaos();
+  }
   const auto idle_flows = pipeline.to_flows(idle, resolver);
   const auto activity_flows = pipeline.to_flows(activity, resolver);
   const auto routine_flows = pipeline.to_flows(routine, resolver);
@@ -264,6 +278,11 @@ PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
     t.trace_events = trace.total_events;
     t.trace_dropped = trace.total_dropped;
   }
+  if (injector != nullptr) {
+    injector->disarm_feature_chaos();
+    t.faults_injected = injector->stats().total();
+    obs::health().reset();
+  }
   obs::MetricsRegistry::set_enabled(false);
   std::ostringstream os;
   save_models(os, models);
@@ -290,6 +309,16 @@ bool write_pipeline_bench_json(const std::string& path) {
       time_pipeline(parallel_threads, /*with_metrics=*/true);
   const PipelineTiming traced = time_pipeline(
       parallel_threads, /*with_metrics=*/false, /*with_trace=*/true);
+  // Chaos-on run: a realistic compound fault load (1% loss-class faults,
+  // 2% feature corruption). Bounds what the graceful-degradation paths cost
+  // when they actually fire; the chaos-off cost is zero by construction
+  // (the four runs above never touch the injector and stay byte-identical).
+  const chaos::FaultSpec chaos_spec = chaos::FaultSpec::parse(
+      "drop=0.01,dup=0.01,reorder=0.01,regress=0.005,dnsloss=0.1,nan=0.02,"
+      "inf=0.02,throw=0.01,seed=17");
+  const PipelineTiming chaotic =
+      time_pipeline(parallel_threads, /*with_metrics=*/false,
+                    /*with_trace=*/false, &chaos_spec);
   runtime::set_global_threads(0);
 
   const bool identical = serial.serialized == parallel.serialized &&
@@ -341,6 +370,14 @@ bool write_pipeline_bench_json(const std::string& path) {
      << ",\n"
      << "    \"events_retained\": " << traced.trace_events << ",\n"
      << "    \"events_dropped\": " << traced.trace_dropped << "\n  },\n"
+     << "  \"chaos\": {\n"
+     << "    \"spec\": \"" << chaos_spec.summary() << "\",\n"
+     << "    \"off_total_ms\": " << parallel_total << ",\n"
+     << "    \"on_total_ms\": " << chaotic.train_ms + chaotic.classify_ms
+     << ",\n"
+     << "    \"on_over_off\": "
+     << (chaotic.train_ms + chaotic.classify_ms) / parallel_total << ",\n"
+     << "    \"faults_injected\": " << chaotic.faults_injected << "\n  },\n"
      << "  \"models_bit_identical\": " << (identical ? "true" : "false")
      << "\n}\n";
   std::cerr << "BENCH_pipeline: train " << serial.train_ms << " ms -> "

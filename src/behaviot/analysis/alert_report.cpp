@@ -52,9 +52,14 @@ AlertExplanation parse_explanation(const obs::json::Value& v) {
 
 }  // namespace
 
-std::string alerts_to_json(std::span<const DeviationAlert> alerts) {
+std::string alerts_to_json(std::span<const DeviationAlert> alerts,
+                           const obs::HealthSnapshot* health) {
   std::ostringstream os;
-  os << "{\n\"version\": 1,\n\"alerts\": [";
+  os << "{\n\"version\": 1,\n";
+  if (health != nullptr) {
+    os << "\"health\": " << obs::health_to_json(*health) << ",\n";
+  }
+  os << "\"alerts\": [";
   for (std::size_t i = 0; i < alerts.size(); ++i) {
     const DeviationAlert& a = alerts[i];
     os << (i == 0 ? "\n" : ",\n");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "behaviot/deviation/monitor.hpp"
+#include "behaviot/obs/health.hpp"
 
 namespace behaviot {
 
@@ -17,7 +18,14 @@ namespace behaviot {
 /// every alert carries its AlertExplanation under "explanation". Field
 /// order is fixed, doubles round-trip at full precision, and strings are
 /// escaped to plain ASCII, so the output is deterministic and diffable.
-[[nodiscard]] std::string alerts_to_json(std::span<const DeviationAlert> alerts);
+///
+/// When `health` is non-null the document also carries a "health" object
+/// (obs::health_to_json) — an alert consumer can then tell whether the run
+/// that produced the alerts was itself degraded (readers that predate the
+/// field ignore it).
+[[nodiscard]] std::string alerts_to_json(
+    std::span<const DeviationAlert> alerts,
+    const obs::HealthSnapshot* health = nullptr);
 
 /// Parses a document written by alerts_to_json. Throws std::runtime_error
 /// on malformed JSON, an unknown version, or a missing required field.

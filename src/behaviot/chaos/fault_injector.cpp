@@ -1,0 +1,407 @@
+#include "behaviot/chaos/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "behaviot/ml/dataset.hpp"
+#include "behaviot/net/rng.hpp"
+#include "behaviot/obs/health.hpp"
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/testbed/traffic_gen.hpp"
+
+namespace behaviot::chaos {
+
+namespace {
+
+/// The single armed injector the feature-chaos trampoline dispatches to.
+std::atomic<FaultInjector*> g_armed{nullptr};
+
+double parse_probability(std::string_view key, std::string_view text) {
+  std::string buf(text);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0' || !std::isfinite(v)) {
+    throw std::invalid_argument("chaos: bad value for '" + std::string(key) +
+                                "': '" + buf + "'");
+  }
+  return v;
+}
+
+/// SplitMix64 over the flow's identity: device, canonical tuple, start time.
+/// Call-order independent by construction — the same flow hashes the same
+/// whether features are extracted serially or from any pool worker.
+std::uint64_t flow_content_hash(const FlowRecord& flow, std::uint64_t seed,
+                                std::uint64_t stream) {
+  SplitMix64 mix(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  std::uint64_t h = mix.next();
+  auto fold = [&h](std::uint64_t v) {
+    SplitMix64 m(h ^ v);
+    h = m.next();
+  };
+  fold(flow.device);
+  fold(flow.tuple.src.ip.value());
+  fold(flow.tuple.src.port);
+  fold(flow.tuple.dst.ip.value());
+  fold(flow.tuple.dst.port);
+  fold(static_cast<std::uint64_t>(flow.tuple.proto));
+  fold(static_cast<std::uint64_t>(flow.start.micros()));
+  return h;
+}
+
+/// Bernoulli(p) decided by a hash: uniform in [0,1) from the top 53 bits.
+bool hash_chance(std::uint64_t h, double p) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+bool is_dns_response(const Packet& p) {
+  return p.tuple.proto == Transport::kUdp && p.tuple.dst.port == 53 &&
+         p.dir == Direction::kInbound && !p.payload.empty();
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view spec) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("chaos: expected name=value, got '" +
+                                  std::string(item) + "'");
+    }
+    std::string_view key = item.substr(0, eq);
+    std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(
+          std::llround(parse_probability(key, value)));
+      continue;
+    }
+    double v = parse_probability(key, value);
+    if (key == "skew") {
+      out.skew_ppm = v;
+      continue;
+    }
+    double* field = nullptr;
+    if (key == "drop") field = &out.drop;
+    else if (key == "dup") field = &out.dup;
+    else if (key == "reorder") field = &out.reorder;
+    else if (key == "regress") field = &out.regress;
+    else if (key == "dnsloss") field = &out.dns_loss;
+    else if (key == "flap") field = &out.flap;
+    else if (key == "truncate") field = &out.truncate;
+    else if (key == "nan") field = &out.nan;
+    else if (key == "inf") field = &out.inf;
+    else if (key == "throw") field = &out.throw_p;
+    if (field == nullptr) {
+      throw std::invalid_argument(
+          "chaos: unknown fault '" + std::string(key) +
+          "' (valid: drop dup reorder regress dnsloss flap truncate nan inf "
+          "throw skew seed)");
+    }
+    if (v < 0.0 || v > 1.0) {
+      throw std::invalid_argument("chaos: probability for '" +
+                                  std::string(key) + "' outside [0,1]");
+    }
+    *field = v;
+  }
+  return out;
+}
+
+bool FaultSpec::any_packet_faults() const {
+  return drop > 0 || dup > 0 || reorder > 0 || regress > 0 || dns_loss > 0 ||
+         flap > 0 || truncate > 0 || skew_ppm != 0.0;
+}
+
+bool FaultSpec::any_feature_faults() const {
+  return nan > 0 || inf > 0 || throw_p > 0;
+}
+
+std::string FaultSpec::summary() const {
+  std::ostringstream os;
+  auto emit = [&os](const char* name, double v) {
+    if (v != 0.0) os << (os.tellp() > 0 ? " " : "") << name << "=" << v;
+  };
+  emit("drop", drop);
+  emit("dup", dup);
+  emit("reorder", reorder);
+  emit("regress", regress);
+  emit("dnsloss", dns_loss);
+  emit("flap", flap);
+  emit("truncate", truncate);
+  emit("nan", nan);
+  emit("inf", inf);
+  emit("throw", throw_p);
+  emit("skew", skew_ppm);
+  os << (os.tellp() > 0 ? " " : "") << "seed=" << seed;
+  return os.str();
+}
+
+std::uint64_t FaultStats::total() const {
+  return packets_dropped.load() + packets_duplicated.load() +
+         packets_reordered.load() + timestamps_regressed.load() +
+         timestamps_skewed.load() + dns_answers_dropped.load() +
+         devices_flapped.load() + payloads_truncated.load() +
+         features_nan.load() + features_inf.load() + faults_thrown.load();
+}
+
+void FaultStats::publish() const {
+  auto mirror = [](const char* name, std::uint64_t v) {
+    if (v > 0) obs::counter(name).add(v);
+  };
+  mirror("chaos.packets_dropped", packets_dropped.load());
+  mirror("chaos.packets_duplicated", packets_duplicated.load());
+  mirror("chaos.packets_reordered", packets_reordered.load());
+  mirror("chaos.timestamps_regressed", timestamps_regressed.load());
+  mirror("chaos.timestamps_skewed", timestamps_skewed.load());
+  mirror("chaos.dns_answers_dropped", dns_answers_dropped.load());
+  mirror("chaos.devices_flapped", devices_flapped.load());
+  mirror("chaos.payloads_truncated", payloads_truncated.load());
+  mirror("chaos.features_nan", features_nan.load());
+  mirror("chaos.features_inf", features_inf.load());
+  mirror("chaos.faults_thrown", faults_thrown.load());
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+FaultInjector::~FaultInjector() { disarm_feature_chaos(); }
+
+void FaultInjector::apply(std::vector<Packet>& packets) {
+  if (!spec_.any_packet_faults() || packets.empty()) return;
+  Rng rng(spec_.seed);
+
+  Timestamp t0 = packets.front().ts;
+  Timestamp t1 = packets.front().ts;
+  for (const Packet& p : packets) {
+    t0 = std::min(t0, p.ts);
+    t1 = std::max(t1, p.ts);
+  }
+  const std::int64_t span = t1 - t0;
+
+  // Device flap: each device independently goes dark for ~30% of the
+  // capture, starting somewhere in the middle half.
+  if (spec_.flap > 0 && span > 0) {
+    std::vector<DeviceId> devices;
+    for (const Packet& p : packets) {
+      if (p.device != kUnknownDevice) devices.push_back(p.device);
+    }
+    std::sort(devices.begin(), devices.end());
+    devices.erase(std::unique(devices.begin(), devices.end()), devices.end());
+    std::unordered_map<DeviceId, std::pair<Timestamp, Timestamp>> outages;
+    Rng flap_rng = rng.fork(1);
+    for (DeviceId d : devices) {
+      if (!flap_rng.chance(spec_.flap)) continue;
+      const auto off = static_cast<std::int64_t>(
+          flap_rng.uniform(0.25, 0.55) * static_cast<double>(span));
+      const auto len =
+          static_cast<std::int64_t>(0.3 * static_cast<double>(span));
+      outages.emplace(d, std::make_pair(t0 + off, t0 + off + len));
+      stats_.devices_flapped.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!outages.empty()) {
+      std::erase_if(packets, [&](const Packet& p) {
+        auto it = outages.find(p.device);
+        return it != outages.end() && p.ts >= it->second.first &&
+               p.ts < it->second.second;
+      });
+    }
+  }
+
+  // DNS-answer loss: the query goes out, the response never arrives, the
+  // resolver never learns the binding — downstream flows stay unresolved.
+  if (spec_.dns_loss > 0) {
+    Rng dns_rng = rng.fork(2);
+    std::erase_if(packets, [&](const Packet& p) {
+      if (!is_dns_response(p)) return false;
+      if (!dns_rng.chance(spec_.dns_loss)) return false;
+      stats_.dns_answers_dropped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    });
+  }
+
+  // Uniform packet loss.
+  if (spec_.drop > 0) {
+    Rng drop_rng = rng.fork(3);
+    std::erase_if(packets, [&](const Packet&) {
+      if (!drop_rng.chance(spec_.drop)) return false;
+      stats_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    });
+  }
+
+  // Duplication: the copy lands 0.1–1 ms later (same flow, same burst).
+  if (spec_.dup > 0) {
+    Rng dup_rng = rng.fork(4);
+    std::vector<Packet> dups;
+    for (const Packet& p : packets) {
+      if (!dup_rng.chance(spec_.dup)) continue;
+      Packet copy = p;
+      copy.ts += static_cast<std::int64_t>(dup_rng.uniform(100.0, 1000.0));
+      dups.push_back(std::move(copy));
+      stats_.packets_duplicated.fetch_add(1, std::memory_order_relaxed);
+    }
+    packets.insert(packets.end(), std::make_move_iterator(dups.begin()),
+                   std::make_move_iterator(dups.end()));
+    std::sort(packets.begin(), packets.end(),
+              [](const Packet& a, const Packet& b) {
+                return a.ts != b.ts ? a.ts < b.ts
+                                    : std::tie(a.tuple.src.port, a.size) <
+                                          std::tie(b.tuple.src.port, b.size);
+              });
+  }
+
+  // Payload truncation: half the payload survives (as after a mid-datagram
+  // capture fault). Exercises the lenient/strict parse policies.
+  if (spec_.truncate > 0) {
+    Rng trunc_rng = rng.fork(5);
+    for (Packet& p : packets) {
+      if (p.payload.empty() || !trunc_rng.chance(spec_.truncate)) continue;
+      p.payload.resize(p.payload.size() / 2);
+      stats_.payloads_truncated.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Clock drift: a linear stretch from the capture start, as from a gateway
+  // whose oscillator runs fast or slow by `skew_ppm`.
+  if (spec_.skew_ppm != 0.0) {
+    const double rate = spec_.skew_ppm * 1e-6;
+    for (Packet& p : packets) {
+      const auto elapsed = static_cast<double>(p.ts - t0);
+      p.ts = t0 + static_cast<std::int64_t>(elapsed * (1.0 + rate));
+      stats_.timestamps_skewed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Timestamp regression: individual packets jump 0.5–2 s into the past
+  // (NTP step on the capture host). Leaves the stream non-monotonic.
+  if (spec_.regress > 0) {
+    Rng reg_rng = rng.fork(6);
+    for (Packet& p : packets) {
+      if (!reg_rng.chance(spec_.regress)) continue;
+      p.ts = p.ts - static_cast<std::int64_t>(reg_rng.uniform(5e5, 2e6));
+      stats_.timestamps_regressed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Reordering: swap with the successor (classic out-of-order delivery).
+  if (spec_.reorder > 0) {
+    Rng ro_rng = rng.fork(7);
+    for (std::size_t i = 0; i + 1 < packets.size(); ++i) {
+      if (!ro_rng.chance(spec_.reorder)) continue;
+      std::swap(packets[i], packets[i + 1]);
+      stats_.packets_reordered.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (stats_.total() > 0) {
+    obs::health().degrade("chaos.injector", "injected: " + spec_.summary());
+  }
+  stats_.publish();
+}
+
+void FaultInjector::apply(testbed::GeneratedCapture& cap) {
+  apply(cap.packets);
+}
+
+void FaultInjector::corrupt(Dataset& ds) {
+  if (!spec_.any_feature_faults()) return;
+  const double q_nan = spec_.nan;
+  const double q_inf = spec_.nan + spec_.inf;
+  for (std::size_t i = 0; i < ds.X.size(); ++i) {
+    if (ds.X[i].empty()) continue;
+    SplitMix64 mix(spec_.seed ^ (i * 0x9e3779b97f4a7c15ULL + 0xc0ffee));
+    const std::uint64_t h = mix.next();
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u >= q_inf) continue;
+    const std::size_t col = mix.next() % ds.X[i].size();
+    if (u < q_nan) {
+      ds.X[i][col] = std::numeric_limits<double>::quiet_NaN();
+      stats_.features_nan.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ds.X[i][col] = (h & 1) ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+      stats_.features_inf.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  stats_.publish();
+}
+
+void FaultInjector::arm_feature_chaos() {
+  if (!spec_.any_feature_faults()) return;
+  FaultInjector* expected = nullptr;
+  if (!g_armed.compare_exchange_strong(expected, this)) {
+    if (expected == this) return;
+    throw std::logic_error("chaos: another FaultInjector is already armed");
+  }
+  armed_ = true;
+  set_feature_chaos_hook(&FaultInjector::hook_trampoline);
+  obs::health().degrade("chaos.injector", "armed: " + spec_.summary());
+}
+
+void FaultInjector::disarm_feature_chaos() {
+  if (!armed_) return;
+  set_feature_chaos_hook(nullptr);
+  g_armed.store(nullptr, std::memory_order_release);
+  armed_ = false;
+  stats_.publish();
+}
+
+bool FaultInjector::flow_fault_fires(const FlowRecord& flow,
+                                     std::string_view fault) const {
+  if (fault == "throw") {
+    return hash_chance(flow_content_hash(flow, spec_.seed, 11),
+                       spec_.throw_p);
+  }
+  const std::uint64_t h = flow_content_hash(flow, spec_.seed, 10);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (fault == "nan") return u < spec_.nan;
+  if (fault == "inf") return u >= spec_.nan && u < spec_.nan + spec_.inf;
+  return false;
+}
+
+void FaultInjector::hook_trampoline(const FlowRecord& flow,
+                                    FeatureVector& row) {
+  FaultInjector* self = g_armed.load(std::memory_order_acquire);
+  if (self != nullptr) self->corrupt_features(flow, row);
+}
+
+void FaultInjector::corrupt_features(const FlowRecord& flow,
+                                     FeatureVector& row) {
+  // Injected exception first: the quarantine paths must cope with feature
+  // extraction that never returns.
+  if (spec_.throw_p > 0 &&
+      hash_chance(flow_content_hash(flow, spec_.seed, 11), spec_.throw_p)) {
+    stats_.faults_thrown.fetch_add(1, std::memory_order_relaxed);
+    throw ChaosFault("chaos: injected fault extracting features for flow " +
+                     flow.group_key());
+  }
+  const std::uint64_t h = flow_content_hash(flow, spec_.seed, 10);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < spec_.nan) {
+    // Timing features go NaN, as from a single-packet flow divided by zero.
+    row[kMeanTbp] = std::numeric_limits<double>::quiet_NaN();
+    row[kVarTbp] = std::numeric_limits<double>::quiet_NaN();
+    row[kSkewTbp] = std::numeric_limits<double>::quiet_NaN();
+    stats_.features_nan.fetch_add(1, std::memory_order_relaxed);
+  } else if (u < spec_.nan + spec_.inf) {
+    row[kMeanBytes] = std::numeric_limits<double>::infinity();
+    row[kKurtosisLength] = -std::numeric_limits<double>::infinity();
+    stats_.features_inf.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+FaultSpec parse_chaos_spec(std::string_view spec) {
+  if (spec.empty()) return FaultSpec{};
+  return FaultSpec::parse(spec);
+}
+
+}  // namespace behaviot::chaos

@@ -1,0 +1,162 @@
+// Deterministic fault injection for robustness testing.
+//
+// A FaultInjector perturbs a packet stream (and, through the feature-chaos
+// hook, the feature extraction stage) with a fixed menu of fault classes —
+// packet loss, duplication, reordering, clock drift, timestamp regression,
+// DNS-answer loss, device flap, payload truncation, NaN/Inf feature
+// corruption, and injected exceptions. Everything is driven by a seed:
+// per-packet faults come from a forked xoshiro stream, per-flow faults from
+// a content hash of the flow itself, so the same spec + seed produces the
+// same faulted capture at any thread count and the differential tests
+// (chaos-off vs chaos-on) are exactly reproducible.
+//
+// The injector is how the graceful-degradation pipeline is exercised: every
+// fault class maps to a recovery path (assembler timestamp clamping,
+// unresolved-flow keying, dataset sanitization, quarantine in
+// PeriodicModelSet::infer / Pipeline::classify) and each recovery reports
+// into obs::HealthRegistry, so `behaviot_cli health` shows precisely which
+// components degraded and why.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "behaviot/flow/features.hpp"
+#include "behaviot/net/packet.hpp"
+
+namespace behaviot {
+struct Dataset;
+}
+namespace behaviot::testbed {
+struct GeneratedCapture;
+}
+
+namespace behaviot::chaos {
+
+/// The exception the `throw=` fault class raises from inside feature
+/// extraction; the pipeline must quarantine the affected (device, group) or
+/// flow, never crash.
+class ChaosFault : public std::runtime_error {
+ public:
+  explicit ChaosFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parsed `--chaos` specification. All probabilities are per-packet or
+/// per-flow Bernoulli rates in [0, 1]; `skew_ppm` is a clock-drift rate in
+/// parts per million (applied as a linear stretch from the capture start).
+struct FaultSpec {
+  double drop = 0.0;      ///< per-packet loss
+  double dup = 0.0;       ///< per-packet duplication (copy arrives ~1ms late)
+  double reorder = 0.0;   ///< per-packet swap with its successor
+  double regress = 0.0;   ///< per-packet backwards timestamp jump (0.5–2 s)
+  double dns_loss = 0.0;  ///< per-DNS-response-packet loss
+  double flap = 0.0;      ///< per-device mid-capture outage (~30% of span)
+  double truncate = 0.0;  ///< per-payload-packet truncation to half length
+  double nan = 0.0;       ///< per-flow: timing features become NaN
+  double inf = 0.0;       ///< per-flow: size features become +/-Inf
+  double throw_p = 0.0;   ///< per-flow: feature extraction throws ChaosFault
+  double skew_ppm = 0.0;  ///< clock drift, ppm (may be negative)
+  std::uint64_t seed = 0x5eed;
+
+  /// Parses the comma-separated `name=value` grammar, e.g.
+  /// "drop=0.01,reorder=0.005,nan=0.02,seed=42". Keys: drop, dup, reorder,
+  /// regress, dnsloss, flap, truncate, nan, inf, throw, skew (ppm), seed.
+  /// Throws std::invalid_argument on unknown keys, malformed numbers, or
+  /// out-of-range probabilities.
+  static FaultSpec parse(std::string_view spec);
+
+  /// Any fault that rewrites the packet stream.
+  [[nodiscard]] bool any_packet_faults() const;
+  /// Any fault that fires inside feature extraction (needs the hook armed).
+  [[nodiscard]] bool any_feature_faults() const;
+  [[nodiscard]] bool enabled() const {
+    return any_packet_faults() || any_feature_faults();
+  }
+  /// Compact "drop=0.01 nan=0.02 seed=42" rendering of the non-zero fields.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Counts of faults actually injected (as opposed to configured rates).
+/// Atomic because the feature hook fires from pool workers.
+struct FaultStats {
+  std::atomic<std::uint64_t> packets_dropped{0};
+  std::atomic<std::uint64_t> packets_duplicated{0};
+  std::atomic<std::uint64_t> packets_reordered{0};
+  std::atomic<std::uint64_t> timestamps_regressed{0};
+  std::atomic<std::uint64_t> timestamps_skewed{0};
+  std::atomic<std::uint64_t> dns_answers_dropped{0};
+  std::atomic<std::uint64_t> devices_flapped{0};
+  std::atomic<std::uint64_t> payloads_truncated{0};
+  std::atomic<std::uint64_t> features_nan{0};
+  std::atomic<std::uint64_t> features_inf{0};
+  std::atomic<std::uint64_t> faults_thrown{0};
+
+  [[nodiscard]] std::uint64_t total() const;
+  /// Mirrors every non-zero counter onto the obs registry as "chaos.<name>"
+  /// (no-op while metrics collection is disabled).
+  void publish() const;
+};
+
+/// Applies a FaultSpec to captures and (optionally) to feature extraction.
+///
+/// Packet-stream faults are applied by `apply()`, which mutates the packet
+/// vector in place. Feature faults require `arm_feature_chaos()`, which
+/// installs a process-global hook (at most one injector may be armed at a
+/// time); disarm with `disarm_feature_chaos()` or let the destructor do it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Rewrites the packet stream in place: flap → dnsloss → drop → dup →
+  /// truncate → skew → regress → reorder. Deterministic for a given
+  /// (spec, input); reports a degradation summary to obs::health() when any
+  /// fault fired.
+  void apply(std::vector<Packet>& packets);
+
+  /// Convenience for the testbed generator: faults `cap.packets` (ground
+  /// truth and rdns entries are left intact — they describe what *should*
+  /// have happened, which is exactly what the differential tests compare
+  /// against).
+  void apply(testbed::GeneratedCapture& cap);
+
+  /// Injects NaN/Inf directly into an assembled dataset (for tests that
+  /// exercise the ml/dataset sanitization boundary without a full capture).
+  /// Deterministic per (row index, seed).
+  void corrupt(Dataset& ds);
+
+  /// Installs this injector's nan/inf/throw faults as the process-global
+  /// feature-chaos hook. Throws std::logic_error if another injector is
+  /// already armed.
+  void arm_feature_chaos();
+  /// Removes the hook if this injector installed it.
+  void disarm_feature_chaos();
+
+  /// Per-flow fault decision, exposed for the differential tests: true when
+  /// `fault` ("nan" | "inf" | "throw") fires for this flow under the spec.
+  [[nodiscard]] bool flow_fault_fires(const FlowRecord& flow,
+                                      std::string_view fault) const;
+
+ private:
+  static void hook_trampoline(const FlowRecord& flow, FeatureVector& row);
+  void corrupt_features(const FlowRecord& flow, FeatureVector& row);
+
+  FaultSpec spec_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+/// Parses `spec`, or returns an empty (all-zero) FaultSpec for an empty
+/// string. Convenience for CLI flag plumbing.
+[[nodiscard]] FaultSpec parse_chaos_spec(std::string_view spec);
+
+}  // namespace behaviot::chaos

@@ -1,9 +1,11 @@
 #include "behaviot/core/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 #include "behaviot/runtime/runtime.hpp"
@@ -29,40 +31,63 @@ BehaviorModelSet Pipeline::train(std::span<const FlowRecord> idle_flows,
                                  std::span<const FlowRecord> routine_flows)
     const {
   obs::StageSpan span("pipeline.train");
+  obs::health().heartbeat("pipeline.train");
   BehaviorModelSet models;
 
+  // Each model family trains independently; a stage that throws outright is
+  // quarantined (its models stay empty — the paper's three deviation metrics
+  // degrade to the families that did train) instead of losing the whole
+  // observation phase. Per-group/per-classifier isolation happens one level
+  // down, inside the stages themselves.
+
   // (1) Periodic models from idle traffic (unsupervised, §4.1).
-  models.periodic = PeriodicModelSet::infer(idle_flows, idle_window_seconds,
-                                            options_.periodic);
+  try {
+    models.periodic = PeriodicModelSet::infer(idle_flows, idle_window_seconds,
+                                              options_.periodic);
+  } catch (const std::exception& e) {
+    obs::health().quarantine("pipeline.train", "periodic",
+                             std::string("stage lost: ") + e.what());
+  }
 
   // (2) User-action models from labeled activity traffic. As in Appendix B,
   // the training set is the activity dataset itself — its background flows
   // provide the negatives (idle traffic is the periodic stage's domain).
-  models.user_actions = UserActionModels::train(activity_flows, {},
-                                                options_.user_actions);
+  try {
+    models.user_actions = UserActionModels::train(activity_flows, {},
+                                                  options_.user_actions);
+  } catch (const std::exception& e) {
+    obs::health().quarantine("pipeline.train", "user_actions",
+                             std::string("stage lost: ") + e.what());
+  }
 
   // (3) System behavior: classify the routine capture with the device
   // models, extract user-event traces, and run Synoptic inference.
-  obs::StageSpan system_span("system_model");
-  const Classified routine = classify(routine_flows, models);
-  const std::vector<EventTrace> traces = traces_of(routine.user_events);
-  SynopticResult synoptic = infer_pfsm(traces, options_.synoptic);
-  models.pfsm = std::move(synoptic.pfsm);
-  models.invariants = std::move(synoptic.invariants);
-  models.pfsm_refinements = synoptic.refinement_steps;
+  try {
+    obs::StageSpan system_span("system_model");
+    const Classified routine = classify(routine_flows, models);
+    const std::vector<EventTrace> traces = traces_of(routine.user_events);
+    SynopticResult synoptic = infer_pfsm(traces, options_.synoptic);
+    models.pfsm = std::move(synoptic.pfsm);
+    models.invariants = std::move(synoptic.invariants);
+    models.pfsm_refinements = synoptic.refinement_steps;
 
-  for (const EventTrace& t : traces) {
-    models.training_traces.push_back(trace_labels(t));
+    for (const EventTrace& t : traces) {
+      models.training_traces.push_back(trace_labels(t));
+    }
+    models.short_term = ShortTermThreshold::calibrate(
+        models.pfsm, models.training_traces, options_.short_term_n_sigma);
+    models.thresholds.short_term = models.short_term.value();
+  } catch (const std::exception& e) {
+    obs::health().quarantine("pipeline.train", "system_model",
+                             std::string("stage lost: ") + e.what());
   }
-  models.short_term = ShortTermThreshold::calibrate(
-      models.pfsm, models.training_traces, options_.short_term_n_sigma);
-  models.thresholds.short_term = models.short_term.value();
   return models;
 }
 
 Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
                                         const BehaviorModelSet& models) const {
   obs::StageSpan span("pipeline.classify");
+  obs::health().heartbeat("pipeline.classify");
   Classified out;
   out.kinds.resize(flows.size(), EventKind::kAperiodic);
   out.labels.resize(flows.size());
@@ -88,7 +113,10 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
     std::size_t via_timer = 0;
     std::size_t via_cluster = 0;
   };
-  const auto counts = runtime::global_pool().parallel_map(
+  // Error-isolating: a group whose classification throws falls back whole to
+  // aperiodic (the safe default — aperiodic flows get *more* scrutiny
+  // downstream, not less) and is quarantined with the error.
+  const auto counts = runtime::global_pool().parallel_try_map(
       group_list, [&](const GroupIndices* g) -> GroupCounts {
         GroupCounts c;
         PeriodicEventClassifier periodic(models.periodic);
@@ -102,9 +130,25 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
         }
         return c;
       });
-  for (const GroupCounts& c : counts) {
-    out.periodic_via_timer += c.via_timer;
-    out.periodic_via_cluster += c.via_cluster;
+  for (std::size_t gi = 0; gi < counts.size(); ++gi) {
+    if (!counts[gi].ok()) {
+      const auto& key = group_list[gi]->first;
+      const std::string code = "periodic-group-quarantined:" +
+                               std::to_string(key.first) + ":" + key.second;
+      // Partial writes from before the throw revert: the whole group
+      // classifies aperiodic, so the outcome does not depend on how far the
+      // sweep got.
+      for (const std::size_t i : group_list[gi]->second) {
+        out.kinds[i] = EventKind::kAperiodic;
+      }
+      out.degraded.push_back(code);
+      obs::health().quarantine("pipeline.classify",
+                               std::to_string(key.first) + ":" + key.second,
+                               counts[gi].error);
+      continue;
+    }
+    out.periodic_via_timer += counts[gi]->via_timer;
+    out.periodic_via_cluster += counts[gi]->via_cluster;
   }
 
   // User-action stage: stateless per flow — flat data-parallel sweep over
@@ -112,16 +156,34 @@ Pipeline::Classified Pipeline::classify(std::span<const FlowRecord> flows,
   // ride along per flow so merged user events can carry their provenance.
   std::vector<double> confidences(flows.size(), 0.0);
   std::vector<double> margins(flows.size(), 0.0);
+  // Per-flow isolation: a throwing classification leaves that flow
+  // aperiodic/unlabeled. Errors collect per-slot (deterministic at any
+  // thread count) and aggregate into one degradation entry below.
+  std::vector<std::uint8_t> flow_errors(flows.size(), 0);
   runtime::parallel_for(0, flows.size(), [&](std::size_t i) {
     if (out.kinds[i] == EventKind::kPeriodic) return;
-    const UserActionPrediction u = models.user_actions.classify(flows[i]);
-    if (u.is_user_event()) {
-      out.kinds[i] = EventKind::kUser;
-      out.labels[i] = u.activity;
-      confidences[i] = u.confidence;
-      margins[i] = u.vote_margin();
+    try {
+      const UserActionPrediction u = models.user_actions.classify(flows[i]);
+      if (u.is_user_event()) {
+        out.kinds[i] = EventKind::kUser;
+        out.labels[i] = u.activity;
+        confidences[i] = u.confidence;
+        margins[i] = u.vote_margin();
+      }
+    } catch (const std::exception&) {
+      flow_errors[i] = 1;
     }
   });
+  std::size_t user_action_errors = 0;
+  for (const std::uint8_t e : flow_errors) user_action_errors += e;
+  if (user_action_errors > 0) {
+    const std::string code =
+        "user-action-errors:" + std::to_string(user_action_errors);
+    out.degraded.push_back(code);
+    obs::health().degrade("pipeline.classify", code);
+    obs::counter("classify.user_action_errors").add(user_action_errors);
+  }
+  std::sort(out.degraded.begin(), out.degraded.end());
 
   // Merge same-label user flows within the merge window into one event
   // (control flow + relay flow of the same physical action). Event merging

@@ -51,6 +51,12 @@ class Pipeline {
     std::vector<UserEvent> user_events;  ///< merged user events
     std::size_t periodic_via_timer = 0;
     std::size_t periodic_via_cluster = 0;
+    /// Reason codes when classification ran in degraded mode — e.g.
+    /// "periodic-group-quarantined:<device>:<group>" (the group's flows fell
+    /// back to aperiodic) or "user-action-errors:<n>" (those flows stayed
+    /// unlabeled). Empty means every stage ran cleanly. Sorted,
+    /// deterministic; the same codes are reported to obs::health().
+    std::vector<std::string> degraded;
   };
 
   /// Classifies flows (sorted by start time) into periodic / user /

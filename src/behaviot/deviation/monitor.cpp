@@ -6,6 +6,7 @@
 #include <set>
 
 #include "behaviot/flow/features.hpp"
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/trace.hpp"
 
@@ -42,7 +43,22 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
   static auto& windows_counter = obs::counter("deviation.windows");
   static auto& purged_counter = obs::counter("deviation.stale_keys_purged");
   windows_counter.inc();
+  obs::health().heartbeat("deviation.monitor");
   obs::trace_instant("deviation.window");
+
+  // Count-up timers assume time moves forward. Regressed capture clocks can
+  // hand us an occurrence earlier than the armed timer (or a window ending
+  // before the last occurrence); a negative elapsed would read as an early
+  // arrival and mis-score. Clamp each to zero, count, disclose once.
+  std::size_t nonmonotonic = 0;
+  const auto elapsed_or_zero = [&nonmonotonic](Timestamp later,
+                                               Timestamp earlier) {
+    if (later < earlier) {
+      ++nonmonotonic;
+      return 0.0;
+    }
+    return static_cast<double>(later - earlier) / 1e6;
+  };
 
   // Purge streaming state keyed by (device, group) pairs that no longer
   // exist in the model set: retraining may drop or replace models, and a
@@ -120,7 +136,7 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
           last = o.at;
           continue;  // first sighting ever: arm the timer silently
         }
-        const double elapsed = static_cast<double>(o.at - last) / 1e6;
+        const double elapsed = elapsed_or_zero(o.at, last);
         const double m = periodic_deviation(elapsed, T);
         if (m > worst) {
           worst = m;
@@ -137,7 +153,7 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     // Count-up timer at window end: silence since the last occurrence. A
     // continuing silence is one deviation, not one per window.
     if (had_history || it != occur.end()) {
-      const double elapsed = static_cast<double>(window_end - last) / 1e6;
+      const double elapsed = elapsed_or_zero(window_end, last);
       const double m = periodic_deviation(elapsed, T);
       if (silence_reported_.count(key) == 0) {
         if (m > worst && m > options_.thresholds.periodic) {
@@ -164,11 +180,17 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
       ex.model_group = model.group;
       ex.support = model.support;
       if (worst_flow != nullptr) {
-        const auto evidence = periodic_->cluster_evidence(
-            model.device, extract_features(*worst_flow));
-        if (evidence && evidence->cluster != kDbscanNoise) {
-          ex.cluster_id = evidence->cluster;
-          ex.cluster_distance = evidence->distance;
+        // Provenance is best-effort: losing the cluster evidence must not
+        // lose the alert itself.
+        try {
+          const auto evidence = periodic_->cluster_evidence(
+              model.device, extract_features(*worst_flow));
+          if (evidence && evidence->cluster != kDbscanNoise) {
+            ex.cluster_id = evidence->cluster;
+            ex.cluster_distance = evidence->distance;
+          }
+        } catch (const std::exception&) {
+          ex.model_group += " (cluster evidence unavailable)";
         }
       }
       if (options_.aggregate_periodic_per_device) {
@@ -287,6 +309,13 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     a.explanation.model_group = d.from + " -> " + d.to;
     a.explanation.support = d.occurrences;
     alerts.push_back(std::move(a));
+  }
+
+  if (nonmonotonic > 0) {
+    obs::counter("deviation.nonmonotonic_windows").add(nonmonotonic);
+    obs::health().degrade(
+        "deviation.monitor",
+        "nonmonotonic-window:" + std::to_string(nonmonotonic));
   }
 
   std::sort(alerts.begin(), alerts.end(),

@@ -1,8 +1,11 @@
 #include "behaviot/flow/assembler.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 
@@ -13,12 +16,42 @@ FlowAssembler::FlowAssembler(AssemblerOptions options) : options_(options) {}
 std::vector<FlowRecord> FlowAssembler::assemble(
     std::span<const Packet> packets, DomainResolver& resolver) const {
   obs::StageSpan span("flow.assemble");
+  obs::health().heartbeat("flow.assembler");
+
+  // Capture clocks are allowed small reorderings but not large regressions
+  // (an NTP step on the capture host). An *isolated* regression — one packet
+  // jumps backwards beyond tolerance while the next is already back at the
+  // running maximum — is clamped forward to that maximum, working off a side
+  // vector so well-formed input stays untouched (and the chaos-off path
+  // bit-identical). A sustained drop (the following packets continue on the
+  // low timeline) is block-unsorted input, not a clock fault: sorting below
+  // handles it, clamping would destroy it.
+  std::vector<Timestamp> effective_ts(packets.size());
+  std::uint64_t clamped = 0;
+  Timestamp running_max{std::numeric_limits<std::int64_t>::min()};
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    Timestamp ts = packets[i].ts;
+    if (i > 0 && i + 1 < packets.size() &&
+        (running_max - ts) > options_.max_ts_regression_us &&
+        packets[i + 1].ts >= running_max) {
+      ts = running_max;
+      ++clamped;
+    }
+    effective_ts[i] = ts;
+    running_max = std::max(running_max, ts);
+  }
+  if (clamped > 0) {
+    obs::counter("ingest.nonmonotonic_ts").add(clamped);
+    obs::health().degrade("flow.assembler",
+                          "nonmonotonic-ts:" + std::to_string(clamped));
+  }
+
   // Sort indices by time; stable so simultaneous packets keep capture order.
   std::vector<std::size_t> order(packets.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
-                   [&packets](std::size_t a, std::size_t b) {
-                     return packets[a].ts < packets[b].ts;
+                   [&effective_ts](std::size_t a, std::size_t b) {
+                     return effective_ts[a] < effective_ts[b];
                    });
 
   std::vector<FlowRecord> flows;
@@ -27,27 +60,28 @@ std::vector<FlowRecord> FlowAssembler::assemble(
 
   for (std::size_t idx : order) {
     const Packet& p = packets[idx];
+    const Timestamp ts = effective_ts[idx];
     resolver.observe(p);
 
     auto it = open.find(p.tuple);
     const bool gap_exceeded =
         it != open.end() &&
-        (p.ts - flows[it->second].end) > options_.burst_gap_us;
+        (ts - flows[it->second].end) > options_.burst_gap_us;
     if (it == open.end() || gap_exceeded) {
       if (it != open.end()) open.erase(it);
       FlowRecord rec;
       rec.device = p.device;
       rec.tuple = p.tuple;
       rec.app = classify_app_protocol(p.tuple.proto, p.tuple.dst.port);
-      rec.start = rec.end = p.ts;
+      rec.start = rec.end = ts;
       open.emplace(p.tuple, flows.size());
       flows.push_back(std::move(rec));
       it = open.find(p.tuple);
     }
     FlowRecord& rec = flows[it->second];
-    rec.end = p.ts;
+    rec.end = ts;
     rec.packets.push_back(
-        {p.ts, p.size, p.dir, is_local_traffic(p)});
+        {ts, p.size, p.dir, is_local_traffic(p)});
   }
 
   // Seal: annotate domains now that the resolver has seen the whole capture
@@ -55,13 +89,23 @@ std::vector<FlowRecord> FlowAssembler::assemble(
   // binding arrived later we still benefit since resolution is by address).
   std::vector<FlowRecord> out;
   out.reserve(flows.size());
+  std::uint64_t unresolved = 0;
   for (FlowRecord& rec : flows) {
     rec.domain = resolver.resolve(rec.tuple.dst.ip);
+    if (rec.domain.empty()) ++unresolved;
     if (options_.drop_infrastructure &&
         (rec.app == AppProtocol::kDns || rec.app == AppProtocol::kNtp)) {
       continue;
     }
     out.push_back(std::move(rec));
+  }
+  // Unresolved destinations are not an error — group_key() maps them to a
+  // stable "unresolved:<ip>" group — but they do mean annotation lost
+  // information (lost DNS answers, no SNI), so disclose the totals.
+  if (unresolved > 0) {
+    obs::counter("ingest.unresolved_flows").add(unresolved);
+    obs::health().degrade("flow.assembler",
+                          "unresolved-domains:" + std::to_string(unresolved));
   }
   // Deterministic output order: by start time, then tuple.
   std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {

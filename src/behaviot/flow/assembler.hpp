@@ -16,6 +16,16 @@ struct AssemblerOptions {
   /// Drop pure-DNS and pure-NTP infrastructure flows from the output. The
   /// paper keeps them (they become periodic models), so default off.
   bool drop_infrastructure = false;
+  /// Isolated backwards timestamp jumps (in capture order) larger than this
+  /// — one packet regresses while its successor is already back at the
+  /// running maximum — are treated as capture-clock faults: the packet's
+  /// timestamp is clamped forward to the running maximum and counted on the
+  /// `ingest.nonmonotonic_ts` counter, instead of silently re-sorting the
+  /// packet seconds into the past (which smears it into the wrong burst).
+  /// Jumps within the threshold are ordinary network reordering, and
+  /// sustained drops are block-unsorted input; both are handled by the
+  /// stable sort.
+  std::int64_t max_ts_regression_us = milliseconds(100);
 };
 
 /// Assembles a capture into flow records.

@@ -1,8 +1,23 @@
 #include "behaviot/flow/features.hpp"
 
+#include <atomic>
+#include <cmath>
+
 #include "behaviot/net/stats.hpp"
 
 namespace behaviot {
+
+namespace {
+std::atomic<FeatureChaosHook> g_feature_chaos{nullptr};
+}  // namespace
+
+void set_feature_chaos_hook(FeatureChaosHook hook) {
+  g_feature_chaos.store(hook, std::memory_order_release);
+}
+
+FeatureChaosHook feature_chaos_hook() {
+  return g_feature_chaos.load(std::memory_order_acquire);
+}
 
 std::string_view feature_name(std::size_t index) {
   static constexpr std::string_view kNames[kNumFlowFeatures] = {
@@ -29,6 +44,20 @@ std::string_view feature_name(std::size_t index) {
       "meanBytes_in_local",
   };
   return kNames[index];
+}
+
+std::size_t sanitize_features(std::span<double> row) {
+  std::size_t replaced = 0;
+  for (double& v : row) {
+    if (std::isnan(v)) {
+      v = 0.0;
+      ++replaced;
+    } else if (std::isinf(v)) {
+      v = v > 0 ? 1e12 : -1e12;
+      ++replaced;
+    }
+  }
+  return replaced;
 }
 
 FeatureVector extract_features(const FlowRecord& flow) {
@@ -86,6 +115,10 @@ FeatureVector extract_features(const FlowRecord& flow) {
   f[kMeanBytesOutLocal] =
       out_loc_count > 0 ? out_loc_bytes / out_loc_count : 0.0;
   f[kMeanBytesInLocal] = in_loc_count > 0 ? in_loc_bytes / in_loc_count : 0.0;
+  if (FeatureChaosHook hook = g_feature_chaos.load(std::memory_order_relaxed);
+      hook != nullptr) {
+    hook(flow, f);
+  }
   return f;
 }
 

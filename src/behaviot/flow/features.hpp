@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 #include <string_view>
 
 #include "behaviot/flow/flow.hpp"
@@ -48,5 +49,25 @@ enum FlowFeature : std::size_t {
 /// Computes the full feature vector for a flow. Single-packet flows yield
 /// zero for all inter-packet-timing features.
 [[nodiscard]] FeatureVector extract_features(const FlowRecord& flow);
+
+/// Replaces non-finite cells in place — NaN becomes 0.0 (the value an empty
+/// statistic would produce) and ±Inf clamps to ±1e12 (finite, still extreme
+/// enough to land in DBSCAN noise rather than inside a cluster). Returns the
+/// number of cells rewritten so callers can report "features-sanitized:<n>"
+/// degradation instead of hiding the repair.
+std::size_t sanitize_features(std::span<double> row);
+inline std::size_t sanitize_features(FeatureVector& row) {
+  return sanitize_features(std::span<double>(row.data(), row.size()));
+}
+
+/// Deterministic feature-corruption hook for the chaos layer
+/// (chaos/fault_injector.hpp): when armed, every extracted vector passes
+/// through the hook before being returned. Must be a pure function of the
+/// flow content (no call-order state) so parallel stages stay
+/// thread-count-invariant. nullptr disarms; the disarmed cost is one relaxed
+/// atomic load per extraction.
+using FeatureChaosHook = void (*)(const FlowRecord& flow, FeatureVector& row);
+void set_feature_chaos_hook(FeatureChaosHook hook);
+[[nodiscard]] FeatureChaosHook feature_chaos_hook();
 
 }  // namespace behaviot

@@ -13,8 +13,12 @@ const char* to_string(EventKind k) {
 }
 
 std::string FlowRecord::group_key() const {
-  // Unnamed destinations fall back to the IP so they still form a group.
-  const std::string dest = domain.empty() ? tuple.dst.ip.to_string() : domain;
+  // Unnamed destinations map to a stable "unresolved:<ip>" key: they still
+  // form a group (so periodic inference and deviation scoring run), but the
+  // key is distinguishable from a real domain, so reports and operators can
+  // see at a glance that annotation failed (e.g. the DNS answer was lost).
+  const std::string dest =
+      domain.empty() ? "unresolved:" + tuple.dst.ip.to_string() : domain;
   return dest + "|" + to_string(app);
 }
 

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <map>
 
+#include "behaviot/flow/features.hpp"
+
 namespace behaviot {
+
+std::size_t sanitize(Dataset& ds) {
+  std::size_t replaced = 0;
+  for (auto& row : ds.X) replaced += sanitize_features(row);
+  return replaced;
+}
 
 std::vector<std::vector<std::size_t>> stratified_kfold(
     std::span<const int> labels, std::size_t k, std::uint64_t seed) {

@@ -25,6 +25,14 @@ struct Dataset {
   }
 };
 
+/// Repairs non-finite cells across the whole matrix (NaN → 0, ±Inf clamped;
+/// see flow/features.hpp sanitize_features). This is the boundary every
+/// learner input crosses: corrupted features may flow in, but nothing
+/// non-finite reaches a forest split or a distance computation. Returns the
+/// number of cells rewritten; callers disclose non-zero counts to
+/// obs::health() as "features-sanitized:<n>".
+std::size_t sanitize(Dataset& ds);
+
 /// Index lists for stratified k-fold cross validation: every fold preserves
 /// the class proportions of `labels`. Deterministic given the seed.
 std::vector<std::vector<std::size_t>> stratified_kfold(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 #include "behaviot/runtime/runtime.hpp"
@@ -12,24 +13,56 @@ UserActionModels UserActionModels::train(
     std::span<const FlowRecord> labeled, std::span<const FlowRecord> background,
     const UserActionTrainOptions& options) {
   obs::StageSpan span("ml.user_actions_train");
+  obs::health().heartbeat("ml.user_actions");
   UserActionModels models;
   models.decision_threshold_ = options.decision_threshold;
 
   // Collect per-device positives by activity and the shared negative pool
   // (other activities of the same device + idle background of the device).
+  // A flow whose feature extraction throws is skipped (counted); one with
+  // non-finite features is repaired at this boundary so nothing non-finite
+  // reaches a forest split. Both repairs are disclosed below.
   std::map<DeviceId, std::map<std::string, std::vector<FeatureVector>>>
       positives;
   std::map<DeviceId, std::vector<FeatureVector>> device_background;
+  std::size_t flows_skipped = 0;
+  std::size_t sanitized_cells = 0;
 
+  const auto features_of =
+      [&](const FlowRecord& f) -> std::optional<FeatureVector> {
+    try {
+      FeatureVector row = extract_features(f);
+      sanitized_cells += sanitize_features(row);
+      return row;
+    } catch (const std::exception&) {
+      ++flows_skipped;
+      return std::nullopt;
+    }
+  };
   for (const FlowRecord& f : labeled) {
+    const auto row = features_of(f);
+    if (!row) continue;
     if (f.truth == EventKind::kUser && !f.truth_label.empty()) {
-      positives[f.device][f.truth_label].push_back(extract_features(f));
+      positives[f.device][f.truth_label].push_back(*row);
     } else {
-      device_background[f.device].push_back(extract_features(f));
+      device_background[f.device].push_back(*row);
     }
   }
   for (const FlowRecord& f : background) {
-    device_background[f.device].push_back(extract_features(f));
+    const auto row = features_of(f);
+    if (row) device_background[f.device].push_back(*row);
+  }
+  if (flows_skipped > 0) {
+    obs::health().degrade(
+        "ml.user_actions",
+        "training-flows-skipped:" + std::to_string(flows_skipped));
+    obs::counter("ml.training_flows_skipped").add(flows_skipped);
+  }
+  if (sanitized_cells > 0) {
+    obs::health().degrade(
+        "ml.user_actions",
+        "features-sanitized:" + std::to_string(sanitized_cells));
+    obs::counter("ml.features_sanitized").add(sanitized_cells);
   }
 
   // One forest per (device, activity); forests are independent, so they
@@ -55,7 +88,9 @@ UserActionModels UserActionModels::train(
   }
 
   const Rng rng(options.seed);
-  auto forests = runtime::parallel_map(
+  // Error-isolating: a classifier that fails to train is quarantined (the
+  // device keeps its other activities), never aborts the whole stage.
+  auto forests = runtime::parallel_try_map(
       tasks, [&](const ForestTask& task) -> RandomForest {
         const std::string& activity = *task.activity;
         const auto& pos_rows = *task.pos_rows;
@@ -92,14 +127,24 @@ UserActionModels UserActionModels::train(
         forest_options.seed =
             options.seed ^ ((task.stream + 1) * 0x9e3779b97f4a7c15ULL);
         RandomForest forest(forest_options);
+        sanitize(data);  // negatives may carry repairs the pool missed
         forest.fit(data, /*num_classes=*/2);
         return forest;
       });
+  std::size_t trained = 0;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!forests[i].ok()) {
+      obs::health().quarantine(
+          "ml.user_actions",
+          std::to_string(tasks[i].device) + ":" + *tasks[i].activity,
+          forests[i].error);
+      continue;
+    }
     models.classifiers_[tasks[i].device].push_back(
-        {*tasks[i].activity, std::move(forests[i])});
+        {*tasks[i].activity, std::move(*forests[i])});
+    ++trained;
   }
-  obs::counter("ml.user_action_models").add(tasks.size());
+  obs::counter("ml.user_action_models").add(trained);
   return models;
 }
 
@@ -108,7 +153,8 @@ UserActionPrediction UserActionModels::classify(const FlowRecord& flow) const {
   auto it = classifiers_.find(flow.device);
   if (it == classifiers_.end()) return best;
 
-  const FeatureVector features = extract_features(flow);
+  FeatureVector features = extract_features(flow);
+  sanitize_features(features);  // never hand a forest a NaN/Inf split input
   const std::vector<double> row(features.begin(), features.end());
   for (const BinaryClassifier& clf : it->second) {
     const double p = clf.forest.predict_proba(row)[1];

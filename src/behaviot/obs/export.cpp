@@ -159,6 +159,16 @@ std::string to_json(const MetricsSnapshot& snap) {
   return os.str();
 }
 
+std::string to_json(const MetricsSnapshot& snap,
+                    const HealthSnapshot& health) {
+  std::string base = to_json(snap);
+  // Splice the health object in as a fifth top-level key, before the
+  // document's closing brace.
+  const std::size_t brace = base.rfind('}');
+  base.insert(brace, ",\n  \"health\": " + health_to_json(health) + "\n");
+  return base;
+}
+
 std::string to_prometheus(const MetricsSnapshot& snap) {
   std::ostringstream os;
   PromNamer namer;
@@ -214,6 +224,26 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     }
     os << summary << "_sum" << braces << " " << fmt_double(h.sum) << "\n"
        << summary << "_count" << braces << " " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const HealthSnapshot& health) {
+  std::ostringstream os;
+  os << to_prometheus(snap);
+  if (!health.empty()) {
+    os << "# TYPE behaviot_component_health gauge\n";
+    for (const ComponentHealth& c : health.components) {
+      os << "behaviot_component_health{component=\""
+         << prom_sanitize(c.component) << "\"} "
+         << static_cast<int>(c.state) << "\n";
+    }
+    os << "# TYPE behaviot_component_incidents counter\n";
+    for (const ComponentHealth& c : health.components) {
+      os << "behaviot_component_incidents{component=\""
+         << prom_sanitize(c.component) << "\"} " << c.incidents << "\n";
+    }
   }
   return os.str();
 }

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 
 namespace behaviot::obs {
@@ -23,6 +24,12 @@ namespace behaviot::obs {
 /// dashboards usually want first.
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snap);
 
+/// Same document with a fifth top-level "health" object (health_to_json) so
+/// one --metrics file carries both what the pipeline did and whether its
+/// outputs can be trusted.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snap,
+                                  const HealthSnapshot& health);
+
 /// Prometheus text exposition format (version 0.0.4). Instrument names are
 /// sanitized to [a-zA-Z0-9_] and prefixed "behaviot_"; histograms emit
 /// cumulative le-labeled buckets plus _sum/_count, span histograms under
@@ -32,6 +39,12 @@ namespace behaviot::obs {
 /// "a_b") are disambiguated with a deterministic "_2"/"_3"... suffix in
 /// lexicographic processing order, so no family is silently merged.
 [[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Exposition plus per-component health families:
+/// behaviot_component_health{component="..."} 0|1|2 (healthy/degraded/
+/// quarantined) and behaviot_component_incidents{component="..."}.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap,
+                                        const HealthSnapshot& health);
 
 /// Fixed-width table of stage timings and non-zero counters/gauges for
 /// end-of-run terminal output.

@@ -1,0 +1,166 @@
+#include "behaviot/obs/health.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "behaviot/obs/json.hpp"
+
+namespace behaviot::obs {
+
+const char* to_string(ComponentState s) {
+  switch (s) {
+    case ComponentState::kHealthy: return "healthy";
+    case ComponentState::kDegraded: return "degraded";
+    case ComponentState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+ComponentState HealthSnapshot::overall() const {
+  ComponentState worst = ComponentState::kHealthy;
+  for (const ComponentHealth& c : components) {
+    worst = std::max(worst, c.state);
+  }
+  return worst;
+}
+
+const ComponentHealth* HealthSnapshot::find(std::string_view component) const {
+  for (const ComponentHealth& c : components) {
+    if (c.component == component) return &c;
+  }
+  return nullptr;
+}
+
+HealthRegistry& HealthRegistry::global() {
+  static HealthRegistry registry;
+  return registry;
+}
+
+void HealthRegistry::heartbeat(std::string_view component) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = components_.find(component);
+  if (it == components_.end()) {
+    ComponentHealth entry;
+    entry.component = std::string(component);
+    components_.emplace(entry.component, std::move(entry));
+  }
+}
+
+void HealthRegistry::degrade(std::string_view component,
+                             std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = components_.find(component);
+  if (it == components_.end()) {
+    ComponentHealth entry;
+    entry.component = std::string(component);
+    it = components_.emplace(entry.component, std::move(entry)).first;
+  }
+  ComponentHealth& c = it->second;
+  c.state = std::max(c.state, ComponentState::kDegraded);
+  ++c.incidents;
+  if (std::find(c.reasons.begin(), c.reasons.end(), reason) ==
+      c.reasons.end()) {
+    c.reasons.emplace_back(reason);
+  }
+}
+
+void HealthRegistry::quarantine(std::string_view component,
+                                std::string_view key,
+                                std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = components_.find(component);
+  if (it == components_.end()) {
+    ComponentHealth entry;
+    entry.component = std::string(component);
+    it = components_.emplace(entry.component, std::move(entry)).first;
+  }
+  ComponentHealth& c = it->second;
+  c.state = ComponentState::kQuarantined;
+  ++c.incidents;
+  c.quarantined.push_back({std::string(key), std::string(reason)});
+}
+
+void HealthRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  components_.clear();
+}
+
+HealthSnapshot HealthRegistry::snapshot() const {
+  HealthSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.components.reserve(components_.size());
+  for (const auto& [name, entry] : components_) {
+    ComponentHealth copy = entry;
+    // Quarantine records may arrive in pool-worker order; sort by key so the
+    // snapshot is deterministic at every thread count.
+    std::sort(copy.quarantined.begin(), copy.quarantined.end(),
+              [](const QuarantineRecord& a, const QuarantineRecord& b) {
+                return a.key != b.key ? a.key < b.key : a.reason < b.reason;
+              });
+    std::sort(copy.reasons.begin(), copy.reasons.end());
+    snap.components.push_back(std::move(copy));
+  }
+  return snap;
+}
+
+std::string health_to_json(const HealthSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"overall\": \"" << to_string(snap.overall())
+     << "\", \"components\": [";
+  bool first = true;
+  for (const ComponentHealth& c : snap.components) {
+    os << (first ? "" : ", ") << "{\"component\": \""
+       << json::escape(c.component) << "\", \"state\": \""
+       << to_string(c.state) << "\", \"incidents\": " << c.incidents
+       << ", \"reasons\": [";
+    for (std::size_t i = 0; i < c.reasons.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << json::escape(c.reasons[i]) << "\"";
+    }
+    os << "], \"quarantined\": [";
+    for (std::size_t i = 0; i < c.quarantined.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "{\"key\": \""
+         << json::escape(c.quarantined[i].key) << "\", \"reason\": \""
+         << json::escape(c.quarantined[i].reason) << "\"}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string render_health_table(const HealthSnapshot& snap) {
+  std::ostringstream os;
+  os << "pipeline health: " << to_string(snap.overall()) << "\n";
+  if (snap.empty()) {
+    os << "  (no components reported — nothing ran)\n";
+    return os.str();
+  }
+  std::size_t width = 9;  // "component"
+  for (const ComponentHealth& c : snap.components) {
+    width = std::max(width, c.component.size());
+  }
+  os << "  " << std::string(width - 9, ' ') << "component"
+     << "  state        incidents  detail\n";
+  for (const ComponentHealth& c : snap.components) {
+    os << "  " << std::string(width - c.component.size(), ' ') << c.component
+       << "  ";
+    std::string state = to_string(c.state);
+    state.resize(11, ' ');
+    os << state << "  ";
+    std::string n = std::to_string(c.incidents);
+    os << std::string(n.size() < 9 ? 9 - n.size() : 0, ' ') << n << "  ";
+    std::string detail;
+    for (const std::string& r : c.reasons) {
+      detail += (detail.empty() ? "" : "; ") + r;
+    }
+    for (const QuarantineRecord& q : c.quarantined) {
+      detail += (detail.empty() ? "" : "; ") + ("[" + q.key + "] " + q.reason);
+    }
+    if (detail.size() > 100) detail = detail.substr(0, 97) + "...";
+    os << (detail.empty() ? "-" : detail) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace behaviot::obs

@@ -1,0 +1,102 @@
+// Pipeline health reporting: which components ran, which are degraded, and
+// which sub-entities (groups, devices, classifiers) were quarantined.
+//
+// Unlike the metrics registry (metrics.hpp), health is NOT sampling — it is
+// the pipeline's own account of whether its outputs can be trusted, so it is
+// always on. The cost model keeps that affordable: components report once
+// per stage (heartbeat) or once per fault *summary* (degrade/quarantine),
+// never per flow; hot loops aggregate locally and report totals.
+//
+// State only escalates within a run (healthy → degraded → quarantined);
+// `reset()` starts the next run from a clean slate. Snapshots are sorted by
+// component name so renderings are deterministic regardless of which pool
+// worker reported first.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace behaviot::obs {
+
+enum class ComponentState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,     ///< produced output, but with losses or fallbacks
+  kQuarantined = 2,  ///< some sub-entities were isolated after throwing
+};
+
+[[nodiscard]] const char* to_string(ComponentState s);
+
+/// One isolated sub-entity: a (device, group) whose fit threw, a classifier
+/// that failed to train, a device whose cluster stage is missing.
+struct QuarantineRecord {
+  std::string key;     ///< group key / device name / classifier id
+  std::string reason;  ///< the caught error or reason code
+};
+
+struct ComponentHealth {
+  std::string component;
+  ComponentState state = ComponentState::kHealthy;
+  /// Stable degradation reason codes ("nonmonotonic-ts:12",
+  /// "unresolved-domains:3", "features-sanitized:40"...), deduplicated.
+  std::vector<std::string> reasons;
+  std::vector<QuarantineRecord> quarantined;
+  /// Total fault events behind the reasons (a reason reported twice with
+  /// different counts still increments this each time).
+  std::uint64_t incidents = 0;
+};
+
+struct HealthSnapshot {
+  std::vector<ComponentHealth> components;  ///< sorted by component name
+
+  /// Worst state across components; healthy when nothing reported.
+  [[nodiscard]] ComponentState overall() const;
+  [[nodiscard]] bool empty() const { return components.empty(); }
+  [[nodiscard]] const ComponentHealth* find(std::string_view component) const;
+};
+
+class HealthRegistry {
+ public:
+  /// The process-wide registry the pipeline reports into.
+  [[nodiscard]] static HealthRegistry& global();
+
+  /// Marks a component as having run this cycle. Healthy unless something
+  /// escalates it; lets the report distinguish "fine" from "never ran".
+  void heartbeat(std::string_view component);
+
+  /// Escalates to degraded (never downgrades) and records a reason code.
+  /// Identical reasons are deduplicated; each call counts one incident.
+  void degrade(std::string_view component, std::string_view reason);
+
+  /// Escalates to quarantined and records the isolated sub-entity.
+  void quarantine(std::string_view component, std::string_view key,
+                  std::string_view reason);
+
+  /// Forgets everything — the next run starts healthy.
+  void reset();
+
+  [[nodiscard]] HealthSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ComponentHealth, std::less<>> components_;
+};
+
+/// Convenience accessor over the global registry.
+[[nodiscard]] inline HealthRegistry& health() {
+  return HealthRegistry::global();
+}
+
+/// JSON object {"overall": "...", "components": [...]}; deterministic field
+/// order, ASCII-escaped strings — embeddable in --metrics and --alerts
+/// documents.
+[[nodiscard]] std::string health_to_json(const HealthSnapshot& snap);
+
+/// Fixed-width terminal table for `behaviot_cli health` and end-of-run
+/// summaries.
+[[nodiscard]] std::string render_health_table(const HealthSnapshot& snap);
+
+}  // namespace behaviot::obs

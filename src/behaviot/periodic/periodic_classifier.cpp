@@ -40,9 +40,13 @@ PeriodicClassification PeriodicEventClassifier::classify(
   }
 
   if (!out.periodic) {
-    // Stage 2: density-cluster membership on the flow features.
-    if (models_->in_periodic_cluster(flow.device, extract_features(flow),
-                                     scaled_row_)) {
+    // Stage 2: density-cluster membership on the flow features. Non-finite
+    // features are repaired first — a NaN distance would silently fail every
+    // membership test, which is the right *outcome* but for the wrong reason
+    // (and Inf would poison the scaler's z-scores).
+    FeatureVector features = extract_features(flow);
+    sanitize_features(features);
+    if (models_->in_periodic_cluster(flow.device, features, scaled_row_)) {
       out.periodic = out.via_cluster = true;
     }
   }

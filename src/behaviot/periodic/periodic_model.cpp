@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "behaviot/net/stats.hpp"
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 #include "behaviot/runtime/runtime.hpp"
@@ -64,6 +65,7 @@ PeriodicModelSet PeriodicModelSet::infer(
     std::span<const FlowRecord> idle_flows, double window_seconds,
     const PeriodicInferenceOptions& options) {
   obs::StageSpan span("periodic.infer");
+  obs::health().heartbeat("periodic.infer");
   PeriodicModelSet set;
   set.stats_.total_flows = idle_flows.size();
 
@@ -90,8 +92,12 @@ PeriodicModelSet PeriodicModelSet::infer(
   struct GroupResult {
     std::optional<PeriodicModel> model;
     std::vector<FeatureVector> rows;  ///< features of the group's flows
+    std::size_t sanitized = 0;        ///< non-finite feature cells repaired
   };
-  auto results = runtime::parallel_map(
+  // Error-isolating map: a group whose detection or feature extraction
+  // throws is quarantined (reported, excluded from the model set) instead of
+  // aborting inference for every other group.
+  auto results = runtime::parallel_try_map(
       group_list, [&](const Group* g) -> GroupResult {
         GroupResult result;
         const auto& [key, flows] = *g;
@@ -120,14 +126,26 @@ PeriodicModelSet PeriodicModelSet::infer(
         result.rows.reserve(flows.size());
         for (const FlowRecord* f : flows) {
           result.rows.push_back(extract_features(*f));
+          result.sanitized += sanitize_features(result.rows.back());
         }
         return result;
       });
 
   // Sequential assembly in group order.
   std::map<DeviceId, std::vector<FeatureVector>> periodic_features;
+  std::size_t sanitized_cells = 0;
+  std::size_t groups_quarantined = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
-    GroupResult& result = results[i];
+    if (!results[i].ok()) {
+      const auto& key = group_list[i]->first;
+      obs::health().quarantine(
+          "periodic.infer",
+          std::to_string(key.first) + ":" + key.second, results[i].error);
+      ++groups_quarantined;
+      continue;
+    }
+    GroupResult& result = *results[i];
+    sanitized_cells += result.sanitized;
     if (!result.model) continue;
     const DeviceId device = result.model->device;
     set.index_[group_list[i]->first] = set.models_.size();
@@ -150,7 +168,10 @@ PeriodicModelSet PeriodicModelSet::infer(
     FeatureScaler scaler;
     DbscanMembership clusters;
   };
-  auto fits = runtime::parallel_map(
+  // A device whose cluster fit throws loses only its stage-2 fallback: the
+  // timer stage still classifies its groups, which is the documented
+  // degraded mode (reason code "no-cluster-stage").
+  auto fits = runtime::parallel_try_map(
       device_list, [&](const DeviceRows* d) -> DeviceFit {
         const auto& rows = d->second;
         FeatureScaler scaler(rows);
@@ -160,8 +181,25 @@ PeriodicModelSet PeriodicModelSet::infer(
         return {scaler, DbscanMembership(scaled, options.dbscan)};
       });
   for (std::size_t i = 0; i < device_list.size(); ++i) {
-    set.clusters_.emplace(device_list[i]->first, std::move(fits[i].clusters));
-    set.scalers_.emplace(device_list[i]->first, std::move(fits[i].scaler));
+    if (!fits[i].ok()) {
+      obs::health().quarantine(
+          "periodic.infer",
+          "device:" + std::to_string(device_list[i]->first),
+          "cluster stage lost (timer-only): " + fits[i].error);
+      continue;
+    }
+    set.clusters_.emplace(device_list[i]->first, std::move(fits[i]->clusters));
+    set.scalers_.emplace(device_list[i]->first, std::move(fits[i]->scaler));
+  }
+
+  if (sanitized_cells > 0) {
+    obs::health().degrade(
+        "periodic.infer",
+        "features-sanitized:" + std::to_string(sanitized_cells));
+    obs::counter("periodic.features_sanitized").add(sanitized_cells);
+  }
+  if (groups_quarantined > 0) {
+    obs::counter("periodic.groups_quarantined").add(groups_quarantined);
   }
 
   if (obs::MetricsRegistry::enabled()) {

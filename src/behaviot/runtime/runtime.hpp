@@ -27,13 +27,30 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace behaviot::runtime {
+
+/// Outcome of one item of an error-isolating parallel map: either the value
+/// or the error message of the exception the item's function threw.
+template <typename T>
+struct Try {
+  std::optional<T> value;
+  std::string error;  ///< empty on success
+
+  [[nodiscard]] bool ok() const noexcept { return value.has_value(); }
+  [[nodiscard]] T& operator*() { return *value; }
+  [[nodiscard]] const T& operator*() const { return *value; }
+  [[nodiscard]] T* operator->() { return &*value; }
+  [[nodiscard]] const T* operator->() const { return &*value; }
+};
 
 struct RuntimeOptions {
   /// Worker count. 0 = use the BEHAVIOT_THREADS environment variable when it
@@ -76,6 +93,28 @@ class ThreadPool {
     return out;
   }
 
+  /// Error-isolating variant of `parallel_map`: an item whose `fn` throws
+  /// yields a Try carrying the error message instead of aborting the whole
+  /// map — the quarantine primitive of the graceful-degradation pipeline.
+  /// Every item runs to completion (or failure); results stay aligned with
+  /// the input, so the outcome is deterministic at any thread count.
+  template <typename Items, typename Fn>
+  auto parallel_try_map(const Items& items, Fn&& fn) {
+    using Out = std::decay_t<std::invoke_result_t<Fn&, decltype(items[0])>>;
+    std::vector<Try<Out>> out(items.size());
+    parallel_for(0, items.size(), [&](std::size_t i) {
+      try {
+        out[i].value = fn(items[i]);
+      } catch (const std::exception& e) {
+        out[i].error = e.what();
+        if (out[i].error.empty()) out[i].error = "unspecified error";
+      } catch (...) {
+        out[i].error = "non-standard exception";
+      }
+    });
+    return out;
+  }
+
  private:
   struct Job;
 
@@ -113,6 +152,11 @@ void parallel_for(std::size_t begin, std::size_t end,
 template <typename Items, typename Fn>
 auto parallel_map(const Items& items, Fn&& fn) {
   return global_pool().parallel_map(items, std::forward<Fn>(fn));
+}
+
+template <typename Items, typename Fn>
+auto parallel_try_map(const Items& items, Fn&& fn) {
+  return global_pool().parallel_try_map(items, std::forward<Fn>(fn));
 }
 
 }  // namespace behaviot::runtime

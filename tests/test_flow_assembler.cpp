@@ -93,7 +93,9 @@ TEST(FlowAssembler, BlankDomainGroupsFallBackToIp) {
   const auto flows = assembler.assemble(packets, resolver);
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].domain, "");
-  EXPECT_EQ(flows[0].group_key(), "54.1.2.3|TLS");
+  // Unresolved flows carry a stable "unresolved:" prefix so a raw-IP group
+  // can never collide with a domain named like an address.
+  EXPECT_EQ(flows[0].group_key(), "unresolved:54.1.2.3|TLS");
 }
 
 TEST(FlowAssembler, DropInfrastructureFiltersDnsNtp) {

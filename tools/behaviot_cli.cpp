@@ -31,20 +31,34 @@
 //       Render the provenance of each alert in a report written by
 //       `score --alerts FILE`: observed vs expected value, crossed
 //       threshold, model group, and cluster/vote evidence.
+//
+//   behaviot health --capture day.pcap [--models models.txt]
+//       Exercise the pipeline on a capture (assembly + inference, plus
+//       scoring when models are given) and print the per-component health
+//       report: healthy / degraded / quarantined with reason codes.
+//
+// Any traffic-consuming command accepts --chaos SPEC to inject
+// deterministic faults (packet loss, reordering, clock faults, DNS-answer
+// loss, feature corruption...) before processing — the graceful-degradation
+// paths then show up in the health report instead of as crashes.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "behaviot/analysis/alert_report.hpp"
+#include "behaviot/chaos/fault_injector.hpp"
 #include "behaviot/core/mud_profile.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
 #include "behaviot/deviation/monitor.hpp"
 #include "behaviot/net/pcap.hpp"
 #include "behaviot/obs/export.hpp"
+#include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 #include "behaviot/obs/trace.hpp"
@@ -53,10 +67,14 @@ using namespace behaviot;
 
 namespace {
 
+/// The run's fault injector (nullptr without --chaos). Lives for the whole
+/// command so feature-stage faults stay armed while the pipeline runs.
+std::unique_ptr<chaos::FaultInjector> g_chaos;
+
 int usage() {
   std::fprintf(stderr,
-               "usage: behaviot <simulate|train|show|score|mud|check|explain>"
-               " [options]\n"
+               "usage: behaviot <simulate|train|show|score|mud|check|explain"
+               "|health> [options]\n"
                "  simulate --dataset idle|activity|routine|uncontrolled-day:N"
                " [--days D] [--seed S] --out FILE.pcap\n"
                "  train    --idle FILE.pcap --window-days D --out MODELS.txt\n"
@@ -68,7 +86,19 @@ int usage() {
                " --device NAME\n"
                "  explain  --alerts REPORT.json [--source"
                " periodic|short-term|long-term]\n"
+               "  health   --capture FILE.pcap [--models MODELS.txt]\n"
                "common:\n"
+               "  --chaos SPEC             inject deterministic faults into"
+               " the loaded or\n"
+               "      simulated traffic before processing. SPEC is"
+               " comma-separated\n"
+               "      name=value: drop/dup/reorder/regress/dnsloss/flap/"
+               "truncate/nan/inf/\n"
+               "      throw (probabilities in [0,1]), skew (clock drift,"
+               " ppm), seed.\n"
+               "      Example: --chaos drop=0.01,reorder=0.005,seed=42."
+               " Injected faults\n"
+               "      surface in the health report, never as crashes\n"
                "  --parse strict|lenient   capture/model parse policy"
                " (default lenient:\n"
                "      damaged records are skipped and reported; strict stops"
@@ -111,6 +141,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
 }
 
 /// Reads a pcap and restores device identity from the catalog's lease table.
+/// With --chaos, the configured packet faults are applied here — right after
+/// ingestion, before any pipeline stage sees the traffic.
 std::vector<Packet> load_capture(const std::string& path, ParsePolicy policy) {
   auto parsed = read_pcap(path, policy);
   const auto& catalog = testbed::Catalog::standard();
@@ -120,6 +152,12 @@ std::vector<Packet> load_capture(const std::string& path, ParsePolicy policy) {
   }
   std::fprintf(stderr, "loaded %s: %s\n", path.c_str(),
                parsed.stats.summary().c_str());
+  if (g_chaos != nullptr) {
+    g_chaos->apply(parsed.packets);
+    std::fprintf(stderr, "chaos: %llu faults injected (%s)\n",
+                 static_cast<unsigned long long>(g_chaos->stats().total()),
+                 g_chaos->spec().summary().c_str());
+  }
   return std::move(parsed.packets);
 }
 
@@ -169,6 +207,8 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
     return 2;
   }
+
+  if (g_chaos != nullptr) g_chaos->apply(capture);
 
   PcapWriter writer(flags.at("out"));
   for (const Packet& p : capture.packets) writer.write(p);
@@ -278,12 +318,51 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
       std::fprintf(stderr, "error: cannot write alerts to %s\n", path.c_str());
       return 1;
     }
-    os << alerts_to_json(alerts);
+    const obs::HealthSnapshot health = obs::health().snapshot();
+    os << alerts_to_json(alerts, &health);
     std::fprintf(stderr, "wrote %zu alert(s) with provenance to %s\n",
                  alerts.size(), path.c_str());
     if (!os.good()) return 1;
   }
   return 0;
+}
+
+int cmd_health(const std::map<std::string, std::string>& flags) {
+  if (flags.count("capture") == 0) return usage();
+  const auto packets = load_capture(flags.at("capture"), parse_policy(flags));
+  DomainResolver resolver = make_resolver();
+  FlowAssembler assembler;
+  const auto flows = assembler.assemble(packets, resolver);
+  std::fprintf(stderr, "assembled %zu flows\n", flows.size());
+
+  if (flags.count("models")) {
+    // Score the capture against the saved models so the classify/monitor
+    // components report too.
+    const BehaviorModelSet models =
+        load_models_reporting(flags.at("models"), parse_policy(flags));
+    Pipeline pipeline;
+    const auto classified = pipeline.classify(flows, models);
+    for (const std::string& reason : classified.degraded) {
+      std::fprintf(stderr, "degraded: %s\n", reason.c_str());
+    }
+    if (!flows.empty()) {
+      DeviationMonitor monitor(models.periodic, models.pfsm,
+                               models.short_term);
+      (void)monitor.evaluate_window(flows.front().start,
+                                    flows.back().end + seconds(1.0), flows,
+                                    {});
+    }
+  } else if (!flows.empty()) {
+    // No models: exercise inference itself on the capture.
+    const double window_s =
+        std::max(1.0, (flows.back().end - flows.front().start) / 1e6);
+    (void)PeriodicModelSet::infer(flows, window_s);
+  }
+
+  std::printf("%s", obs::render_health_table(obs::health().snapshot()).c_str());
+  return obs::health().snapshot().overall() == obs::ComponentState::kHealthy
+             ? 0
+             : 3;  // distinct from usage (2) and hard errors (1)
 }
 
 int cmd_explain(const std::map<std::string, std::string>& flags) {
@@ -380,6 +459,7 @@ int dispatch(const std::string& command,
   if (command == "mud") return cmd_mud(flags);
   if (command == "check") return cmd_check(flags);
   if (command == "explain") return cmd_explain(flags);
+  if (command == "health") return cmd_health(flags);
   return usage();
 }
 
@@ -414,7 +494,8 @@ bool write_metrics(const std::string& path) {
     return false;
   }
   const bool prom = path.size() >= 5 && path.rfind(".prom") == path.size() - 5;
-  os << (prom ? obs::to_prometheus(snap) : obs::to_json(snap));
+  const obs::HealthSnapshot health = obs::health().snapshot();
+  os << (prom ? obs::to_prometheus(snap, health) : obs::to_json(snap, health));
   std::fprintf(stderr, "\n%swrote metrics to %s\n",
                obs::summary_table(snap).c_str(), path.c_str());
   return os.good();
@@ -433,6 +514,17 @@ int main(int argc, char** argv) {
     obs::Tracer::set_thread_label("main");
     obs::Tracer::global().start();
   }
+  const auto chaos_flag = flags.find("chaos");
+  if (chaos_flag != flags.end()) {
+    try {
+      g_chaos = std::make_unique<chaos::FaultInjector>(
+          chaos::parse_chaos_spec(chaos_flag->second));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    g_chaos->arm_feature_chaos();
+  }
   int rc = 2;
   try {
     rc = dispatch(command, flags);
@@ -444,5 +536,13 @@ int main(int argc, char** argv) {
   // up to the failure is exactly what an operator wants to see.
   if (metrics != flags.end() && !write_metrics(metrics->second)) rc = 1;
   if (trace != flags.end() && !write_trace(trace->second)) rc = 1;
+  // A degraded run still exits 0 — outputs were produced, the operator just
+  // gets told what they cost (the `health` subcommand scrutinizes instead).
+  if (command != "health") {
+    const obs::HealthSnapshot health = obs::health().snapshot();
+    if (health.overall() != obs::ComponentState::kHealthy) {
+      std::fprintf(stderr, "\n%s", obs::render_health_table(health).c_str());
+    }
+  }
   return rc;
 }
