@@ -217,6 +217,9 @@ struct PipelineTiming {
   /// Per-stage span totals (ms) harvested from the metrics registry, empty
   /// when the run executed with the registry disabled.
   std::map<std::string, double> stage_ms;
+  /// Raw counter values from the same instrumented run (periodic.* feed the
+  /// periodic_breakdown section).
+  std::map<std::string, std::uint64_t> counters;
   /// Tracer tallies for the run (zero unless it ran with tracing armed).
   std::uint64_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
@@ -271,6 +274,7 @@ PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
         t.stage_ms[name.substr(obs::kSpanMetricPrefix.size())] = h.sum;
       }
     }
+    t.counters = snap.counters;
   }
   if (with_trace) {
     obs::Tracer::global().stop();
@@ -290,9 +294,12 @@ PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
   return t;
 }
 
-/// Emits BENCH_pipeline.json: train/classify wall-clock at 1 vs N threads
-/// (registry disabled, comparable with the PR-1 baseline trajectory), the
-/// byte-identity verdict, per-stage span timings from an instrumented run,
+/// Emits BENCH_pipeline.json: train/classify wall-clock at 1, 2, and N
+/// threads (registry disabled, comparable with the PR-1 baseline
+/// trajectory), the byte-identity verdict across every configuration, a
+/// periodic_breakdown section (where periodic.infer spends its time and how
+/// hard candidate pruning works), per-stage span timings from an
+/// instrumented run,
 /// the instrumented-vs-disabled totals that bound the observability
 /// overhead, and a tracing-armed run bounding the tracer's cost. The
 /// disabled run doubles as the "tracing compiled in but off" baseline: the
@@ -303,10 +310,16 @@ bool write_pipeline_bench_json(const std::string& path) {
   const std::size_t parallel_threads =
       std::max<std::size_t>(4, runtime::default_threads());
   const PipelineTiming serial = time_pipeline(1, /*with_metrics=*/false);
+  const PipelineTiming dual = time_pipeline(2, /*with_metrics=*/false);
   const PipelineTiming parallel =
       time_pipeline(parallel_threads, /*with_metrics=*/false);
   const PipelineTiming instrumented =
       time_pipeline(parallel_threads, /*with_metrics=*/true);
+  // Single-thread instrumented run: the periodic.*_us counters accumulate
+  // per-worker elapsed time, so only a 1-thread run reads as wall-clock (at
+  // N threads the per-thread intervals overlap and over-count on
+  // oversubscribed hardware).
+  const PipelineTiming breakdown_run = time_pipeline(1, /*with_metrics=*/true);
   const PipelineTiming traced = time_pipeline(
       parallel_threads, /*with_metrics=*/false, /*with_trace=*/true);
   // Chaos-on run: a realistic compound fault load (1% loss-class faults,
@@ -321,9 +334,11 @@ bool write_pipeline_bench_json(const std::string& path) {
                     /*with_trace=*/false, &chaos_spec);
   runtime::set_global_threads(0);
 
-  const bool identical = serial.serialized == parallel.serialized &&
+  const bool identical = serial.serialized == dual.serialized &&
+                         dual.serialized == parallel.serialized &&
                          parallel.serialized == instrumented.serialized &&
-                         instrumented.serialized == traced.serialized;
+                         instrumented.serialized == breakdown_run.serialized &&
+                         breakdown_run.serialized == traced.serialized;
   const double serial_total = serial.train_ms + serial.classify_ms;
   const double parallel_total = parallel.train_ms + parallel.classify_ms;
   const double instrumented_total =
@@ -341,6 +356,9 @@ bool write_pipeline_bench_json(const std::string& path) {
      << "    {\"threads\": 1, \"train_ms\": " << serial.train_ms
      << ", \"classify_ms\": " << serial.classify_ms
      << ", \"total_ms\": " << serial_total << "},\n"
+     << "    {\"threads\": 2, \"train_ms\": " << dual.train_ms
+     << ", \"classify_ms\": " << dual.classify_ms
+     << ", \"total_ms\": " << dual.train_ms + dual.classify_ms << "},\n"
      << "    {\"threads\": " << parallel_threads
      << ", \"train_ms\": " << parallel.train_ms
      << ", \"classify_ms\": " << parallel.classify_ms
@@ -362,7 +380,25 @@ bool write_pipeline_bench_json(const std::string& path) {
     os << (first ? "\n" : ",\n") << "      \"" << stage << "\": " << ms;
     first = false;
   }
-  os << (first ? "" : "\n    ") << "}\n  },\n"
+  os << (first ? "" : "\n    ") << "}\n  },\n";
+  // Periodic-inference breakdown from the single-thread instrumented run:
+  // where the training hot path spends its time (stage-1 spectra, stage-2
+  // validation, cluster fit) and how hard the candidate pruning works.
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = breakdown_run.counters.find(name);
+    return it == breakdown_run.counters.end() ? 0 : it->second;
+  };
+  os << "  \"periodic_breakdown\": {\n"
+     << "    \"spectrum_ms\": "
+     << static_cast<double>(counter("periodic.spectrum_us")) / 1000.0 << ",\n"
+     << "    \"validation_ms\": "
+     << static_cast<double>(counter("periodic.validate_us")) / 1000.0 << ",\n"
+     << "    \"dbscan_ms\": "
+     << static_cast<double>(counter("periodic.dbscan_us")) / 1000.0 << ",\n"
+     << "    \"candidates_examined\": " << counter("periodic.candidates_examined")
+     << ",\n"
+     << "    \"candidates_pruned\": " << counter("periodic.candidates_pruned")
+     << "\n  },\n"
      << "  \"tracing\": {\n"
      << "    \"disabled_total_ms\": " << parallel_total << ",\n"
      << "    \"enabled_total_ms\": " << traced_total << ",\n"

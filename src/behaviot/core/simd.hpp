@@ -1,0 +1,191 @@
+// Portable hot-loop kernels for the periodic-inference path.
+//
+// Every kernel preserves the exact IEEE-754 operation sequence of the naive
+// scalar loop it replaces: unrolling never splits an accumulation chain into
+// multiple accumulators, and element-wise kernels have no cross-element
+// dependency at all. That pins results bit-for-bit — the byte-identity
+// guarantees (thread-invariance, zero-spec chaos identity, the golden-model
+// test) hold through these kernels by construction, while the compiler is
+// still free to vectorize the independent work:
+//
+//  - `magnitudes_squared` writes independent outputs (trivially SIMD).
+//  - `centered_autocorr_lags` interleaves the per-lag accumulation chains of
+//    a windowed autocorrelation: the scalar code iterates lags in the outer
+//    loop (one latency-bound dependent-add chain per lag, each ~4 cycles per
+//    element); interleaving runs all chains concurrently over one pass of the
+//    series, so the chains hide each other's FP-add latency and the inner
+//    loop over lags vectorizes. Each individual chain still performs the
+//    same adds on the same values in the same order.
+//  - Reduction kernels (`sum`, `squared_distance`, ...) keep a single
+//    accumulator and are unrolled only to cut loop overhead; they exist so
+//    the callers share one definition whose FP shape is audited here once.
+//
+// Header-only; no intrinsics, no target-specific code. The scalar fallback
+// IS the implementation — "SIMD" here means shaped so that auto-vectorization
+// is legal without -ffast-math.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace behaviot::simd {
+
+/// Σ x[i], left-to-right. Same add sequence as `for (x : xs) s += x;`.
+[[nodiscard]] inline double sum(std::span<const double> xs) {
+  double s = 0.0;
+  std::size_t i = 0;
+  const std::size_t n = xs.size();
+  // Single accumulator: the unroll removes branch overhead only; the add
+  // chain (and therefore rounding) is identical to the rolled loop.
+  for (; i + 4 <= n; i += 4) {
+    s += xs[i];
+    s += xs[i + 1];
+    s += xs[i + 2];
+    s += xs[i + 3];
+  }
+  for (; i < n; ++i) s += xs[i];
+  return s;
+}
+
+/// Σ (x[i]-m)^2, left-to-right — the r0 term of a normalized ACF.
+[[nodiscard]] inline double centered_sum_squares(std::span<const double> xs,
+                                                 double m) {
+  double s = 0.0;
+  std::size_t i = 0;
+  const std::size_t n = xs.size();
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = xs[i] - m;
+    const double d1 = xs[i + 1] - m;
+    const double d2 = xs[i + 2] - m;
+    const double d3 = xs[i + 3] - m;
+    s += d0 * d0;
+    s += d1 * d1;
+    s += d2 * d2;
+    s += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const double d = xs[i] - m;
+    s += d * d;
+  }
+  return s;
+}
+
+/// Squared euclidean distance with the accumulation order of the naive
+/// `for (i) { d = a[i]-b[i]; s += d*d; }` loop. The 2/3-D fast paths cover
+/// the projected-grid DBSCAN hot path without any loop overhead.
+[[nodiscard]] inline double squared_distance(const double* a, const double* b,
+                                             std::size_t n) {
+  switch (n) {
+    case 2: {
+      const double d0 = a[0] - b[0];
+      const double d1 = a[1] - b[1];
+      double s = d0 * d0;
+      s += d1 * d1;
+      return s;
+    }
+    case 3: {
+      const double d0 = a[0] - b[0];
+      const double d1 = a[1] - b[1];
+      const double d2 = a[2] - b[2];
+      double s = d0 * d0;
+      s += d1 * d1;
+      s += d2 * d2;
+      return s;
+    }
+    default: {
+      double s = 0.0;
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        const double d0 = a[i] - b[i];
+        const double d1 = a[i + 1] - b[i + 1];
+        const double d2 = a[i + 2] - b[i + 2];
+        const double d3 = a[i + 3] - b[i + 3];
+        s += d0 * d0;
+        s += d1 * d1;
+        s += d2 * d2;
+        s += d3 * d3;
+      }
+      for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+      }
+      return s;
+    }
+  }
+}
+
+[[nodiscard]] inline double squared_distance(std::span<const double> a,
+                                             std::span<const double> b) {
+  return squared_distance(a.data(), b.data(), a.size());
+}
+
+/// out[k] = |c[k]|^2. Element-wise, no cross-element dependency.
+inline void magnitudes_squared(std::span<const std::complex<double>> c,
+                               double* out) {
+  for (std::size_t k = 0; k < c.size(); ++k) {
+    const double re = c[k].real();
+    const double im = c[k].imag();
+    out[k] = re * re + im * im;
+  }
+}
+
+/// Windowed autocovariance sums for every lag in [lag_lo, lag_hi]:
+///
+///   out[lag - lag_lo] = Σ_{t=0}^{n-lag-1} (x[t]-m) * (x[t+lag]-m)
+///
+/// Bit-identical to running the scalar per-lag loop for each lag: the sums
+/// are accumulated in increasing t for every lag, with the identical
+/// subtract/multiply/add expression shape — only the *interleaving across
+/// lags* differs, which IEEE-754 cannot observe because the chains are
+/// independent. `out` must hold lag_hi - lag_lo + 1 slots.
+inline void centered_autocorr_lags(std::span<const double> xs, double m,
+                                   std::size_t lag_lo, std::size_t lag_hi,
+                                   double* out) {
+  const std::size_t n = xs.size();
+  const std::size_t lags = lag_hi - lag_lo + 1;
+  for (std::size_t l = 0; l < lags; ++l) out[l] = 0.0;
+  if (n <= lag_lo) return;
+
+  // Main region: every lag participates (t + lag_hi < n), so the inner loop
+  // over lags is branch-free and auto-vectorizes (contiguous xs[t+lag] loads,
+  // independent out[l] accumulators). When the lag window fits a stack
+  // array, accumulate there: `out` is a caller pointer the compiler must
+  // assume aliases `xs`, which forces a reload/store of every accumulator
+  // per t — local accumulators provably don't alias, so they stay in
+  // registers across the whole pass. Same chains, same order, same sums.
+  const std::size_t main_end = n > lag_hi ? n - lag_hi : 0;
+  std::size_t t = 0;
+  constexpr std::size_t kMaxLocalLags = 64;
+  if (lags <= kMaxLocalLags) {
+    double acc[kMaxLocalLags] = {};
+    for (; t < main_end; ++t) {
+      const double xc = xs[t] - m;
+      const double* right = xs.data() + t + lag_lo;
+      for (std::size_t l = 0; l < lags; ++l) {
+        acc[l] += xc * (right[l] - m);
+      }
+    }
+    for (std::size_t l = 0; l < lags; ++l) out[l] = acc[l];
+  } else {
+    for (; t < main_end; ++t) {
+      const double xc = xs[t] - m;
+      const double* right = xs.data() + t + lag_lo;
+      for (std::size_t l = 0; l < lags; ++l) {
+        out[l] += xc * (right[l] - m);
+      }
+    }
+  }
+  // Tail: lags drop out one by one as t + lag reaches n. Still increasing t
+  // per surviving lag, so each chain's order is unchanged.
+  for (; t + lag_lo < n; ++t) {
+    const double xc = xs[t] - m;
+    const std::size_t live = n - t - lag_lo;  // lags still in range
+    const double* right = xs.data() + t + lag_lo;
+    for (std::size_t l = 0; l < live && l < lags; ++l) {
+      out[l] += xc * (right[l] - m);
+    }
+  }
+}
+
+}  // namespace behaviot::simd

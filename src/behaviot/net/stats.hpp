@@ -41,7 +41,9 @@ namespace behaviot::stats {
   return std::sqrt(s / static_cast<double>(xs.size() - 1));
 }
 
-[[nodiscard]] inline double median(std::vector<double> xs) {
+namespace detail {
+/// Selects the median of `xs` in place (partial reorder, no allocation).
+[[nodiscard]] inline double median_in_place(std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   const std::size_t mid = xs.size() / 2;
   std::nth_element(xs.begin(), xs.begin() + static_cast<long>(mid), xs.end());
@@ -51,15 +53,37 @@ namespace behaviot::stats {
                    xs.begin() + static_cast<long>(mid));
   return (xs[mid - 1] + hi) / 2.0;
 }
+}  // namespace detail
 
-/// Median absolute deviation around the median.
-[[nodiscard]] inline double median_abs_deviation(std::span<const double> xs) {
+[[nodiscard]] inline double median(std::vector<double> xs) {
+  return detail::median_in_place(xs);
+}
+
+/// Scratch-reusing overload for hot paths: `scratch` is overwritten with a
+/// copy of `xs` and partially reordered, but its capacity persists across
+/// calls, so repeated medians allocate at most once. The median is an order
+/// statistic — the result is identical to the by-value overload.
+[[nodiscard]] inline double median(std::span<const double> xs,
+                                   std::vector<double>& scratch) {
+  scratch.assign(xs.begin(), xs.end());
+  return detail::median_in_place(scratch);
+}
+
+/// Median absolute deviation around the median. The scratch-reusing overload
+/// (see `median`) uses the one buffer for both the median pass and the
+/// deviations pass.
+[[nodiscard]] inline double median_abs_deviation(std::span<const double> xs,
+                                                 std::vector<double>& scratch) {
   if (xs.empty()) return 0.0;
-  const double med = median(std::vector<double>(xs.begin(), xs.end()));
-  std::vector<double> dev;
-  dev.reserve(xs.size());
-  for (double x : xs) dev.push_back(std::abs(x - med));
-  return median(std::move(dev));
+  const double med = median(xs, scratch);
+  scratch.clear();
+  for (double x : xs) scratch.push_back(std::abs(x - med));
+  return detail::median_in_place(scratch);
+}
+
+[[nodiscard]] inline double median_abs_deviation(std::span<const double> xs) {
+  std::vector<double> scratch;
+  return median_abs_deviation(xs, scratch);
 }
 
 /// Fisher skewness; 0 for degenerate (constant or tiny) samples.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "behaviot/core/simd.hpp"
 #include "behaviot/periodic/fft.hpp"
 
 namespace behaviot {
@@ -61,23 +63,21 @@ std::optional<AutocorrValidation> validate_period(
 
   // Direct windowed autocovariance: validation only needs the lags around
   // the candidate, and O(lags * n) beats a full-length FFT by orders of
-  // magnitude for the narrow windows used here.
-  double mean = 0.0;
-  for (double x : series) mean += x;
-  mean /= static_cast<double>(n);
-  double r0 = 0.0;
-  for (double x : series) r0 += (x - mean) * (x - mean);
+  // magnitude for the narrow windows used here. The lag sums run through the
+  // interleaved kernel — one pass over the series accumulating every lag at
+  // once — which hides the FP-add latency that made the per-lag loops the
+  // flat-profile hot spot of period validation. Each lag's accumulation
+  // order is unchanged, so the ACF (and the validated period) is
+  // bit-identical to the per-lag formulation.
+  const double mean = simd::sum(series) / static_cast<double>(n);
+  const double r0 = simd::centered_sum_squares(series, mean);
   if (r0 <= 1e-12) return std::nullopt;  // constant series
 
   std::vector<double> acf(hi_lag + 1, 0.0);
   acf[0] = 1.0;
-  for (std::size_t lag = lo_lag; lag <= hi_lag; ++lag) {
-    double sum = 0.0;
-    for (std::size_t t = 0; t + lag < n; ++t) {
-      sum += (series[t] - mean) * (series[t + lag] - mean);
-    }
-    acf[lag] = sum / r0;
-  }
+  simd::centered_autocorr_lags(series, mean, lo_lag, hi_lag,
+                               acf.data() + lo_lag);
+  for (std::size_t lag = lo_lag; lag <= hi_lag; ++lag) acf[lag] /= r0;
   return validate_period_with_acf(acf, candidate_lag, search_frac, min_score);
 }
 

@@ -3,6 +3,14 @@
 // The periodic-model inference (§4.1) extracts candidate periods from the
 // spectral density of a flow-occurrence time series; this header provides
 // the transform and spectrum helpers it needs.
+//
+// The spectrum/ACF helpers come in two forms: allocating conveniences, and
+// `PeriodWorkspace`-threaded variants that reuse scratch buffers across
+// calls. Period detection runs once per traffic group (hundreds of groups
+// per training pass), and the coarse transform buffer alone is half a
+// megabyte — per-worker workspace reuse removes that allocation churn from
+// the hot path entirely. Both forms perform the identical floating-point
+// operation sequence, so models stay bit-identical whichever is used.
 #pragma once
 
 #include <complex>
@@ -11,6 +19,19 @@
 #include <vector>
 
 namespace behaviot {
+
+/// Reusable scratch buffers for one period-detection worker. Not
+/// thread-safe: each runtime worker owns its own instance
+/// (runtime::WorkerLocal), so parallel groups never contend. Buffers only
+/// grow (std::vector capacity is retained across calls).
+struct PeriodWorkspace {
+  std::vector<std::complex<double>> fft;  ///< transform buffer
+  std::vector<double> power;              ///< coarse periodogram
+  std::vector<double> series;             ///< coarse event raster
+  std::vector<double> raster;             ///< per-candidate re-raster
+  std::vector<double> smooth;             ///< boxcar-smoothed raster
+  std::vector<double> scratch;            ///< order-statistics scratch
+};
 
 /// Smallest power of two >= n (n >= 1). Throws std::overflow_error when n
 /// exceeds the largest std::size_t power of two (no such power exists).
@@ -25,6 +46,11 @@ void fft(std::vector<std::complex<double>>& data, bool inverse = false);
 /// power of two). The series is mean-centered first so the DC term does not
 /// dominate peak detection.
 [[nodiscard]] std::vector<double> power_spectrum(std::span<const double> series);
+
+/// Workspace variant: transforms via `ws.fft` and writes into `ws.power`,
+/// allocating only on first use (or growth). Returns `ws.power`.
+const std::vector<double>& power_spectrum(std::span<const double> series,
+                                          PeriodWorkspace& ws);
 
 /// Normalized autocorrelation r(lag) for lag = 0..max_lag, computed via FFT
 /// (O(n log n)). r(0) == 1 for non-degenerate input; degenerate (constant)

@@ -1,9 +1,12 @@
 #include "behaviot/periodic/period_detector.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 
 #include "behaviot/net/stats.hpp"
+#include "behaviot/obs/metrics.hpp"
 #include "behaviot/periodic/autocorrelation.hpp"
 #include "behaviot/periodic/fft.hpp"
 
@@ -17,33 +20,47 @@ struct Candidate {
 };
 
 /// Rasterizes event times (relative to t0) into a binary presence series at
-/// `bin` seconds. Presence (not counts) keeps bursts — e.g. a device's
-/// power-up DNS storm — from dominating the spectrum and the ACF
-/// normalization of an otherwise clean periodic signal.
-std::vector<double> rasterize(std::span<const double> times, double t0,
-                              double window_seconds, double bin) {
+/// `bin` seconds, written into `out` (capacity reused across calls).
+/// Presence (not counts) keeps bursts — e.g. a device's power-up DNS storm —
+/// from dominating the spectrum and the ACF normalization of an otherwise
+/// clean periodic signal.
+void rasterize(std::span<const double> times, double t0, double window_seconds,
+               double bin, std::vector<double>& out) {
   const auto nbins =
       static_cast<std::size_t>(std::ceil(window_seconds / bin)) + 1;
-  std::vector<double> series(nbins, 0.0);
+  out.assign(nbins, 0.0);
   for (double t : times) {
     const auto idx = static_cast<std::size_t>((t - t0) / bin);
-    if (idx < nbins) series[idx] = 1.0;
+    if (idx < nbins) out[idx] = 1.0;
   }
-  return series;
 }
 
-/// Width-3 boxcar. Arrival jitter and candidate-period quantization split an
-/// event's ACF mass across adjacent lags; smoothing re-concentrates it so
-/// the single-lag validation score reflects the true alignment.
-std::vector<double> boxcar3(const std::vector<double>& xs) {
-  std::vector<double> out(xs.size(), 0.0);
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    double s = xs[i];
-    if (i > 0) s += xs[i - 1];
-    if (i + 1 < xs.size()) s += xs[i + 1];
-    out[i] = s;
+/// Width-3 boxcar into `out`. Arrival jitter and candidate-period
+/// quantization split an event's ACF mass across adjacent lags; smoothing
+/// re-concentrates it so the single-lag validation score reflects the true
+/// alignment.
+void boxcar3(const std::vector<double>& xs, std::vector<double>& out) {
+  const std::size_t n = xs.size();
+  out.assign(n, 0.0);
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = xs[0];
+    return;
   }
-  return out;
+  // Edges peeled so the interior loop is branch-free and vectorizes; each
+  // element keeps the branchy loop's add order (x[i] + x[i-1]) + x[i+1].
+  out[0] = xs[0] + xs[1];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    out[i] = xs[i] + xs[i - 1] + xs[i + 1];
+  }
+  out[n - 1] = xs[n - 1] + xs[n - 2];
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
 }
 
 }  // namespace
@@ -53,10 +70,24 @@ PeriodDetector::PeriodDetector(PeriodDetectorOptions options)
 
 std::vector<DetectedPeriod> PeriodDetector::detect(
     std::span<const double> event_times_seconds, double window_seconds) const {
+  PeriodWorkspace ws;
+  return detect(event_times_seconds, window_seconds, ws);
+}
+
+std::vector<DetectedPeriod> PeriodDetector::detect(
+    std::span<const double> event_times_seconds, double window_seconds,
+    PeriodWorkspace& ws) const {
   std::vector<DetectedPeriod> result;
   if (event_times_seconds.size() < 4 || window_seconds <= 0.0) return result;
   const double t0 =
       *std::min_element(event_times_seconds.begin(), event_times_seconds.end());
+
+  const bool metrics = obs::MetricsRegistry::enabled();
+  std::chrono::steady_clock::time_point tick;
+  if (metrics) tick = std::chrono::steady_clock::now();
+  std::uint64_t spectrum_us = 0;
+  std::size_t examined = 0;
+  std::size_t pruned = 0;
 
   // ---- Stage 1: coarse periodogram for candidate frequencies. ----
   // Bins widen when the window exceeds max_bins at the configured resolution;
@@ -65,22 +96,20 @@ std::vector<DetectedPeriod> PeriodDetector::detect(
   if (window_seconds / bin > static_cast<double>(options_.max_bins)) {
     bin = window_seconds / static_cast<double>(options_.max_bins);
   }
-  const std::vector<double> series =
-      rasterize(event_times_seconds, t0, window_seconds, bin);
-  const std::vector<double> power = power_spectrum(series);
+  rasterize(event_times_seconds, t0, window_seconds, bin, ws.series);
+  const std::vector<double>& power = power_spectrum(ws.series, ws);
   if (power.size() < 3) return result;
 
   // Robust significance threshold: median + k * 1.4826 * MAD. A sparse
   // impulse train carries many strong harmonics, which would inflate a
   // mean/stddev threshold and mask weaker fundamentals.
   const std::span<const double> nondc(power.data() + 1, power.size() - 1);
-  const double med =
-      stats::median(std::vector<double>(nondc.begin(), nondc.end()));
-  const double mad = stats::median_abs_deviation(nondc);
+  const double med = stats::median(nondc, ws.scratch);
+  const double mad = stats::median_abs_deviation(nondc, ws.scratch);
   const double threshold =
       med + options_.power_sigma_threshold * 1.4826 * std::max(mad, 1e-12);
 
-  const std::size_t n_fft = next_pow2(series.size());
+  const std::size_t n_fft = next_pow2(ws.series.size());
   std::vector<Candidate> candidates;
   for (std::size_t k = 1; k < power.size(); ++k) {
     if (power[k] <= threshold) continue;
@@ -93,10 +122,49 @@ std::vector<DetectedPeriod> PeriodDetector::detect(
     if (lag_bins < 2.0) continue;  // beyond Nyquist usefulness
     candidates.push_back({k, lag_bins, power[k]});
   }
-  // Ascending frequency = descending period: fundamentals come before their
-  // harmonics, so harmonic pruning below sees the fundamental first.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) { return a.k < b.k; });
+  // The scan runs in ascending frequency = descending period, so candidates
+  // arrive sorted: fundamentals come before their harmonics.
+
+  if (options_.prune_harmonics) {
+    // Approximate, opt-in (see PeriodDetectorOptions): drop candidates whose
+    // bin is an integer multiple (within one bin of spectral leakage) of a
+    // kept candidate's bin before paying for their ACF validation.
+    std::vector<Candidate> kept;
+    kept.reserve(candidates.size());
+    for (const Candidate& c : candidates) {
+      bool harmonic = false;
+      for (const Candidate& f : kept) {
+        const std::size_t m = (c.k + f.k / 2) / f.k;  // nearest multiple
+        const std::size_t nearest = m * f.k;
+        const std::size_t dist = c.k > nearest ? c.k - nearest : nearest - c.k;
+        if (m >= 2 && dist <= 1) {
+          harmonic = true;
+          break;
+        }
+      }
+      if (harmonic) {
+        ++pruned;
+      } else {
+        kept.push_back(c);
+      }
+    }
+    candidates.swap(kept);
+  }
+
+  // Validation examines at most kExaminedHorizon candidates (and stops early
+  // once max_candidates have validated), so everything past the horizon is
+  // unreachable — drop it before the expensive stage and count it as pruned.
+  // This is exact: the kept prefix is what the uncapped loop would examine.
+  constexpr std::size_t kExaminedHorizon = 24;
+  if (candidates.size() > kExaminedHorizon) {
+    pruned += candidates.size() - kExaminedHorizon;
+    candidates.resize(kExaminedHorizon);
+  }
+
+  if (metrics) {
+    spectrum_us = elapsed_us(tick);
+    tick = std::chrono::steady_clock::now();
+  }
 
   // ---- Stage 2: per-candidate ACF validation on a re-binned series. ----
   // Re-rasterizing at ~period/50 makes the ACF robust to arrival jitter
@@ -107,9 +175,9 @@ std::vector<DetectedPeriod> PeriodDetector::detect(
   // peaks. Validation alone therefore separates true periods from
   // harmonics, including genuinely overlapping periods in one group.
   constexpr double kBinsPerPeriod = 50.0;
-  std::size_t examined = 0;
   for (const Candidate& c : candidates) {
-    if (result.size() >= options_.max_candidates || ++examined > 24) break;
+    if (result.size() >= options_.max_candidates) break;
+    ++examined;
     const double period_s = c.lag_bins * bin;
     const double bin2 = period_s / kBinsPerPeriod;
     // Validating over a few hundred cycles is as informative as the full
@@ -117,12 +185,22 @@ std::vector<DetectedPeriod> PeriodDetector::detect(
     constexpr double kMaxValidationBins = 8192.0;
     const double validation_window =
         std::min(window_seconds, bin2 * kMaxValidationBins);
-    const std::vector<double> series2 = boxcar3(
-        rasterize(event_times_seconds, t0, validation_window, bin2));
-    auto v = validate_period(series2, kBinsPerPeriod, /*search_frac=*/0.16,
+    rasterize(event_times_seconds, t0, validation_window, bin2, ws.raster);
+    boxcar3(ws.raster, ws.smooth);
+    auto v = validate_period(ws.smooth, kBinsPerPeriod, /*search_frac=*/0.16,
                              options_.min_autocorr);
     if (!v) continue;
     result.push_back({v->refined_lag * bin2, c.power, v->score});
+  }
+
+  if (metrics) {
+    obs::counter("periodic.detect_calls").inc();
+    obs::counter("periodic.spectrum_us").add(spectrum_us);
+    obs::counter("periodic.validate_us").add(elapsed_us(tick));
+    obs::counter("periodic.candidates_examined")
+        .add(static_cast<std::uint64_t>(examined));
+    obs::counter("periodic.candidates_pruned")
+        .add(static_cast<std::uint64_t>(pruned));
   }
 
   // ---- Dedup: spectral leakage yields near-duplicate candidates around a

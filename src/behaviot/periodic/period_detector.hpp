@@ -8,6 +8,8 @@
 
 namespace behaviot {
 
+struct PeriodWorkspace;  // fft.hpp
+
 struct DetectedPeriod {
   double period_seconds = 0.0;
   double spectral_power = 0.0;  ///< periodogram power of the candidate
@@ -32,6 +34,14 @@ struct PeriodDetectorOptions {
   /// coarsely (the per-candidate ACF re-bins independently, so coarsening
   /// only limits the smallest detectable period to ~2 coarse bins).
   std::size_t max_bins = std::size_t{1} << 14;
+  /// Opt-in pre-validation rejection of candidates whose frequency bin is an
+  /// integer multiple (within one bin) of an already-kept candidate's. Skips
+  /// the ACF pass on pure spectral harmonics — but it is approximate: a
+  /// genuinely overlapping shorter period can be dropped, and pruning frees
+  /// examination budget for candidates the exact path never reaches, so
+  /// detected periods may differ. Off by default; the pipeline leaves it off
+  /// (models must stay bit-identical to the reference implementation).
+  bool prune_harmonics = false;
 };
 
 class PeriodDetector {
@@ -45,6 +55,14 @@ class PeriodDetector {
   [[nodiscard]] std::vector<DetectedPeriod> detect(
       std::span<const double> event_times_seconds,
       double window_seconds) const;
+
+  /// Workspace variant: rasters, spectra, and order-statistics scratch all
+  /// live in `ws`, so a worker detecting periods for many groups allocates
+  /// only on its first call. Results are bit-identical to the allocating
+  /// overload (which simply wraps this one with a fresh workspace).
+  [[nodiscard]] std::vector<DetectedPeriod> detect(
+      std::span<const double> event_times_seconds, double window_seconds,
+      PeriodWorkspace& ws) const;
 
   /// Convenience: the single most significant period, if any.
   [[nodiscard]] std::optional<DetectedPeriod> dominant_period(

@@ -1,13 +1,16 @@
 #include "behaviot/periodic/periodic_model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 
 #include "behaviot/net/stats.hpp"
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
+#include "behaviot/periodic/fft.hpp"
 #include "behaviot/runtime/runtime.hpp"
 
 namespace behaviot {
@@ -96,8 +99,14 @@ PeriodicModelSet PeriodicModelSet::infer(
   };
   // Error-isolating map: a group whose detection or feature extraction
   // throws is quarantined (reported, excluded from the model set) instead of
-  // aborting inference for every other group.
-  auto results = runtime::parallel_try_map(
+  // aborting inference for every other group. Each worker reuses one
+  // PeriodWorkspace across all the groups it processes — the FFT buffer
+  // alone is ~0.5 MB, so per-group allocation was a measurable share of
+  // detection time.
+  runtime::WorkerLocal<PeriodWorkspace> workspaces;
+  auto results = [&] {
+    obs::StageSpan detect_span("period.detect");
+    return runtime::parallel_try_map(
       group_list, [&](const Group* g) -> GroupResult {
         GroupResult result;
         const auto& [key, flows] = *g;
@@ -107,7 +116,8 @@ PeriodicModelSet PeriodicModelSet::infer(
         for (const FlowRecord* f : flows) times.push_back(f->start.seconds());
         std::sort(times.begin(), times.end());
 
-        const auto periods = detector.detect(times, window_seconds);
+        const auto periods =
+            detector.detect(times, window_seconds, workspaces.local());
         if (periods.empty()) return result;
 
         PeriodicModel model;
@@ -130,6 +140,7 @@ PeriodicModelSet PeriodicModelSet::infer(
         }
         return result;
       });
+  }();
 
   // Sequential assembly in group order.
   std::map<DeviceId, std::vector<FeatureVector>> periodic_features;
@@ -171,15 +182,27 @@ PeriodicModelSet PeriodicModelSet::infer(
   // A device whose cluster fit throws loses only its stage-2 fallback: the
   // timer stage still classifies its groups, which is the documented
   // degraded mode (reason code "no-cluster-stage").
-  auto fits = runtime::parallel_try_map(
-      device_list, [&](const DeviceRows* d) -> DeviceFit {
-        const auto& rows = d->second;
-        FeatureScaler scaler(rows);
-        std::vector<std::vector<double>> scaled;
-        scaled.reserve(rows.size());
-        for (const auto& r : rows) scaled.push_back(scaler.transform(r));
-        return {scaler, DbscanMembership(scaled, options.dbscan)};
-      });
+  auto fits = [&] {
+    obs::StageSpan dbscan_span("dbscan.fit");
+    const auto fit_start = std::chrono::steady_clock::now();
+    auto out = runtime::parallel_try_map(
+        device_list, [&](const DeviceRows* d) -> DeviceFit {
+          const auto& rows = d->second;
+          FeatureScaler scaler(rows);
+          std::vector<std::vector<double>> scaled;
+          scaled.reserve(rows.size());
+          for (const auto& r : rows) scaled.push_back(scaler.transform(r));
+          return {scaler, DbscanMembership(scaled, options.dbscan)};
+        });
+    if (obs::MetricsRegistry::enabled()) {
+      obs::counter("periodic.dbscan_us")
+          .add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - fit_start)
+                  .count()));
+    }
+    return out;
+  }();
   for (std::size_t i = 0; i < device_list.size(); ++i) {
     if (!fits[i].ok()) {
       obs::health().quarantine(

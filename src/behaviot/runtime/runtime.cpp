@@ -18,7 +18,13 @@ namespace {
 /// calls from such a thread run inline instead of re-entering the pool.
 thread_local bool tls_in_parallel_region = false;
 
+/// Worker-scratch slot of this thread; 0 (caller) unless a pool worker set
+/// it at startup. See runtime::worker_slot().
+thread_local std::size_t tls_worker_slot = 0;
+
 }  // namespace
+
+std::size_t worker_slot() { return tls_worker_slot; }
 
 std::size_t default_threads() {
   if (const char* env = std::getenv("BEHAVIOT_THREADS")) {
@@ -92,6 +98,7 @@ void ThreadPool::run_job(Job& job) {
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
   tls_in_parallel_region = true;
+  tls_worker_slot = worker_index + 1;
   obs::Tracer::set_thread_label("pool-worker-" + std::to_string(worker_index));
   std::uint64_t seen_generation = 0;
   for (;;) {

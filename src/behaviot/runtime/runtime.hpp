@@ -145,6 +145,40 @@ void set_global_threads(std::size_t threads);
 /// Thread count of the current global pool.
 [[nodiscard]] std::size_t global_threads();
 
+/// Stable slot of the current thread within parallel regions: 0 for the
+/// submitting caller (and any thread outside a pool), 1..N for pool workers.
+/// Slots are per-thread and fixed for a worker's lifetime, so they index
+/// per-worker scratch storage without locks.
+[[nodiscard]] std::size_t worker_slot();
+
+/// Per-worker scratch storage for parallel regions: one `T` per
+/// participating thread, indexed by `worker_slot()`. Intended for reusable
+/// buffers (e.g. FFT workspaces) that are expensive to allocate per item but
+/// must not be shared across threads mid-region.
+///
+/// Size it with `global_threads()` (the default) when the region runs on the
+/// global pool. A slot index beyond the storage (a pool larger than the
+/// WorkerLocal, e.g. after `set_global_threads` grew the pool) falls back to
+/// slot 0 — safe only when such threads cannot run concurrently with the
+/// caller, so construct the WorkerLocal after the pool is configured.
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(std::size_t slots = 0)
+      : slots_(slots > 0 ? slots : global_threads() + 1) {}
+
+  /// This thread's instance (slot 0 for the caller).
+  [[nodiscard]] T& local() {
+    const std::size_t s = worker_slot();
+    return slots_[s < slots_.size() ? s : 0];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+};
+
 /// Convenience wrappers over the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include "behaviot/net/rng.hpp"
 
 namespace behaviot {
@@ -110,6 +114,158 @@ TEST_P(DbscanProperty, DuplicatedPointSharesCluster) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DbscanProperty, ::testing::Range(0, 10));
+
+// ---- Sweep-vs-naive equivalence property suite ------------------------------
+//
+// The production fit computes DBSCAN as an order-free function of the pairwise
+// neighbor relation (pair sweep + union-find); dbscan_naive is the original
+// graph-traversal formulation. These suites pin exact equality — labels and
+// cluster count — across >= 1k randomized cases spanning the regimes the
+// pipeline feeds it (clustered, uniform, duplicated, degenerate) plus the
+// non-finite parameter edge cases.
+
+std::vector<std::vector<double>> random_points(Rng& rng, std::size_t n,
+                                               std::size_t dim) {
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  const std::size_t num_centers = 1 + rng.uniform_index(4);
+  std::vector<std::vector<double>> centers;
+  for (std::size_t c = 0; c < num_centers; ++c) {
+    std::vector<double> center(dim);
+    for (auto& v : center) v = rng.uniform(-5.0, 5.0);
+    centers.push_back(std::move(center));
+  }
+  const double spread = rng.uniform(0.05, 1.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!points.empty() && rng.chance(0.08)) {
+      points.push_back(points[rng.uniform_index(points.size())]);  // duplicate
+      continue;
+    }
+    std::vector<double> p(dim);
+    if (rng.chance(0.2)) {  // background noise
+      for (auto& v : p) v = rng.uniform(-8.0, 8.0);
+    } else {
+      const auto& c = centers[rng.uniform_index(centers.size())];
+      for (std::size_t d = 0; d < dim; ++d) p[d] = c[d] + rng.normal(0, spread);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void expect_equal_clustering(const std::vector<std::vector<double>>& points,
+                             const DbscanOptions& options, std::uint64_t seed) {
+  const auto fast = dbscan(points, options);
+  const auto naive = dbscan_naive(points, options);
+  ASSERT_EQ(fast.num_clusters, naive.num_clusters)
+      << "seed=" << seed << " n=" << points.size() << " eps=" << options.eps
+      << " min_points=" << options.min_points;
+  ASSERT_EQ(fast.labels, naive.labels)
+      << "seed=" << seed << " n=" << points.size() << " eps=" << options.eps
+      << " min_points=" << options.min_points;
+}
+
+TEST(DbscanEquivalence, MatchesNaiveAcrossRandomizedCases) {
+  int cases = 0;
+  for (std::uint64_t seed = 0; seed < 220; ++seed) {
+    Rng rng(seed + 1000);
+    for (std::size_t dim = 1; dim <= 5; ++dim) {
+      const std::size_t n = rng.uniform_index(60);
+      const auto points = random_points(rng, n, dim);
+      const DbscanOptions options{
+          .eps = rng.uniform(0.05, 2.5),
+          .min_points = rng.uniform_index(7),  // includes the 0 edge case
+      };
+      expect_equal_clustering(points, options, seed);
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000);  // the suite's advertised coverage floor
+}
+
+TEST(DbscanEquivalence, MatchesNaiveOnDegenerateEps) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed + 7000);
+    const auto points = random_points(rng, 25 + rng.uniform_index(25), 3);
+    for (const double eps : {0.0, -1.0, kInf, -kInf, kNan}) {
+      expect_equal_clustering(points, {.eps = eps, .min_points = 3}, seed);
+    }
+  }
+}
+
+TEST(DbscanEquivalence, MatchesNaiveOnNonFiniteCoordinates) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed + 8000);
+    auto points = random_points(rng, 30, 2);
+    // Corrupt a few rows the way unsanitized features would.
+    points[3][0] = std::numeric_limits<double>::quiet_NaN();
+    points[7][1] = std::numeric_limits<double>::infinity();
+    points[11][0] = -std::numeric_limits<double>::infinity();
+    expect_equal_clustering(points, {.eps = 0.8, .min_points = 3}, seed);
+  }
+}
+
+TEST(DbscanEquivalence, MatchesNaiveOnIdenticalPoints) {
+  // Every point duplicated at one location: one cluster (or none when
+  // min_points exceeds n).
+  for (const std::size_t n : {1u, 2u, 5u, 40u}) {
+    const std::vector<std::vector<double>> points(n,
+                                                  std::vector<double>{1.0, 2.0});
+    for (const std::size_t min_points : {1u, 3u, 41u}) {
+      expect_equal_clustering(points, {.eps = 0.5, .min_points = min_points},
+                              n * 100 + min_points);
+    }
+  }
+}
+
+// Membership queries (classification hot path) against brute force over the
+// retained cores.
+TEST(DbscanMembershipProperty, ContainsAndNearestMatchBruteForce) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed + 9000);
+    const std::size_t dim = 1 + rng.uniform_index(4);
+    const auto points = random_points(rng, 20 + rng.uniform_index(60), dim);
+    const double eps = rng.uniform(0.1, 1.5);
+    const DbscanMembership membership(points, {.eps = eps, .min_points = 3});
+
+    for (int q = 0; q < 25; ++q) {
+      std::vector<double> query(dim);
+      for (auto& v : query) v = rng.uniform(-9.0, 9.0);
+
+      // Brute force over the cores with the same (distance, index)
+      // first-strictly-smaller tie-break the grid documents.
+      bool inside = false;
+      std::size_t best_index = 0;
+      double best_sq = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < membership.core_point_count(); ++i) {
+        const auto core = membership.core(i);
+        double sq = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double diff = core[d] - query[d];
+          sq += diff * diff;
+        }
+        if (sq <= eps * eps) inside = true;
+        if (sq < best_sq) {
+          best_sq = sq;
+          best_index = i;
+        }
+      }
+      EXPECT_EQ(membership.contains(query), inside) << "seed=" << seed;
+      const auto near = membership.nearest(query);
+      if (membership.core_point_count() == 0) {
+        EXPECT_EQ(near.cluster, kDbscanNoise);
+        EXPECT_FALSE(near.inside);
+      } else {
+        EXPECT_EQ(near.cluster, membership.core_cluster(best_index))
+            << "seed=" << seed;
+        EXPECT_DOUBLE_EQ(near.distance, std::sqrt(best_sq));
+        EXPECT_EQ(near.inside, best_sq <= eps * eps);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace behaviot
