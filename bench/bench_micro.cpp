@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
+#include <span>
 #include <sstream>
 
 #include "behaviot/chaos/fault_injector.hpp"
@@ -49,6 +51,34 @@ void BM_FlowAssembly(benchmark::State& state) {
                           static_cast<std::int64_t>(capture.packets.size()));
 }
 BENCHMARK(BM_FlowAssembly);
+
+void BM_StreamingFlowAssembly(benchmark::State& state) {
+  // The `behaviot watch` ingestion stage: chunked feed with live sealing and
+  // window drains, under the default 1 s reorder horizon. Compare against
+  // BM_FlowAssembly for the cost of incrementality.
+  const auto capture = testbed::Datasets::idle(111, 0.1);
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    DomainResolver resolver;
+    testbed::configure_resolver(resolver, capture);
+    StreamingFlowAssembler core({}, resolver);
+    const std::span<const Packet> all(capture.packets);
+    std::size_t drained = 0;
+    for (std::size_t i = 0; i < all.size(); i += chunk) {
+      core.feed(all.subspan(i, std::min(chunk, all.size() - i)));
+      drained += core.drain_sealed(core.seal_watermark()).size();
+    }
+    core.finish();
+    drained += core
+                   .drain_sealed(Timestamp(
+                       std::numeric_limits<std::int64_t>::max()))
+                   .size();
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(capture.packets.size()));
+}
+BENCHMARK(BM_StreamingFlowAssembly)->Arg(256)->Arg(4096);
 
 void BM_FeatureExtraction(benchmark::State& state) {
   const auto capture = testbed::Datasets::idle(112, 0.05);

@@ -1,0 +1,60 @@
+// Atomic model-generation handle for hot swaps (`behaviot watch`).
+//
+// The watch loop evaluates deviation windows against a model generation
+// while a background retrain builds the next one. The handle makes the
+// handover safe and atomic: a retrain builds a complete BehaviorModelSet
+// off to the side and publishes it with one pointer swap, so readers only
+// ever see fully constructed generations — never a half-written set — and
+// a generation stays alive for as long as any reader still holds it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "behaviot/core/model_set.hpp"
+
+namespace behaviot {
+
+class ModelHandle {
+ public:
+  explicit ModelHandle(BehaviorModelSet initial)
+      : current_(std::make_shared<const BehaviorModelSet>(std::move(initial))) {
+  }
+
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
+
+  /// Current generation. The returned shared_ptr pins the generation: it
+  /// remains valid (and unchanged) however many publishes happen afterwards,
+  /// so a monitor can keep scoring one window against one generation while
+  /// the next is swapped in.
+  [[nodiscard]] std::shared_ptr<const BehaviorModelSet> acquire() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Publishes a fully built generation (release side of the swap). Readers
+  /// acquire either the old or the new set, never a mixture. Returns the new
+  /// generation's version number.
+  std::uint64_t publish(BehaviorModelSet next) {
+    auto fresh = std::make_shared<const BehaviorModelSet>(std::move(next));
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(fresh);
+    return ++version_;
+  }
+
+  /// Monotonic generation counter; 1 is the initial set.
+  [[nodiscard]] std::uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const BehaviorModelSet> current_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace behaviot

@@ -112,6 +112,10 @@ void save_models(std::ostream& os, const BehaviorModelSet& models) {
       os << ' ';
       put_double(os, p);
     }
+    // Optional trailer, omitted when zero so files from sets that never went
+    // through a retrain merge stay byte-identical to the v-format they had
+    // before absence tracking existed.
+    if (m.absent_generations > 0) os << " absent " << m.absent_generations;
     os << "\n";
   }
 
@@ -194,6 +198,14 @@ BehaviorModelSet load_models(std::istream& is, ParsePolicy policy,
       const std::size_t n_secondary = get_size_count(is, "secondary count");
       for (std::size_t k = 0; k < n_secondary; ++k) {
         m.secondary_periods.push_back(get_double(is));
+      }
+      // Optional "absent <n>" trailer. The next token otherwise starts with
+      // a digit (next model's device id) or 'p' ("pfsm"), so one character
+      // of lookahead disambiguates.
+      is >> std::ws;
+      if (is.peek() == 'a') {
+        expect(is, "absent");
+        m.absent_generations = get_count(is, "absent generations");
       }
       periodic.push_back(std::move(m));
     }

@@ -1,0 +1,195 @@
+#include "behaviot/core/watch_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "behaviot/obs/health.hpp"
+#include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/span.hpp"
+
+namespace behaviot {
+
+WatchEngine::WatchEngine(ModelHandle& models, DomainResolver resolver,
+                         WatchOptions options)
+    : options_(options),
+      models_(&models),
+      resolver_(std::move(resolver)),
+      assembler_(options.assembler, resolver_),
+      generation_(models.acquire()),
+      monitor_(generation_->periodic, generation_->pfsm,
+               generation_->short_term, options.monitor),
+      model_version_(models.version()) {}
+
+void WatchEngine::ingest(std::span<const Packet> packets) {
+  if (done_ || finished_) return;
+  obs::counter("watch.packets_in").add(packets.size());
+  assembler_.feed(packets);
+  advance_windows(/*to_completion=*/false);
+}
+
+void WatchEngine::finish() {
+  if (finished_) {
+    // Still join a retrain left in flight by a max_windows/until stop.
+    join_retrain_and_swap();
+    done_ = true;
+    return;
+  }
+  finished_ = true;
+  assembler_.finish();
+  advance_windows(/*to_completion=*/true);
+}
+
+void WatchEngine::advance_windows(bool to_completion) {
+  for (;;) {
+    if (done_) break;
+    if (!t0_) {
+      // The first released packet carries the minimum flow start — the same
+      // t0 the batch path reads off its sorted flow list.
+      t0_ = assembler_.first_release();
+      if (!t0_) break;
+    }
+    const Timestamp ws =
+        *t0_ + static_cast<std::int64_t>(next_window_) * options_.window_us;
+    const Timestamp we = ws + options_.window_us;
+    if (options_.until && ws >= *options_.until) {
+      done_ = true;
+      break;
+    }
+    if (to_completion) {
+      // Mirror the batch loop bound: windows exist while ws < max flow end
+      // + 1 s. Flows always drain before ws passes that bound, so the
+      // window count matches the batch path exactly.
+      const bool flows_left = assembler_.sealed_pending() > 0;
+      const bool time_left =
+          max_end_.micros() != std::numeric_limits<std::int64_t>::min() &&
+          ws < max_end_ + seconds(1.0);
+      if (!flows_left && !time_left) break;
+    } else if (assembler_.seal_watermark() < we) {
+      break;  // window not final yet — wait for the stream clock
+    }
+    close_window(ws, we);
+    if (options_.max_windows > 0 && windows_ >= options_.max_windows) {
+      done_ = true;
+    }
+  }
+  if (to_completion) {
+    join_retrain_and_swap();
+    done_ = true;
+  }
+}
+
+void WatchEngine::close_window(Timestamp ws, Timestamp we) {
+  obs::StageSpan span("watch.window");
+  obs::health().heartbeat("watch.engine");
+
+  // Deterministic swap point: a retrain launched after window k is always
+  // published and rebound here, before window k+1 is evaluated — never
+  // mid-window, never against a half-written set.
+  join_retrain_and_swap();
+
+  std::vector<FlowRecord> flows = assembler_.drain_sealed(we);
+  std::size_t late = 0;
+  for (const FlowRecord& f : flows) {
+    max_end_ = std::max(max_end_, f.end);
+    if (f.start < ws) ++late;
+  }
+  if (late > 0) {
+    // A packet beyond the reorder horizon (or a force-sealed flow's
+    // continuation) produced a flow for an already-closed window. Score it
+    // in this window rather than dropping it, and disclose.
+    obs::counter("watch.flows_out_of_window").add(late);
+    obs::health().degrade("watch.engine",
+                          "out-of-window-flows:" + std::to_string(late));
+  }
+
+  std::vector<DeviationAlert> alerts =
+      monitor_.evaluate_window(ws, we, flows, {});
+
+  static auto& windows_counter = obs::counter("watch.windows");
+  static auto& flows_counter = obs::counter("watch.flows");
+  static auto& alerts_counter = obs::counter("watch.alerts");
+  windows_counter.inc();
+  flows_counter.add(flows.size());
+  alerts_counter.add(alerts.size());
+  obs::gauge("watch.buffered_packets")
+      .set(static_cast<double>(assembler_.buffered_packets()));
+  obs::gauge("watch.open_flows").set(static_cast<double>(open_flows()));
+
+  const StreamingAssemblerStats& st = assembler_.stats();
+  if (st.force_sealed > reported_force_sealed_) {
+    reported_force_sealed_ = st.force_sealed;
+    obs::health().degrade("watch.engine",
+                          "force-sealed:" + std::to_string(st.force_sealed));
+  }
+  if (st.late_packets > reported_late_) {
+    reported_late_ = st.late_packets;
+    obs::health().degrade("watch.engine",
+                          "late-packets:" + std::to_string(st.late_packets));
+  }
+
+  alerts_ += alerts.size();
+  WatchWindowReport report;
+  report.index = next_window_;
+  report.start = ws;
+  report.end = we;
+  report.flows = flows.size();
+  report.alerts = std::move(alerts);
+  report.model_version = model_version_;
+  report.swapped = swapped_pending_report_;
+  swapped_pending_report_ = false;
+
+  if (options_.retrain_every_windows > 0) {
+    retrain_buffer_.insert(retrain_buffer_.end(),
+                           std::make_move_iterator(flows.begin()),
+                           std::make_move_iterator(flows.end()));
+  }
+
+  ++windows_;
+  ++next_window_;
+  if (sink_) sink_(report);
+
+  if (options_.retrain_every_windows > 0 &&
+      windows_ % options_.retrain_every_windows == 0) {
+    launch_retrain();
+  }
+}
+
+void WatchEngine::launch_retrain() {
+  obs::counter("watch.retrains").inc();
+  const double duration_s =
+      static_cast<double>(options_.retrain_every_windows) *
+      static_cast<double>(options_.window_us) / 1e6;
+  const RetrainOptions ropts = options_.retrain;
+  auto base = generation_;  // pinned: stays alive for the thread's lifetime
+  retrain_ = std::async(
+      std::launch::async,
+      [buffer = std::move(retrain_buffer_), base, duration_s, ropts]() {
+        obs::StageSpan span("watch.retrain");
+        PeriodicModelSet fresh = PeriodicModelSet::infer(buffer, duration_s);
+        RetrainSummary summary;
+        BehaviorModelSet next = *base;  // non-periodic members carry over
+        next.periodic =
+            merge_periodic_models(base->periodic, fresh, summary, ropts);
+        return next;
+      });
+  retrain_buffer_ = {};
+}
+
+void WatchEngine::join_retrain_and_swap() {
+  if (!retrain_.valid()) return;
+  // Blocking on purpose: the join point — not thread speed — defines which
+  // window first sees the new generation, so alert output is identical at
+  // any thread count and with the merge run inline.
+  BehaviorModelSet next = retrain_.get();
+  model_version_ = models_->publish(std::move(next));
+  generation_ = models_->acquire();
+  monitor_.rebind(generation_->periodic, generation_->pfsm,
+                  generation_->short_term);
+  ++swaps_;
+  swapped_pending_report_ = true;
+  obs::counter("watch.swaps").inc();
+}
+
+}  // namespace behaviot

@@ -1,0 +1,148 @@
+// Streaming daemon core (`behaviot watch`): unbounded packet stream in,
+// per-window deviation alerts out, with bounded memory and hot model swaps.
+//
+// The engine composes the incremental pieces of the pipeline:
+//
+//   packets ─→ StreamingFlowAssembler ─→ window close ─→ DeviationMonitor
+//                     (bounded)               │                 │
+//                                      retrain buffer    ModelHandle swap
+//                                              └── background merge ──┘
+//
+// Windows follow the batch `score --window-s` grid exactly — the k-th
+// window is [t0 + kW, t0 + (k+1)W) with t0 the first flow start — and a
+// window is evaluated as soon as the assembler's seal watermark passes its
+// end, so on any finite capture the streamed alerts are identical to the
+// batch path's.
+//
+// Retraining is deterministic by construction: a retrain generation is
+// launched right after window k closes and *always* joined (and its model
+// set published + rebound) before window k+1 is evaluated. The background
+// thread only buys wall-clock overlap with ingestion; alert output is
+// byte-identical whether the merge runs inline or concurrently, at any
+// runtime thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "behaviot/core/model_handle.hpp"
+#include "behaviot/deviation/monitor.hpp"
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/net/domain_resolver.hpp"
+#include "behaviot/periodic/retrain.hpp"
+
+namespace behaviot {
+
+struct WatchOptions {
+  /// Deviation window width W.
+  std::int64_t window_us = minutes(30.0);
+  /// Stop after this many evaluated windows; 0 = run until the stream ends.
+  std::size_t max_windows = 0;
+  /// Stop before evaluating any window that starts at or after this capture
+  /// time (deterministic `--until` mode); unset = run until the stream ends.
+  std::optional<Timestamp> until;
+  /// Launch a background retrain every N closed windows (over the flows of
+  /// those N windows) and hot-swap the merged models; 0 = never retrain.
+  std::size_t retrain_every_windows = 0;
+  RetrainOptions retrain;
+  MonitorOptions monitor;
+  /// Reorder horizon and the open-flow/buffered-packet memory caps.
+  StreamingAssemblerOptions assembler;
+};
+
+/// One closed window's outcome, handed to the window sink.
+struct WatchWindowReport {
+  std::size_t index = 0;  ///< 0-based window number
+  Timestamp start;
+  Timestamp end;
+  std::size_t flows = 0;
+  std::vector<DeviationAlert> alerts;
+  /// Model generation the window was evaluated against.
+  std::uint64_t model_version = 1;
+  /// True when a retrain finished and its generation was swapped in right
+  /// before this window was evaluated.
+  bool swapped = false;
+};
+
+class WatchEngine {
+ public:
+  /// `models` must outlive the engine. The resolver is owned (DNS knowledge
+  /// accumulates across the whole stream, as on a gateway); pre-seed it with
+  /// static rDNS before handing it over.
+  WatchEngine(ModelHandle& models, DomainResolver resolver,
+              WatchOptions options);
+
+  /// Invoked synchronously for every evaluated window, in window order.
+  void set_window_sink(std::function<void(const WatchWindowReport&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Feeds a chunk of captured packets (any chunking; boundaries carry no
+  /// meaning) and evaluates every window the stream clock has closed.
+  /// No-op once done().
+  void ingest(std::span<const Packet> packets);
+
+  /// End of stream: flushes the assembler and evaluates all remaining
+  /// windows (same window count as the batch path). Joins any in-flight
+  /// retrain. Idempotent.
+  void finish();
+
+  /// True once max_windows/until was hit or finish() completed — the caller
+  /// can stop reading the capture.
+  [[nodiscard]] bool done() const { return done_; }
+
+  [[nodiscard]] std::size_t windows_evaluated() const { return windows_; }
+  [[nodiscard]] std::size_t alerts_emitted() const { return alerts_; }
+  [[nodiscard]] std::uint64_t model_version() const { return model_version_; }
+  [[nodiscard]] std::uint64_t swaps() const { return swaps_; }
+  [[nodiscard]] const StreamingAssemblerStats& assembler_stats() const {
+    return assembler_.stats();
+  }
+  /// Live buffered-state gauge for memory-bound assertions.
+  [[nodiscard]] std::size_t buffered_packets() const {
+    return assembler_.buffered_packets();
+  }
+  [[nodiscard]] std::size_t open_flows() const {
+    return assembler_.open_flows();
+  }
+
+ private:
+  void advance_windows(bool to_completion);
+  void close_window(Timestamp ws, Timestamp we);
+  void join_retrain_and_swap();
+  void launch_retrain();
+
+  WatchOptions options_;
+  ModelHandle* models_;
+  DomainResolver resolver_;
+  StreamingFlowAssembler assembler_;
+  /// Pinned generation the monitor currently scores against.
+  std::shared_ptr<const BehaviorModelSet> generation_;
+  DeviationMonitor monitor_;
+  std::function<void(const WatchWindowReport&)> sink_;
+
+  std::optional<Timestamp> t0_;      ///< window-grid origin (first flow start)
+  std::size_t next_window_ = 0;      ///< next window index to evaluate
+  Timestamp max_end_{std::numeric_limits<std::int64_t>::min()};
+  std::size_t windows_ = 0;
+  std::size_t alerts_ = 0;
+  std::uint64_t model_version_ = 1;
+  std::uint64_t swaps_ = 0;
+  bool swapped_pending_report_ = false;
+  bool done_ = false;
+  bool finished_ = false;
+
+  std::vector<FlowRecord> retrain_buffer_;
+  std::future<BehaviorModelSet> retrain_;
+
+  // Degradation dedup: last reported assembler-stat values.
+  std::uint64_t reported_force_sealed_ = 0;
+  std::uint64_t reported_late_ = 0;
+};
+
+}  // namespace behaviot

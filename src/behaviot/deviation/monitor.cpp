@@ -37,6 +37,17 @@ void DeviationMonitor::reset() {
   primed_ = false;
 }
 
+void DeviationMonitor::rebind(const PeriodicModelSet& periodic,
+                              const Pfsm& pfsm,
+                              ShortTermThreshold short_term) {
+  periodic_ = &periodic;
+  pfsm_ = &pfsm;
+  short_term_ = short_term;
+  // Streaming state survives the swap on purpose: models that persist across
+  // a retrain keep their armed timers and silence episodes. State keyed by
+  // groups the new set no longer carries is purged at the next window start.
+}
+
 std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
     Timestamp window_start, Timestamp window_end,
     std::span<const FlowRecord> flows, std::span<const EventTrace> traces) {
@@ -131,8 +142,9 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
 
     if (it != occur.end()) {
       silence_reported_.erase(key);  // traffic resumed: new episode may alert
-      for (const Occurrence& o : it->second) {
-        if (!had_history && o.at == it->second.front().at) {
+      for (std::size_t oi = 0; oi < it->second.size(); ++oi) {
+        const Occurrence& o = it->second[oi];
+        if (!had_history && oi == 0) {
           last = o.at;
           continue;  // first sighting ever: arm the timer silently
         }

@@ -105,6 +105,16 @@ class DeviationMonitor {
   /// Forgets all streaming state.
   void reset();
 
+  /// Points the monitor at a new model generation (hot model swap in
+  /// `behaviot watch`). Streaming state — armed timers, silence episodes,
+  /// reported sequences — is retained; entries keyed by groups absent from
+  /// the new set are purged at the next window start, exactly as reset-free
+  /// retraining behaves in the batch engine. The referents must outlive the
+  /// monitor (the watch engine keeps the owning generation alive until the
+  /// next swap completes).
+  void rebind(const PeriodicModelSet& periodic, const Pfsm& pfsm,
+              ShortTermThreshold short_term);
+
  private:
   const PeriodicModelSet* periodic_;
   const Pfsm* pfsm_;

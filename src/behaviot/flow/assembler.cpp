@@ -3,13 +3,275 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
+#include <string>
+#include <utility>
 
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
 
 namespace behaviot {
+namespace {
+
+constexpr std::int64_t kMinUs = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMaxUs = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t saturating_sub(std::int64_t a, std::int64_t b) {
+  if (b > 0 && a < kMinUs + b) return kMinUs;
+  if (b < 0 && a > kMaxUs + b) return kMaxUs;
+  return a - b;
+}
+
+std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  if (b > 0 && a > kMaxUs - b) return kMaxUs;
+  if (b < 0 && a < kMinUs - b) return kMinUs;
+  return a + b;
+}
+
+}  // namespace
+
+StreamingFlowAssembler::StreamingFlowAssembler(StreamingAssemblerOptions options,
+                                               DomainResolver& resolver)
+    : options_(options), resolver_(&resolver) {}
+
+void StreamingFlowAssembler::feed(std::span<const Packet> packets) {
+  if (finished_) return;
+  for (const Packet& p : packets) accept(p);
+}
+
+void StreamingFlowAssembler::accept(const Packet& p) {
+  ++stats_.packets_in;
+  if (!pending_) {
+    pending_ = p;
+    note_peaks();
+    return;
+  }
+  // Decide the held packet's effective timestamp now that its look-ahead
+  // successor is known: an isolated regression (successor already back at
+  // the running maximum) is a clock fault, clamped forward; everything else
+  // keeps its raw timestamp and lets the reorder stage sort it.
+  Packet q = std::move(*pending_);
+  *pending_ = p;
+  Timestamp eff = q.ts;
+  if (decided_ > 0 &&
+      (running_max_ - q.ts) > options_.base.max_ts_regression_us &&
+      p.ts >= running_max_) {
+    eff = running_max_;
+    ++stats_.clamped_ts;
+  }
+  ++decided_;
+  prev_effective_ = eff;
+  running_max_ = std::max(running_max_, eff);
+  enqueue(std::move(q), eff);
+}
+
+void StreamingFlowAssembler::enqueue(Packet p, Timestamp eff) {
+  max_seen_ = std::max(max_seen_, eff);
+  reorder_.push({eff, next_seq_++, std::move(p)});
+  pump();
+  enforce_caps();
+  note_peaks();
+}
+
+void StreamingFlowAssembler::finish() {
+  if (finished_) return;
+  if (pending_) {
+    // Tail rule: no successor exists, so clamp when the regression starts at
+    // the tail — the predecessor was still within tolerance of the running
+    // maximum. If the predecessor had already dropped too, this is the tail
+    // of block-unsorted input and sorting handles it.
+    Packet q = std::move(*pending_);
+    pending_.reset();
+    Timestamp eff = q.ts;
+    if (decided_ > 0 &&
+        (running_max_ - q.ts) > options_.base.max_ts_regression_us &&
+        (running_max_ - prev_effective_) <= options_.base.max_ts_regression_us) {
+      eff = running_max_;
+      ++stats_.clamped_ts;
+    }
+    ++decided_;
+    prev_effective_ = eff;
+    running_max_ = std::max(running_max_, eff);
+    enqueue(std::move(q), eff);
+  }
+  finished_ = true;
+  pump();  // release_bound() is now +inf: empty the reorder stage
+  while (!lru_.empty()) seal(open_.find(lru_.front()));
+}
+
+Timestamp StreamingFlowAssembler::release_bound() const {
+  if (finished_) return Timestamp(kMaxUs);
+  if (max_seen_ == Timestamp(kMinUs)) return Timestamp(kMinUs);
+  return Timestamp(
+      saturating_sub(max_seen_.micros(), options_.reorder_horizon_us));
+}
+
+void StreamingFlowAssembler::pump() {
+  const Timestamp bound = release_bound();
+  while (!reorder_.empty() && reorder_.top().effective <= bound) {
+    Buffered b = std::move(const_cast<Buffered&>(reorder_.top()));
+    reorder_.pop();
+    release(b.packet, b.effective);
+  }
+}
+
+void StreamingFlowAssembler::release(const Packet& p, Timestamp eff) {
+  if (!first_release_) first_release_ = eff;
+  if (last_released_ != Timestamp(kMinUs) && eff < last_released_) {
+    ++stats_.late_packets;
+  }
+  last_released_ = std::max(last_released_, eff);
+
+  // Amortized idle sweep: releases are non-decreasing (late packets aside),
+  // so the least-recently-active flow has the oldest end; seal from the
+  // front until one is still within the gap. drain_sealed() does the full
+  // sweep that covers any flows a late packet pushed out of LRU order.
+  while (!lru_.empty()) {
+    auto front = open_.find(lru_.front());
+    if ((eff - front->second.rec.end) > options_.base.burst_gap_us) {
+      seal(front);
+    } else {
+      break;
+    }
+  }
+
+  resolver_->observe(p);
+
+  auto it = open_.find(p.tuple);
+  if (it != open_.end() &&
+      (eff - it->second.rec.end) > options_.base.burst_gap_us) {
+    seal(it);
+    it = open_.end();
+  }
+  if (it == open_.end()) {
+    OpenFlow of;
+    of.rec.device = p.device;
+    of.rec.tuple = p.tuple;
+    of.rec.app = classify_app_protocol(p.tuple.proto, p.tuple.dst.port);
+    of.rec.start = of.rec.end = eff;
+    lru_.push_back(p.tuple);
+    of.lru = std::prev(lru_.end());
+    open_starts_.insert(eff);
+    it = open_.emplace(p.tuple, std::move(of)).first;
+  } else {
+    lru_.splice(lru_.end(), lru_, it->second.lru);  // mark most recently active
+  }
+  FlowRecord& rec = it->second.rec;
+  rec.end = std::max(rec.end, eff);
+  rec.packets.push_back({eff, p.size, p.dir, is_local_traffic(p)});
+  ++open_packets_;
+}
+
+void StreamingFlowAssembler::seal(
+    std::unordered_map<FiveTuple, OpenFlow, FiveTupleHash>::iterator it) {
+  OpenFlow& of = it->second;
+  open_packets_ -= of.rec.packets.size();
+  open_starts_.erase(open_starts_.find(of.rec.start));
+  lru_.erase(of.lru);
+  sealed_.push_back(std::move(of.rec));
+  open_.erase(it);
+  ++stats_.flows_sealed;
+}
+
+void StreamingFlowAssembler::sweep_idle(Timestamp now) {
+  std::vector<FiveTuple> idle;
+  for (const auto& [tuple, of] : open_) {
+    if ((now - of.rec.end) > options_.base.burst_gap_us) idle.push_back(tuple);
+  }
+  for (const FiveTuple& t : idle) seal(open_.find(t));
+}
+
+void StreamingFlowAssembler::enforce_caps() {
+  if (options_.max_open_flows > 0) {
+    while (open_.size() > options_.max_open_flows) {
+      seal(open_.find(lru_.front()));
+      ++stats_.force_sealed;
+    }
+  }
+  if (options_.max_buffered_packets > 0) {
+    while (buffered_packets() > options_.max_buffered_packets) {
+      if (!open_.empty()) {
+        // Cheapest eviction: sealing moves a whole flow out of the buffer.
+        seal(open_.find(lru_.front()));
+        ++stats_.force_sealed;
+      } else if (!reorder_.empty()) {
+        // Releasing moves a packet from the reorder stage into an open flow
+        // (buffer-neutral); the next iteration seals that flow.
+        Buffered b = std::move(const_cast<Buffered&>(reorder_.top()));
+        reorder_.pop();
+        ++stats_.force_released;
+        release(b.packet, b.effective);
+      } else {
+        break;  // only the clamp slot left; floor is one packet
+      }
+    }
+  }
+}
+
+void StreamingFlowAssembler::note_peaks() {
+  stats_.peak_open_flows = std::max(stats_.peak_open_flows, open_.size());
+  stats_.peak_buffered_packets =
+      std::max(stats_.peak_buffered_packets, buffered_packets());
+}
+
+std::size_t StreamingFlowAssembler::buffered_packets() const {
+  return (pending_ ? 1u : 0u) + reorder_.size() + open_packets_;
+}
+
+Timestamp StreamingFlowAssembler::seal_watermark() {
+  if (finished_) return Timestamp(kMaxUs);
+  const Timestamp bound = release_bound();
+  if (bound == Timestamp(kMinUs)) {
+    // Nothing released yet (or a hold-all horizon): final only before the
+    // earliest thing still buffered, i.e. nowhere.
+    std::int64_t wm = kMinUs;
+    return Timestamp(wm);
+  }
+  std::int64_t wm = saturating_add(bound.micros(), 1);
+  sweep_idle(Timestamp(wm));
+  if (pending_) wm = std::min(wm, pending_->ts.micros());
+  if (!open_starts_.empty()) wm = std::min(wm, open_starts_.begin()->micros());
+  return Timestamp(wm);
+}
+
+std::vector<FlowRecord> StreamingFlowAssembler::drain_sealed(Timestamp before) {
+  if (!finished_) {
+    const Timestamp bound = release_bound();
+    if (bound != Timestamp(kMinUs)) sweep_idle(bound + 1);
+  }
+  std::vector<FlowRecord> picked;
+  std::vector<FlowRecord> keep;
+  keep.reserve(sealed_.size());
+  for (FlowRecord& rec : sealed_) {
+    (rec.start < before ? picked : keep).push_back(std::move(rec));
+  }
+  sealed_ = std::move(keep);
+
+  std::vector<FlowRecord> out;
+  out.reserve(picked.size());
+  for (FlowRecord& rec : picked) {
+    rec.domain = resolver_->resolve(rec.tuple.dst.ip);
+    if (options_.base.drop_infrastructure &&
+        (rec.app == AppProtocol::kDns || rec.app == AppProtocol::kNtp)) {
+      ++stats_.infrastructure_dropped;
+      continue;
+    }
+    // Unresolved destinations are not an error — group_key() maps them to a
+    // stable "unresolved:<ip>" group — but they do mean annotation lost
+    // information, so count them. Only emitted flows count: dropped DNS/NTP
+    // rarely has resolver bindings and would inflate the total.
+    if (rec.domain.empty()) ++stats_.unresolved_emitted;
+    ++stats_.flows_emitted;
+    out.push_back(std::move(rec));
+  }
+  // Deterministic output order: by start time, then tuple.
+  std::sort(out.begin(), out.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.tuple < b.tuple;
+            });
+  return out;
+}
 
 FlowAssembler::FlowAssembler(AssemblerOptions options) : options_(options) {}
 
@@ -18,107 +280,37 @@ std::vector<FlowRecord> FlowAssembler::assemble(
   obs::StageSpan span("flow.assemble");
   obs::health().heartbeat("flow.assembler");
 
-  // Capture clocks are allowed small reorderings but not large regressions
-  // (an NTP step on the capture host). An *isolated* regression — one packet
-  // jumps backwards beyond tolerance while the next is already back at the
-  // running maximum — is clamped forward to that maximum, working off a side
-  // vector so well-formed input stays untouched (and the chaos-off path
-  // bit-identical). A sustained drop (the following packets continue on the
-  // low timeline) is block-unsorted input, not a clock fault: sorting below
-  // handles it, clamping would destroy it.
-  std::vector<Timestamp> effective_ts(packets.size());
-  std::uint64_t clamped = 0;
-  Timestamp running_max{std::numeric_limits<std::int64_t>::min()};
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    Timestamp ts = packets[i].ts;
-    if (i > 0 && i + 1 < packets.size() &&
-        (running_max - ts) > options_.max_ts_regression_us &&
-        packets[i + 1].ts >= running_max) {
-      ts = running_max;
-      ++clamped;
-    }
-    effective_ts[i] = ts;
-    running_max = std::max(running_max, ts);
-  }
-  if (clamped > 0) {
-    obs::counter("ingest.nonmonotonic_ts").add(clamped);
+  // Hold-all horizon: nothing is released until finish(), so the reorder
+  // stage performs one global stable sort — identical to sorting the whole
+  // capture up front, for any input order.
+  StreamingAssemblerOptions sopts;
+  sopts.base = options_;
+  sopts.reorder_horizon_us = std::numeric_limits<std::int64_t>::max();
+  StreamingFlowAssembler core(sopts, resolver);
+  core.feed(packets);
+  core.finish();
+  std::vector<FlowRecord> out =
+      core.drain_sealed(Timestamp(std::numeric_limits<std::int64_t>::max()));
+
+  const StreamingAssemblerStats& st = core.stats();
+  if (st.clamped_ts > 0) {
+    obs::counter("ingest.nonmonotonic_ts").add(st.clamped_ts);
     obs::health().degrade("flow.assembler",
-                          "nonmonotonic-ts:" + std::to_string(clamped));
+                          "nonmonotonic-ts:" + std::to_string(st.clamped_ts));
   }
-
-  // Sort indices by time; stable so simultaneous packets keep capture order.
-  std::vector<std::size_t> order(packets.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&effective_ts](std::size_t a, std::size_t b) {
-                     return effective_ts[a] < effective_ts[b];
-                   });
-
-  std::vector<FlowRecord> flows;
-  // Open flow per 5-tuple → index into `flows`.
-  std::unordered_map<FiveTuple, std::size_t, FiveTupleHash> open;
-
-  for (std::size_t idx : order) {
-    const Packet& p = packets[idx];
-    const Timestamp ts = effective_ts[idx];
-    resolver.observe(p);
-
-    auto it = open.find(p.tuple);
-    const bool gap_exceeded =
-        it != open.end() &&
-        (ts - flows[it->second].end) > options_.burst_gap_us;
-    if (it == open.end() || gap_exceeded) {
-      if (it != open.end()) open.erase(it);
-      FlowRecord rec;
-      rec.device = p.device;
-      rec.tuple = p.tuple;
-      rec.app = classify_app_protocol(p.tuple.proto, p.tuple.dst.port);
-      rec.start = rec.end = ts;
-      open.emplace(p.tuple, flows.size());
-      flows.push_back(std::move(rec));
-      it = open.find(p.tuple);
-    }
-    FlowRecord& rec = flows[it->second];
-    rec.end = ts;
-    rec.packets.push_back(
-        {ts, p.size, p.dir, is_local_traffic(p)});
+  if (st.unresolved_emitted > 0) {
+    obs::counter("ingest.unresolved_flows")
+        .add(st.unresolved_emitted);
+    obs::health().degrade(
+        "flow.assembler",
+        "unresolved-domains:" + std::to_string(st.unresolved_emitted));
   }
-
-  // Seal: annotate domains now that the resolver has seen the whole capture
-  // prefix up to each flow (DNS precedes use in practice; for flows whose
-  // binding arrived later we still benefit since resolution is by address).
-  std::vector<FlowRecord> out;
-  out.reserve(flows.size());
-  std::uint64_t unresolved = 0;
-  for (FlowRecord& rec : flows) {
-    rec.domain = resolver.resolve(rec.tuple.dst.ip);
-    if (rec.domain.empty()) ++unresolved;
-    if (options_.drop_infrastructure &&
-        (rec.app == AppProtocol::kDns || rec.app == AppProtocol::kNtp)) {
-      continue;
-    }
-    out.push_back(std::move(rec));
-  }
-  // Unresolved destinations are not an error — group_key() maps them to a
-  // stable "unresolved:<ip>" group — but they do mean annotation lost
-  // information (lost DNS answers, no SNI), so disclose the totals.
-  if (unresolved > 0) {
-    obs::counter("ingest.unresolved_flows").add(unresolved);
-    obs::health().degrade("flow.assembler",
-                          "unresolved-domains:" + std::to_string(unresolved));
-  }
-  // Deterministic output order: by start time, then tuple.
-  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
-    if (a.start != b.start) return a.start < b.start;
-    return a.tuple < b.tuple;
-  });
-
   static auto& packets_in = obs::counter("flow.packets_in");
   static auto& assembled = obs::counter("flow.assembled");
   static auto& dropped = obs::counter("flow.infrastructure_dropped");
   packets_in.add(packets.size());
   assembled.add(out.size());
-  dropped.add(flows.size() - out.size());
+  dropped.add(st.infrastructure_dropped);
   return out;
 }
 

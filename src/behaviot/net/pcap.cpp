@@ -310,7 +310,8 @@ std::uint32_t PcapReader::u32(const std::uint8_t* p) const {
 PcapReader::PcapReader(std::istream& in, const PcapReaderOptions& options)
     : in_(&in),
       policy_(options.policy),
-      chunk_(std::max<std::size_t>(options.chunk_size, 64)) {
+      chunk_(std::max<std::size_t>(options.chunk_size, 64)),
+      on_eof_(options.on_eof) {
   if (!ensure(24)) {
     throw ParseError("pcap: truncated header", offset_at(end_));
   }
@@ -349,11 +350,18 @@ bool PcapReader::ensure(std::size_t need) {
   if (buf_.size() < std::max(need, chunk_)) {
     buf_.resize(std::max(need, chunk_));
   }
-  while (end_ < need && in_->good()) {
+  while (end_ < need) {
+    if (!in_->good()) {
+      // Tail mode: the file may have grown since we hit EOF. The callback
+      // decides whether to wait and retry (clearing eof/fail state so the
+      // next read continues at the current offset) or to accept the end.
+      if (!on_eof_ || !on_eof_()) break;
+      in_->clear();
+    }
     in_->read(reinterpret_cast<char*>(buf_.data() + end_),
               static_cast<std::streamsize>(buf_.size() - end_));
     end_ += static_cast<std::size_t>(in_->gcount());
-    if (in_->gcount() == 0) break;
+    if (in_->gcount() == 0 && !on_eof_) break;
   }
   return end_ - pos_ >= need;
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -63,6 +64,12 @@ struct PcapReaderOptions {
   /// Read granularity and buffer floor. The buffer grows past this only
   /// when a single record is larger, and never past the record-size cap.
   std::size_t chunk_size = 64 * 1024;
+  /// Tail mode (`behaviot watch --follow`): invoked whenever the stream runs
+  /// out of bytes mid-read. Return true to clear the stream state and retry
+  /// the read — the capture file may have grown meanwhile (the callback
+  /// typically sleeps a poll interval first) — or false to accept end of
+  /// stream. Unset = plain EOF behavior.
+  std::function<bool()> on_eof;
 };
 
 class PcapReader {
@@ -90,6 +97,7 @@ class PcapReader {
   std::istream* in_;
   ParsePolicy policy_;
   std::size_t chunk_;
+  std::function<bool()> on_eof_;
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;           ///< next unconsumed byte in buf_
   std::size_t end_ = 0;           ///< valid bytes in buf_

@@ -27,6 +27,10 @@ struct PeriodicModel {
   double tolerance_seconds = 0.0;  ///< timer slack learned from jitter
   double autocorr_score = 0.0;
   std::size_t support = 0;  ///< training flows in the group
+  /// Consecutive retrain merges this group has been absent from the fresh
+  /// window (reset to 0 whenever the group reappears). Kept separate from
+  /// `support` so retention bookkeeping never corrupts training provenance.
+  std::size_t absent_generations = 0;
   /// Additional validated periods (a group may carry several overlapping
   /// periodic signals, e.g. 30 s keepalive + 1 h sync).
   std::vector<double> secondary_periods;

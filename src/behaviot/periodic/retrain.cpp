@@ -6,10 +6,6 @@
 namespace behaviot {
 namespace {
 
-/// Absence counter encoding: merged sets track how many consecutive merges
-/// a group has been missing via `support` (live models carry their training
-/// support; a retained-but-absent model's support counts down from 0 and is
-/// stored in `secondary_periods` marker-free, so we keep a side map here).
 using Key = std::pair<DeviceId, std::string>;
 
 }  // namespace
@@ -31,21 +27,23 @@ PeriodicModelSet merge_periodic_models(const PeriodicModelSet& deployed,
     handled[key] = true;
     auto it = fresh_index.find(key);
     if (it == fresh_index.end()) {
-      // Absent from the fresh window: retain with a decremented lifetime
-      // (tracked via support, floored at 1 so the model stays functional).
+      // Absent from the fresh window: devices sleep, so retain the model
+      // as-is for retain_generations consecutive quiet merges before
+      // dropping it. Absence is tracked in its own counter — support stays
+      // untouched, so a support-1 model survives a quiet window exactly as
+      // long as a support-1000 one, and decay matches the documented
+      // generation count instead of a support-dependent halving schedule.
       PeriodicModel kept = old;
-      if (kept.support > 1) {
-        kept.support = kept.support > options.retain_generations
-                           ? kept.support / 2
-                           : kept.support - 1;
+      ++kept.absent_generations;
+      if (kept.absent_generations > options.retain_generations) {
+        ++summary.dropped;
+      } else {
         merged.push_back(std::move(kept));
         ++summary.retained;
-      } else {
-        ++summary.dropped;
       }
       continue;
     }
-    const PeriodicModel& updated = *it->second;
+    const PeriodicModel& updated = *it->second;  // absent_generations == 0
     const double delta =
         std::abs(updated.period_seconds - old.period_seconds);
     if (delta > options.drift_fraction * old.period_seconds) {

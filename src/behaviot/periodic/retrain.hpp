@@ -32,8 +32,8 @@ struct RetrainSummary {
 
 /// Merges `fresh` (inferred from the latest observation window) into
 /// `deployed`. Returns the merged set; `summary` reports what changed.
-/// Absence tracking uses PeriodicModel::support == 0 markers internally, so
-/// sets produced by this function round-trip through serialization.
+/// Absence is tracked in PeriodicModel::absent_generations (serialized, so
+/// merged sets round-trip) and reset whenever the group reappears.
 PeriodicModelSet merge_periodic_models(const PeriodicModelSet& deployed,
                                        const PeriodicModelSet& fresh,
                                        RetrainSummary& summary,

@@ -255,6 +255,63 @@ TEST(DeviationMonitor, RetrainingPurgesStaleStreamingState) {
   EXPECT_NEAR(alerts[0].score, one_window, 1e-9);
 }
 
+TEST(DeviationMonitor, TiedFirstSightingScoresTiedOccurrences) {
+  // Regression fix: the first-sighting arm used timestamp equality, so when
+  // several occurrences of a never-seen group shared one timestamp, ALL of
+  // them were skipped — burying the zero inter-arrival deviation the tied
+  // duplicates represent. Only the first occurrence (by index) may arm.
+  MonitorFixture fx;
+  MonitorOptions options;
+  // Zero elapsed scores Mp = ln(|0 - T|/T + 1) = ln 2 ~= 0.69; set the
+  // threshold below that but above the ~0 end-of-window silence score.
+  options.thresholds.periodic = 0.5;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term, options);
+
+  // Three tied occurrences, placed one period before window end so the
+  // count-up timer contributes nothing.
+  const std::vector<FlowRecord> flows{fx.heartbeat_at(85800.0),
+                                      fx.heartbeat_at(85800.0),
+                                      fx.heartbeat_at(85800.0)};
+  const auto alerts = monitor.evaluate_window(
+      Timestamp(0), Timestamp::from_seconds(86400.0), flows, {});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].source, DeviationSource::kPeriodic);
+  EXPECT_NE(alerts[0].context.find("inter-arrival"), std::string::npos);
+  EXPECT_NEAR(alerts[0].explanation.observed, 0.0, 1e-9);
+}
+
+TEST(DeviationMonitor, RebindSwapsModelsAndKeepsStreamingState) {
+  // Hot model swap (`behaviot watch`): rebinding to a new generation keeps
+  // armed timers, so a silence spanning the swap still alerts exactly once.
+  MonitorFixture fx;
+  DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);
+  const double day = 86400.0;
+  std::vector<FlowRecord> day1;
+  for (double t = 0; t < day; t += 600.0) day1.push_back(fx.heartbeat_at(t));
+  EXPECT_TRUE(monitor
+                  .evaluate_window(Timestamp(0), Timestamp::from_seconds(day),
+                                   day1, {})
+                  .empty());
+
+  // Swap in an identical-parameter generation (a retrain that kept the
+  // model), then go silent: the day-1 timer must still be armed.
+  const PeriodicModelSet next_gen =
+      PeriodicModelSet::from_models(fx.periodic.all());
+  monitor.rebind(next_gen, fx.pfsm, fx.short_term);
+  auto alerts = monitor.evaluate_window(Timestamp::from_seconds(day),
+                                        Timestamp::from_seconds(2 * day), {},
+                                        {});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].source, DeviationSource::kPeriodic);
+  EXPECT_NE(alerts[0].context.find("silent"), std::string::npos);
+  // Same episode, next window: still suppressed across the swap boundary.
+  monitor.rebind(fx.periodic, fx.pfsm, fx.short_term);
+  EXPECT_TRUE(monitor
+                  .evaluate_window(Timestamp::from_seconds(2 * day),
+                                   Timestamp::from_seconds(3 * day), {}, {})
+                  .empty());
+}
+
 TEST(DeviationMonitor, ResetForgetsTimers) {
   MonitorFixture fx;
   DeviationMonitor monitor(fx.periodic, fx.pfsm, fx.short_term);

@@ -265,5 +265,54 @@ TEST(PcapStreamingReader, LenientStopsCleanlyOnMidRecordTruncation) {
   EXPECT_THROW(strict_reader.next(), ParseError);  // second is cut short
 }
 
+TEST(PcapStreamingReader, OnEofTailsAGrowingStream) {
+  // `behaviot watch --follow` mode: the file runs dry mid-record, the on_eof
+  // callback "waits" for the capture to grow (here: appends the remaining
+  // bytes), and reading resumes where it stopped.
+  const auto bytes = serialize_pcap(
+      {make_packet(1'000, Transport::kTcp, Direction::kOutbound, 100),
+       make_packet(2'000, Transport::kUdp, Direction::kInbound, 80),
+       make_packet(3'000, Transport::kTcp, Direction::kOutbound, 120)});
+  // First installment cuts into the middle of the second record.
+  const std::size_t cut = bytes.size() - 50;
+  std::stringstream stream;
+  stream.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(cut));
+
+  int grow_calls = 0;
+  PcapReaderOptions options;
+  options.on_eof = [&]() {
+    if (grow_calls++ > 0) return false;  // second dry spell: real EOF
+    stream.clear();
+    stream.write(reinterpret_cast<const char*>(bytes.data() + cut),
+                 static_cast<std::streamsize>(bytes.size() - cut));
+    return true;
+  };
+  PcapReader reader(stream, options);
+  std::vector<Packet> out;
+  while (auto p = reader.next()) out.push_back(std::move(*p));
+
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].ts, Timestamp(1'000));
+  EXPECT_EQ(out[1].ts, Timestamp(2'000));
+  EXPECT_EQ(out[2].ts, Timestamp(3'000));
+  EXPECT_GE(grow_calls, 1);
+  EXPECT_EQ(reader.stats().truncated, 0u);  // the dry spell is not damage
+}
+
+TEST(PcapStreamingReader, OnEofDecliningBehavesLikePlainEof) {
+  const auto bytes = serialize_pcap(
+      {make_packet(1'000, Transport::kTcp, Direction::kOutbound, 100)});
+  const std::string text(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+  std::istringstream in(text);
+  PcapReaderOptions options;
+  options.on_eof = []() { return false; };
+  PcapReader reader(in, options);
+  std::size_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, 1u);
+}
+
 }  // namespace
 }  // namespace behaviot

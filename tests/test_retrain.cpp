@@ -88,6 +88,71 @@ TEST(Retrain, AbsentGroupsAreRetainedThenDropped) {
   EXPECT_GE(generations, 2u);  // survives at least a couple of quiet windows
 }
 
+TEST(Retrain, SupportOneModelSurvivesQuietWindows) {
+  // Regression fix: absence used to be tracked by halving support, so a
+  // support-1 model (a real but rarely-seen group) hit zero and was dropped on
+  // its very first quiet window — before the retention floor could apply.
+  auto deployed = PeriodicModelSet::from_models(
+      {model(1, "rare.a.com", 3600.0, /*support=*/1)});
+  const auto fresh = PeriodicModelSet::from_models({});
+  RetrainSummary summary;
+  const auto merged = merge_periodic_models(deployed, fresh, summary);
+  EXPECT_EQ(summary.retained, 1u);
+  EXPECT_EQ(summary.dropped, 0u);
+  const auto* kept = merged.find(1, "rare.a.com|TLS");
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->support, 1u);  // absence is not evidence against support
+  EXPECT_EQ(kept->absent_generations, 1u);
+}
+
+TEST(Retrain, AbsenceDoesNotDecaySupport) {
+  auto deployed = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0, /*support=*/100)});
+  const auto fresh = PeriodicModelSet::from_models({});
+  RetrainSummary summary;
+  auto merged = merge_periodic_models(deployed, fresh, summary);
+  merged = merge_periodic_models(merged, fresh, summary);
+  const auto* kept = merged.find(1, "hb.a.com|TLS");
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->support, 100u);  // pre-fix: halved to 25 by now
+  EXPECT_EQ(kept->absent_generations, 2u);
+}
+
+TEST(Retrain, ReappearanceResetsAbsence) {
+  const auto deployed = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0, /*support=*/50)});
+  const auto fresh = PeriodicModelSet::from_models({});
+  RetrainSummary summary;
+  auto merged = merge_periodic_models(deployed, fresh, summary);
+  ASSERT_EQ(merged.find(1, "hb.a.com|TLS")->absent_generations, 1u);
+  // The group reappears: the fresh model (absence zero) replaces the
+  // retained one, so a later quiet spell starts its count from scratch.
+  const auto back =
+      PeriodicModelSet::from_models({model(1, "hb.a.com", 600.0, 60)});
+  merged = merge_periodic_models(merged, back, summary);
+  const auto* kept = merged.find(1, "hb.a.com|TLS");
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->absent_generations, 0u);
+  EXPECT_EQ(kept->support, 60u);
+}
+
+TEST(Retrain, RetentionWindowIsExactGenerations) {
+  RetrainOptions options;
+  options.retain_generations = 2;
+  auto deployed = PeriodicModelSet::from_models(
+      {model(1, "hb.a.com", 600.0, /*support=*/100)});
+  const auto fresh = PeriodicModelSet::from_models({});
+  RetrainSummary summary;
+  // Quiet merges 1 and 2: retained. Merge 3: dropped.
+  deployed = merge_periodic_models(deployed, fresh, summary, options);
+  EXPECT_EQ(summary.retained, 1u);
+  deployed = merge_periodic_models(deployed, fresh, summary, options);
+  EXPECT_EQ(summary.retained, 1u);
+  deployed = merge_periodic_models(deployed, fresh, summary, options);
+  EXPECT_EQ(summary.dropped, 1u);
+  EXPECT_EQ(deployed.size(), 0u);
+}
+
 TEST(Retrain, MixedScenario) {
   const auto deployed = PeriodicModelSet::from_models({
       model(1, "hb.a.com", 600.0),       // unchanged

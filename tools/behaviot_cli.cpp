@@ -17,7 +17,17 @@
 //
 //   behaviot score --models models.txt --capture day.pcap
 //       Evaluate a capture against saved models and print periodic
-//       deviation alerts.
+//       deviation alerts. With --window-s W the capture is scored in
+//       successive W-second windows instead of the prime/score half-split.
+//
+//   behaviot watch --models models.txt --capture day.pcap --window-s W
+//       Streaming daemon: read the capture incrementally (tail it as it
+//       grows with --follow 1), assemble flows with bounded memory, score
+//       each W-second deviation window as it closes, and optionally
+//       retrain + hot-swap models every N windows (--retrain-every N).
+//       On a finite capture the alerts are identical to
+//       `score --window-s W`. --max-windows / --until-s bound the run
+//       deterministically; --alerts is rewritten after every window.
 //
 //   behaviot mud --models models.txt --device <name>
 //       Emit a MUD-like profile for one device.
@@ -42,6 +52,7 @@
 // loss, feature corruption...) before processing — the graceful-degradation
 // paths then show up in the health report instead of as crashes.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,12 +60,15 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "behaviot/analysis/alert_report.hpp"
 #include "behaviot/chaos/fault_injector.hpp"
+#include "behaviot/core/model_handle.hpp"
 #include "behaviot/core/mud_profile.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
+#include "behaviot/core/watch_engine.hpp"
 #include "behaviot/deviation/monitor.hpp"
 #include "behaviot/net/pcap.hpp"
 #include "behaviot/obs/export.hpp"
@@ -73,14 +87,25 @@ std::unique_ptr<chaos::FaultInjector> g_chaos;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: behaviot <simulate|train|show|score|mud|check|explain"
-               "|health> [options]\n"
+               "usage: behaviot <simulate|train|show|score|watch|mud|check"
+               "|explain|health> [options]\n"
                "  simulate --dataset idle|activity|routine|uncontrolled-day:N"
                " [--days D] [--seed S] --out FILE.pcap\n"
                "  train    --idle FILE.pcap --window-days D --out MODELS.txt\n"
                "  show     --models MODELS.txt [--device NAME]\n"
                "  score    --models MODELS.txt --capture FILE.pcap"
-               " [--alerts REPORT.json]\n"
+               " [--window-s W] [--alerts REPORT.json]\n"
+               "  watch    --models MODELS.txt --capture FILE.pcap"
+               " [--window-s W]\n"
+               "      [--max-windows N] [--until-s S] [--retrain-every N]"
+               " [--follow 1]\n"
+               "      [--poll-ms MS] [--horizon-s S] [--max-open-flows N]\n"
+               "      [--max-buffered-packets N] [--alerts REPORT.json]\n"
+               "      stream the capture (tail it with --follow 1), score"
+               " each closed\n"
+               "      W-second window, retrain + hot-swap models every"
+               " --retrain-every\n"
+               "      windows; --alerts is rewritten after every window\n"
                "  mud      --models MODELS.txt --device NAME\n"
                "  check    --models MODELS.txt --capture FILE.pcap"
                " --device NAME\n"
@@ -288,21 +313,50 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
   const auto flows = assembler.assemble(packets, resolver);
 
   DeviationMonitor monitor(models.periodic, models.pfsm, models.short_term);
-  // Two passes: the first primes the timers, the second scores. A gateway
-  // deployment would stream windows; for a one-shot file we split in half.
-  const Timestamp start = flows.front().start;
-  const Timestamp end = flows.back().end + seconds(1.0);
-  const Timestamp mid((start.micros() + end.micros()) / 2);
-  std::vector<FlowRecord> first_half, second_half;
-  for (const FlowRecord& f : flows) {
-    (f.start < mid ? first_half : second_half).push_back(f);
+  std::vector<DeviationAlert> alerts;
+  if (flags.count("window-s")) {
+    // Windowed scoring: evaluate successive W-second windows over the whole
+    // capture. This is the grid `behaviot watch` streams over, so on a finite
+    // capture the two commands emit identical alerts.
+    const std::int64_t window_us = seconds(std::stod(flags.at("window-s")));
+    if (window_us <= 0) {
+      std::fprintf(stderr, "error: --window-s must be positive\n");
+      return 2;
+    }
+    const Timestamp t0 = flows.front().start;
+    const Timestamp end = flows.back().end + seconds(1.0);
+    std::size_t windows = 0;
+    for (Timestamp ws = t0; ws < end; ws = ws + window_us) {
+      const Timestamp we = ws + window_us;
+      std::vector<FlowRecord> in_window;
+      for (const FlowRecord& f : flows) {
+        if (f.start >= ws && f.start < we) in_window.push_back(f);
+      }
+      auto batch = monitor.evaluate_window(ws, we, in_window, {});
+      alerts.insert(alerts.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+      ++windows;
+    }
+    std::printf("%zu flows, %zu deviation alerts in %zu windows\n",
+                flows.size(), alerts.size(), windows);
+  } else {
+    // Two passes: the first primes the timers, the second scores. A gateway
+    // deployment would stream windows (see `behaviot watch`); for a one-shot
+    // file we split in half.
+    const Timestamp start = flows.front().start;
+    const Timestamp end = flows.back().end + seconds(1.0);
+    const Timestamp mid((start.micros() + end.micros()) / 2);
+    std::vector<FlowRecord> first_half, second_half;
+    for (const FlowRecord& f : flows) {
+      (f.start < mid ? first_half : second_half).push_back(f);
+    }
+    (void)monitor.evaluate_window(start, mid, first_half, {});
+    alerts = monitor.evaluate_window(mid, end, second_half, {});
+    std::printf("%zu flows, %zu deviation alerts in the scored half\n",
+                flows.size(), alerts.size());
   }
-  (void)monitor.evaluate_window(start, mid, first_half, {});
-  const auto alerts = monitor.evaluate_window(mid, end, second_half, {});
 
   const auto& catalog = testbed::Catalog::standard();
-  std::printf("%zu flows, %zu deviation alerts in the scored half\n",
-              flows.size(), alerts.size());
   for (const auto& a : alerts) {
     const char* device_name = a.device < catalog.size()
                                   ? catalog.by_id(a.device).name.c_str()
@@ -323,6 +377,145 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "wrote %zu alert(s) with provenance to %s\n",
                  alerts.size(), path.c_str());
     if (!os.good()) return 1;
+  }
+  return 0;
+}
+
+/// Streaming counterpart of `score --window-s`: tail the capture through the
+/// bounded PcapReader + StreamingFlowAssembler, evaluate each window as the
+/// stream clock closes it, and hot-swap retrained models between windows.
+int cmd_watch(const std::map<std::string, std::string>& flags) {
+  if (flags.count("models") == 0 || flags.count("capture") == 0) {
+    return usage();
+  }
+  ModelHandle handle(
+      load_models_reporting(flags.at("models"), parse_policy(flags)));
+
+  WatchOptions opts;
+  if (flags.count("window-s")) {
+    opts.window_us = seconds(std::stod(flags.at("window-s")));
+    if (opts.window_us <= 0) {
+      std::fprintf(stderr, "error: --window-s must be positive\n");
+      return 2;
+    }
+  }
+  if (flags.count("max-windows")) {
+    opts.max_windows = std::stoul(flags.at("max-windows"));
+  }
+  if (flags.count("until-s")) {
+    opts.until = Timestamp(seconds(std::stod(flags.at("until-s"))));
+  }
+  if (flags.count("retrain-every")) {
+    opts.retrain_every_windows = std::stoul(flags.at("retrain-every"));
+  }
+  if (flags.count("horizon-s")) {
+    opts.assembler.reorder_horizon_us =
+        seconds(std::stod(flags.at("horizon-s")));
+  }
+  if (flags.count("max-open-flows")) {
+    opts.assembler.max_open_flows = std::stoul(flags.at("max-open-flows"));
+  }
+  if (flags.count("max-buffered-packets")) {
+    opts.assembler.max_buffered_packets =
+        std::stoul(flags.at("max-buffered-packets"));
+  }
+
+  WatchEngine engine(handle, make_resolver(), opts);
+
+  const auto& catalog = testbed::Catalog::standard();
+  const std::string alerts_path =
+      flags.count("alerts") ? flags.at("alerts") : "";
+  std::vector<DeviationAlert> all_alerts;
+  engine.set_window_sink([&](const WatchWindowReport& r) {
+    std::string note;
+    if (r.swapped) {
+      note = "  [models v" + std::to_string(r.model_version) + " swapped in]";
+    }
+    std::printf("window %4zu [%11.1fs, %11.1fs)  %5zu flows  %zu alert(s)%s\n",
+                r.index, static_cast<double>(r.start.micros()) / 1e6,
+                static_cast<double>(r.end.micros()) / 1e6, r.flows,
+                r.alerts.size(), note.c_str());
+    for (const auto& a : r.alerts) {
+      const char* device_name = a.device < catalog.size()
+                                    ? catalog.by_id(a.device).name.c_str()
+                                    : "(system)";
+      std::printf("  [%s] %-18s score %6.2f (thr %4.2f)  %s\n",
+                  to_string(a.source), device_name, a.score, a.threshold,
+                  a.context.substr(0, 80).c_str());
+    }
+    all_alerts.insert(all_alerts.end(), r.alerts.begin(), r.alerts.end());
+    if (!alerts_path.empty()) {
+      // Rewritten whole after every window: the file is always a complete,
+      // valid report of the alerts emitted so far.
+      std::ofstream os(alerts_path, std::ios::trunc);
+      if (os) {
+        const obs::HealthSnapshot health = obs::health().snapshot();
+        os << alerts_to_json(all_alerts, &health);
+      } else {
+        std::fprintf(stderr, "error: cannot write alerts to %s\n",
+                     alerts_path.c_str());
+      }
+    }
+    std::fflush(stdout);
+  });
+
+  std::ifstream file(flags.at("capture"), std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n",
+                 flags.at("capture").c_str());
+    return 1;
+  }
+  const bool follow = flags.count("follow") && flags.at("follow") != "0";
+  const long poll_ms =
+      flags.count("poll-ms") ? std::stol(flags.at("poll-ms")) : 200;
+  PcapReaderOptions ropts;
+  ropts.policy = parse_policy(flags);
+  if (follow) {
+    // Tail mode: at EOF sleep one poll interval and retry — the capture file
+    // may have grown. A --max-windows / --until-s stop ends the loop.
+    ropts.on_eof = [&engine, poll_ms]() {
+      if (engine.done()) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      return true;
+    };
+  }
+  PcapReader reader(file, ropts);
+
+  // Chunked ingest: device annotation and chaos faults are applied per chunk,
+  // exactly as load_capture() does for the batch commands.
+  std::vector<Packet> chunk;
+  constexpr std::size_t kChunk = 1024;
+  auto flush_chunk = [&]() {
+    if (chunk.empty()) return;
+    for (Packet& p : chunk) {
+      const auto* device = catalog.by_ip(p.tuple.src.ip);
+      if (device != nullptr) p.device = device->id;
+    }
+    if (g_chaos != nullptr) g_chaos->apply(chunk);
+    engine.ingest(chunk);
+    chunk.clear();
+  };
+  while (!engine.done()) {
+    auto packet = reader.next();
+    if (!packet) break;
+    chunk.push_back(*packet);
+    if (chunk.size() >= kChunk) flush_chunk();
+  }
+  if (!engine.done()) flush_chunk();
+  engine.finish();
+
+  const StreamingAssemblerStats& st = engine.assembler_stats();
+  std::printf("watched %zu windows: %llu flows, %zu alerts, %llu model"
+              " swap(s); peak %zu open flows / %zu buffered packets\n",
+              engine.windows_evaluated(),
+              static_cast<unsigned long long>(st.flows_emitted),
+              engine.alerts_emitted(),
+              static_cast<unsigned long long>(engine.swaps()),
+              st.peak_open_flows, st.peak_buffered_packets);
+  if (g_chaos != nullptr) {
+    std::fprintf(stderr, "chaos: %llu faults injected (%s)\n",
+                 static_cast<unsigned long long>(g_chaos->stats().total()),
+                 g_chaos->spec().summary().c_str());
   }
   return 0;
 }
@@ -456,6 +649,7 @@ int dispatch(const std::string& command,
   if (command == "train") return cmd_train(flags);
   if (command == "show") return cmd_show(flags);
   if (command == "score") return cmd_score(flags);
+  if (command == "watch") return cmd_watch(flags);
   if (command == "mud") return cmd_mud(flags);
   if (command == "check") return cmd_check(flags);
   if (command == "explain") return cmd_explain(flags);
