@@ -23,6 +23,7 @@
 #include "behaviot/chaos/fault_injector.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
+#include "behaviot/core/serialize_binary.hpp"
 #include "behaviot/flow/assembler.hpp"
 #include "behaviot/flow/features.hpp"
 #include "behaviot/ml/random_forest.hpp"
@@ -239,6 +240,84 @@ void BM_ObsTraceSpanPair(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsTraceSpanPair)->Arg(0)->Arg(1);
 
+/// A trained model set shared by the model-I/O benchmarks: real periodic
+/// models + PFSM from the standard datasets, built once per process.
+const BehaviorModelSet& bench_models() {
+  static const BehaviorModelSet models = [] {
+    runtime::set_global_threads(1);
+    Pipeline pipeline;
+    DomainResolver resolver;
+    const auto idle = testbed::Datasets::idle(111, /*days=*/1.0);
+    const auto activity = testbed::Datasets::activity(112, 6);
+    const auto routine = testbed::Datasets::routine_week(113, 2.0);
+    const auto m = pipeline.train(pipeline.to_flows(idle, resolver), 86400.0,
+                                  pipeline.to_flows(activity, resolver),
+                                  pipeline.to_flows(routine, resolver));
+    runtime::set_global_threads(0);
+    return m;
+  }();
+  return models;
+}
+
+void BM_ModelSaveText(benchmark::State& state) {
+  const BehaviorModelSet& models = bench_models();
+  for (auto _ : state) {
+    std::ostringstream os;
+    save_models(os, models);
+    benchmark::DoNotOptimize(os.str());
+  }
+}
+BENCHMARK(BM_ModelSaveText);
+
+void BM_ModelLoadText(benchmark::State& state) {
+  std::ostringstream os;
+  save_models(os, bench_models());
+  const std::string text = os.str();
+  for (auto _ : state) {
+    std::istringstream is(text);
+    benchmark::DoNotOptimize(load_models(is));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ModelLoadText);
+
+void BM_ModelSaveBinary(benchmark::State& state) {
+  const BehaviorModelSet& models = bench_models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(save_models_binary(models));
+  }
+}
+BENCHMARK(BM_ModelSaveBinary);
+
+void BM_ModelLoadBinary(benchmark::State& state) {
+  const std::string image = save_models_binary(bench_models());
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(load_models_binary(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ModelLoadBinary);
+
+void BM_ModelLoadBinaryView(benchmark::State& state) {
+  // The zero-copy load: open (validates header + CRC) plus an in-place walk
+  // of every periodic record — no per-model allocation, strings borrowed
+  // from the image. This is the path a fleet model store scans with.
+  const std::string image = save_models_binary(bench_models());
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
+  for (auto _ : state) {
+    const BinaryModelView view = BinaryModelView::open(bytes);
+    benchmark::DoNotOptimize(view.periodic());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ModelLoadBinaryView);
+
 /// Wall-clock of one pipeline train + classify pass at `threads`.
 struct PipelineTiming {
   double train_ms = 0.0;
@@ -443,8 +522,85 @@ bool write_pipeline_bench_json(const std::string& path) {
      << ",\n"
      << "    \"on_over_off\": "
      << (chaotic.train_ms + chaotic.classify_ms) / parallel_total << ",\n"
-     << "    \"faults_injected\": " << chaotic.faults_injected << "\n  },\n"
-     << "  \"models_bit_identical\": " << (identical ? "true" : "false")
+     << "    \"faults_injected\": " << chaotic.faults_injected << "\n  },\n";
+  // Model-I/O trajectory: the text format vs the .bbm binary format on the
+  // same trained set. `load_speedup` compares the text parse against the
+  // zero-copy view load — the "one read + in-place pointer walk" the layout
+  // exists for (acceptance bar >= 10x) — and `materialize_speedup` against
+  // the fully materialized binary load; `round_trip_identical` pins the
+  // conversion path (text -> binary -> text, byte-identical).
+  {
+    using Clock = std::chrono::steady_clock;
+    const auto ms = [](Clock::duration d) {
+      return std::chrono::duration<double, std::milli>(d).count();
+    };
+    std::istringstream seed_is(serial.serialized);
+    const BehaviorModelSet io_models = load_models(seed_is);
+    const std::string binary = save_models_binary(io_models);
+    const std::span<const std::uint8_t> binary_bytes(
+        reinterpret_cast<const std::uint8_t*>(binary.data()), binary.size());
+    constexpr int kIters = 50;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      std::ostringstream os2;
+      save_models(os2, io_models);
+      benchmark::DoNotOptimize(os2);
+    }
+    const auto t1 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      std::istringstream is2(serial.serialized);
+      benchmark::DoNotOptimize(load_models(is2));
+    }
+    const auto t2 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(save_models_binary(io_models));
+    }
+    const auto t3 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(load_models_binary(binary_bytes));
+    }
+    const auto t4 = Clock::now();
+    // The zero-copy load the .bbm layout exists for: open (header + CRC)
+    // plus an in-place walk of every periodic record, no per-model heap.
+    double view_acc = 0.0;
+    for (int i = 0; i < kIters; ++i) {
+      const BinaryModelView view = BinaryModelView::open(binary_bytes);
+      for (const PeriodicModelView& pm : view.periodic()) {
+        view_acc += pm.period_seconds + static_cast<double>(pm.group.size());
+      }
+      benchmark::DoNotOptimize(view_acc);
+    }
+    const auto t5 = Clock::now();
+    const double text_save_ms = ms(t1 - t0) / kIters;
+    const double text_load_ms = ms(t2 - t1) / kIters;
+    const double binary_save_ms = ms(t3 - t2) / kIters;
+    const double binary_load_ms = ms(t4 - t3) / kIters;
+    const double view_load_ms = ms(t5 - t4) / kIters;
+    std::ostringstream round;
+    save_models(round, load_models_binary(binary_bytes));
+    const bool round_trip = round.str() == serial.serialized;
+    os << "  \"model_io\": {\n"
+       << "    \"text_bytes\": " << serial.serialized.size() << ",\n"
+       << "    \"binary_bytes\": " << binary.size() << ",\n"
+       << "    \"text_save_ms\": " << text_save_ms << ",\n"
+       << "    \"text_load_ms\": " << text_load_ms << ",\n"
+       << "    \"binary_save_ms\": " << binary_save_ms << ",\n"
+       << "    \"binary_load_ms\": " << binary_load_ms << ",\n"
+       << "    \"binary_view_load_ms\": " << view_load_ms << ",\n"
+       << "    \"load_speedup\": " << text_load_ms / view_load_ms << ",\n"
+       << "    \"materialize_speedup\": " << text_load_ms / binary_load_ms
+       << ",\n"
+       << "    \"round_trip_identical\": "
+       << (round_trip ? "true" : "false") << "\n  },\n";
+    std::cerr << "BENCH model_io: text load " << text_load_ms
+              << " ms vs binary load " << binary_load_ms
+              << " ms (materialized, "
+              << text_load_ms / binary_load_ms << "x) / view load "
+              << view_load_ms << " ms (zero-copy, "
+              << text_load_ms / view_load_ms << "x), round trip "
+              << (round_trip ? "identical" : "DIVERGED") << "\n";
+  }
+  os << "  \"models_bit_identical\": " << (identical ? "true" : "false")
      << "\n}\n";
   std::cerr << "BENCH_pipeline: train " << serial.train_ms << " ms -> "
             << parallel.train_ms << " ms, classify " << serial.classify_ms

@@ -1,5 +1,6 @@
 #include "behaviot/analysis/alert_report.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -10,11 +11,14 @@ namespace behaviot {
 namespace {
 
 /// Full-precision double rendering so scores survive a round trip. The
-/// tracer/report consumers parse with from_chars, so %.17g is exact.
+/// report consumers parse with from_chars, so 17 significant digits are
+/// exact — and to_chars (unlike %.17g) never swaps the decimal point for
+/// the global C locale's radix character, which would break those parses.
 std::string num(double v) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::general, 17);
+  return std::string(buf, end);
 }
 
 DeviationSource source_from_string(const std::string& s) {

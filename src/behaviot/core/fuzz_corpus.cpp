@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "behaviot/core/serialize.hpp"
+#include "behaviot/core/serialize_binary.hpp"
 #include "behaviot/deviation/short_term_metric.hpp"
 #include "behaviot/net/dns.hpp"
 #include "behaviot/net/pcap.hpp"
@@ -98,6 +99,7 @@ BehaviorModelSet random_models(Rng& rng) {
     m.tolerance_seconds = rng.uniform(0.1, 60.0);
     m.autocorr_score = rng.uniform();
     m.support = 1 + rng.uniform_index(500);
+    if (rng.chance(0.3)) m.absent_generations = 1 + rng.uniform_index(5);
     const std::size_t extra = rng.uniform_index(3);
     for (std::size_t k = 0; k < extra; ++k) {
       m.secondary_periods.push_back(rng.uniform(5.0, 86400.0));
@@ -105,6 +107,37 @@ BehaviorModelSet random_models(Rng& rng) {
     periodic.push_back(std::move(m));
   }
   models.periodic = PeriodicModelSet::from_models(std::move(periodic));
+
+  // Hand-built user-action forests (binary-format-only section): a mix of
+  // single-leaf and one-split trees covers leaves, internal nodes, and
+  // distribution arrays without paying for real training in a fuzz loop.
+  UserActionModels::ClassifierMap classifiers;
+  const std::size_t n_forest_devices = rng.uniform_index(3);
+  for (std::size_t d = 0; d < n_forest_devices; ++d) {
+    auto& list = classifiers[static_cast<DeviceId>(rng.uniform_index(49))];
+    const std::size_t n_classifiers = 1 + rng.uniform_index(2);
+    for (std::size_t k = 0; k < n_classifiers; ++k) {
+      std::vector<DecisionTree> trees;
+      const std::size_t n_trees = 1 + rng.uniform_index(3);
+      for (std::size_t t = 0; t < n_trees; ++t) {
+        std::vector<DecisionTree::Node> nodes;
+        const double p = rng.uniform();
+        if (rng.chance(0.5)) {
+          nodes.push_back({-1, 0.0, -1, -1, {p, 1.0 - p}});
+        } else {
+          nodes.push_back({static_cast<int>(rng.uniform_index(6)),
+                           rng.uniform(0.0, 1500.0), 1, 2, {}});
+          nodes.push_back({-1, 0.0, -1, -1, {p, 1.0 - p}});
+          nodes.push_back({-1, 0.0, -1, -1, {1.0 - p, p}});
+        }
+        trees.push_back(DecisionTree::from_nodes(2, std::move(nodes)));
+      }
+      list.push_back({kLabels[rng.uniform_index(std::size(kLabels))],
+                      RandomForest::from_trees(2, std::move(trees))});
+    }
+  }
+  models.user_actions = UserActionModels::from_classifiers(
+      std::move(classifiers), rng.uniform(0.5, 0.9));
 
   std::vector<std::vector<std::string>> traces;
   const std::size_t n_traces = 2 + rng.uniform_index(4);
@@ -260,9 +293,11 @@ Corpus make_corpus(std::uint64_t seed, std::size_t per_kind) {
                              random_domain(fork)));
     corpus.tls.push_back(make_tls_client_hello(random_domain(fork)));
 
+    const BehaviorModelSet model_set = random_models(fork);
     std::ostringstream model_text;
-    save_models(model_text, random_models(fork));
+    save_models(model_text, model_set);
     corpus.models.push_back(model_text.str());
+    corpus.binary_models.push_back(save_models_binary(model_set));
   }
   return corpus;
 }

@@ -3,31 +3,73 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <locale>
 #include <optional>
 #include <sstream>
+#include <string_view>
 
+#include "behaviot/core/serialize_binary.hpp"
 #include "behaviot/obs/metrics.hpp"
 
 namespace behaviot {
 namespace {
 
 void put_double(std::ostream& os, double v) {
-  os << std::hexfloat << v << std::defaultfloat;
+  // Locale-independent, byte-identical to the former
+  // `os << std::hexfloat << v`: to_chars emits the same shortest hexfloat
+  // this toolchain's num_put did, minus the 0x prefix (restored here) and
+  // with non-finite values spelled "inf(f)"/"nan" instead of the stream's
+  // "inf"/"-inf"/"nan"/"-nan" (special-cased here).
+  if (std::isnan(v)) {
+    os << (std::signbit(v) ? "-nan" : "nan");
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (std::signbit(v) ? "-inf" : "inf");
+    return;
+  }
+  char buf[48];
+  char* p = buf;
+  if (std::signbit(v)) {
+    *p++ = '-';
+    v = -v;
+  }
+  *p++ = '0';
+  *p++ = 'x';
+  const auto [end, ec] =
+      std::to_chars(p, buf + sizeof(buf), v, std::chars_format::hex);
+  os.write(buf, end - buf);
 }
 
 double get_double(std::istream& is) {
   std::string token;
   if (!(is >> token)) throw SerializationError("unexpected end of input");
-  // std::hexfloat extraction is unreliable pre-C++23; parse via strtod,
-  // which accepts the 0x1.xp+y form the writer emits.
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
+  // Parsed with from_chars, never strtod: strtod's radix character follows
+  // the C global locale, so under a comma-decimal locale it rejects the
+  // '.' in "0x1.8p+3" — the exact corruption this loader must not have.
+  std::string_view sv = token;
+  bool negative = false;
+  if (!sv.empty() && (sv.front() == '+' || sv.front() == '-')) {
+    negative = sv.front() == '-';
+    sv.remove_prefix(1);
+  }
+  double v = 0.0;
+  std::from_chars_result r{};
+  if (sv.size() > 2 && sv[0] == '0' && (sv[1] == 'x' || sv[1] == 'X')) {
+    r = std::from_chars(sv.data() + 2, sv.data() + sv.size(), v,
+                        std::chars_format::hex);
+  } else {
+    // Decimal/scientific plus the "inf"/"nan" spellings the writer emits.
+    r = std::from_chars(sv.data(), sv.data() + sv.size(), v,
+                        std::chars_format::general);
+  }
+  if (sv.empty() || r.ec != std::errc{} || r.ptr != sv.data() + sv.size()) {
     throw SerializationError("malformed floating-point value: " + token);
   }
-  return v;
+  return negative ? -v : v;
 }
 
 std::string get_token(std::istream& is, const char* what) {
@@ -94,6 +136,10 @@ void expect(std::istream& is, const std::string& keyword) {
 }  // namespace
 
 void save_models(std::ostream& os, const BehaviorModelSet& models) {
+  // A grouping locale would insert thousands separators into the integer
+  // insertions below; pin the stream to the classic ("C") locale so the file
+  // bytes never depend on the embedding application's global locale.
+  os.imbue(std::locale::classic());
   os << "behaviot-models v" << kModelFormatVersion << "\n";
 
   // --- periodic models ---
@@ -154,6 +200,10 @@ void save_models(std::ostream& os, const BehaviorModelSet& models) {
 
 void save_models_file(const std::string& path,
                       const BehaviorModelSet& models) {
+  if (is_binary_model_path(path)) {
+    save_models_binary_file(path, models);
+    return;
+  }
   std::ofstream file(path, std::ios::trunc);
   if (!file) throw SerializationError("cannot open for write: " + path);
   save_models(file, models);
@@ -161,6 +211,9 @@ void save_models_file(const std::string& path,
 
 BehaviorModelSet load_models(std::istream& is, ParsePolicy policy,
                              ParseStats* stats) {
+  // Mirror of save_models: token extraction (`is >> token`) classifies
+  // whitespace through the stream's locale, so pin it too.
+  is.imbue(std::locale::classic());
   BehaviorModelSet models;
   // Under kLenient a SerializationError past the header stops parsing at the
   // damage instead of propagating: completed entries stay committed, the
@@ -284,6 +337,9 @@ BehaviorModelSet load_models(std::istream& is, ParsePolicy policy,
 
 BehaviorModelSet load_models_file(const std::string& path, ParsePolicy policy,
                                   ParseStats* stats) {
+  if (is_binary_model_path(path)) {
+    return load_models_binary_file(path, policy, stats);
+  }
   std::ifstream file(path);
   if (!file) throw SerializationError("cannot open for read: " + path);
   return load_models(file, policy, stats);

@@ -7,6 +7,7 @@
 // thresholds. Random-Forest user-action models serialize tree-by-tree.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -16,10 +17,24 @@
 
 namespace behaviot {
 
-/// Raised on malformed or version-incompatible input.
+/// Raised on malformed or version-incompatible input. The binary loader
+/// (core/serialize_binary.hpp) reports the absolute byte offset of the
+/// damage; the token-oriented text loader has no byte positions and leaves
+/// it at kNoOffset.
 class SerializationError : public std::runtime_error {
  public:
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
   using std::runtime_error::runtime_error;
+  SerializationError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  /// Byte offset of the malformation, or kNoOffset when unknown.
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = kNoOffset;
 };
 
 inline constexpr int kModelFormatVersion = 1;
@@ -27,7 +42,13 @@ inline constexpr int kModelFormatVersion = 1;
 /// Writes the full model set (periodic models, PFSM, thresholds, training
 /// traces). User-action forests are *not* included — they are retrained
 /// from labeled data and dominate size; see the discussion in DESIGN.md.
+/// All formatting is locale-independent (to_chars + a classic-imbued
+/// stream), so an embedding app that sets a comma-decimal global locale
+/// still writes and reads byte-identical model files.
 void save_models(std::ostream& os, const BehaviorModelSet& models);
+/// Dispatches on extension: a ".bbm" path is written in the binary format
+/// (core/serialize_binary.hpp, which does carry user-action forests); any
+/// other path gets the text format.
 void save_models_file(const std::string& path,
                       const BehaviorModelSet& models);
 
@@ -47,6 +68,8 @@ void save_models_file(const std::string& path,
 BehaviorModelSet load_models(std::istream& is,
                              ParsePolicy policy = ParsePolicy::kStrict,
                              ParseStats* stats = nullptr);
+/// Dispatches on extension like save_models_file: ".bbm" loads binary,
+/// anything else loads text.
 BehaviorModelSet load_models_file(const std::string& path,
                                   ParsePolicy policy = ParsePolicy::kStrict,
                                   ParseStats* stats = nullptr);

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "behaviot/core/serialize.hpp"
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/obs/span.hpp"
@@ -190,6 +191,19 @@ void WatchEngine::join_retrain_and_swap() {
   ++swaps_;
   swapped_pending_report_ = true;
   obs::counter("watch.swaps").inc();
+
+  if (!options_.publish_models_path.empty()) {
+    // The swapped-in generation is what every window from here on scores
+    // against; persist exactly that. Publishing is best-effort — a full
+    // disk must not take down the monitoring stream.
+    try {
+      save_models_file(options_.publish_models_path, *generation_);
+      obs::counter("watch.models_published").inc();
+    } catch (const std::exception& e) {
+      obs::health().degrade("watch.engine",
+                            std::string("publish-models-failed: ") + e.what());
+    }
+  }
 }
 
 }  // namespace behaviot

@@ -53,6 +53,11 @@ struct WatchOptions {
   MonitorOptions monitor;
   /// Reorder horizon and the open-flow/buffered-packet memory caps.
   StreamingAssemblerOptions assembler;
+  /// When non-empty, every retrained generation is written here right after
+  /// the hot swap (format by extension — ".bbm" binary, otherwise text), so
+  /// a fleet's model store always holds the generation currently scoring.
+  /// A write failure degrades health but never stops the stream.
+  std::string publish_models_path;
 };
 
 /// One closed window's outcome, handed to the window sink.

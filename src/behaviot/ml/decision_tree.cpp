@@ -22,6 +22,14 @@ double gini(std::span<const std::size_t> counts, std::size_t total) {
 
 DecisionTree::DecisionTree(TreeOptions options) : options_(options) {}
 
+DecisionTree DecisionTree::from_nodes(int num_classes,
+                                      std::vector<Node> nodes) {
+  DecisionTree tree;
+  tree.num_classes_ = num_classes;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
 void DecisionTree::fit(std::span<const std::vector<double>> X,
                        std::span<const int> y,
                        std::span<const std::size_t> sample, int num_classes,

@@ -21,6 +21,15 @@ struct TreeOptions {
 
 class DecisionTree {
  public:
+  /// One tree node, exposed for model serialization (core/serialize_binary).
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left when row[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<double> distribution;  ///< leaf class probabilities
+  };
+
   explicit DecisionTree(TreeOptions options = {});
 
   /// Fits on the rows of X selected by `sample`. Labels must lie in
@@ -37,15 +46,16 @@ class DecisionTree {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] bool trained() const { return !nodes_.empty(); }
 
- private:
-  struct Node {
-    int feature = -1;        ///< -1 for leaves
-    double threshold = 0.0;  ///< go left when row[feature] <= threshold
-    int left = -1;
-    int right = -1;
-    std::vector<double> distribution;  ///< leaf class probabilities
-  };
+  /// Flat node storage, root at index 0 — the serialized representation.
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
 
+  /// Rebuilds a fitted tree from serialized nodes (deserialization). Child
+  /// indices must be -1 or in [0, nodes.size()); callers deserializing
+  /// untrusted input validate that before constructing.
+  [[nodiscard]] static DecisionTree from_nodes(int num_classes,
+                                               std::vector<Node> nodes);
+
+ private:
   int build(std::span<const std::vector<double>> X, std::span<const int> y,
             std::vector<std::size_t>& indices, std::size_t begin,
             std::size_t end, std::size_t depth, Rng& rng);

@@ -10,6 +10,14 @@ namespace behaviot {
 
 RandomForest::RandomForest(ForestOptions options) : options_(options) {}
 
+RandomForest RandomForest::from_trees(int num_classes,
+                                      std::vector<DecisionTree> trees) {
+  RandomForest forest;
+  forest.num_classes_ = num_classes;
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
 void RandomForest::fit(const Dataset& data, int num_classes) {
   num_classes_ = num_classes;
   trees_.clear();

@@ -35,6 +35,15 @@ class RandomForest {
   [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
   [[nodiscard]] int num_classes() const { return num_classes_; }
 
+  /// Fitted trees, in training order — the serialized representation.
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const {
+    return trees_;
+  }
+
+  /// Rebuilds a fitted forest from serialized trees (deserialization).
+  [[nodiscard]] static RandomForest from_trees(int num_classes,
+                                               std::vector<DecisionTree> trees);
+
  private:
   ForestOptions options_;
   std::vector<DecisionTree> trees_;

@@ -9,6 +9,14 @@
 
 namespace behaviot {
 
+UserActionModels UserActionModels::from_classifiers(
+    ClassifierMap classifiers, double decision_threshold) {
+  UserActionModels models;
+  models.classifiers_ = std::move(classifiers);
+  models.decision_threshold_ = decision_threshold;
+  return models;
+}
+
 UserActionModels UserActionModels::train(
     std::span<const FlowRecord> labeled, std::span<const FlowRecord> background,
     const UserActionTrainOptions& options) {

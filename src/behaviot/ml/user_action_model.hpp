@@ -50,6 +50,14 @@ struct UserActionTrainOptions {
 
 class UserActionModels {
  public:
+  /// One (activity, forest) binary classifier, exposed for model
+  /// serialization (core/serialize_binary).
+  struct BinaryClassifier {
+    std::string activity;
+    RandomForest forest;
+  };
+  using ClassifierMap = std::map<DeviceId, std::vector<BinaryClassifier>>;
+
   UserActionModels() = default;
 
   /// Trains per-activity binary classifiers. `labeled` must carry
@@ -68,12 +76,21 @@ class UserActionModels {
   /// Activities known for a device.
   [[nodiscard]] std::vector<std::string> activities_for(DeviceId device) const;
 
+  /// Trained classifiers by device — the serialized representation.
+  [[nodiscard]] const ClassifierMap& classifiers() const {
+    return classifiers_;
+  }
+  [[nodiscard]] double decision_threshold() const {
+    return decision_threshold_;
+  }
+
+  /// Rebuilds a trained model set from serialized classifiers
+  /// (deserialization).
+  [[nodiscard]] static UserActionModels from_classifiers(
+      ClassifierMap classifiers, double decision_threshold);
+
  private:
-  struct BinaryClassifier {
-    std::string activity;
-    RandomForest forest;
-  };
-  std::map<DeviceId, std::vector<BinaryClassifier>> classifiers_;
+  ClassifierMap classifiers_;
   double decision_threshold_ = 0.5;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -19,9 +20,13 @@ namespace {
 /// and ratio values without scientific-notation surprises in JSON.
 std::string fmt_double(double v) {
   if (!std::isfinite(v)) return "0";
+  // to_chars, not snprintf: %g renders the radix character of the global C
+  // locale, and a comma decimal point corrupts both the JSON document and
+  // the Prometheus exposition for every scraper parsing these numbers back.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+  return std::string(buf, end);
 }
 
 /// Shared escaper (obs/json.hpp): unlike the previous local version it also

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "behaviot/net/stats.hpp"
 #include "behaviot/obs/health.hpp"
@@ -44,6 +45,15 @@ void FeatureScaler::transform_into(const FeatureVector& row,
 }
 
 namespace {
+
+/// Same mix as DeviceGroupHash, taken on a string_view so probing never
+/// materializes a pair<DeviceId, std::string> key (std::hash<string_view>
+/// and std::hash<string> agree on equal character sequences).
+std::size_t device_group_hash(DeviceId device, std::string_view group) {
+  const std::size_t h = std::hash<std::string_view>{}(group);
+  return h ^ (static_cast<std::size_t>(device) + 0x9e3779b97f4a7c15ULL +
+              (h << 6) + (h >> 2));
+}
 
 /// Timer slack learned from the grid residuals of the training flows:
 /// deviations of consecutive-occurrence gaps from the nearest period
@@ -159,7 +169,6 @@ PeriodicModelSet PeriodicModelSet::infer(
     sanitized_cells += result.sanitized;
     if (!result.model) continue;
     const DeviceId device = result.model->device;
-    set.index_[group_list[i]->first] = set.models_.size();
     set.stats_.flows_in_periodic_groups += result.model->support;
     ++set.stats_.groups_periodic;
     set.models_.push_back(std::move(*result.model));
@@ -167,6 +176,7 @@ PeriodicModelSet PeriodicModelSet::infer(
     rows.reserve(rows.size() + result.rows.size());
     rows.insert(rows.end(), result.rows.begin(), result.rows.end());
   }
+  set.rebuild_index();
 
   // Fit the per-device standardizer and density clusters on periodic flows.
   // DBSCAN is quadratic in the device's row count; devices are independent.
@@ -238,18 +248,36 @@ PeriodicModelSet PeriodicModelSet::from_models(
     std::vector<PeriodicModel> models) {
   PeriodicModelSet set;
   set.models_ = std::move(models);
-  for (std::size_t i = 0; i < set.models_.size(); ++i) {
-    set.index_[{set.models_[i].device, set.models_[i].group}] = i;
-  }
+  set.rebuild_index();
   set.stats_.groups_periodic = set.models_.size();
   set.stats_.groups_total = set.models_.size();
   return set;
 }
 
+void PeriodicModelSet::rebuild_index() {
+  std::size_t cap = 8;
+  while (cap < models_.size() * 2) cap <<= 1;
+  slots_.assign(cap, 0);
+  const std::size_t mask = cap - 1;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    std::size_t slot =
+        device_group_hash(models_[i].device, models_[i].group) & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<std::uint32_t>(i + 1);
+  }
+}
+
 const PeriodicModel* PeriodicModelSet::find(DeviceId device,
                                             const std::string& group) const {
-  auto it = index_.find({device, group});
-  return it == index_.end() ? nullptr : &models_[it->second];
+  if (slots_.empty()) return nullptr;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = device_group_hash(device, group) & mask;
+  while (slots_[slot] != 0) {
+    const PeriodicModel& m = models_[slots_[slot] - 1];
+    if (m.device == device && m.group == group) return &m;
+    slot = (slot + 1) & mask;
+  }
+  return nullptr;
 }
 
 std::vector<const PeriodicModel*> PeriodicModelSet::models_for(

@@ -3,11 +3,11 @@
 // traffic, plus the density clusters used by the second classification stage.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -137,10 +137,18 @@ class PeriodicModelSet {
       DeviceId device, const FeatureVector& features) const;
 
  private:
+  /// Rebuilds `slots_` from `models_`. Called once after the model list is
+  /// final (inference assembly, from_models); O(n) with a single allocation.
+  void rebuild_index();
+
   std::vector<PeriodicModel> models_;
-  std::unordered_map<std::pair<DeviceId, std::string>, std::size_t,
-                     DeviceGroupHash>
-      index_;
+  /// Open-addressed (device, group) → model index probe table: a slot holds
+  /// model index + 1 (0 = empty), capacity is a power of two ≥ 2n, and the
+  /// key bytes live in `models_` itself. Replaces a node-based hash map so
+  /// deserializing a model set costs one allocation for the whole index
+  /// instead of a node + key-string copy per model — model load is on the
+  /// watch daemon's retrain-swap path and the fleet's store-read path.
+  std::vector<std::uint32_t> slots_;
   std::map<DeviceId, FeatureScaler> scalers_;
   std::map<DeviceId, DbscanMembership> clusters_;
   PeriodicInferenceStats stats_;

@@ -3,6 +3,8 @@
 // and trace formats through the shipped binary.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -37,7 +39,10 @@ CommandResult run(const std::string& args, const std::string& env = "") {
   while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
     result.output += buf.data();
   }
-  result.exit_code = pclose(pipe);
+  const int status = pclose(pipe);
+  // Decode the wait(2) status: the exit-code contract (2 for usage errors)
+  // is on the process exit code, not the packed status word.
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
 }
 
@@ -312,6 +317,90 @@ TEST_F(CliTest, ScoreWritesAlertReportAndExplainRendersIt) {
   result = run("explain --alerts " + bad);
   EXPECT_NE(result.exit_code, 0);
   EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedNumericFlagsExitTwoWithUsageError) {
+  // Every numeric flag is parsed by the checked helpers: a malformed value
+  // must produce exit code 2 and a one-line "usage error:" diagnostic, not
+  // a stoul/stod exception or a silently truncated number.
+  const struct {
+    const char* args;
+    const char* needle;
+  } cases[] = {
+      {"score --models m --capture c --window-s abc",
+       "a positive finite number"},
+      {"score --models m --capture c --window-s 0", "a positive finite"},
+      {"score --models m --capture c --window-s -3", "a positive finite"},
+      {"score --models m --capture c --window-s inf", "a positive finite"},
+      {"simulate --dataset idle --days nope --out /tmp/x", "--days"},
+      {"simulate --dataset idle --days 1e, --out /tmp/x", "--days"},
+      {"simulate --dataset idle --days 0.1 --seed -1 --out /tmp/x",
+       "--seed"},
+      {"simulate --dataset idle --days 0.1 --seed 12x --out /tmp/x",
+       "--seed"},
+      {"train --idle c --window-days -0.5 --out m", "--window-days"},
+      {"watch --models m --capture c --max-windows -1", "--max-windows"},
+      {"watch --models m --capture c --poll-ms 10.5", "--poll-ms"},
+      {"watch --models m --capture c --retrain-every 1e3",
+       "--retrain-every"},
+  };
+  for (const auto& c : cases) {
+    const auto result = run(c.args);
+    EXPECT_EQ(result.exit_code, 2) << c.args << "\n" << result.output;
+    EXPECT_NE(result.output.find("usage error:"), std::string::npos)
+        << c.args << "\n" << result.output;
+    EXPECT_NE(result.output.find(c.needle), std::string::npos)
+        << c.args << "\n" << result.output;
+    // One line, not a usage dump: the diagnostic names the flag directly.
+    EXPECT_LT(result.output.size(), 200u) << c.args << "\n" << result.output;
+  }
+}
+
+TEST_F(CliTest, ConvertModelsRoundTripsThroughBinary) {
+  const std::string pcap = *dir_ + "/convert.pcap";
+  const std::string models = *dir_ + "/convert_models.txt";
+  const std::string binary = *dir_ + "/convert_models.bbm";
+  const std::string back = *dir_ + "/convert_back.txt";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.1 --seed 5 --out " + pcap)
+                .exit_code,
+            0);
+  ASSERT_EQ(run("train --idle " + pcap + " --window-days 0.1 --out " + models)
+                .exit_code,
+            0);
+
+  auto result = run("convert-models --in " + models + " --out " + binary);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("converted"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(binary));
+  // Binary magic at offset 0.
+  EXPECT_EQ(read_file(binary).substr(0, 4), "BBM1");
+
+  result = run("convert-models --in " + binary + " --out " + back);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  // Text -> binary -> text is byte-identical: nothing lost, no FP drift.
+  EXPECT_EQ(read_file(back), read_file(models));
+
+  // The binary file is a drop-in for every consumer of --models.
+  result = run("score --models " + binary + " --capture " + pcap);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("deviation alerts"), std::string::npos);
+
+  // Corrupt binary models: a strict load rejects the file and reports the
+  // damaged byte (the default lenient load instead drops/tolerates what the
+  // flip damaged — that path is covered in test_serialize_binary).
+  std::string corrupt = read_file(binary);
+  corrupt[corrupt.size() / 2] ^= 1;
+  const std::string bad = *dir_ + "/corrupt.bbm";
+  {
+    std::FILE* f = std::fopen(bad.c_str(), "wb");
+    std::fwrite(corrupt.data(), 1, corrupt.size(), f);
+    std::fclose(f);
+  }
+  result = run("score --models " + bad + " --capture " + pcap +
+               " --parse strict");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("at byte"), std::string::npos)
+      << result.output;
 }
 
 TEST_F(CliTest, ScoreRejectsCorruptModels) {

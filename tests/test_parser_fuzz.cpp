@@ -1,5 +1,6 @@
 // Deterministic fuzz/property harness for every wire-format parser on the
-// ingestion path: pcap records, DNS responses, TLS ClientHello, model files.
+// ingestion path: pcap records, DNS responses, TLS ClientHello, and model
+// files in both the text and the binary (.bbm) encoding.
 //
 // Two layers:
 //  - properties on VALID inputs: parse → re-serialize is byte-identical,
@@ -15,10 +16,12 @@
 // corpus to disk for standalone debugging).
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
 
 #include "behaviot/core/fuzz_corpus.hpp"
 #include "behaviot/core/serialize.hpp"
+#include "behaviot/core/serialize_binary.hpp"
 #include "behaviot/net/dns.hpp"
 #include "behaviot/net/pcap.hpp"
 #include "behaviot/net/tls.hpp"
@@ -225,6 +228,75 @@ TEST(ParserFuzz, MutatedModelFilesNeverCrashOrBalloon) {
           // typed rejection is a valid outcome in either policy
         }
       });
+}
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(ParserFuzz, ValidBinaryModelRoundTrips) {
+  ASSERT_EQ(corpus().binary_models.size(), corpus().models.size());
+  for (std::size_t i = 0; i < corpus().binary_models.size(); ++i) {
+    const std::string& image = corpus().binary_models[i];
+    const BehaviorModelSet loaded =
+        load_models_binary(as_bytes(image), ParsePolicy::kStrict);
+    // binary → binary: byte-identical (fixed section order, no optional
+    // trailers).
+    EXPECT_EQ(save_models_binary(loaded), image) << "corpus entry " << i;
+    // binary → text: identical to the text serialization of the same model
+    // set (the corpus stores both encodings of one set). This is the
+    // text→binary→text acceptance property, across the whole corpus.
+    std::ostringstream text;
+    save_models(text, loaded);
+    EXPECT_EQ(text.str(), corpus().models[i]) << "corpus entry " << i;
+  }
+}
+
+TEST(ParserFuzz, MutatedBinaryModelsNeverCrashOrBalloon) {
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const std::string& image : corpus().binary_models) {
+    seeds.emplace_back(image.begin(), image.end());
+  }
+  run_mutations(
+      seeds, kSeed ^ 9, /*mutants_per_seed=*/20, /*max_stacked=*/3,
+      [](const std::vector<std::uint8_t>& mutant, ParsePolicy policy) {
+        try {
+          ParseStats stats;
+          const BehaviorModelSet models =
+              load_models_binary(mutant, policy, &stats);
+          // Counts are capped against the bytes remaining in their section,
+          // so no parsed structure can outgrow the input.
+          EXPECT_LE(models.periodic.size(), mutant.size());
+          EXPECT_LE(models.user_actions.size(), mutant.size());
+          std::size_t labels = 0;
+          for (const auto& t : models.training_traces) labels += t.size();
+          EXPECT_LE(labels, mutant.size());
+        } catch (const SerializationError& e) {
+          // Typed rejection with a sane offset is the only other outcome.
+          EXPECT_LE(e.offset(), mutant.size() + 1);
+        }
+      });
+}
+
+TEST(ParserFuzz, TruncatedBinaryModelsFailCleanlyAtEveryLength) {
+  // Chop a valid image at every byte length: each prefix must either load
+  // (only the full image can — CRC) or throw a typed error whose offset
+  // points inside the prefix. Catches any read-past-end at any boundary,
+  // including mid-header, mid-table, and every section edge.
+  const std::string& image = corpus().binary_models.front();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const auto prefix = as_bytes(image).first(len);
+    EXPECT_THROW(load_models_binary(prefix, ParsePolicy::kStrict),
+                 SerializationError)
+        << "prefix length " << len;
+    try {
+      (void)load_models_binary(prefix, ParsePolicy::kLenient);
+    } catch (const SerializationError& e) {
+      EXPECT_LE(e.offset(), len + 1) << "prefix length " << len;
+    }
+  }
+  // The untruncated image still loads (guards against an off-by-one above).
+  EXPECT_NO_THROW(load_models_binary(as_bytes(image), ParsePolicy::kStrict));
 }
 
 TEST(ParserFuzz, LenientPcapClassifiesEveryMutantSkip) {

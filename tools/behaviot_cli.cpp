@@ -47,15 +47,30 @@
 //       scoring when models are given) and print the per-component health
 //       report: healthy / degraded / quarantined with reason codes.
 //
+//   behaviot convert-models --in models.txt --out models.bbm
+//       Convert between the text and binary model formats (selected by
+//       extension — ".bbm" is binary). Every --models/--out path in the
+//       other commands dispatches the same way. Binary output is
+//       re-opened and verified (header, section table, CRC) after the
+//       write.
+//
+// Numeric flags are validated before any file I/O: a malformed or
+// out-of-domain value (--window-s abc, --seed -1, --days inf) prints a
+// one-line `usage error:` to stderr and exits 2.
+//
 // Any traffic-consuming command accepts --chaos SPEC to inject
 // deterministic faults (packet loss, reordering, clock faults, DNS-answer
 // loss, feature corruption...) before processing — the graceful-degradation
 // paths then show up in the health report instead of as crashes.
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -68,6 +83,7 @@
 #include "behaviot/core/mud_profile.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
+#include "behaviot/core/serialize_binary.hpp"
 #include "behaviot/core/watch_engine.hpp"
 #include "behaviot/deviation/monitor.hpp"
 #include "behaviot/net/pcap.hpp"
@@ -88,30 +104,43 @@ std::unique_ptr<chaos::FaultInjector> g_chaos;
 int usage() {
   std::fprintf(stderr,
                "usage: behaviot <simulate|train|show|score|watch|mud|check"
-               "|explain|health> [options]\n"
+               "|explain|health|convert-models> [options]\n"
+               "Model files are text (.txt, human-diffable) or binary (.bbm,"
+               " zero-copy\n"
+               "load, carries user-action forests) — the extension selects"
+               " the format.\n"
                "  simulate --dataset idle|activity|routine|uncontrolled-day:N"
                " [--days D] [--seed S] --out FILE.pcap\n"
-               "  train    --idle FILE.pcap --window-days D --out MODELS.txt\n"
-               "  show     --models MODELS.txt [--device NAME]\n"
-               "  score    --models MODELS.txt --capture FILE.pcap"
+               "  train    --idle FILE.pcap --window-days D --out MODELS\n"
+               "  show     --models MODELS [--device NAME]\n"
+               "  score    --models MODELS --capture FILE.pcap"
                " [--window-s W] [--alerts REPORT.json]\n"
-               "  watch    --models MODELS.txt --capture FILE.pcap"
+               "  watch    --models MODELS --capture FILE.pcap"
                " [--window-s W]\n"
                "      [--max-windows N] [--until-s S] [--retrain-every N]"
                " [--follow 1]\n"
                "      [--poll-ms MS] [--horizon-s S] [--max-open-flows N]\n"
                "      [--max-buffered-packets N] [--alerts REPORT.json]\n"
+               "      [--publish-models FILE   write each retrained+swapped"
+               " model\n"
+               "      generation to FILE (format by extension)]\n"
                "      stream the capture (tail it with --follow 1), score"
                " each closed\n"
                "      W-second window, retrain + hot-swap models every"
                " --retrain-every\n"
                "      windows; --alerts is rewritten after every window\n"
-               "  mud      --models MODELS.txt --device NAME\n"
-               "  check    --models MODELS.txt --capture FILE.pcap"
+               "  mud      --models MODELS --device NAME\n"
+               "  check    --models MODELS --capture FILE.pcap"
                " --device NAME\n"
                "  explain  --alerts REPORT.json [--source"
                " periodic|short-term|long-term]\n"
-               "  health   --capture FILE.pcap [--models MODELS.txt]\n"
+               "  health   --capture FILE.pcap [--models MODELS]\n"
+               "  convert-models --in MODELS --out MODELS\n"
+               "      convert between the text and binary model formats"
+               " (extension\n"
+               "      selects each side; .bbm->.txt drops user-action"
+               " forests, which\n"
+               "      the text format does not carry)\n"
                "common:\n"
                "  --chaos SPEC             inject deterministic faults into"
                " the loaded or\n"
@@ -145,6 +174,82 @@ int usage() {
   return 2;
 }
 
+/// A flag value the command cannot use. Distinct from internal failures
+/// (exit 1): the operator mistyped, so main() reports it as a one-line
+/// usage error and exits 2.
+class FlagError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void reject_flag(const char* name, const std::string& value,
+                              const char* want) {
+  throw FlagError("--" + std::string(name) + " " + value + ": expected " +
+                  want);
+}
+
+/// Non-negative integer value, digits only. The std::stoul calls this
+/// replaces silently wrapped "-1" to 2^64-1 (a watch --max-windows -1 ran
+/// forever believing it was bounded) and accepted junk suffixes ("12abc").
+std::uint64_t parse_count_value(const char* name, const std::string& value) {
+  const bool digits_only =
+      !value.empty() && std::all_of(value.begin(), value.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      });
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (!digits_only || ec != std::errc{} ||
+      ptr != value.data() + value.size()) {
+    reject_flag(name, value, "a non-negative integer");
+  }
+  return parsed;
+}
+
+std::uint64_t parse_count(const std::map<std::string, std::string>& flags,
+                          const char* name, std::uint64_t fallback) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  return parse_count_value(name, it->second);
+}
+
+/// Finite floating-point value bounded below. The std::stod calls this
+/// replaces accepted "nan" (which then disabled every comparison downstream)
+/// and threw std::out_of_range on "1e999" — surfacing as a generic exit-1
+/// error instead of a usage error.
+double parse_double_value(const char* name, const std::string& value,
+                          double min_value, const char* want) {
+  double parsed = 0.0;
+  const auto [ptr, ec] = std::from_chars(
+      value.data(), value.data() + value.size(), parsed,
+      std::chars_format::general);
+  if (ec != std::errc{} || ptr != value.data() + value.size() ||
+      !std::isfinite(parsed) || parsed < min_value) {
+    reject_flag(name, value, want);
+  }
+  return parsed;
+}
+
+/// Strictly positive seconds/days value (windows, durations).
+double parse_positive(const std::map<std::string, std::string>& flags,
+                      const char* name, double fallback) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  const double v = parse_double_value(name, it->second,
+                                      std::numeric_limits<double>::min(),
+                                      "a positive finite number");
+  return v;
+}
+
+/// Non-negative seconds value (offsets, horizons).
+double parse_non_negative(const std::map<std::string, std::string>& flags,
+                          const char* name, double fallback) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  return parse_double_value(name, it->second, 0.0,
+                            "a non-negative finite number");
+}
+
 /// Parse policy for pcap/model ingestion from the common --parse flag.
 ParsePolicy parse_policy(const std::map<std::string, std::string>& flags) {
   const auto it = flags.find("parse");
@@ -158,9 +263,15 @@ ParsePolicy parse_policy(const std::map<std::string, std::string>& flags) {
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    flags[argv[i] + 2] = argv[i + 1];
+    const std::string arg = argv[i] + 2;
+    // Both spellings work: "--window-s 30" and "--window-s=30".
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      flags[arg] = argv[++i];
+    }
   }
   return flags;
 }
@@ -213,9 +324,8 @@ DomainResolver make_resolver() {
 int cmd_simulate(const std::map<std::string, std::string>& flags) {
   const std::string dataset = flags.count("dataset") ? flags.at("dataset")
                                                      : "idle";
-  const double days = flags.count("days") ? std::stod(flags.at("days")) : 1.0;
-  const std::uint64_t seed =
-      flags.count("seed") ? std::stoull(flags.at("seed")) : 1;
+  const double days = parse_positive(flags, "days", 1.0);
+  const std::uint64_t seed = parse_count(flags, "seed", 1);
   if (flags.count("out") == 0) return usage();
 
   testbed::GeneratedCapture capture;
@@ -227,7 +337,9 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
     capture = testbed::Datasets::routine_week(seed, days);
   } else if (dataset.rfind("uncontrolled-day:", 0) == 0) {
     capture = testbed::Datasets::uncontrolled_day(
-        std::stoul(dataset.substr(std::strlen("uncontrolled-day:"))), seed);
+        static_cast<std::size_t>(parse_count_value(
+            "dataset", dataset.substr(std::strlen("uncontrolled-day:")))),
+        seed);
   } else {
     std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
     return 2;
@@ -246,8 +358,7 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 
 int cmd_train(const std::map<std::string, std::string>& flags) {
   if (flags.count("idle") == 0 || flags.count("out") == 0) return usage();
-  const double window_days =
-      flags.count("window-days") ? std::stod(flags.at("window-days")) : 1.0;
+  const double window_days = parse_positive(flags, "window-days", 1.0);
 
   const auto packets = load_capture(flags.at("idle"), parse_policy(flags));
   DomainResolver resolver = make_resolver();
@@ -301,6 +412,13 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
   if (flags.count("models") == 0 || flags.count("capture") == 0) {
     return usage();
   }
+  // Validate numeric flags before any file I/O: a typo'd --window-s is a
+  // usage error (exit 2) even when the model file also happens to be absent.
+  const std::optional<std::int64_t> window_us =
+      flags.count("window-s")
+          ? std::optional<std::int64_t>(
+                seconds(parse_positive(flags, "window-s", 1.0)))
+          : std::nullopt;
   const BehaviorModelSet models =
       load_models_reporting(flags.at("models"), parse_policy(flags));
   const auto packets = load_capture(flags.at("capture"), parse_policy(flags));
@@ -314,20 +432,15 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
 
   DeviationMonitor monitor(models.periodic, models.pfsm, models.short_term);
   std::vector<DeviationAlert> alerts;
-  if (flags.count("window-s")) {
+  if (window_us) {
     // Windowed scoring: evaluate successive W-second windows over the whole
     // capture. This is the grid `behaviot watch` streams over, so on a finite
     // capture the two commands emit identical alerts.
-    const std::int64_t window_us = seconds(std::stod(flags.at("window-s")));
-    if (window_us <= 0) {
-      std::fprintf(stderr, "error: --window-s must be positive\n");
-      return 2;
-    }
     const Timestamp t0 = flows.front().start;
     const Timestamp end = flows.back().end + seconds(1.0);
     std::size_t windows = 0;
-    for (Timestamp ws = t0; ws < end; ws = ws + window_us) {
-      const Timestamp we = ws + window_us;
+    for (Timestamp ws = t0; ws < end; ws = ws + *window_us) {
+      const Timestamp we = ws + *window_us;
       std::vector<FlowRecord> in_window;
       for (const FlowRecord& f : flows) {
         if (f.start >= ws && f.start < we) in_window.push_back(f);
@@ -388,38 +501,42 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
   if (flags.count("models") == 0 || flags.count("capture") == 0) {
     return usage();
   }
-  ModelHandle handle(
-      load_models_reporting(flags.at("models"), parse_policy(flags)));
-
+  // Numeric flags first (usage errors exit 2 before any file is touched),
+  // then the model load.
   WatchOptions opts;
   if (flags.count("window-s")) {
-    opts.window_us = seconds(std::stod(flags.at("window-s")));
-    if (opts.window_us <= 0) {
-      std::fprintf(stderr, "error: --window-s must be positive\n");
-      return 2;
-    }
+    opts.window_us = seconds(parse_positive(flags, "window-s", 1.0));
   }
   if (flags.count("max-windows")) {
-    opts.max_windows = std::stoul(flags.at("max-windows"));
+    opts.max_windows =
+        static_cast<std::size_t>(parse_count(flags, "max-windows", 0));
   }
   if (flags.count("until-s")) {
-    opts.until = Timestamp(seconds(std::stod(flags.at("until-s"))));
+    opts.until = Timestamp(seconds(parse_non_negative(flags, "until-s", 0.0)));
   }
   if (flags.count("retrain-every")) {
-    opts.retrain_every_windows = std::stoul(flags.at("retrain-every"));
+    opts.retrain_every_windows =
+        static_cast<std::size_t>(parse_count(flags, "retrain-every", 0));
   }
   if (flags.count("horizon-s")) {
     opts.assembler.reorder_horizon_us =
-        seconds(std::stod(flags.at("horizon-s")));
+        seconds(parse_non_negative(flags, "horizon-s", 0.0));
   }
   if (flags.count("max-open-flows")) {
-    opts.assembler.max_open_flows = std::stoul(flags.at("max-open-flows"));
+    opts.assembler.max_open_flows =
+        static_cast<std::size_t>(parse_count(flags, "max-open-flows", 0));
   }
   if (flags.count("max-buffered-packets")) {
-    opts.assembler.max_buffered_packets =
-        std::stoul(flags.at("max-buffered-packets"));
+    opts.assembler.max_buffered_packets = static_cast<std::size_t>(
+        parse_count(flags, "max-buffered-packets", 0));
   }
+  if (flags.count("publish-models")) {
+    opts.publish_models_path = flags.at("publish-models");
+  }
+  const long poll_ms = static_cast<long>(parse_count(flags, "poll-ms", 200));
 
+  ModelHandle handle(
+      load_models_reporting(flags.at("models"), parse_policy(flags)));
   WatchEngine engine(handle, make_resolver(), opts);
 
   const auto& catalog = testbed::Catalog::standard();
@@ -466,8 +583,6 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const bool follow = flags.count("follow") && flags.at("follow") != "0";
-  const long poll_ms =
-      flags.count("poll-ms") ? std::stol(flags.at("poll-ms")) : 200;
   PcapReaderOptions ropts;
   ropts.policy = parse_policy(flags);
   if (follow) {
@@ -517,6 +632,40 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
                  static_cast<unsigned long long>(g_chaos->stats().total()),
                  g_chaos->spec().summary().c_str());
   }
+  return 0;
+}
+
+/// Converts a model file between the text (.txt) and binary (.bbm) formats;
+/// each side's format is selected by its extension. Note the text format
+/// deliberately omits user-action forests, so .bbm → .txt drops them (and
+/// .txt → .bbm → .txt is byte-identical).
+int cmd_convert(const std::map<std::string, std::string>& flags) {
+  if (flags.count("in") == 0 || flags.count("out") == 0) return usage();
+  const BehaviorModelSet models =
+      load_models_reporting(flags.at("in"), parse_policy(flags));
+  save_models_file(flags.at("out"), models);
+  if (is_binary_model_path(flags.at("out"))) {
+    // Verify the written image with the zero-copy view: re-validates the
+    // header, section table and CRC straight off disk without a second
+    // materializing load, so a torn or miswritten store file is caught at
+    // write time rather than by the next reader.
+    std::ifstream check(flags.at("out"), std::ios::binary);
+    const std::string image((std::istreambuf_iterator<char>(check)),
+                            std::istreambuf_iterator<char>());
+    const BinaryModelView view = BinaryModelView::open(
+        {reinterpret_cast<const std::uint8_t*>(image.data()), image.size()});
+    if (view.periodic_count() != models.periodic.size()) {
+      std::fprintf(stderr, "error: written image holds %zu periodic models, "
+                           "expected %zu\n",
+                   view.periodic_count(), models.periodic.size());
+      return 1;
+    }
+  }
+  std::printf("converted %s -> %s (%zu periodic models, %zu states, "
+              "%zu user-action classifiers)\n",
+              flags.at("in").c_str(), flags.at("out").c_str(),
+              models.periodic.size(), models.pfsm.num_states(),
+              models.user_actions.size());
   return 0;
 }
 
@@ -654,6 +803,7 @@ int dispatch(const std::string& command,
   if (command == "check") return cmd_check(flags);
   if (command == "explain") return cmd_explain(flags);
   if (command == "health") return cmd_health(flags);
+  if (command == "convert-models") return cmd_convert(flags);
   return usage();
 }
 
@@ -722,6 +872,10 @@ int main(int argc, char** argv) {
   int rc = 2;
   try {
     rc = dispatch(command, flags);
+  } catch (const FlagError& e) {
+    // Operator typo, not a runtime failure: one line, usage exit code.
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    rc = 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
