@@ -4,12 +4,15 @@
 #include <bit>
 #include <cctype>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <ostream>
+#include <system_error>
 #include <utility>
 #include <vector>
 
+#include "behaviot/flow/features.hpp"
 #include "behaviot/obs/metrics.hpp"
 
 namespace behaviot {
@@ -381,7 +384,11 @@ void read_thresholds(Cursor& c, BehaviorModelSet& models) {
 
 void read_traces(Cursor& c, BehaviorModelSet& models) {
   const std::size_t n_traces = c.count("trace count", 8);
-  models.training_traces.reserve(n_traces);
+  // Parse into a scratch vector and commit only after the section fully
+  // parses: a lenient drop of a damaged traces section must not leave its
+  // partial traces behind (mirrors read_periodic/read_forests).
+  std::vector<std::vector<std::string>> traces;
+  traces.reserve(n_traces);
   for (std::size_t t = 0; t < n_traces; ++t) {
     const std::size_t len = c.count("trace length", 4);
     std::vector<std::string> trace;
@@ -389,9 +396,10 @@ void read_traces(Cursor& c, BehaviorModelSet& models) {
     for (std::size_t i = 0; i < len; ++i) {
       trace.push_back(c.str("trace label"));
     }
-    models.training_traces.push_back(std::move(trace));
+    traces.push_back(std::move(trace));
   }
   if (!c.at_end()) c.fail("trailing bytes after traces");
+  models.training_traces = std::move(traces);
 }
 
 void read_forests(Cursor& c, BehaviorModelSet& models) {
@@ -406,8 +414,10 @@ void read_forests(Cursor& c, BehaviorModelSet& models) {
     for (std::size_t k = 0; k < n_classifiers; ++k) {
       UserActionModels::BinaryClassifier bc;
       bc.activity = c.str("activity");
+      // Classify reads predict_proba(row)[1], so a forest with fewer than
+      // two classes would index past its leaf distributions.
       const auto num_classes = static_cast<int>(c.u32("class count"));
-      if (num_classes < 0 || num_classes > 1 << 20) {
+      if (num_classes < 2 || num_classes > 1 << 20) {
         c.fail("implausible class count");
       }
       const std::size_t n_trees = c.count("tree count", 8);
@@ -426,12 +436,32 @@ void read_forests(Cursor& c, BehaviorModelSet& models) {
           const std::size_t dist =
               c.count("distribution length", sizeof(double));
           c.f64_array(node.distribution, dist, "node distribution");
-          // Child indices must stay inside this tree: a corrupt index would
-          // otherwise walk out of bounds at classify time.
-          if (node.left < -1 || node.right < -1 ||
-              node.left >= static_cast<int>(n_nodes) ||
-              node.right >= static_cast<int>(n_nodes)) {
-            c.fail("tree child index out of range");
+          // DecisionTree::predict_proba walks nodes with no bounds checks,
+          // so every invariant it relies on is enforced here: a leaf
+          // (feature == -1, the only negative value the writer emits) has
+          // no children and a full per-class distribution; an internal
+          // node splits on a real flow feature and points both children
+          // strictly forward (the builder lays children out after their
+          // parent, so forward-only edges also preclude cycles and
+          // self-references).
+          if (node.feature < 0) {
+            if (node.feature != -1 || node.left != -1 || node.right != -1) {
+              c.fail("malformed leaf node");
+            }
+            if (node.distribution.size() !=
+                static_cast<std::size_t>(num_classes)) {
+              c.fail("leaf distribution length != class count");
+            }
+          } else {
+            if (node.feature >= static_cast<int>(kNumFlowFeatures)) {
+              c.fail("node feature out of range");
+            }
+            if (node.left <= static_cast<int>(i) ||
+                node.right <= static_cast<int>(i) ||
+                node.left >= static_cast<int>(n_nodes) ||
+                node.right >= static_cast<int>(n_nodes)) {
+              c.fail("tree child index out of range");
+            }
           }
           nodes.push_back(std::move(node));
         }
@@ -727,14 +757,19 @@ BehaviorModelSet load_models_binary(std::span<const std::uint8_t> bytes,
 BehaviorModelSet load_models_binary_file(const std::string& path,
                                          ParsePolicy policy,
                                          ParseStats* stats) {
-  // One read of the whole image; the loader then walks it in place.
-  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  // One read of the whole image; the loader then walks it in place. The
+  // buffer is sized from the filesystem, not tellg(): tellg returns -1 on
+  // failure and an absurd value for non-regular files (a directory passed
+  // as a model path), either of which would size the allocation at garbage
+  // and surface as bad_alloc instead of a typed error.
+  std::ifstream file(path, std::ios::binary);
   if (!file) throw SerializationError("cannot open for read: " + path);
-  const std::streamsize size = file.tellg();
-  file.seekg(0);
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) throw SerializationError("not a readable model file: " + path);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (size > 0 &&
-      !file.read(reinterpret_cast<char*>(bytes.data()), size)) {
+  if (size > 0 && !file.read(reinterpret_cast<char*>(bytes.data()),
+                             static_cast<std::streamsize>(size))) {
     throw SerializationError("read failed: " + path);
   }
   return load_models_binary(bytes, policy, stats);

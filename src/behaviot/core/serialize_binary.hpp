@@ -37,6 +37,13 @@
 //                 u64 n_nodes; per node: i32 feature, f64 threshold,
 //                 i32 left, i32 right, u64 dist_len + raw f64[dist_len]
 //
+// Forest invariants (enforced on load — classify walks trees with no
+// bounds checks): num_classes >= 2; a leaf is exactly {feature == -1,
+// left == right == -1, dist_len == num_classes}; an internal node has
+// 0 <= feature < kNumFlowFeatures and both children strictly greater than
+// its own index and < n_nodes (the trainer lays children out after their
+// parent, so forward-only edges also rule out cycles).
+//
 // `str` is u32 length + raw bytes. The forests section is binary-only: the
 // text format deliberately omits user-action forests, so text → binary →
 // text round trips stay byte-identical while the binary store can carry the

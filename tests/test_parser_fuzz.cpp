@@ -22,6 +22,8 @@
 #include "behaviot/core/fuzz_corpus.hpp"
 #include "behaviot/core/serialize.hpp"
 #include "behaviot/core/serialize_binary.hpp"
+#include "behaviot/flow/features.hpp"
+#include "behaviot/flow/flow.hpp"
 #include "behaviot/net/dns.hpp"
 #include "behaviot/net/pcap.hpp"
 #include "behaviot/net/tls.hpp"
@@ -271,6 +273,23 @@ TEST(ParserFuzz, MutatedBinaryModelsNeverCrashOrBalloon) {
           std::size_t labels = 0;
           for (const auto& t : models.training_traces) labels += t.size();
           EXPECT_LE(labels, mutant.size());
+          // Anything the loader accepted must also be safe to USE: walk
+          // every surviving forest exactly the way classify does (it
+          // indexes row[feature], child indices and proba[1] unchecked),
+          // so a forest invariant the loader failed to enforce shows up
+          // here as an ASan hit or a hang instead of shipping.
+          for (const auto& [device, list] : models.user_actions.classifiers()) {
+            for (const double fill : {0.0, 1e308, -1e308}) {
+              const std::vector<double> row(kNumFlowFeatures, fill);
+              for (const auto& clf : list) {
+                const auto proba = clf.forest.predict_proba(row);
+                ASSERT_GE(proba.size(), 2u);
+              }
+            }
+            FlowRecord flow;
+            flow.device = device;
+            (void)models.user_actions.classify(flow);
+          }
         } catch (const SerializationError& e) {
           // Typed rejection with a sane offset is the only other outcome.
           EXPECT_LE(e.offset(), mutant.size() + 1);

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "behaviot/core/serialize.hpp"
+#include "behaviot/flow/features.hpp"
 #include "behaviot/pfsm/synoptic.hpp"
 
 namespace behaviot {
@@ -438,6 +439,120 @@ TEST(SerializeBinary, RejectsDanglingTransitionAndBadTreeChild) {
   EXPECT_EQ(stats.sections_dropped, 1u);
   EXPECT_EQ(loaded.user_actions.size(), 0u);
   EXPECT_EQ(loaded.periodic.size(), 2u);  // earlier sections intact
+}
+
+/// Wraps one hand-built tree into a saved image, for probing the forest
+/// validator with node layouts the trainer would never emit.
+std::string image_with_forest(int num_classes,
+                              std::vector<DecisionTree::Node> nodes) {
+  BehaviorModelSet models = full_models();
+  std::vector<DecisionTree> trees;
+  trees.push_back(DecisionTree::from_nodes(num_classes, std::move(nodes)));
+  UserActionModels::ClassifierMap classifiers;
+  classifiers[1].push_back(
+      {"bad", RandomForest::from_trees(num_classes, std::move(trees))});
+  models.user_actions =
+      UserActionModels::from_classifiers(std::move(classifiers), 0.5);
+  return save_models_binary(models);
+}
+
+TEST(SerializeBinary, RejectsForestsThatWouldCrashClassify) {
+  // Every layout here passes the CRC (it is faithfully serialized) but
+  // violates an invariant DecisionTree::predict_proba relies on without
+  // bounds checks. Each must throw under strict and drop the forest
+  // section (leaving earlier sections intact) under lenient.
+  struct Case {
+    const char* name;
+    int num_classes;
+    std::vector<DecisionTree::Node> nodes;
+  };
+  const Case cases[] = {
+      // Internal node with a -1 child: predict_proba would index
+      // nodes_[size_t(-1)].
+      {"internal node with leaf child marker", 2,
+       {{0, 1.0, 1, -1, {}}, {-1, 0.0, -1, -1, {1.0, 0.0}}}},
+      // Child pointing at the node itself: infinite walk.
+      {"self-referencing child", 2,
+       {{0, 1.0, 0, 1, {}}, {-1, 0.0, -1, -1, {1.0, 0.0}}}},
+      // Child pointing backwards at an ancestor: cycle through the root.
+      {"backward child edge", 2,
+       {{0, 1.0, 1, 2, {}},
+        {3, 2.0, 0, 2, {}},
+        {-1, 0.0, -1, -1, {1.0, 0.0}}}},
+      // Split feature past the feature-vector width: row[feature] reads
+      // out of bounds.
+      {"feature index out of range", 2,
+       {{static_cast<int>(kNumFlowFeatures), 1.0, 1, 2, {}},
+        {-1, 0.0, -1, -1, {1.0, 0.0}},
+        {-1, 0.0, -1, -1, {0.0, 1.0}}}},
+      // Leaf distribution shorter than num_classes: RandomForest's
+      // acc[c] += p[c] and classify's proba[1] read out of bounds.
+      {"short leaf distribution", 2, {{-1, 0.0, -1, -1, {1.0}}}},
+      // Fewer than two classes: classify reads predict_proba(row)[1].
+      {"single-class forest", 1, {{-1, 0.0, -1, -1, {1.0}}}},
+  };
+  for (const Case& c : cases) {
+    const std::string image = image_with_forest(c.num_classes, c.nodes);
+    EXPECT_THROW(load_models_binary(as_bytes(image), ParsePolicy::kStrict),
+                 SerializationError)
+        << c.name;
+    ParseStats stats;
+    const BehaviorModelSet loaded =
+        load_models_binary(as_bytes(image), ParsePolicy::kLenient, &stats);
+    EXPECT_EQ(stats.sections_dropped, 1u) << c.name;
+    EXPECT_EQ(loaded.user_actions.size(), 0u) << c.name;
+    EXPECT_EQ(loaded.periodic.size(), 2u) << c.name;
+  }
+}
+
+TEST(SerializeBinary, LenientDropsDamagedTracesSectionWhole) {
+  // Damage the traces section AFTER its first trace has parsed: the
+  // documented lenient semantics drop the section, so no partially parsed
+  // traces may leak into the result.
+  std::string image = save_models_binary(full_models());
+  // Walk the section table (5 fixed-order sections; traces is the 4th) to
+  // find the traces payload span.
+  std::size_t offset = 12 + 5 * 16;
+  std::size_t traces_end = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    std::uint64_t size = 0;
+    const std::size_t at = 12 + static_cast<std::size_t>(i) * 16 + 8;
+    for (int b = 0; b < 8; ++b) {
+      size |= std::uint64_t{static_cast<std::uint8_t>(
+                  image[at + static_cast<std::size_t>(b)])}
+              << (8 * b);
+    }
+    offset += static_cast<std::size_t>(size);
+    if (i == 3) traces_end = offset;
+  }
+  ASSERT_GT(traces_end, 0u);
+  // The section ends with the label "plug:on_off" (11 bytes) and its u32
+  // length prefix; blow up that length so the final label fails to parse.
+  const std::size_t len_at = traces_end - 11 - 4;
+  for (int i = 0; i < 4; ++i) {
+    image[len_at + static_cast<std::size_t>(i)] = static_cast<char>(0xff);
+  }
+  fix_crc(image);
+
+  EXPECT_THROW(load_models_binary(as_bytes(image), ParsePolicy::kStrict),
+               SerializationError);
+  ParseStats stats;
+  const BehaviorModelSet loaded =
+      load_models_binary(as_bytes(image), ParsePolicy::kLenient, &stats);
+  EXPECT_EQ(stats.sections_dropped, 1u);
+  EXPECT_TRUE(loaded.training_traces.empty());  // nothing partial committed
+  EXPECT_EQ(loaded.periodic.size(), 2u);        // other sections intact
+  EXPECT_EQ(loaded.user_actions.size(), 1u);
+}
+
+TEST(SerializeBinary, UnreadableModelPathThrowsTypedErrorNotBadAlloc) {
+  // A missing file fails at open; a directory opens but has no meaningful
+  // size — tellg-based sizing used to turn the latter into bad_alloc.
+  EXPECT_THROW(load_models_binary_file("/no/such/models.bbm"),
+               SerializationError);
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  EXPECT_THROW(load_models_binary_file(dir), SerializationError);
 }
 
 TEST(SerializeBinary, ViewMatchesMaterializedLoad) {

@@ -650,6 +650,12 @@ int cmd_convert(const std::map<std::string, std::string>& flags) {
     // materializing load, so a torn or miswritten store file is caught at
     // write time rather than by the next reader.
     std::ifstream check(flags.at("out"), std::ios::binary);
+    if (!check) {
+      std::fprintf(stderr,
+                   "error: cannot re-open %s for verification\n",
+                   flags.at("out").c_str());
+      return 1;
+    }
     const std::string image((std::istreambuf_iterator<char>(check)),
                             std::istreambuf_iterator<char>());
     const BinaryModelView view = BinaryModelView::open(
