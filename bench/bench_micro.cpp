@@ -8,28 +8,41 @@
 // BEHAVIOT_SKIP_PIPELINE_BENCH=1) so successive PRs accumulate a perf
 // trajectory. The run also cross-checks the runtime's determinism guarantee:
 // serialized models must be byte-identical across thread counts.
+#include <arpa/inet.h>
 #include <benchmark/benchmark.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <sstream>
 
 #include "behaviot/chaos/fault_injector.hpp"
+#include "behaviot/core/model_handle.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
 #include "behaviot/core/serialize_binary.hpp"
+#include "behaviot/core/watch_engine.hpp"
 #include "behaviot/flow/assembler.hpp"
 #include "behaviot/flow/features.hpp"
 #include "behaviot/ml/random_forest.hpp"
+#include "behaviot/obs/export.hpp"
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/process_stats.hpp"
+#include "behaviot/obs/snapshot.hpp"
 #include "behaviot/obs/span.hpp"
+#include "behaviot/obs/telemetry_server.hpp"
 #include "behaviot/obs/trace.hpp"
 #include "behaviot/periodic/fft.hpp"
 #include "behaviot/periodic/period_detector.hpp"
@@ -403,6 +416,111 @@ PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
   return t;
 }
 
+/// One loopback GET /metrics round-trip against the embedded telemetry
+/// server: connect, request, drain the response, close. Returns the
+/// latency in ms, or a negative value when the scrape failed or the body
+/// was not a behaviot exposition (so the telemetry section can flag it).
+double scrape_metrics_ms(std::uint16_t port) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1.0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1.0;
+  }
+  const char request[] =
+      "GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+  const char* p = request;
+  std::size_t left = sizeof(request) - 1;
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return -1.0;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.1 200", 0) != 0 ||
+      response.find("behaviot_") == std::string::npos) {
+    return -1.0;
+  }
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Outcome of one streamed watch run for the telemetry overhead section.
+struct TelemetryWatchRun {
+  double total_ms = 0.0;     ///< wall-clock for the whole ingest+finish
+  double snapshot_ms = 0.0;  ///< time inside per-window render + atomic write
+  std::size_t windows = 0;
+  std::size_t alerts = 0;
+};
+
+/// Streams `packets` through a WatchEngine (30-min windows, retrain every 2)
+/// against `models`. With telemetry on, each closed window does what
+/// `behaviot watch --metrics --alerts` does: refresh process gauges, render
+/// the Prometheus exposition and an alerts document, and rewrite both
+/// snapshots atomically through SnapshotWriter. With telemetry off the sink
+/// only tallies alerts — the plain-daemon baseline.
+TelemetryWatchRun time_telemetry_watch(const BehaviorModelSet& models,
+                                       std::span<const Packet> packets,
+                                       bool with_telemetry,
+                                       const std::string& dir) {
+  using Clock = std::chrono::steady_clock;
+  obs::MetricsRegistry::set_enabled(with_telemetry);
+  obs::MetricsRegistry::global().reset_values();
+  WatchOptions opts;
+  opts.window_us = minutes(30.0);
+  opts.retrain_every_windows = 2;
+  ModelHandle handle(models);
+  WatchEngine engine(handle, DomainResolver{}, opts);
+  std::optional<obs::SnapshotWriter> metrics_writer;
+  std::optional<obs::SnapshotWriter> alerts_writer;
+  if (with_telemetry) {
+    metrics_writer.emplace(dir + "/metrics.prom");
+    alerts_writer.emplace(dir + "/alerts.json");
+  }
+  TelemetryWatchRun r;
+  engine.set_window_sink([&](const WatchWindowReport& rep) {
+    r.alerts += rep.alerts.size();
+    if (!with_telemetry) return;
+    const auto s0 = Clock::now();
+    obs::update_process_gauges();
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    metrics_writer->write(obs::to_prometheus(snap, obs::health().snapshot()),
+                          rep.index);
+    std::ostringstream doc;
+    doc << "{\"window\": " << rep.index << ", \"alerts\": " << r.alerts
+        << "}\n";
+    alerts_writer->write(doc.str(), rep.index);
+    r.snapshot_ms +=
+        std::chrono::duration<double, std::milli>(Clock::now() - s0).count();
+  });
+  const auto t0 = Clock::now();
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t i = 0; i < packets.size() && !engine.done(); i += kChunk) {
+    engine.ingest(packets.subspan(i, std::min(kChunk, packets.size() - i)));
+  }
+  engine.finish();
+  r.total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.windows = engine.windows_evaluated();
+  return r;
+}
+
 /// Emits BENCH_pipeline.json: train/classify wall-clock at 1, 2, and N
 /// threads (registry disabled, comparable with the PR-1 baseline
 /// trajectory), the byte-identity verdict across every configuration, a
@@ -414,7 +532,10 @@ PipelineTiming time_pipeline(std::size_t threads, bool with_metrics,
 /// disabled run doubles as the "tracing compiled in but off" baseline: the
 /// tracer call sites are always compiled into the stage/runtime paths, so
 /// parallel_total IS the disabled-tracing number the <= 1.02 budget in
-/// DESIGN.md refers to. Returns false on I/O failure.
+/// DESIGN.md refers to. A telemetry section additionally times a streamed
+/// watch run with per-window snapshot rewrites against the plain daemon
+/// (bounded at 1.5x) and measures loopback /metrics scrape latency.
+/// Returns false on I/O failure or a failed invariant.
 bool write_pipeline_bench_json(const std::string& path) {
   const std::size_t parallel_threads =
       std::max<std::size_t>(4, runtime::default_threads());
@@ -600,6 +721,79 @@ bool write_pipeline_bench_json(const std::string& path) {
               << text_load_ms / view_load_ms << "x), round trip "
               << (round_trip ? "identical" : "DIVERGED") << "\n";
   }
+  // Telemetry: what the live-daemon surfaces cost. The on-run streams the
+  // same capture through a WatchEngine with the registry enabled and the
+  // per-window --metrics/--alerts snapshot rewrites (atomic temp+rename);
+  // the off-run is the plain daemon. The bound is deliberately loose —
+  // per-window snapshot writes must stay lost in the noise of the window
+  // close itself, so a 1.5x wall-clock regression marks a real problem,
+  // not jitter. Scrape latency is a real loopback HTTP round-trip against
+  // the populated registry left behind by the on-run.
+  bool telemetry_ok = true;
+  {
+    std::istringstream seed_is(serial.serialized);
+    const BehaviorModelSet watch_models = load_models(seed_is);
+    const auto eval =
+        testbed::Datasets::routine_week(/*seed=*/131, /*days=*/0.2);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "behaviot_bench_telemetry")
+            .string();
+    std::filesystem::create_directories(dir);
+    const TelemetryWatchRun off = time_telemetry_watch(
+        watch_models, eval.packets, /*with_telemetry=*/false, dir);
+    const TelemetryWatchRun on = time_telemetry_watch(
+        watch_models, eval.packets, /*with_telemetry=*/true, dir);
+    // The registry still holds the on-run's watch.* families; scrape that.
+    obs::TelemetryServer server;
+    std::string server_error;
+    double scrape_sum = 0.0;
+    double scrape_max = 0.0;
+    int scrapes_ok = 0;
+    constexpr int kScrapes = 50;
+    if (server.start(&server_error)) {
+      for (int i = 0; i < kScrapes; ++i) {
+        const double latency = scrape_metrics_ms(server.port());
+        if (latency < 0.0) continue;
+        scrape_sum += latency;
+        scrape_max = std::max(scrape_max, latency);
+        ++scrapes_ok;
+      }
+      server.stop();
+    }
+    obs::MetricsRegistry::set_enabled(false);
+    obs::MetricsRegistry::global().reset_values();
+    std::filesystem::remove_all(dir);
+    const double on_over_off = on.total_ms / off.total_ms;
+    const double snapshot_per_window =
+        on.windows == 0 ? 0.0
+                        : on.snapshot_ms / static_cast<double>(on.windows);
+    const bool same_output =
+        on.windows == off.windows && on.alerts == off.alerts;
+    const bool within_noise = on_over_off <= 1.5;
+    telemetry_ok = same_output && within_noise && scrapes_ok == kScrapes;
+    os << "  \"telemetry\": {\n"
+       << "    \"watch_windows\": " << off.windows << ",\n"
+       << "    \"watch_alerts\": " << off.alerts << ",\n"
+       << "    \"watch_off_total_ms\": " << off.total_ms << ",\n"
+       << "    \"watch_on_total_ms\": " << on.total_ms << ",\n"
+       << "    \"watch_on_over_off\": " << on_over_off << ",\n"
+       << "    \"snapshot_ms_per_window\": " << snapshot_per_window << ",\n"
+       << "    \"scrapes\": " << kScrapes << ",\n"
+       << "    \"scrapes_ok\": " << scrapes_ok << ",\n"
+       << "    \"scrape_mean_ms\": "
+       << (scrapes_ok == 0 ? 0.0 : scrape_sum / scrapes_ok) << ",\n"
+       << "    \"scrape_max_ms\": " << scrape_max << ",\n"
+       << "    \"within_noise\": " << (within_noise ? "true" : "false")
+       << "\n  },\n";
+    std::cerr << "BENCH telemetry: watch " << off.total_ms << " ms plain vs "
+              << on.total_ms << " ms instrumented+snapshots ("
+              << on_over_off << "x, " << snapshot_per_window
+              << " ms/window in snapshot writes); " << scrapes_ok << "/"
+              << kScrapes << " scrapes ok, mean "
+              << (scrapes_ok == 0 ? 0.0 : scrape_sum / scrapes_ok)
+              << " ms; outputs "
+              << (same_output ? "identical" : "DIVERGED") << "\n";
+  }
   os << "  \"models_bit_identical\": " << (identical ? "true" : "false")
      << "\n}\n";
   std::cerr << "BENCH_pipeline: train " << serial.train_ms << " ms -> "
@@ -610,7 +804,7 @@ bool write_pipeline_bench_json(const std::string& path) {
             << " ms vs " << parallel_total << " ms disabled); models "
             << (identical ? "bit-identical" : "DIVERGED") << "; wrote "
             << path << "\n";
-  return identical && os.good();
+  return identical && telemetry_ok && os.good();
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "behaviot/core/serialize_binary.hpp"
 #include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/snapshot.hpp"
 
 namespace behaviot {
 namespace {
@@ -200,13 +201,22 @@ void save_models(std::ostream& os, const BehaviorModelSet& models) {
 
 void save_models_file(const std::string& path,
                       const BehaviorModelSet& models) {
+  // Serialize fully in memory, then replace the target atomically: a watch
+  // daemon killed mid-publish (or a fleet reader racing the write) sees the
+  // previous complete generation or the new one, never a torn prefix. The
+  // format still dispatches on the *target* extension, not the temp name.
+  std::string payload;
   if (is_binary_model_path(path)) {
-    save_models_binary_file(path, models);
-    return;
+    payload = save_models_binary(models);
+  } else {
+    std::ostringstream os;
+    save_models(os, models);
+    payload = os.str();
   }
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) throw SerializationError("cannot open for write: " + path);
-  save_models(file, models);
+  std::string error;
+  if (!obs::write_file_atomic(path, payload, &error)) {
+    throw SerializationError("cannot write models: " + error);
+  }
 }
 
 BehaviorModelSet load_models(std::istream& is, ParsePolicy policy,

@@ -1,6 +1,7 @@
 #include "behaviot/core/watch_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <utility>
@@ -67,8 +68,13 @@ void WatchEngine::advance_windows(bool to_completion) {
           max_end_.micros() != std::numeric_limits<std::int64_t>::min() &&
           ws < max_end_ + seconds(1.0);
       if (!flows_left && !time_left) break;
-    } else if (assembler_.seal_watermark() < we) {
-      break;  // window not final yet — wait for the stream clock
+    } else {
+      // One watermark read serves both the close decision and the /statusz
+      // stream clock (seal_watermark() sweeps idle flows, so read it once).
+      last_watermark_ = assembler_.seal_watermark();
+      if (*last_watermark_ < we) {
+        break;  // window not final yet — wait for the stream clock
+      }
     }
     close_window(ws, we);
     if (options_.max_windows > 0 && windows_ >= options_.max_windows) {
@@ -81,9 +87,29 @@ void WatchEngine::advance_windows(bool to_completion) {
   }
 }
 
+namespace {
+
+/// Stream-time lag buckets (seconds): how far the seal watermark had moved
+/// past a window's end by the time we closed it. Spans sub-second live
+/// tailing through multi-hour batch replay.
+std::span<const double> watermark_lag_bounds_s() {
+  static const double bounds[] = {0.5, 1.0, 5.0, 30.0, 60.0,
+                                  300.0, 900.0, 3600.0};
+  return bounds;
+}
+
+}  // namespace
+
 void WatchEngine::close_window(Timestamp ws, Timestamp we) {
   obs::StageSpan span("watch.window");
   obs::health().heartbeat("watch.engine");
+  const auto close_start = std::chrono::steady_clock::now();
+  if (last_watermark_ && *last_watermark_ >= we) {
+    static auto& lag_hist =
+        obs::histogram("watch.watermark_lag_s", watermark_lag_bounds_s());
+    lag_hist.observe(
+        static_cast<double>(last_watermark_->micros() - we.micros()) / 1e6);
+  }
 
   // Deterministic swap point: a retrain launched after window k is always
   // published and rebound here, before window k+1 is evaluated — never
@@ -149,6 +175,14 @@ void WatchEngine::close_window(Timestamp ws, Timestamp we) {
 
   ++windows_;
   ++next_window_;
+
+  // Observed before the sink so a scrape triggered by the sink (the CLI
+  // updates /statusz there) already includes this window's close latency.
+  static auto& close_hist = obs::histogram("watch.window_close_latency_ms");
+  close_hist.observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - close_start)
+                         .count());
+
   if (sink_) sink_(report);
 
   if (options_.retrain_every_windows > 0 &&
@@ -168,11 +202,16 @@ void WatchEngine::launch_retrain() {
       std::launch::async,
       [buffer = std::move(retrain_buffer_), base, duration_s, ropts]() {
         obs::StageSpan span("watch.retrain");
+        const auto retrain_start = std::chrono::steady_clock::now();
         PeriodicModelSet fresh = PeriodicModelSet::infer(buffer, duration_s);
         RetrainSummary summary;
         BehaviorModelSet next = *base;  // non-periodic members carry over
         next.periodic =
             merge_periodic_models(base->periodic, fresh, summary, ropts);
+        obs::histogram("watch.retrain_duration_ms")
+            .observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - retrain_start)
+                         .count());
         return next;
       });
   retrain_buffer_ = {};

@@ -115,6 +115,11 @@ class WatchEngine {
   [[nodiscard]] std::size_t open_flows() const {
     return assembler_.open_flows();
   }
+  /// Seal watermark observed at the most recent window-advance check — the
+  /// stream clock /statusz reports. Unset until the first released packet.
+  [[nodiscard]] std::optional<Timestamp> last_seal_watermark() const {
+    return last_watermark_;
+  }
 
  private:
   void advance_windows(bool to_completion);
@@ -132,6 +137,7 @@ class WatchEngine {
   std::function<void(const WatchWindowReport&)> sink_;
 
   std::optional<Timestamp> t0_;      ///< window-grid origin (first flow start)
+  std::optional<Timestamp> last_watermark_;  ///< latest observed seal watermark
   std::size_t next_window_ = 0;      ///< next window index to evaluate
   Timestamp max_end_{std::numeric_limits<std::int64_t>::min()};
   std::size_t windows_ = 0;

@@ -182,10 +182,13 @@ void StreamingFlowAssembler::sweep_idle(Timestamp now) {
 }
 
 void StreamingFlowAssembler::enforce_caps() {
+  static auto& force_sealed_counter = obs::counter("flow.force_sealed");
+  static auto& force_released_counter = obs::counter("flow.force_released");
   if (options_.max_open_flows > 0) {
     while (open_.size() > options_.max_open_flows) {
       seal(open_.find(lru_.front()));
       ++stats_.force_sealed;
+      force_sealed_counter.inc();
     }
   }
   if (options_.max_buffered_packets > 0) {
@@ -194,12 +197,14 @@ void StreamingFlowAssembler::enforce_caps() {
         // Cheapest eviction: sealing moves a whole flow out of the buffer.
         seal(open_.find(lru_.front()));
         ++stats_.force_sealed;
+        force_sealed_counter.inc();
       } else if (!reorder_.empty()) {
         // Releasing moves a packet from the reorder stage into an open flow
         // (buffer-neutral); the next iteration seals that flow.
         Buffered b = std::move(const_cast<Buffered&>(reorder_.top()));
         reorder_.pop();
         ++stats_.force_released;
+        force_released_counter.inc();
         release(b.packet, b.effective);
       } else {
         break;  // only the clamp slot left; floor is one packet
@@ -212,6 +217,12 @@ void StreamingFlowAssembler::note_peaks() {
   stats_.peak_open_flows = std::max(stats_.peak_open_flows, open_.size());
   stats_.peak_buffered_packets =
       std::max(stats_.peak_buffered_packets, buffered_packets());
+  // Live ingest-backlog gauges for the telemetry endpoint; cached refs and
+  // the registry's enabled gate keep this no-op cheap in library use.
+  static auto& open_gauge = obs::gauge("flow.open_flows");
+  static auto& buffered_gauge = obs::gauge("flow.buffered_packets");
+  open_gauge.set(static_cast<double>(open_.size()));
+  buffered_gauge.set(static_cast<double>(buffered_packets()));
 }
 
 std::size_t StreamingFlowAssembler::buffered_packets() const {

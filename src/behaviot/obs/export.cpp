@@ -244,9 +244,9 @@ std::string to_prometheus(const MetricsSnapshot& snap,
          << prom_sanitize(c.component) << "\"} "
          << static_cast<int>(c.state) << "\n";
     }
-    os << "# TYPE behaviot_component_incidents counter\n";
+    os << "# TYPE behaviot_component_incidents_total counter\n";
     for (const ComponentHealth& c : health.components) {
-      os << "behaviot_component_incidents{component=\""
+      os << "behaviot_component_incidents_total{component=\""
          << prom_sanitize(c.component) << "\"} " << c.incidents << "\n";
     }
   }

@@ -42,7 +42,7 @@ namespace behaviot::obs {
 
 /// Exposition plus per-component health families:
 /// behaviot_component_health{component="..."} 0|1|2 (healthy/degraded/
-/// quarantined) and behaviot_component_incidents{component="..."}.
+/// quarantined) and behaviot_component_incidents_total{component="..."}.
 [[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap,
                                         const HealthSnapshot& health);
 

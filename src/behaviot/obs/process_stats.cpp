@@ -1,0 +1,67 @@
+#include "behaviot/obs/process_stats.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "behaviot/obs/metrics.hpp"
+
+namespace behaviot::obs {
+
+namespace {
+
+/// First-call anchor: close enough to process start for a daemon that
+/// installs telemetry during startup, and immune to /proc parsing drift.
+std::chrono::steady_clock::time_point uptime_anchor() noexcept {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+double read_rss_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  unsigned long long total_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int matched =
+      std::fscanf(f, "%llu %llu", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(rss_pages) *
+         static_cast<double>(page > 0 ? page : 4096);
+}
+
+double read_cpu_seconds() noexcept {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  const auto tv_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return tv_s(usage.ru_utime) + tv_s(usage.ru_stime);
+}
+
+}  // namespace
+
+ProcessStats collect_process_stats() noexcept {
+  ProcessStats stats;
+  stats.rss_bytes = read_rss_bytes();
+  stats.cpu_seconds = read_cpu_seconds();
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    uptime_anchor())
+          .count();
+  return stats;
+}
+
+void update_process_gauges() noexcept {
+  const ProcessStats stats = collect_process_stats();
+  gauge("process.rss_bytes").set(stats.rss_bytes);
+  gauge("process.cpu_seconds").set(stats.cpu_seconds);
+  gauge("process.uptime_seconds").set(stats.uptime_seconds);
+}
+
+}  // namespace behaviot::obs

@@ -1,0 +1,31 @@
+// Process self-observation for the live telemetry endpoint: resident set
+// size, consumed CPU time, and uptime, read from the kernel on demand.
+//
+// These are the `behaviot_process_*` families a fleet scraper alarms on
+// first — a daemon whose RSS creeps or whose CPU flatlines is misbehaving
+// regardless of what its pipeline counters say. Collection is cheap (two
+// /proc reads and one getrusage call) and runs on the scrape path only,
+// never inside the pipeline.
+#pragma once
+
+namespace behaviot::obs {
+
+struct ProcessStats {
+  double rss_bytes = 0.0;       ///< current resident set (0 if unreadable)
+  double cpu_seconds = 0.0;     ///< user + system time consumed
+  double uptime_seconds = 0.0;  ///< wall time since process start
+};
+
+/// Reads the calling process's stats. Sources: /proc/self/statm for RSS and
+/// getrusage(2) for CPU on Linux; a steady-clock anchor captured on first
+/// call backs uptime when /proc is unavailable. Never throws — unreadable
+/// sources report 0 rather than taking a scrape down.
+[[nodiscard]] ProcessStats collect_process_stats() noexcept;
+
+/// Publishes the stats as registry gauges (`process.rss_bytes`,
+/// `process.cpu_seconds`, `process.uptime_seconds`), which the exporters
+/// render as behaviot_process_* families. No-op while the registry is
+/// disabled, like every other gauge write.
+void update_process_gauges() noexcept;
+
+}  // namespace behaviot::obs

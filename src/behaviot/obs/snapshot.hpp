@@ -1,0 +1,76 @@
+// Crash-safe telemetry file output: atomic whole-file replacement plus
+// size-gated rotation for snapshots rewritten on every closed window.
+//
+// Every telemetry file this repo emits (--metrics, --alerts, --trace,
+// --publish-models) is a complete document rewritten in place. A daemon
+// killed mid-write must never leave a torn file behind — the previous
+// generation has to survive intact — so all writes go through
+// write_file_atomic(): the bytes land in a same-directory temp file first
+// and are moved over the target with rename(2), which POSIX guarantees is
+// atomic. A concurrent reader (or the post-mortem after a kill -9) sees
+// either the old complete document or the new complete document, never a
+// prefix.
+//
+// SnapshotWriter layers rotation on top for long-running `watch` daemons:
+// when the freshly written snapshot exceeds `max_bytes`, the current file is
+// archived as `<path>.<window-index>` and the caller starts the next
+// generation from scratch, with only the newest `keep` archives retained.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace behaviot::obs {
+
+/// Atomically replaces `path` with `content` via write-to-temp-then-rename.
+/// On failure the target is untouched, the temp file is removed, and (when
+/// `error` is non-null) a one-line reason is stored. Never throws.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::string_view content,
+                                     std::string* error = nullptr) noexcept;
+
+struct SnapshotRotation {
+  /// Archive the snapshot once it exceeds this many bytes; 0 = never rotate.
+  std::uint64_t max_bytes = 0;
+  /// Rotated generations retained (`<path>.<index>`); older ones are pruned.
+  std::size_t keep = 3;
+};
+
+/// Periodic snapshot output with rotation. One writer owns one path; write()
+/// is called from a single thread (the watch loop's window sink).
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::string path, SnapshotRotation rotation = {});
+
+  /// Atomically replaces the snapshot with `content`. When rotation is
+  /// configured and the new snapshot exceeds the byte cap, the file is
+  /// archived as `<path>.<window_index>` and older archives beyond `keep`
+  /// are deleted. Returns false on I/O failure (see last_error()); a failed
+  /// write never tears the previous snapshot.
+  bool write(std::string_view content, std::uint64_t window_index);
+
+  /// True when the preceding write() archived the snapshot — the caller
+  /// should reset whatever accumulator produced the content so the next
+  /// generation starts fresh.
+  [[nodiscard]] bool rotated_last_write() const { return rotated_last_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+  [[nodiscard]] std::uint64_t rotations() const { return rotations_; }
+  /// Archived generations currently on disk, oldest first.
+  [[nodiscard]] const std::vector<std::string>& archives() const {
+    return archives_;
+  }
+
+ private:
+  std::string path_;
+  SnapshotRotation rotation_;
+  std::vector<std::string> archives_;  ///< oldest first
+  std::string error_;
+  std::uint64_t rotations_ = 0;
+  bool rotated_last_ = false;
+};
+
+}  // namespace behaviot::obs

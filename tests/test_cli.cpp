@@ -3,14 +3,25 @@
 // and trace formats through the shipped binary.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "behaviot/obs/json.hpp"
 
@@ -343,6 +354,10 @@ TEST_F(CliTest, MalformedNumericFlagsExitTwoWithUsageError) {
       {"watch --models m --capture c --poll-ms 10.5", "--poll-ms"},
       {"watch --models m --capture c --retrain-every 1e3",
        "--retrain-every"},
+      {"watch --models m --capture c --rotate-max-bytes -4",
+       "--rotate-max-bytes"},
+      {"score --models m --capture c --http nope", "--http"},
+      {"score --models m --capture c --http 70000", "TCP port"},
   };
   for (const auto& c : cases) {
     const auto result = run(c.args);
@@ -412,6 +427,218 @@ TEST_F(CliTest, ScoreRejectsCorruptModels) {
   }
   const auto result = run("score --models " + bad + " --capture /dev/null");
   EXPECT_NE(result.exit_code, 0);
+}
+
+// ---- Live telemetry: rotation, crash-safety, HTTP endpoint ----
+
+/// Forks and execs the CLI with stdout+stderr redirected to `out_path`.
+pid_t spawn_cli(std::vector<std::string> args, const std::string& out_path) {
+  const std::string cli = cli_path();
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  std::string argv0 = cli;
+  argv.push_back(argv0.data());
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(cli.c_str(), argv.data());
+  _exit(127);
+}
+
+/// Trains models and simulates the deterministic-outage day once for the
+/// telemetry tests (uncontrolled-day:30 against idle models raises alerts).
+void make_watch_inputs(const std::string& dir, std::string* models,
+                       std::string* capture) {
+  static std::map<std::string, std::pair<std::string, std::string>> cache;
+  if (const auto it = cache.find(dir); it != cache.end()) {
+    *models = it->second.first;
+    *capture = it->second.second;
+    return;
+  }
+  const std::string idle = dir + "/telemetry_idle.pcap";
+  *models = dir + "/telemetry_models.txt";
+  *capture = dir + "/telemetry_day30.pcap";
+  ASSERT_EQ(run("simulate --dataset idle --days 0.1 --seed 5 --out " + idle)
+                .exit_code,
+            0);
+  ASSERT_EQ(
+      run("train --idle " + idle + " --window-days 0.1 --out " + *models)
+          .exit_code,
+      0);
+  ASSERT_EQ(run("simulate --dataset uncontrolled-day:30 --seed 5 --out " +
+                *capture)
+                .exit_code,
+            0);
+  cache[dir] = {*models, *capture};
+}
+
+TEST_F(CliTest, WatchRotatesAlertSnapshotsWithoutLosingAlerts) {
+  std::string models, capture;
+  make_watch_inputs(*dir_, &models, &capture);
+
+  // Reference: one unrotated report over the whole run.
+  const std::string ref = *dir_ + "/rotate_ref.json";
+  ASSERT_EQ(run("watch --models " + models + " --capture " + capture +
+                " --window-s 600 --alerts " + ref)
+                .exit_code,
+            0);
+  const auto ref_alerts =
+      behaviot::obs::json::parse(read_file(ref)).at("alerts").as_array();
+  ASSERT_FALSE(ref_alerts.empty());
+
+  // Rotated run: a tight byte cap forces archives; keep is high enough that
+  // nothing is pruned, so no alert may be lost.
+  const std::string rot = *dir_ + "/rotate_live.json";
+  const auto result =
+      run("watch --models " + models + " --capture " + capture +
+          " --window-s 600 --alerts " + rot +
+          " --rotate-max-bytes 600 --rotate-keep 50");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+
+  // Every generation on disk — archives (<path>.<window>) plus the live
+  // file — is a complete document, and together they carry exactly the
+  // reference alerts in order.
+  std::vector<std::pair<unsigned long, std::string>> generations;
+  const std::string base = std::filesystem::path(rot).filename().string();
+  for (const auto& entry : std::filesystem::directory_iterator(*dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(base + ".", 0) == 0) {
+      generations.emplace_back(std::stoul(name.substr(base.size() + 1)),
+                               entry.path().string());
+    }
+  }
+  ASSERT_FALSE(generations.empty()) << "the byte cap never triggered";
+  std::sort(generations.begin(), generations.end());
+  if (std::filesystem::exists(rot)) {
+    generations.emplace_back(~0ul, rot);  // live file holds the newest tail
+  }
+  std::size_t i = 0;
+  for (const auto& [index, path] : generations) {
+    const auto doc = behaviot::obs::json::parse(read_file(path));
+    for (const auto& alert : doc.at("alerts").as_array()) {
+      ASSERT_LT(i, ref_alerts.size()) << "more alerts than the unrotated run";
+      EXPECT_EQ(alert.at("when_us").as_number(),
+                ref_alerts[i].at("when_us").as_number())
+          << path << " alert " << i;
+      EXPECT_EQ(alert.at("score").as_number(),
+                ref_alerts[i].at("score").as_number())
+          << path << " alert " << i;
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, ref_alerts.size());
+}
+
+TEST_F(CliTest, KillMidRunNeverLeavesTornTelemetryFiles) {
+  std::string models, capture;
+  make_watch_inputs(*dir_, &models, &capture);
+  const std::string alerts = *dir_ + "/kill_alerts.json";
+  const std::string metrics = *dir_ + "/kill_metrics.json";
+
+  // Kill the daemon at several points mid-run; whatever the moment, every
+  // telemetry file on disk must parse as a complete document (the atomic
+  // temp-then-rename write means a reader sees the previous generation or
+  // the new one, never a prefix).
+  for (const unsigned delay_us : {5000u, 20000u, 60000u, 150000u}) {
+    for (const auto& entry : std::filesystem::directory_iterator(*dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("kill_", 0) == 0) std::filesystem::remove(entry.path());
+    }
+    const pid_t pid = spawn_cli(
+        {"watch", "--models", models, "--capture", capture, "--window-s",
+         "300", "--alerts", alerts, "--metrics", metrics,
+         "--rotate-max-bytes", "2048", "--rotate-keep", "4"},
+        "/dev/null");
+    ASSERT_GT(pid, 0);
+    ::usleep(delay_us);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+
+    for (const auto& entry : std::filesystem::directory_iterator(*dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("kill_", 0) != 0) continue;
+      if (name.find(".tmp.") != std::string::npos) continue;  // orphan temp
+      const std::string text = read_file(entry.path().string());
+      ASSERT_FALSE(text.empty()) << name;
+      EXPECT_NO_THROW((void)behaviot::obs::json::parse(text))
+          << name << " torn at delay " << delay_us;
+    }
+  }
+}
+
+/// Minimal HTTP GET against the CLI's telemetry endpoint.
+std::pair<int, std::string> http_get(unsigned port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {-1, ""};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {-1, ""};
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string raw;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return {-1, ""};
+  return {std::atoi(raw.c_str() + 9), raw.substr(split + 4)};
+}
+
+TEST_F(CliTest, WatchServesHttpTelemetryWhileFollowing) {
+  std::string models, capture;
+  make_watch_inputs(*dir_, &models, &capture);
+  const std::string log = *dir_ + "/http_watch.log";
+
+  // --follow keeps the daemon alive at EOF, holding the endpoints up while
+  // we probe them; --http 0 binds an ephemeral port printed to stderr.
+  const pid_t pid = spawn_cli(
+      {"watch", "--models", models, "--capture", capture, "--window-s",
+       "600", "--follow", "1", "--http", "0"},
+      log);
+  ASSERT_GT(pid, 0);
+
+  unsigned port = 0;
+  for (int tries = 0; tries < 100 && port == 0; ++tries) {
+    ::usleep(50000);
+    const std::string text = read_file(log);
+    const auto at = text.find("listening on http://127.0.0.1:");
+    if (at != std::string::npos) {
+      port = static_cast<unsigned>(
+          std::atoi(text.c_str() + at + std::strlen("listening on http://127.0.0.1:")));
+    }
+  }
+  ASSERT_NE(port, 0u) << read_file(log);
+
+  const auto healthz = http_get(port, "/healthz");
+  EXPECT_EQ(healthz.first, 200) << healthz.second;
+  const auto metrics = http_get(port, "/metrics");
+  EXPECT_EQ(metrics.first, 200);
+  EXPECT_NE(metrics.second.find("behaviot_process_rss_bytes"),
+            std::string::npos);
+  const auto statusz = http_get(port, "/statusz");
+  EXPECT_EQ(statusz.first, 200);
+  EXPECT_NO_THROW((void)behaviot::obs::json::parse(statusz.second));
+
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
 }
 
 }  // namespace

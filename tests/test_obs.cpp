@@ -209,6 +209,31 @@ TEST_F(ObsTest, SummaryTableListsStagesAndCounters) {
   EXPECT_NE(table.find("12"), std::string::npos);
 }
 
+TEST_F(ObsTest, SummaryTableSortsFamiliesLexicographically) {
+  // Register deliberately out of order; the table must list families sorted
+  // by name so two runs (and two scrapes) are diffable line-by-line.
+  obs::counter("zeta.last").inc();
+  obs::counter("alpha.first").inc();
+  obs::counter("mid.dle").inc();
+  obs::gauge("zz.gauge").set(1.0);
+  obs::gauge("aa.gauge").set(1.0);
+  const auto table =
+      obs::summary_table(obs::MetricsRegistry::global().snapshot());
+  const auto alpha = table.find("alpha.first");
+  const auto mid = table.find("mid.dle");
+  const auto zeta = table.find("zeta.last");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zeta);
+  const auto aa = table.find("aa.gauge");
+  const auto zz = table.find("zz.gauge");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+}
+
 // ---- End-to-end counter contract on a known synthetic capture ----
 
 TEST_F(ObsTest, IngestCountersMatchParseStats) {

@@ -73,6 +73,8 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -90,7 +92,10 @@
 #include "behaviot/obs/export.hpp"
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
+#include "behaviot/obs/process_stats.hpp"
+#include "behaviot/obs/snapshot.hpp"
 #include "behaviot/obs/span.hpp"
+#include "behaviot/obs/telemetry_server.hpp"
 #include "behaviot/obs/trace.hpp"
 
 using namespace behaviot;
@@ -100,6 +105,19 @@ namespace {
 /// The run's fault injector (nullptr without --chaos). Lives for the whole
 /// command so feature-stage faults stay armed while the pipeline runs.
 std::unique_ptr<chaos::FaultInjector> g_chaos;
+
+/// The run's telemetry server (nullptr without --http). Started before the
+/// command dispatch so the endpoints answer for the whole run, including
+/// model load and ingest.
+std::unique_ptr<obs::TelemetryServer> g_telemetry;
+
+/// Shared /statusz document for `watch`: the window sink rewrites it, the
+/// server thread reads it. The mutex is the whole consistency story — the
+/// served document is always one complete window's status.
+struct WatchStatus {
+  std::mutex mu;
+  std::string json = "null";
+};
 
 int usage() {
   std::fprintf(stderr,
@@ -124,6 +142,11 @@ int usage() {
                "      [--publish-models FILE   write each retrained+swapped"
                " model\n"
                "      generation to FILE (format by extension)]\n"
+               "      [--rotate-max-bytes N --rotate-keep K   archive an"
+               " --alerts/\n"
+               "      --metrics/--trace snapshot as FILE.<window> once it"
+               " exceeds N\n"
+               "      bytes, keeping the newest K archives (default 3)]\n"
                "      stream the capture (tail it with --follow 1), score"
                " each closed\n"
                "      W-second window, retrain + hot-swap models every"
@@ -170,7 +193,15 @@ int usage() {
                "      as Chrome trace-event JSON (open in Perfetto or"
                " chrome://tracing);\n"
                "      parallel stages render as per-thread lanes of chunk"
-               " spans\n");
+               " spans\n"
+               "  --http PORT              serve live telemetry on"
+               " 127.0.0.1:PORT while the\n"
+               "      command runs (0 = ephemeral; the bound port is printed"
+               " to stderr):\n"
+               "      /metrics (Prometheus 0.0.4), /metrics.json, /healthz"
+               " (200/503),\n"
+               "      /statusz (run status JSON), /tracez (recent-event"
+               " trace)\n");
   return 2;
 }
 
@@ -480,16 +511,15 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
   }
   if (flags.count("alerts")) {
     const std::string& path = flags.at("alerts");
-    std::ofstream os(path, std::ios::trunc);
-    if (!os) {
-      std::fprintf(stderr, "error: cannot write alerts to %s\n", path.c_str());
+    const obs::HealthSnapshot health = obs::health().snapshot();
+    std::string error;
+    if (!obs::write_file_atomic(path, alerts_to_json(alerts, &health),
+                                &error)) {
+      std::fprintf(stderr, "error: cannot write alerts: %s\n", error.c_str());
       return 1;
     }
-    const obs::HealthSnapshot health = obs::health().snapshot();
-    os << alerts_to_json(alerts, &health);
     std::fprintf(stderr, "wrote %zu alert(s) with provenance to %s\n",
                  alerts.size(), path.c_str());
-    if (!os.good()) return 1;
   }
   return 0;
 }
@@ -534,14 +564,38 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
     opts.publish_models_path = flags.at("publish-models");
   }
   const long poll_ms = static_cast<long>(parse_count(flags, "poll-ms", 200));
+  obs::SnapshotRotation rotation;
+  rotation.max_bytes = parse_count(flags, "rotate-max-bytes", 0);
+  rotation.keep =
+      static_cast<std::size_t>(parse_count(flags, "rotate-keep", 3));
 
   ModelHandle handle(
       load_models_reporting(flags.at("models"), parse_policy(flags)));
   WatchEngine engine(handle, make_resolver(), opts);
 
   const auto& catalog = testbed::Catalog::standard();
-  const std::string alerts_path =
-      flags.count("alerts") ? flags.at("alerts") : "";
+  // Every telemetry output is rewritten atomically after each closed window
+  // (and archived once it crosses the rotation cap), so a kill -9 at any
+  // moment leaves complete previous-generation files behind.
+  std::optional<obs::SnapshotWriter> alerts_writer;
+  if (flags.count("alerts")) {
+    alerts_writer.emplace(flags.at("alerts"), rotation);
+  }
+  std::optional<obs::SnapshotWriter> metrics_writer;
+  if (flags.count("metrics")) {
+    metrics_writer.emplace(flags.at("metrics"), rotation);
+  }
+  std::optional<obs::SnapshotWriter> trace_writer;
+  if (flags.count("trace")) {
+    trace_writer.emplace(flags.at("trace"), rotation);
+  }
+  auto status = std::make_shared<WatchStatus>();
+  if (g_telemetry != nullptr) {
+    g_telemetry->set_status_provider([status]() {
+      std::lock_guard<std::mutex> lock(status->mu);
+      return status->json;
+    });
+  }
   std::vector<DeviationAlert> all_alerts;
   engine.set_window_sink([&](const WatchWindowReport& r) {
     std::string note;
@@ -561,17 +615,88 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
                   a.context.substr(0, 80).c_str());
     }
     all_alerts.insert(all_alerts.end(), r.alerts.begin(), r.alerts.end());
-    if (!alerts_path.empty()) {
+    const obs::HealthSnapshot health = obs::health().snapshot();
+    if (alerts_writer) {
       // Rewritten whole after every window: the file is always a complete,
-      // valid report of the alerts emitted so far.
-      std::ofstream os(alerts_path, std::ios::trunc);
-      if (os) {
-        const obs::HealthSnapshot health = obs::health().snapshot();
-        os << alerts_to_json(all_alerts, &health);
-      } else {
-        std::fprintf(stderr, "error: cannot write alerts to %s\n",
-                     alerts_path.c_str());
+      // valid report of the alerts emitted since the last rotation.
+      if (!alerts_writer->write(alerts_to_json(all_alerts, &health),
+                                r.index)) {
+        std::fprintf(stderr, "error: cannot write alerts: %s\n",
+                     alerts_writer->last_error().c_str());
+      } else if (alerts_writer->rotated_last_write()) {
+        // The archived generation holds everything so far; the next
+        // generation reports only what follows. Concatenating the archives
+        // with the live file reproduces the unrotated report exactly.
+        all_alerts.clear();
       }
+    }
+    if (metrics_writer || g_telemetry != nullptr) {
+      obs::update_process_gauges();
+    }
+    if (metrics_writer) {
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      const std::string& mpath = metrics_writer->path();
+      const bool prom =
+          mpath.size() >= 5 && mpath.rfind(".prom") == mpath.size() - 5;
+      if (!metrics_writer->write(prom ? obs::to_prometheus(snap, health)
+                                      : obs::to_json(snap, health),
+                                 r.index)) {
+        std::fprintf(stderr, "error: cannot write metrics: %s\n",
+                     metrics_writer->last_error().c_str());
+      }
+    }
+    if (obs::Tracer::enabled() &&
+        (trace_writer || g_telemetry != nullptr)) {
+      // The window sink is the stream's quiescent point (the retrain thread
+      // is joined and pool workers are idle), so the tracer's snapshot
+      // contract holds — this is where the rings may be read and published.
+      const std::string doc =
+          obs::trace_to_chrome_json(obs::Tracer::global().snapshot());
+      if (trace_writer && !trace_writer->write(doc, r.index)) {
+        std::fprintf(stderr, "error: cannot write trace: %s\n",
+                     trace_writer->last_error().c_str());
+      }
+      if (g_telemetry != nullptr) g_telemetry->publish_trace_json(doc);
+    }
+    if (g_telemetry != nullptr) {
+      // Refresh /statusz: one complete JSON document per closed window.
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      const auto quantiles = [&snap](const char* name) {
+        std::ostringstream q;
+        const auto it = snap.histograms.find(name);
+        if (it == snap.histograms.end()) {
+          q << "{\"count\":0}";
+        } else {
+          q << "{\"count\":" << it->second.count
+            << ",\"p50\":" << obs::histogram_quantile(it->second, 0.5)
+            << ",\"p95\":" << obs::histogram_quantile(it->second, 0.95)
+            << ",\"p99\":" << obs::histogram_quantile(it->second, 0.99)
+            << "}";
+        }
+        return q.str();
+      };
+      const auto wm = engine.last_seal_watermark();
+      std::ostringstream js;
+      js << "{\"window\":" << r.index << ",\"window_end_s\":"
+         << static_cast<double>(r.end.micros()) / 1e6
+         << ",\"seal_watermark_s\":";
+      if (wm) {
+        js << static_cast<double>(wm->micros()) / 1e6 << ",\"watermark_lag_s\":"
+           << static_cast<double>(wm->micros() - r.end.micros()) / 1e6;
+      } else {
+        js << "null,\"watermark_lag_s\":null";
+      }
+      js << ",\"model_version\":" << r.model_version
+         << ",\"swaps\":" << engine.swaps()
+         << ",\"alerts\":" << engine.alerts_emitted()
+         << ",\"open_flows\":" << engine.open_flows()
+         << ",\"buffered_packets\":" << engine.buffered_packets()
+         << ",\"window_close_latency_ms\":"
+         << quantiles("watch.window_close_latency_ms")
+         << ",\"retrain_duration_ms\":"
+         << quantiles("watch.retrain_duration_ms") << "}";
+      std::lock_guard<std::mutex> lock(status->mu);
+      status->json = js.str();
     }
     std::fflush(stdout);
   });
@@ -818,12 +943,12 @@ int dispatch(const std::string& command,
 bool write_trace(const std::string& path) {
   obs::Tracer::global().stop();
   const auto snap = obs::Tracer::global().snapshot();
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) {
-    std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+  std::string error;
+  if (!obs::write_file_atomic(path, obs::trace_to_chrome_json(snap),
+                              &error)) {
+    std::fprintf(stderr, "error: cannot write trace: %s\n", error.c_str());
     return false;
   }
-  os << obs::trace_to_chrome_json(snap);
   std::fprintf(stderr,
                "wrote trace to %s (%llu events on %zu threads, %llu dropped)"
                " — open in Perfetto or chrome://tracing\n",
@@ -831,24 +956,27 @@ bool write_trace(const std::string& path) {
                static_cast<unsigned long long>(snap.total_events),
                snap.threads.size(),
                static_cast<unsigned long long>(snap.total_dropped));
-  return os.good();
+  return true;
 }
 
 /// Writes the registry to `path` (Prometheus text for .prom, JSON otherwise)
 /// and prints the summary table to stderr. Returns false on I/O failure.
 bool write_metrics(const std::string& path) {
+  obs::update_process_gauges();
   const auto snap = obs::MetricsRegistry::global().snapshot();
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) {
-    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
-    return false;
-  }
   const bool prom = path.size() >= 5 && path.rfind(".prom") == path.size() - 5;
   const obs::HealthSnapshot health = obs::health().snapshot();
-  os << (prom ? obs::to_prometheus(snap, health) : obs::to_json(snap, health));
+  std::string error;
+  if (!obs::write_file_atomic(path,
+                              prom ? obs::to_prometheus(snap, health)
+                                   : obs::to_json(snap, health),
+                              &error)) {
+    std::fprintf(stderr, "error: cannot write metrics: %s\n", error.c_str());
+    return false;
+  }
   std::fprintf(stderr, "\n%swrote metrics to %s\n",
                obs::summary_table(snap).c_str(), path.c_str());
-  return os.good();
+  return true;
 }
 
 }  // namespace
@@ -875,6 +1003,31 @@ int main(int argc, char** argv) {
     }
     g_chaos->arm_feature_chaos();
   }
+  const auto http = flags.find("http");
+  if (http != flags.end()) {
+    try {
+      const std::uint64_t port = parse_count_value("http", http->second);
+      if (port > 65535) {
+        reject_flag("http", http->second, "a TCP port (0-65535)");
+      }
+      // A scrape surface implies recording: turn the registry on like
+      // --metrics does, so /metrics has something to say.
+      obs::MetricsRegistry::set_enabled(true);
+      obs::TelemetryServerOptions topts;
+      topts.port = static_cast<std::uint16_t>(port);
+      g_telemetry = std::make_unique<obs::TelemetryServer>(topts);
+      std::string err;
+      if (!g_telemetry->start(&err)) {
+        std::fprintf(stderr, "error: --http: %s\n", err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "telemetry: listening on http://127.0.0.1:%u\n",
+                   static_cast<unsigned>(g_telemetry->port()));
+    } catch (const FlagError& e) {
+      std::fprintf(stderr, "usage error: %s\n", e.what());
+      return 2;
+    }
+  }
   int rc = 2;
   try {
     rc = dispatch(command, flags);
@@ -898,5 +1051,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "\n%s", obs::render_health_table(health).c_str());
     }
   }
+  // Stopped after the final writes so a scraper polling through command
+  // exit sees the run's complete telemetry.
+  g_telemetry.reset();
   return rc;
 }

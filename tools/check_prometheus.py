@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Promtool-style lint for the /metrics endpoint and --metrics .prom output.
+
+Validates the Prometheus 0.0.4 text exposition this repo emits without
+needing promtool in the container:
+
+  * every sample belongs to a family announced by a # TYPE line;
+  * family types are valid (counter | gauge | histogram | summary);
+  * sample lines parse (name{labels} value) and values are finite floats
+    (+Inf allowed only in histogram 'le' labels);
+  * no duplicate sample (name + label set);
+  * counter family names end in _total;
+  * histograms are complete: cumulative le-ordered buckets ending at +Inf,
+    with _sum and _count present and _count equal to the +Inf bucket.
+
+Usage: check_prometheus.py FILE   (or '-' for stdin).  Exit 0 clean, 1 with
+one line per violation otherwise.
+"""
+
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\S+)?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name, types):
+    """Family a sample belongs to, stripping histogram/summary suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Inf"):
+        return math.inf if not text.startswith("-") else -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    source = sys.stdin if sys.argv[1] == "-" else open(sys.argv[1])
+    with source as f:
+        lines = f.read().splitlines()
+
+    errors = []
+    types = {}
+    seen = set()
+    buckets = {}  # family -> list of (le, value)
+    counts = {}  # family -> _count value
+    sums = set()  # families with _sum
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"{lineno}: malformed TYPE line: {line}")
+                continue
+            _, _, family, kind = parts
+            if kind not in VALID_TYPES:
+                errors.append(f"{lineno}: invalid type '{kind}' for {family}")
+            if family in types:
+                errors.append(f"{lineno}: duplicate TYPE for {family}")
+            types[family] = kind
+            if kind == "counter" and not family.endswith("_total"):
+                errors.append(
+                    f"{lineno}: counter family {family} must end in _total"
+                )
+            continue
+        if line.startswith("#"):
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"{lineno}: unparseable sample line: {line}")
+            continue
+        name, _, labels_text, value_text = m.group(1), m.group(2), m.group(
+            3
+        ), m.group(4)
+        family = base_family(name, types)
+        if family is None:
+            errors.append(f"{lineno}: sample {name} has no # TYPE line")
+            continue
+
+        labels = []
+        if labels_text:
+            labels = sorted(LABEL_RE.findall(labels_text))
+            stripped = LABEL_RE.sub("", labels_text).replace(",", "").strip()
+            if stripped:
+                errors.append(f"{lineno}: malformed labels: {{{labels_text}}}")
+
+        key = (name, tuple(labels))
+        if key in seen:
+            errors.append(f"{lineno}: duplicate sample {name}{labels}")
+        seen.add(key)
+
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"{lineno}: non-float value '{value_text}' on {name}")
+            continue
+        le = dict(labels).get("le")
+        if math.isinf(value) and not (
+            name.endswith("_bucket") or dict(labels).get("quantile")
+        ):
+            errors.append(f"{lineno}: non-finite value on {name}")
+        if math.isnan(value):
+            errors.append(f"{lineno}: NaN value on {name}")
+
+        if types.get(family) == "histogram":
+            if name.endswith("_bucket"):
+                if le is None:
+                    errors.append(f"{lineno}: {name} bucket without le label")
+                else:
+                    other = tuple(kv for kv in labels if kv[0] != "le")
+                    buckets.setdefault((family, other), []).append(
+                        (parse_value(le), value, lineno)
+                    )
+            elif name.endswith("_count"):
+                other = tuple(labels)
+                counts[(family, other)] = value
+            elif name.endswith("_sum"):
+                sums.add((family, tuple(labels)))
+
+    for (family, other), series in buckets.items():
+        series.sort(key=lambda b: b[0])
+        if not series or not math.isinf(series[-1][0]):
+            errors.append(f"histogram {family}{dict(other)} missing +Inf bucket")
+            continue
+        last = -1.0
+        for le, value, lineno in series:
+            if value < last:
+                errors.append(
+                    f"{lineno}: histogram {family} buckets not cumulative at"
+                    f" le={le}"
+                )
+            last = value
+        count = counts.get((family, other))
+        if count is None:
+            errors.append(f"histogram {family}{dict(other)} missing _count")
+        elif count != series[-1][1]:
+            errors.append(
+                f"histogram {family}{dict(other)} _count {count} !="
+                f" +Inf bucket {series[-1][1]}"
+            )
+        if (family, other) not in sums:
+            errors.append(f"histogram {family}{dict(other)} missing _sum")
+
+    for error in errors:
+        print(error)
+    if not errors:
+        samples = len(seen)
+        print(f"ok: {len(types)} families, {samples} samples")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
