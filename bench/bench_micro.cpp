@@ -28,6 +28,9 @@
 #include <sstream>
 
 #include "behaviot/chaos/fault_injector.hpp"
+#include "behaviot/analysis/alert_report.hpp"
+#include "behaviot/core/binary_io.hpp"
+#include "behaviot/core/checkpoint.hpp"
 #include "behaviot/core/model_handle.hpp"
 #include "behaviot/core/pipeline.hpp"
 #include "behaviot/core/serialize.hpp"
@@ -521,6 +524,71 @@ TelemetryWatchRun time_telemetry_watch(const BehaviorModelSet& models,
   return r;
 }
 
+/// Outcome of one streamed watch run for the checkpoint overhead section.
+struct CheckpointWatchRun {
+  double total_ms = 0.0;       ///< wall-clock for the whole ingest+finish
+  double checkpoint_ms = 0.0;  ///< time inside export + serialize + write
+  std::size_t windows = 0;
+  std::size_t alerts = 0;
+  std::uint64_t bytes = 0;  ///< size of the last checkpoint image
+};
+
+/// Streams `packets` through a WatchEngine (30-min windows, retrain every 2
+/// — the telemetry section's realistic daemon config, so the ratio is
+/// measured against what a window actually costs, not an idle no-retrain
+/// shell). Both runs rewrite the per-window `--alerts` snapshot the way
+/// every operated daemon does; the on-run additionally does what `behaviot
+/// watch --checkpoint` does: export the full daemon state, serialize it
+/// with the embedded model image, and write it through the rotating atomic
+/// path.
+CheckpointWatchRun time_checkpoint_watch(const BehaviorModelSet& models,
+                                         std::span<const Packet> packets,
+                                         bool with_checkpoint,
+                                         const std::string& path,
+                                         const std::string& alerts_path) {
+  using Clock = std::chrono::steady_clock;
+  WatchOptions opts;
+  opts.window_us = minutes(30.0);
+  opts.retrain_every_windows = 2;
+  ModelHandle handle(models);
+  WatchEngine engine(handle, DomainResolver{}, opts);
+  CheckpointWatchRun r;
+  std::vector<DeviationAlert> all_alerts;
+  obs::SnapshotWriter alerts_writer(alerts_path);
+  engine.set_window_sink([&](const WatchWindowReport& rep) {
+    all_alerts.insert(all_alerts.end(), rep.alerts.begin(), rep.alerts.end());
+    r.alerts += rep.alerts.size();
+    alerts_writer.write(alerts_to_json(all_alerts), rep.index);
+    if (!with_checkpoint) return;
+    const auto s0 = Clock::now();
+    WatchCheckpoint cp;
+    cp.options.window_us = opts.window_us;
+    cp.engine = engine.export_state();
+    cp.models_image = save_models_binary(*handle.acquire());
+    cp.model_version = handle.version();
+    cp.input_offset = rep.index + 1;  // stand-in for the capture offset
+    cp.alerts_json = alerts_to_json(all_alerts);
+    std::string error;
+    if (write_checkpoint_rotating(path, cp, &error)) {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(path, ec);
+      if (!ec) r.bytes = static_cast<std::uint64_t>(size);
+    }
+    r.checkpoint_ms +=
+        std::chrono::duration<double, std::milli>(Clock::now() - s0).count();
+  });
+  const auto t0 = Clock::now();
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t i = 0; i < packets.size() && !engine.done(); i += kChunk) {
+    engine.ingest(packets.subspan(i, std::min(kChunk, packets.size() - i)));
+  }
+  engine.finish();
+  r.total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  r.windows = engine.windows_evaluated();
+  return r;
+}
+
 /// Emits BENCH_pipeline.json: train/classify wall-clock at 1, 2, and N
 /// threads (registry disabled, comparable with the PR-1 baseline
 /// trajectory), the byte-identity verdict across every configuration, a
@@ -794,6 +862,83 @@ bool write_pipeline_bench_json(const std::string& path) {
               << " ms; outputs "
               << (same_output ? "identical" : "DIVERGED") << "\n";
   }
+  // Checkpoint overhead: the on-run writes a full rotating .bbc (engine
+  // export + embedded model image + alert report, atomic temp+rename+prev
+  // rotation) after every closed window — the worst-case cadence; real
+  // deployments thin it with --checkpoint-every. Both runs carry the
+  // per-window --alerts snapshot rewrite every operated daemon does, so
+  // the ratio prices the checkpoint against a real window, and each side
+  // is best-of-3 so a single scheduler hiccup can't fail the bound. The
+  // bound is 1.2x the operated daemon. Save/load round-trip latency on
+  // the final image rides along for the resume-time budget.
+  bool checkpoint_ok = true;
+  {
+    std::istringstream seed_is(serial.serialized);
+    const BehaviorModelSet watch_models = load_models(seed_is);
+    const auto eval =
+        testbed::Datasets::routine_week(/*seed=*/131, /*days=*/0.2);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "behaviot_bench_checkpoint")
+            .string();
+    std::filesystem::create_directories(dir);
+    const std::string ck_path = dir + "/state.bbc";
+    const std::string al_path = dir + "/alerts.json";
+    const auto best_of = [&](bool with_checkpoint) {
+      CheckpointWatchRun best;
+      for (int rep = 0; rep < 3; ++rep) {
+        const CheckpointWatchRun run = time_checkpoint_watch(
+            watch_models, eval.packets, with_checkpoint, ck_path, al_path);
+        if (rep == 0 || run.total_ms < best.total_ms) best = run;
+      }
+      return best;
+    };
+    const CheckpointWatchRun off = best_of(/*with_checkpoint=*/false);
+    const CheckpointWatchRun on = best_of(/*with_checkpoint=*/true);
+    // Round-trip the final image once for save/load latency.
+    using Clock = std::chrono::steady_clock;
+    std::ifstream in(ck_path, std::ios::binary);
+    const std::string image((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    const auto l0 = Clock::now();
+    const WatchCheckpoint loaded = load_checkpoint(binio::as_bytes(image));
+    const double load_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - l0).count();
+    const auto s0 = Clock::now();
+    const std::string resaved = save_checkpoint(loaded);
+    const double save_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - s0).count();
+    std::filesystem::remove_all(dir);
+    const double on_over_off = on.total_ms / off.total_ms;
+    const double checkpoint_per_window =
+        on.windows == 0 ? 0.0
+                        : on.checkpoint_ms / static_cast<double>(on.windows);
+    const bool same_output =
+        on.windows == off.windows && on.alerts == off.alerts;
+    const bool round_trip_stable = resaved == image;
+    const bool within_noise = on_over_off <= 1.2;
+    checkpoint_ok = same_output && within_noise && round_trip_stable;
+    os << "  \"checkpoint\": {\n"
+       << "    \"watch_windows\": " << off.windows << ",\n"
+       << "    \"watch_alerts\": " << off.alerts << ",\n"
+       << "    \"watch_off_total_ms\": " << off.total_ms << ",\n"
+       << "    \"watch_on_total_ms\": " << on.total_ms << ",\n"
+       << "    \"watch_on_over_off\": " << on_over_off << ",\n"
+       << "    \"checkpoint_ms_per_window\": " << checkpoint_per_window
+       << ",\n"
+       << "    \"checkpoint_bytes\": " << on.bytes << ",\n"
+       << "    \"load_ms\": " << load_ms << ",\n"
+       << "    \"save_ms\": " << save_ms << ",\n"
+       << "    \"round_trip_stable\": "
+       << (round_trip_stable ? "true" : "false") << ",\n"
+       << "    \"within_noise\": " << (within_noise ? "true" : "false")
+       << "\n  },\n";
+    std::cerr << "BENCH checkpoint: watch " << off.total_ms << " ms plain vs "
+              << on.total_ms << " ms checkpointed (" << on_over_off << "x, "
+              << checkpoint_per_window << " ms/window, " << on.bytes
+              << " bytes; load " << load_ms << " ms, save " << save_ms
+              << " ms); outputs "
+              << (same_output ? "identical" : "DIVERGED") << "\n";
+  }
   os << "  \"models_bit_identical\": " << (identical ? "true" : "false")
      << "\n}\n";
   std::cerr << "BENCH_pipeline: train " << serial.train_ms << " ms -> "
@@ -804,7 +949,7 @@ bool write_pipeline_bench_json(const std::string& path) {
             << " ms vs " << parallel_total << " ms disabled); models "
             << (identical ? "bit-identical" : "DIVERGED") << "; wrote "
             << path << "\n";
-  return identical && telemetry_ok && os.good();
+  return identical && telemetry_ok && checkpoint_ok && os.good();
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "behaviot/ml/dataset.hpp"
 #include "behaviot/net/rng.hpp"
+#include "behaviot/obs/crash_point.hpp"
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
 #include "behaviot/testbed/traffic_gen.hpp"
@@ -20,6 +22,9 @@ namespace {
 
 /// The single armed injector the feature-chaos trampoline dispatches to.
 std::atomic<FaultInjector*> g_armed{nullptr};
+/// Ditto for the crash-point hook (armed independently: a spec can carry
+/// crash= without any feature faults).
+std::atomic<FaultInjector*> g_crash_armed{nullptr};
 
 double parse_probability(std::string_view key, std::string_view text) {
   std::string buf(text);
@@ -86,6 +91,22 @@ FaultSpec FaultSpec::parse(std::string_view spec) {
           std::llround(parse_probability(key, value)));
       continue;
     }
+    if (key == "crash") {
+      if (value.empty()) {
+        throw std::invalid_argument("chaos: 'crash' needs a crash-point name");
+      }
+      out.crash = std::string(value);
+      continue;
+    }
+    if (key == "crashn") {
+      const double n = parse_probability(key, value);
+      if (n < 1.0 || n != std::floor(n)) {
+        throw std::invalid_argument(
+            "chaos: 'crashn' must be a positive integer");
+      }
+      out.crash_after = static_cast<std::uint64_t>(n);
+      continue;
+    }
     double v = parse_probability(key, value);
     if (key == "skew") {
       out.skew_ppm = v;
@@ -106,7 +127,7 @@ FaultSpec FaultSpec::parse(std::string_view spec) {
       throw std::invalid_argument(
           "chaos: unknown fault '" + std::string(key) +
           "' (valid: drop dup reorder regress dnsloss flap truncate nan inf "
-          "throw skew seed)");
+          "throw skew seed crash crashn)");
     }
     if (v < 0.0 || v > 1.0) {
       throw std::invalid_argument("chaos: probability for '" +
@@ -142,6 +163,10 @@ std::string FaultSpec::summary() const {
   emit("inf", inf);
   emit("throw", throw_p);
   emit("skew", skew_ppm);
+  if (!crash.empty()) {
+    os << (os.tellp() > 0 ? " " : "") << "crash=" << crash;
+    if (crash_after != 1) os << " crashn=" << crash_after;
+  }
   os << (os.tellp() > 0 ? " " : "") << "seed=" << seed;
   return os.str();
 }
@@ -173,7 +198,10 @@ void FaultStats::publish() const {
 
 FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {}
 
-FaultInjector::~FaultInjector() { disarm_feature_chaos(); }
+FaultInjector::~FaultInjector() {
+  disarm_feature_chaos();
+  disarm_crash_points();
+}
 
 void FaultInjector::apply(std::vector<Packet>& packets) {
   if (!spec_.any_packet_faults() || packets.empty()) return;
@@ -353,6 +381,48 @@ void FaultInjector::disarm_feature_chaos() {
   g_armed.store(nullptr, std::memory_order_release);
   armed_ = false;
   stats_.publish();
+}
+
+void FaultInjector::arm_crash_points() {
+  if (spec_.crash.empty()) return;
+  FaultInjector* expected = nullptr;
+  if (!g_crash_armed.compare_exchange_strong(expected, this)) {
+    if (expected == this) return;
+    throw std::logic_error(
+        "chaos: another FaultInjector already owns the crash-point hook");
+  }
+  crash_armed_ = true;
+  obs::set_crash_point_hook(&FaultInjector::crash_trampoline);
+  // No health degrade on purpose (unlike arm_feature_chaos): the
+  // crash-recovery tests compare a killed-and-resumed run byte-for-byte
+  // against an uninterrupted no-chaos baseline, and a "chaos.injector"
+  // component inside the checkpointed health snapshot would make the two
+  // alert documents differ for reasons that have nothing to do with
+  // recovery correctness.
+}
+
+void FaultInjector::disarm_crash_points() {
+  if (!crash_armed_) return;
+  obs::set_crash_point_hook(nullptr);
+  g_crash_armed.store(nullptr, std::memory_order_release);
+  crash_armed_ = false;
+}
+
+void FaultInjector::crash_trampoline(const char* point) {
+  FaultInjector* self = g_crash_armed.load(std::memory_order_acquire);
+  if (self != nullptr) self->maybe_crash(point);
+}
+
+void FaultInjector::maybe_crash(const char* point) {
+  if (spec_.crash != point) return;
+  if (crash_hits_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      spec_.crash_after) {
+    return;
+  }
+  // SIGKILL, not exit(): no atexit handlers, no stream flushing, no stack
+  // unwinding — indistinguishable from a power cut, which is the failure
+  // the checkpoint format must survive.
+  (void)std::raise(SIGKILL);
 }
 
 bool FaultInjector::flow_fault_fires(const FlowRecord& flow,

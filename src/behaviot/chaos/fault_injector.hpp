@@ -60,11 +60,20 @@ struct FaultSpec {
   double inf = 0.0;       ///< per-flow: size features become +/-Inf
   double throw_p = 0.0;   ///< per-flow: feature extraction throws ChaosFault
   double skew_ppm = 0.0;  ///< clock drift, ppm (may be negative)
+  /// Crash-recovery testing: SIGKILL the process at this named crash point
+  /// (see obs/crash_point.hpp for the points durability code announces,
+  /// e.g. "checkpoint.after_rotate"). Empty = never. Unlike every other
+  /// fault class, crashes are counted, not probabilistic: the process dies
+  /// at the `crash_after`-th hit of the point, so the kill instant is
+  /// exactly reproducible.
+  std::string crash;
+  std::uint64_t crash_after = 1;  ///< 1-based hit index that fires the kill
   std::uint64_t seed = 0x5eed;
 
   /// Parses the comma-separated `name=value` grammar, e.g.
   /// "drop=0.01,reorder=0.005,nan=0.02,seed=42". Keys: drop, dup, reorder,
-  /// regress, dnsloss, flap, truncate, nan, inf, throw, skew (ppm), seed.
+  /// regress, dnsloss, flap, truncate, nan, inf, throw, skew (ppm), seed,
+  /// crash (a crash-point name), crashn (1-based hit index, default 1).
   /// Throws std::invalid_argument on unknown keys, malformed numbers, or
   /// out-of-range probabilities.
   static FaultSpec parse(std::string_view spec);
@@ -74,7 +83,7 @@ struct FaultSpec {
   /// Any fault that fires inside feature extraction (needs the hook armed).
   [[nodiscard]] bool any_feature_faults() const;
   [[nodiscard]] bool enabled() const {
-    return any_packet_faults() || any_feature_faults();
+    return any_packet_faults() || any_feature_faults() || !crash.empty();
   }
   /// Compact "drop=0.01 nan=0.02 seed=42" rendering of the non-zero fields.
   [[nodiscard]] std::string summary() const;
@@ -141,6 +150,17 @@ class FaultInjector {
   /// Removes the hook if this injector installed it.
   void disarm_feature_chaos();
 
+  /// Installs the `crash=` fault as the process-global crash-point hook
+  /// (obs/crash_point.hpp): the process raises SIGKILL — no atexit, no
+  /// flushing, exactly like a power cut — at the crash_after-th hit of the
+  /// named point. No-op for a spec without `crash`. Deliberately does NOT
+  /// degrade health: the crash-recovery tests compare a killed-and-resumed
+  /// run byte-for-byte against an uninterrupted no-chaos baseline, so
+  /// arming must leave no trace in checkpointed state.
+  void arm_crash_points();
+  /// Removes the crash-point hook if this injector installed it.
+  void disarm_crash_points();
+
   /// Per-flow fault decision, exposed for the differential tests: true when
   /// `fault` ("nan" | "inf" | "throw") fires for this flow under the spec.
   [[nodiscard]] bool flow_fault_fires(const FlowRecord& flow,
@@ -148,11 +168,15 @@ class FaultInjector {
 
  private:
   static void hook_trampoline(const FlowRecord& flow, FeatureVector& row);
+  static void crash_trampoline(const char* point);
   void corrupt_features(const FlowRecord& flow, FeatureVector& row);
+  void maybe_crash(const char* point);
 
   FaultSpec spec_;
   FaultStats stats_;
   bool armed_ = false;
+  bool crash_armed_ = false;
+  std::atomic<std::uint64_t> crash_hits_{0};
 };
 
 /// Parses `spec`, or returns an empty (all-zero) FaultSpec for an empty

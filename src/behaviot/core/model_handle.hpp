@@ -45,6 +45,16 @@ class ModelHandle {
     return ++version_;
   }
 
+  /// Restores a checkpointed generation: the set becomes current and the
+  /// version counter continues from `version`, so post-resume publishes
+  /// number their generations exactly as the uninterrupted run would have.
+  void restore(BehaviorModelSet set, std::uint64_t version) {
+    auto fresh = std::make_shared<const BehaviorModelSet>(std::move(set));
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(fresh);
+    version_ = version;
+  }
+
   /// Monotonic generation counter; 1 is the initial set.
   [[nodiscard]] std::uint64_t version() const {
     std::lock_guard<std::mutex> lock(mu_);

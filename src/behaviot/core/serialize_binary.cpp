@@ -1,6 +1,5 @@
 #include "behaviot/core/serialize_binary.hpp"
 
-#include <array>
 #include <bit>
 #include <cctype>
 #include <cstring>
@@ -12,219 +11,43 @@
 #include <utility>
 #include <vector>
 
+#include "behaviot/core/binary_io.hpp"
 #include "behaviot/flow/features.hpp"
 #include "behaviot/obs/metrics.hpp"
 
 namespace behaviot {
 namespace {
 
+using binio::Cursor;
+using binio::ImageLayout;
+using binio::SectionEntry;
+using binio::put_f64;
+using binio::put_f64_array;
+using binio::put_i32;
+using binio::put_str;
+using binio::put_u32;
+using binio::put_u64;
+using binio::put_u8;
+
 // Section ids. Unknown ids are skipped on load (their size is in the table),
 // so a minor format extension can add sections without a version bump.
 
-constexpr std::size_t kHeaderSize = 12;        // magic + version + flags + n
-constexpr std::size_t kSectionEntrySize = 16;  // id + reserved + size
-constexpr std::size_t kCrcSize = 4;
+constexpr binio::ImageFormat kBbmFormat{kBinaryModelMagic,
+                                        kBinaryModelFormatVersion, "bbm",
+                                        "binary model"};
 
-// ---------------------------------------------------------------------------
-// Writer: append little-endian primitives to a byte buffer. Doubles are raw
-// IEEE-754 binary64 — every platform this repo targets is little-endian
-// IEEE; the format pins that so a model store is portable across the fleet.
-
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
+ImageLayout parse_layout(std::span<const std::uint8_t> bytes) {
+  return binio::parse_layout(bytes, kBbmFormat);
 }
 
-void put_u16(std::string& out, std::uint16_t v) {
-  out.push_back(static_cast<char>(v & 0xff));
-  out.push_back(static_cast<char>(v >> 8));
+[[noreturn]] void throw_crc_mismatch(const ImageLayout& layout) {
+  binio::throw_crc_mismatch(layout, kBbmFormat);
 }
 
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
+Cursor section_cursor(std::span<const std::uint8_t> bytes,
+                      std::size_t file_offset, const char* section) {
+  return Cursor(bytes, file_offset, section, kBbmFormat.tag);
 }
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void put_i32(std::string& out, std::int32_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-}
-
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
-}
-
-/// Raw POD array: one length-free memcpy (the element count is always
-/// written separately by the caller).
-void put_f64_array(std::string& out, std::span<const double> values) {
-  if (values.empty()) return;
-  const std::size_t at = out.size();
-  out.resize(at + values.size() * sizeof(double));
-  std::memcpy(out.data() + at, values.data(), values.size() * sizeof(double));
-}
-
-void put_str(std::string& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-// ---------------------------------------------------------------------------
-// Reader: a bounds-checked cursor over one section of the loaded image.
-// Every accessor throws SerializationError with the absolute file offset of
-// the damage; counts are capped against the bytes remaining in the section
-// before any allocation sized by them.
-
-class Cursor {
- public:
-  Cursor(std::span<const std::uint8_t> bytes, std::size_t file_offset,
-         const char* section)
-      : bytes_(bytes), file_offset_(file_offset), section_(section) {}
-
-  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
-  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
-  [[nodiscard]] std::size_t offset() const { return file_offset_ + pos_; }
-
-  std::uint8_t u8(const char* what) {
-    need(1, what);
-    return bytes_[pos_++];
-  }
-
-  std::uint16_t u16(const char* what) {
-    need(2, what);
-    std::uint16_t v;
-    if constexpr (std::endian::native == std::endian::little) {
-      // The wire format is little-endian, so on LE hosts a bounds-checked
-      // memcpy IS the decode — one unaligned load instead of a shift loop.
-      std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
-    } else {
-      v = static_cast<std::uint16_t>(std::uint16_t{bytes_[pos_]} |
-                                     (std::uint16_t{bytes_[pos_ + 1]} << 8));
-    }
-    pos_ += 2;
-    return v;
-  }
-
-  std::uint32_t u32(const char* what) {
-    need(4, what);
-    std::uint32_t v = 0;
-    if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
-    } else {
-      for (int i = 0; i < 4; ++i) {
-        v |= std::uint32_t{bytes_[pos_ + static_cast<std::size_t>(i)]}
-             << (8 * i);
-      }
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  std::uint64_t u64(const char* what) {
-    need(8, what);
-    std::uint64_t v = 0;
-    if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
-    } else {
-      for (int i = 0; i < 8; ++i) {
-        v |= std::uint64_t{bytes_[pos_ + static_cast<std::size_t>(i)]}
-             << (8 * i);
-      }
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  std::int32_t i32(const char* what) {
-    return static_cast<std::int32_t>(u32(what));
-  }
-
-  double f64(const char* what) {
-    const std::uint64_t bits = u64(what);
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  /// Element count for a loop/reserve: each element occupies at least
-  /// `min_element_bytes` of the section, so a count exceeding the remaining
-  /// bytes is structural corruption — rejected before it can size an
-  /// allocation (the binary analogue of the text loader's stoul("-1") →
-  /// reserve(2^64) guard).
-  std::size_t count(const char* what, std::size_t min_element_bytes) {
-    const std::size_t at = offset();
-    const std::uint64_t v = u64(what);
-    if (min_element_bytes == 0) min_element_bytes = 1;
-    if (v > remaining() / min_element_bytes) {
-      fail_at(at, std::string("count for ") + what + " (" +
-                      std::to_string(v) + ") exceeds remaining " + section_ +
-                      " section bytes (" + std::to_string(remaining()) + ")");
-    }
-    return static_cast<std::size_t>(v);
-  }
-
-  /// Borrowed string: length-prefix check, then a view into the image.
-  std::string_view str_view(const char* what) {
-    const std::size_t at = offset();
-    const std::uint32_t len = u32(what);
-    if (len > remaining()) {
-      fail_at(at, std::string("string length for ") + what + " (" +
-                      std::to_string(len) + ") exceeds remaining " + section_ +
-                      " section bytes (" + std::to_string(remaining()) + ")");
-    }
-    const std::string_view s(
-        reinterpret_cast<const char*>(bytes_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-
-  std::string str(const char* what) { return std::string(str_view(what)); }
-
-  /// Zero-copy POD array read: one memcpy from the image into `out`.
-  void f64_array(std::vector<double>& out, std::size_t n, const char* what) {
-    out.resize(n);
-    const std::uint8_t* raw = f64_array_bytes(n, what);
-    if (n > 0) std::memcpy(out.data(), raw, n * sizeof(double));
-  }
-
-  /// Fully zero-copy variant: bounds-checks and skips `n` doubles, returning
-  /// a pointer to their (unaligned) bytes in the image.
-  const std::uint8_t* f64_array_bytes(std::size_t n, const char* what) {
-    need(n * sizeof(double), what);
-    const std::uint8_t* raw = bytes_.data() + pos_;
-    pos_ += n * sizeof(double);
-    return raw;
-  }
-
-  [[noreturn]] void fail(const std::string& why) const {
-    fail_at(offset(), why);
-  }
-
- private:
-  void need(std::size_t n, const char* what) {
-    if (remaining() < n) {
-      fail_at(offset(), std::string(section_) + " section truncated reading " +
-                            what + " (need " + std::to_string(n) + " bytes, " +
-                            std::to_string(remaining()) + " remain)");
-    }
-  }
-
-  [[noreturn]] void fail_at(std::size_t at, const std::string& why) const {
-    throw SerializationError(std::string("bbm: ") + why, at);
-  }
-
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-  std::size_t file_offset_;
-  const char* section_;
-};
 
 // ---------------------------------------------------------------------------
 // Section writers.
@@ -477,12 +300,6 @@ void read_forests(Cursor& c, BehaviorModelSet& models) {
       std::move(classifiers), decision_threshold);
 }
 
-struct SectionEntry {
-  std::uint32_t id = 0;
-  std::size_t offset = 0;  ///< absolute offset of the payload in the image
-  std::size_t size = 0;
-};
-
 const char* section_name(std::uint32_t id) {
   switch (id) {
     case kSectionPeriodic:
@@ -500,153 +317,7 @@ const char* section_name(std::uint32_t id) {
   }
 }
 
-/// Everything structural about an image, validated: header fields, section
-/// table, size accounting, CRC trailer. Structural damage always throws
-/// regardless of parse policy; the CRC verdict is returned instead of
-/// enforced so each caller (strict load, lenient load, zero-copy view) can
-/// apply its own policy to payload integrity.
-struct ImageLayout {
-  std::vector<SectionEntry> sections;
-  std::size_t payload_end = 0;
-  bool crc_ok = false;
-  std::uint32_t stored_crc = 0;
-  std::uint32_t computed_crc = 0;
-};
-
-ImageLayout parse_layout(std::span<const std::uint8_t> bytes) {
-  Cursor header(bytes, 0, "header");
-  if (bytes.size() < kHeaderSize + kCrcSize) {
-    header.fail("image smaller than header + checksum");
-  }
-  if (header.u32("magic") != kBinaryModelMagic) {
-    throw SerializationError("bbm: bad magic (not a binary model file)",
-                             std::size_t{0});
-  }
-  const std::uint16_t version = header.u16("version");
-  if (version != kBinaryModelFormatVersion) {
-    throw SerializationError(
-        "bbm: unsupported format version " + std::to_string(version),
-        std::size_t{4});
-  }
-  if (header.u16("flags") != 0) {
-    throw SerializationError("bbm: unknown header flags", std::size_t{6});
-  }
-  const std::uint32_t n_sections = header.u32("section count");
-  // Each table entry is 16 bytes; a count the image cannot hold is corrupt.
-  if (n_sections >
-      (bytes.size() - kHeaderSize - kCrcSize) / kSectionEntrySize) {
-    throw SerializationError(
-        "bbm: section count (" + std::to_string(n_sections) +
-            ") exceeds image size",
-        std::size_t{8});
-  }
-
-  ImageLayout layout;
-  layout.sections.reserve(n_sections);
-  std::size_t payload_offset =
-      kHeaderSize + static_cast<std::size_t>(n_sections) * kSectionEntrySize;
-  layout.payload_end = bytes.size() - kCrcSize;
-  for (std::uint32_t i = 0; i < n_sections; ++i) {
-    SectionEntry entry;
-    entry.id = header.u32("section id");
-    (void)header.u32("section reserved");
-    const std::size_t at =
-        kHeaderSize + static_cast<std::size_t>(i) * kSectionEntrySize + 8;
-    const std::uint64_t size = header.u64("section size");
-    if (size > layout.payload_end - payload_offset) {
-      throw SerializationError("bbm: section " + std::to_string(entry.id) +
-                                   " size (" + std::to_string(size) +
-                                   ") exceeds remaining image",
-                               at);
-    }
-    entry.offset = payload_offset;
-    entry.size = static_cast<std::size_t>(size);
-    payload_offset += entry.size;
-    layout.sections.push_back(entry);
-  }
-  if (payload_offset != layout.payload_end) {
-    throw SerializationError(
-        "bbm: section sizes leave " +
-            std::to_string(layout.payload_end - payload_offset) +
-            " unaccounted bytes before the checksum",
-        payload_offset);
-  }
-
-  for (int i = 0; i < 4; ++i) {
-    layout.stored_crc |=
-        std::uint32_t{bytes[layout.payload_end + static_cast<std::size_t>(i)]}
-        << (8 * i);
-  }
-  layout.computed_crc = crc32_ieee(bytes.first(layout.payload_end));
-  layout.crc_ok = layout.stored_crc == layout.computed_crc;
-  return layout;
-}
-
-[[noreturn]] void throw_crc_mismatch(const ImageLayout& layout) {
-  throw SerializationError(
-      "bbm: CRC mismatch (stored " + std::to_string(layout.stored_crc) +
-          ", computed " + std::to_string(layout.computed_crc) + ")",
-      layout.payload_end);
-}
-
 }  // namespace
-
-std::uint32_t crc32_ieee(std::span<const std::uint8_t> bytes) {
-  // Slice-by-16: sixteen table lookups per 16-byte chunk instead of sixteen
-  // chained per-byte steps. The byte-at-a-time loop was the single largest
-  // cost of a binary model load (half the wall-clock on a ~50 KB file); the
-  // sliced kernel runs ~1.6 GB/s faster than slice-by-8 because the two
-  // 8-byte halves have no data dependency, and it keeps the checksum
-  // byte-identical.
-  static const std::array<std::array<std::uint32_t, 256>, 16> table = [] {
-    std::array<std::array<std::uint32_t, 256>, 16> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[0][i] = c;
-    }
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = t[0][i];
-      for (std::size_t s = 1; s < 16; ++s) {
-        c = t[0][c & 0xffu] ^ (c >> 8);
-        t[s][i] = c;
-      }
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xffffffffu;
-  const std::uint8_t* p = bytes.data();
-  std::size_t n = bytes.size();
-  if constexpr (std::endian::native == std::endian::little) {
-    // The in-register fold (a ^= crc hits the low 4 bytes) only holds on
-    // little-endian hosts; big-endian falls through to the byte loop.
-    while (n >= 16) {
-      std::uint64_t a;
-      std::uint64_t b;
-      std::memcpy(&a, p, 8);
-      std::memcpy(&b, p + 8, 8);
-      a ^= crc;
-      crc = table[15][a & 0xffu] ^ table[14][(a >> 8) & 0xffu] ^
-            table[13][(a >> 16) & 0xffu] ^ table[12][(a >> 24) & 0xffu] ^
-            table[11][(a >> 32) & 0xffu] ^ table[10][(a >> 40) & 0xffu] ^
-            table[9][(a >> 48) & 0xffu] ^ table[8][a >> 56] ^
-            table[7][b & 0xffu] ^ table[6][(b >> 8) & 0xffu] ^
-            table[5][(b >> 16) & 0xffu] ^ table[4][(b >> 24) & 0xffu] ^
-            table[3][(b >> 32) & 0xffu] ^ table[2][(b >> 40) & 0xffu] ^
-            table[1][(b >> 48) & 0xffu] ^ table[0][b >> 56];
-      p += 16;
-      n -= 16;
-    }
-  }
-  while (n > 0) {
-    crc = table[0][(crc ^ *p) & 0xffu] ^ (crc >> 8);
-    ++p;
-    --n;
-  }
-  return crc ^ 0xffffffffu;
-}
 
 std::string save_models_binary(const BehaviorModelSet& models) {
   const std::pair<std::uint32_t, std::string> sections[] = {
@@ -656,27 +327,7 @@ std::string save_models_binary(const BehaviorModelSet& models) {
       {kSectionTraces, write_traces(models)},
       {kSectionForests, write_forests(models)},
   };
-
-  std::string out;
-  std::size_t total = kHeaderSize + kCrcSize;
-  for (const auto& [id, payload] : sections) {
-    total += kSectionEntrySize + payload.size();
-  }
-  out.reserve(total);
-
-  put_u32(out, kBinaryModelMagic);
-  put_u16(out, kBinaryModelFormatVersion);
-  put_u16(out, 0);  // flags
-  put_u32(out, static_cast<std::uint32_t>(std::size(sections)));
-  for (const auto& [id, payload] : sections) {
-    put_u32(out, id);
-    put_u32(out, 0);  // reserved
-    put_u64(out, payload.size());
-  }
-  for (const auto& [id, payload] : sections) out.append(payload);
-  put_u32(out, crc32_ieee({reinterpret_cast<const std::uint8_t*>(out.data()),
-                           out.size()}));
-  return out;
+  return binio::build_image(kBbmFormat, sections);
 }
 
 void save_models_binary(std::ostream& os, const BehaviorModelSet& models) {
@@ -716,8 +367,8 @@ BehaviorModelSet load_models_binary(std::span<const std::uint8_t> bytes,
     obs::counter("ingest.sections_dropped").inc();
   };
   for (const SectionEntry& entry : table) {
-    Cursor c(bytes.subspan(entry.offset, entry.size), entry.offset,
-             section_name(entry.id));
+    Cursor c = section_cursor(bytes.subspan(entry.offset, entry.size),
+                              entry.offset, section_name(entry.id));
     try {
       switch (entry.id) {
         case kSectionPeriodic:
@@ -855,7 +506,8 @@ bool BinaryModelView::has_section(std::uint32_t id) const {
 std::vector<PeriodicModelView> BinaryModelView::periodic() const {
   const Section* s = find_section(kSectionPeriodic);
   if (s == nullptr) return {};
-  Cursor c(image_.subspan(s->offset, s->size), s->offset, "periodic");
+  Cursor c = section_cursor(image_.subspan(s->offset, s->size), s->offset,
+                            "periodic");
   const std::size_t n = c.count("periodic model count", 61);
   std::vector<PeriodicModelView> out;
   out.reserve(n);
@@ -870,7 +522,8 @@ std::optional<PeriodicModelView> BinaryModelView::find_periodic(
     DeviceId device, std::string_view group) const {
   const Section* s = find_section(kSectionPeriodic);
   if (s == nullptr) return std::nullopt;
-  Cursor c(image_.subspan(s->offset, s->size), s->offset, "periodic");
+  Cursor c = section_cursor(image_.subspan(s->offset, s->size), s->offset,
+                            "periodic");
   const std::size_t n = c.count("periodic model count", 61);
   for (std::size_t i = 0; i < n; ++i) {
     const PeriodicModelView v = read_periodic_model_view(c);
@@ -882,14 +535,16 @@ std::optional<PeriodicModelView> BinaryModelView::find_periodic(
 std::size_t BinaryModelView::periodic_count() const {
   const Section* s = find_section(kSectionPeriodic);
   if (s == nullptr) return 0;
-  Cursor c(image_.subspan(s->offset, s->size), s->offset, "periodic");
+  Cursor c = section_cursor(image_.subspan(s->offset, s->size), s->offset,
+                            "periodic");
   return c.count("periodic model count", 61);
 }
 
 std::optional<ThresholdsView> BinaryModelView::thresholds() const {
   const Section* s = find_section(kSectionThresholds);
   if (s == nullptr) return std::nullopt;
-  Cursor c(image_.subspan(s->offset, s->size), s->offset, "thresholds");
+  Cursor c = section_cursor(image_.subspan(s->offset, s->size), s->offset,
+                            "thresholds");
   ThresholdsView t;
   t.periodic = c.f64("periodic threshold");
   t.long_term_z = c.f64("long-term z threshold");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -192,12 +193,18 @@ void WatchEngine::close_window(Timestamp ws, Timestamp we) {
 }
 
 void WatchEngine::launch_retrain() {
+  // Sweep abandoned retrains that have since finished so the parking lot
+  // stays bounded even under repeated timeouts.
+  std::erase_if(abandoned_retrains_, [](std::future<BehaviorModelSet>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  });
   obs::counter("watch.retrains").inc();
   const double duration_s =
       static_cast<double>(options_.retrain_every_windows) *
       static_cast<double>(options_.window_us) / 1e6;
   const RetrainOptions ropts = options_.retrain;
   auto base = generation_;  // pinned: stays alive for the thread's lifetime
+  retrain_launched_at_ = std::chrono::steady_clock::now();
   retrain_ = std::async(
       std::launch::async,
       [buffer = std::move(retrain_buffer_), base, duration_s, ropts]() {
@@ -221,8 +228,35 @@ void WatchEngine::join_retrain_and_swap() {
   if (!retrain_.valid()) return;
   // Blocking on purpose: the join point — not thread speed — defines which
   // window first sees the new generation, so alert output is identical at
-  // any thread count and with the merge run inline.
-  BehaviorModelSet next = retrain_.get();
+  // any thread count and with the merge run inline. A watchdog timeout
+  // (opt-in) caps the block: a wedged retrain is abandoned and the prior
+  // generation keeps scoring.
+  if (options_.retrain_timeout_s > 0.0) {
+    const auto deadline =
+        retrain_launched_at_ +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.retrain_timeout_s));
+    if (retrain_.wait_until(deadline) != std::future_status::ready) {
+      // Park the future: its destructor blocks on the async task, and the
+      // whole point is not to. Swept once finished; joined at destruction.
+      abandoned_retrains_.push_back(std::move(retrain_));
+      retrain_ = {};
+      ++retrain_failures_;
+      obs::counter("watch.retrain_failures_total").inc();
+      obs::health().degrade("watch.engine", "retrain-timeout");
+      return;
+    }
+  }
+  BehaviorModelSet next;
+  try {
+    next = retrain_.get();
+  } catch (const std::exception& e) {
+    ++retrain_failures_;
+    obs::counter("watch.retrain_failures_total").inc();
+    obs::health().degrade("watch.engine",
+                          std::string("retrain-failed: ") + e.what());
+    return;
+  }
   model_version_ = models_->publish(std::move(next));
   generation_ = models_->acquire();
   monitor_.rebind(generation_->periodic, generation_->pfsm,
@@ -242,6 +276,65 @@ void WatchEngine::join_retrain_and_swap() {
       obs::health().degrade("watch.engine",
                             std::string("publish-models-failed: ") + e.what());
     }
+  }
+}
+
+WatchEngineState WatchEngine::export_state() const {
+  if (retrain_.valid()) {
+    throw std::logic_error(
+        "WatchEngine::export_state: retrain in flight — snapshot only from "
+        "the window sink");
+  }
+  WatchEngineState s;
+  s.t0 = t0_;
+  s.last_watermark = last_watermark_;
+  s.next_window = next_window_;
+  s.max_end = max_end_;
+  s.windows = windows_;
+  s.alerts = alerts_;
+  s.model_version = model_version_;
+  s.swaps = swaps_;
+  s.swapped_pending_report = swapped_pending_report_;
+  s.done = done_;
+  s.finished = finished_;
+  s.reported_force_sealed = reported_force_sealed_;
+  s.reported_late = reported_late_;
+  s.retrain_buffer = retrain_buffer_;
+  s.assembler = assembler_.export_state();
+  s.monitor = monitor_.export_state();
+  s.resolver = resolver_.export_state();
+  return s;
+}
+
+void WatchEngine::import_state(WatchEngineState state) {
+  t0_ = state.t0;
+  last_watermark_ = state.last_watermark;
+  next_window_ = state.next_window;
+  max_end_ = state.max_end;
+  windows_ = state.windows;
+  alerts_ = state.alerts;
+  model_version_ = state.model_version;
+  swaps_ = state.swaps;
+  swapped_pending_report_ = state.swapped_pending_report;
+  done_ = state.done;
+  finished_ = state.finished;
+  reported_force_sealed_ = state.reported_force_sealed;
+  reported_late_ = state.reported_late;
+  retrain_buffer_ = std::move(state.retrain_buffer);
+  resolver_.import_state(state.resolver);
+  assembler_.import_state(std::move(state.assembler));
+  // Re-pin whatever generation the handle was restored to, and rebind the
+  // monitor before pouring its streaming state back in.
+  generation_ = models_->acquire();
+  monitor_.rebind(generation_->periodic, generation_->pfsm,
+                  generation_->short_term);
+  monitor_.import_state(state.monitor);
+  // The snapshot was taken inside the sink, *before* the post-sink launch
+  // decision. Replay it: the uninterrupted run launched a retrain over the
+  // restored buffer iff the just-closed window completed an interval.
+  if (options_.retrain_every_windows > 0 && windows_ > 0 &&
+      windows_ % options_.retrain_every_windows == 0) {
+    launch_retrain();
   }
 }
 

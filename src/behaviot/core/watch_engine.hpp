@@ -22,6 +22,7 @@
 // runtime thread count.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -49,6 +50,15 @@ struct WatchOptions {
   /// Launch a background retrain every N closed windows (over the flows of
   /// those N windows) and hot-swap the merged models; 0 = never retrain.
   std::size_t retrain_every_windows = 0;
+  /// Retrain watchdog: a background retrain still not finished this many
+  /// seconds after launch is abandoned at its join point — the prior
+  /// generation keeps scoring, `watch.retrain_failures_total` counts it,
+  /// health degrades, and the next interval retries with fresh flows. 0
+  /// (default) waits indefinitely, which keeps the join point — and thus
+  /// alert output — deterministic; a timeout trades that determinism for
+  /// liveness, so it is opt-in. Abandoned retrains finish (and are
+  /// discarded) in the background; the engine destructor joins stragglers.
+  double retrain_timeout_s = 0.0;
   RetrainOptions retrain;
   MonitorOptions monitor;
   /// Reorder horizon and the open-flow/buffered-packet memory caps.
@@ -58,6 +68,35 @@ struct WatchOptions {
   /// a fleet's model store always holds the generation currently scoring.
   /// A write failure degrades health but never stops the stream.
   std::string publish_models_path;
+};
+
+/// Serializable snapshot of a WatchEngine between two windows
+/// (checkpointing). Captured at the window sink — the only point where no
+/// retrain is in flight (window k's retrain is joined before window k+1 is
+/// evaluated and launched only after the sink returns), so the snapshot is
+/// closed under the engine's own invariants: restoring it and replaying the
+/// remaining packets reproduces the uninterrupted alert stream byte for
+/// byte. The pinned model generation itself is *not* part of the snapshot —
+/// the checkpoint container embeds it as a binary model image and restores
+/// it into the ModelHandle before import_state() runs.
+struct WatchEngineState {
+  std::optional<Timestamp> t0;
+  std::optional<Timestamp> last_watermark;
+  std::size_t next_window = 0;
+  Timestamp max_end{std::numeric_limits<std::int64_t>::min()};
+  std::size_t windows = 0;
+  std::size_t alerts = 0;
+  std::uint64_t model_version = 1;
+  std::uint64_t swaps = 0;
+  bool swapped_pending_report = false;
+  bool done = false;
+  bool finished = false;
+  std::uint64_t reported_force_sealed = 0;
+  std::uint64_t reported_late = 0;
+  std::vector<FlowRecord> retrain_buffer;
+  StreamingAssemblerState assembler;
+  DeviationMonitorState monitor;
+  DomainResolverState resolver;
 };
 
 /// One closed window's outcome, handed to the window sink.
@@ -120,6 +159,22 @@ class WatchEngine {
   [[nodiscard]] std::optional<Timestamp> last_seal_watermark() const {
     return last_watermark_;
   }
+  /// Retrains abandoned (threw or exceeded retrain_timeout_s); the prior
+  /// generation kept scoring each time.
+  [[nodiscard]] std::uint64_t retrain_failures() const {
+    return retrain_failures_;
+  }
+
+  /// Snapshot of the full streaming state. Only valid where no retrain is
+  /// in flight — guaranteed inside the window sink; calling with a retrain
+  /// pending throws std::logic_error.
+  [[nodiscard]] WatchEngineState export_state() const;
+  /// Restores a snapshot into a freshly constructed engine (before any
+  /// ingest). The ModelHandle must already hold the checkpointed
+  /// generation; the monitor is rebound to it here. Replays the retrain
+  /// launch the uninterrupted run performed right after the checkpointing
+  /// sink returned, so resumed and uninterrupted runs stay in lockstep.
+  void import_state(WatchEngineState state);
 
  private:
   void advance_windows(bool to_completion);
@@ -150,6 +205,12 @@ class WatchEngine {
 
   std::vector<FlowRecord> retrain_buffer_;
   std::future<BehaviorModelSet> retrain_;
+  /// Launch instant of retrain_, for the retrain_timeout_s watchdog.
+  std::chrono::steady_clock::time_point retrain_launched_at_{};
+  /// Timed-out retrains parked here so their destructors (which block on
+  /// the async task) don't stall the join point; swept once finished.
+  std::vector<std::future<BehaviorModelSet>> abandoned_retrains_;
+  std::uint64_t retrain_failures_ = 0;
 
   // Degradation dedup: last reported assembler-stat values.
   std::uint64_t reported_force_sealed_ = 0;

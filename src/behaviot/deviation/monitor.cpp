@@ -357,4 +357,32 @@ std::vector<DeviationAlert> DeviationMonitor::evaluate_window(
   return alerts;
 }
 
+DeviationMonitorState DeviationMonitor::export_state() const {
+  DeviationMonitorState s;
+  s.last_seen.reserve(last_seen_.size());
+  for (const auto& [key, ts] : last_seen_) {
+    s.last_seen.emplace_back(key.first, key.second, ts);
+  }
+  s.silence_reported.assign(silence_reported_.begin(),
+                            silence_reported_.end());
+  s.reported_sequences.assign(reported_sequences_.begin(),
+                              reported_sequences_.end());
+  s.primed = primed_;
+  return s;
+}
+
+void DeviationMonitor::import_state(const DeviationMonitorState& state) {
+  last_seen_.clear();
+  for (const auto& [device, group, ts] : state.last_seen) {
+    last_seen_.emplace(std::make_pair(device, group), ts);
+  }
+  silence_reported_.clear();
+  silence_reported_.insert(state.silence_reported.begin(),
+                           state.silence_reported.end());
+  reported_sequences_.clear();
+  reported_sequences_.insert(state.reported_sequences.begin(),
+                             state.reported_sequences.end());
+  primed_ = state.primed;
+}
+
 }  // namespace behaviot

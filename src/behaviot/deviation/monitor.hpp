@@ -7,6 +7,8 @@
 #include <set>
 #include <span>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "behaviot/deviation/long_term_metric.hpp"
@@ -87,6 +89,17 @@ struct MonitorOptions {
   bool long_term_family_wise = true;
 };
 
+/// Serializable streaming state of a DeviationMonitor (checkpointing):
+/// armed count-up timers, ongoing silence episodes, cross-window trace
+/// dedup, and the first-sighting priming flag. Entries are in the ordered
+/// containers' iteration order, so export is deterministic.
+struct DeviationMonitorState {
+  std::vector<std::tuple<DeviceId, std::string, Timestamp>> last_seen;
+  std::vector<std::pair<DeviceId, std::string>> silence_reported;
+  std::vector<std::string> reported_sequences;
+  bool primed = false;
+};
+
 class DeviationMonitor {
  public:
   /// Both models must outlive the monitor. `short_term` must have been
@@ -114,6 +127,12 @@ class DeviationMonitor {
   /// next swap completes).
   void rebind(const PeriodicModelSet& periodic, const Pfsm& pfsm,
               ShortTermThreshold short_term);
+
+  /// Snapshot / restore of the streaming state (checkpointing). The model
+  /// references are not part of the snapshot — rebind() or construction
+  /// against the restored generation precedes import_state().
+  [[nodiscard]] DeviationMonitorState export_state() const;
+  void import_state(const DeviationMonitorState& state);
 
  private:
   const PeriodicModelSet* periodic_;

@@ -67,10 +67,18 @@ void StreamingFlowAssembler::accept(const Packet& p) {
 
 void StreamingFlowAssembler::enqueue(Packet p, Timestamp eff) {
   max_seen_ = std::max(max_seen_, eff);
-  reorder_.push({eff, next_seq_++, std::move(p)});
+  reorder_.push_back({eff, next_seq_++, std::move(p)});
+  std::push_heap(reorder_.begin(), reorder_.end(), BufferedLater{});
   pump();
   enforce_caps();
   note_peaks();
+}
+
+StreamingFlowAssembler::Buffered StreamingFlowAssembler::pop_reorder() {
+  std::pop_heap(reorder_.begin(), reorder_.end(), BufferedLater{});
+  Buffered b = std::move(reorder_.back());
+  reorder_.pop_back();
+  return b;
 }
 
 void StreamingFlowAssembler::finish() {
@@ -108,9 +116,8 @@ Timestamp StreamingFlowAssembler::release_bound() const {
 
 void StreamingFlowAssembler::pump() {
   const Timestamp bound = release_bound();
-  while (!reorder_.empty() && reorder_.top().effective <= bound) {
-    Buffered b = std::move(const_cast<Buffered&>(reorder_.top()));
-    reorder_.pop();
+  while (!reorder_.empty() && reorder_.front().effective <= bound) {
+    const Buffered b = pop_reorder();
     release(b.packet, b.effective);
   }
 }
@@ -201,8 +208,7 @@ void StreamingFlowAssembler::enforce_caps() {
       } else if (!reorder_.empty()) {
         // Releasing moves a packet from the reorder stage into an open flow
         // (buffer-neutral); the next iteration seals that flow.
-        Buffered b = std::move(const_cast<Buffered&>(reorder_.top()));
-        reorder_.pop();
+        const Buffered b = pop_reorder();
         ++stats_.force_released;
         force_released_counter.inc();
         release(b.packet, b.effective);
@@ -282,6 +288,55 @@ std::vector<FlowRecord> StreamingFlowAssembler::drain_sealed(Timestamp before) {
               return a.tuple < b.tuple;
             });
   return out;
+}
+
+StreamingAssemblerState StreamingFlowAssembler::export_state() const {
+  StreamingAssemblerState s;
+  s.pending = pending_;
+  s.decided = decided_;
+  s.running_max = running_max_;
+  s.prev_effective = prev_effective_;
+  s.reorder = reorder_;
+  s.next_seq = next_seq_;
+  s.max_seen = max_seen_;
+  s.last_released = last_released_;
+  s.first_release = first_release_;
+  s.open.reserve(lru_.size());
+  for (const FiveTuple& t : lru_) s.open.push_back(open_.at(t).rec);
+  s.sealed = sealed_;
+  s.finished = finished_;
+  s.stats = stats_;
+  return s;
+}
+
+void StreamingFlowAssembler::import_state(StreamingAssemblerState s) {
+  pending_ = std::move(s.pending);
+  decided_ = s.decided;
+  running_max_ = s.running_max;
+  prev_effective_ = s.prev_effective;
+  reorder_ = std::move(s.reorder);
+  next_seq_ = s.next_seq;
+  max_seen_ = s.max_seen;
+  last_released_ = s.last_released;
+  first_release_ = s.first_release;
+  open_.clear();
+  lru_.clear();
+  open_starts_.clear();
+  open_packets_ = 0;
+  for (FlowRecord& rec : s.open) {
+    const FiveTuple key = rec.tuple;
+    lru_.push_back(key);
+    OpenFlow of;
+    of.lru = std::prev(lru_.end());
+    open_starts_.insert(rec.start);
+    open_packets_ += rec.packets.size();
+    of.rec = std::move(rec);
+    open_.emplace(key, std::move(of));
+  }
+  sealed_ = std::move(s.sealed);
+  finished_ = s.finished;
+  stats_ = s.stats;
+  note_peaks();
 }
 
 FlowAssembler::FlowAssembler(AssemblerOptions options) : options_(options) {}

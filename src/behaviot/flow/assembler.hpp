@@ -15,7 +15,6 @@
 #include <limits>
 #include <list>
 #include <optional>
-#include <queue>
 #include <set>
 #include <span>
 #include <unordered_map>
@@ -94,8 +93,19 @@ struct StreamingAssemblerStats {
 /// final: every flow starting before the watermark has been sealed, and no
 /// future packet can start or extend a flow before it. A deviation window
 /// [ws, we) may be closed as soon as the watermark reaches `we`.
+struct StreamingAssemblerState;
+
 class StreamingFlowAssembler {
  public:
+  /// One packet parked in the reorder stage: its decided effective
+  /// timestamp plus an arrival sequence number (the release tiebreak).
+  /// Public because checkpointing serializes the reorder stage verbatim.
+  struct Buffered {
+    Timestamp effective;
+    std::uint64_t seq = 0;
+    Packet packet;
+  };
+
   /// `resolver` must outlive the assembler. Packets are offered to it in
   /// release (timestamp) order; flow domains are resolved at drain time.
   StreamingFlowAssembler(StreamingAssemblerOptions options,
@@ -136,12 +146,18 @@ class StreamingFlowAssembler {
   /// Packets currently buffered: clamp slot + reorder stage + open flows.
   [[nodiscard]] std::size_t buffered_packets() const;
 
+  /// Snapshot of the complete streaming state (checkpointing). The options
+  /// and resolver are NOT part of the snapshot — a restored assembler must
+  /// be constructed with the same options against an equivalently-restored
+  /// resolver for the continuation to be byte-identical.
+  [[nodiscard]] StreamingAssemblerState export_state() const;
+
+  /// Restores a snapshot taken by export_state(), replacing all streaming
+  /// state. The open-flow LRU order, reorder-heap layout and every counter
+  /// round-trip exactly.
+  void import_state(StreamingAssemblerState state);
+
  private:
-  struct Buffered {
-    Timestamp effective;
-    std::uint64_t seq = 0;
-    Packet packet;
-  };
   struct BufferedLater {
     bool operator()(const Buffered& a, const Buffered& b) const {
       if (a.effective != b.effective) return a.effective > b.effective;
@@ -155,6 +171,7 @@ class StreamingFlowAssembler {
 
   void accept(const Packet& p);                 // clamp stage
   void enqueue(Packet p, Timestamp eff);        // into reorder stage
+  Buffered pop_reorder();                       // heap-pop the earliest
   void pump();                                  // release up to horizon
   void release(const Packet& p, Timestamp eff); // flow update
   void seal(std::unordered_map<FiveTuple, OpenFlow, FiveTupleHash>::iterator
@@ -173,8 +190,12 @@ class StreamingFlowAssembler {
   Timestamp running_max_{std::numeric_limits<std::int64_t>::min()};
   Timestamp prev_effective_{std::numeric_limits<std::int64_t>::min()};
 
-  // Reorder stage.
-  std::priority_queue<Buffered, std::vector<Buffered>, BufferedLater> reorder_;
+  // Reorder stage: a binary min-heap on (effective, seq) kept via
+  // push_heap/pop_heap — a plain vector instead of std::priority_queue so
+  // checkpointing can serialize the raw array (and restore it verbatim; the
+  // heap layout is deterministic, and pop order is fully determined by the
+  // strict (effective, seq) total order regardless of layout).
+  std::vector<Buffered> reorder_;
   std::uint64_t next_seq_ = 0;
   Timestamp max_seen_{std::numeric_limits<std::int64_t>::min()};
   Timestamp last_released_{std::numeric_limits<std::int64_t>::min()};
@@ -190,6 +211,27 @@ class StreamingFlowAssembler {
   bool finished_ = false;
 
   StreamingAssemblerStats stats_;
+};
+
+/// Serializable snapshot of a StreamingFlowAssembler — every member the
+/// streaming core owns, in a shape the checkpoint format can walk. Open
+/// flows are listed in LRU order (front = least recently active); the
+/// derived indexes (tuple map, start multiset, packet tally) are rebuilt on
+/// import. `reorder` is the raw heap array, restored verbatim.
+struct StreamingAssemblerState {
+  std::optional<Packet> pending;  ///< clamp-stage look-ahead slot
+  std::uint64_t decided = 0;
+  Timestamp running_max{std::numeric_limits<std::int64_t>::min()};
+  Timestamp prev_effective{std::numeric_limits<std::int64_t>::min()};
+  std::vector<StreamingFlowAssembler::Buffered> reorder;
+  std::uint64_t next_seq = 0;
+  Timestamp max_seen{std::numeric_limits<std::int64_t>::min()};
+  Timestamp last_released{std::numeric_limits<std::int64_t>::min()};
+  std::optional<Timestamp> first_release;
+  std::vector<FlowRecord> open;  ///< LRU order, least recently active first
+  std::vector<FlowRecord> sealed;
+  bool finished = false;
+  StreamingAssemblerStats stats;
 };
 
 /// Assembles a capture into flow records.

@@ -1,5 +1,7 @@
 #include "behaviot/net/domain_resolver.hpp"
 
+#include <algorithm>
+
 #include "behaviot/net/dns.hpp"
 #include "behaviot/net/tls.hpp"
 #include "behaviot/obs/metrics.hpp"
@@ -41,6 +43,35 @@ std::string DomainResolver::resolve(Ipv4Addr ip) const {
   if (auto it = reverse_dns_.find(ip.value()); it != reverse_dns_.end())
     return it->second;
   return {};
+}
+
+namespace {
+
+std::vector<std::pair<std::uint32_t, std::string>> sorted_bindings(
+    const std::unordered_map<std::uint32_t, std::string>& map) {
+  std::vector<std::pair<std::uint32_t, std::string>> out(map.begin(),
+                                                         map.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+DomainResolverState DomainResolver::export_state() const {
+  DomainResolverState s;
+  s.dns = sorted_bindings(from_dns_);
+  s.sni = sorted_bindings(from_sni_);
+  s.reverse_dns = sorted_bindings(reverse_dns_);
+  return s;
+}
+
+void DomainResolver::import_state(const DomainResolverState& state) {
+  from_dns_.clear();
+  from_sni_.clear();
+  reverse_dns_.clear();
+  from_dns_.insert(state.dns.begin(), state.dns.end());
+  from_sni_.insert(state.sni.begin(), state.sni.end());
+  reverse_dns_.insert(state.reverse_dns.begin(), state.reverse_dns.end());
 }
 
 }  // namespace behaviot

@@ -8,10 +8,21 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "behaviot/net/packet.hpp"
 
 namespace behaviot {
+
+/// Serializable snapshot of a DomainResolver's binding maps
+/// (checkpointing). Entries are sorted by address so export is
+/// deterministic regardless of hash-map iteration order.
+struct DomainResolverState {
+  std::vector<std::pair<std::uint32_t, std::string>> dns;
+  std::vector<std::pair<std::uint32_t, std::string>> sni;
+  std::vector<std::pair<std::uint32_t, std::string>> reverse_dns;
+};
 
 class DomainResolver {
  public:
@@ -29,6 +40,10 @@ class DomainResolver {
 
   [[nodiscard]] std::size_t dns_bindings() const { return from_dns_.size(); }
   [[nodiscard]] std::size_t sni_bindings() const { return from_sni_.size(); }
+
+  /// Snapshot / restore of the three binding maps (checkpointing).
+  [[nodiscard]] DomainResolverState export_state() const;
+  void import_state(const DomainResolverState& state);
 
  private:
   std::unordered_map<std::uint32_t, std::string> from_dns_;

@@ -337,6 +337,39 @@ PcapReader::PcapReader(std::istream& in, const PcapReaderOptions& options)
     throw ParseError("pcap: unsupported link type", 20);
   }
   pos_ = 24;
+  if (options.resume_offset > 0) {
+    if (options.resume_offset < 24) {
+      throw ParseError("pcap: resume offset inside the global header",
+                       options.resume_offset);
+    }
+    const std::uint64_t target = options.resume_offset;
+    if (target <= base_offset_ + end_) {
+      pos_ = static_cast<std::size_t>(target - base_offset_);
+    } else {
+      // Drop the buffer and skip forward on the stream without reading the
+      // skipped records into memory. In tail mode the target may lie past
+      // the file's current end — wait for growth like any other tail read.
+      base_offset_ += end_;
+      pos_ = end_ = 0;
+      while (base_offset_ < target) {
+        if (!in_->good()) {
+          if (!on_eof_ || !on_eof_()) {
+            throw ParseError("pcap: resume offset beyond end of capture",
+                             target);
+          }
+          in_->clear();
+        }
+        in_->ignore(static_cast<std::streamsize>(
+            std::min<std::uint64_t>(target - base_offset_, 1u << 20)));
+        const auto got = static_cast<std::uint64_t>(in_->gcount());
+        base_offset_ += got;
+        if (got == 0 && !on_eof_) {
+          throw ParseError("pcap: resume offset beyond end of capture",
+                           target);
+        }
+      }
+    }
+  }
 }
 
 bool PcapReader::ensure(std::size_t need) {

@@ -70,6 +70,14 @@ struct PcapReaderOptions {
   /// typically sleeps a poll interval first) — or false to accept end of
   /// stream. Unset = plain EOF behavior.
   std::function<bool()> on_eof;
+  /// Checkpoint resume: after validating the 24-byte global header, skip
+  /// straight to this absolute file offset (a record boundary recorded by
+  /// consumed_offset()) before yielding the first packet. Must be >= 24
+  /// when non-zero; 0 = start at the first record. An offset beyond the end
+  /// of the capture throws ParseError — unless `on_eof` is set, in which
+  /// case the reader waits for the file to grow, exactly like a mid-record
+  /// tail read.
+  std::uint64_t resume_offset = 0;
 };
 
 class PcapReader {
@@ -86,6 +94,12 @@ class PcapReader {
   [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
   /// Current internal buffer footprint; bounded by max(chunk, one record).
   [[nodiscard]] std::size_t buffer_capacity() const { return buf_.capacity(); }
+  /// Absolute file offset of the next unconsumed byte: every record before
+  /// it has been fully yielded by next(). A checkpoint stores this value;
+  /// resume passes it back as PcapReaderOptions::resume_offset.
+  [[nodiscard]] std::uint64_t consumed_offset() const {
+    return base_offset_ + pos_;
+  }
 
  private:
   bool ensure(std::size_t need);

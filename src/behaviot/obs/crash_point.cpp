@@ -1,0 +1,23 @@
+#include "behaviot/obs/crash_point.hpp"
+
+#include <atomic>
+
+namespace behaviot::obs {
+
+namespace {
+
+std::atomic<CrashPointHook> g_hook{nullptr};
+
+}  // namespace
+
+void set_crash_point_hook(CrashPointHook hook) {
+  g_hook.store(hook, std::memory_order_release);
+}
+
+void crash_point(const char* point) {
+  if (CrashPointHook hook = g_hook.load(std::memory_order_acquire)) {
+    hook(point);
+  }
+}
+
+}  // namespace behaviot::obs

@@ -1,0 +1,29 @@
+// Named crash points for crash-recovery testing.
+//
+// Durability code (checkpoint write, rotation, the window sink) announces
+// the moments a crash would be most interesting by calling
+// `crash_point("checkpoint.before_rotate")` etc. In production the call is
+// a single relaxed atomic load of a null pointer — effectively free. Under
+// test, the chaos layer installs a hook (see FaultInjector::arm_crash_points)
+// that SIGKILLs the process at a chosen point's Nth hit, and the
+// crash-recovery suite asserts that resuming from the surviving checkpoint
+// reproduces the uninterrupted alert stream byte for byte.
+//
+// Lives in obs (not chaos) so core/flow code can fire points without
+// linking the chaos library; chaos links obs and installs the hook.
+#pragma once
+
+namespace behaviot::obs {
+
+/// Hook invoked with the point name on every crash_point() hit.
+using CrashPointHook = void (*)(const char* point);
+
+/// Installs (or, with nullptr, removes) the process-wide hook. Not
+/// thread-safe against concurrent crash_point() racing the *first* install;
+/// arm before starting the pipeline, as the chaos layer does.
+void set_crash_point_hook(CrashPointHook hook);
+
+/// Fires a named crash point. No-op (one atomic load) when no hook is set.
+void crash_point(const char* point);
+
+}  // namespace behaviot::obs

@@ -85,6 +85,14 @@ void HealthRegistry::reset() {
   components_.clear();
 }
 
+void HealthRegistry::restore(const HealthSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  components_.clear();
+  for (const ComponentHealth& c : snap.components) {
+    components_.emplace(c.component, c);
+  }
+}
+
 HealthSnapshot HealthRegistry::snapshot() const {
   HealthSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);

@@ -78,6 +78,12 @@ class HealthRegistry {
   /// Forgets everything — the next run starts healthy.
   void reset();
 
+  /// Replaces the registry contents with a previously captured snapshot
+  /// (checkpoint resume): the restored process reports the same component
+  /// states, reasons, and incident counts the checkpointed one did, so
+  /// escalate-only semantics hold across a crash/restart boundary.
+  void restore(const HealthSnapshot& snap);
+
   [[nodiscard]] HealthSnapshot snapshot() const;
 
  private:

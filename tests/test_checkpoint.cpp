@@ -1,0 +1,462 @@
+// Crash-safety tests for the `.bbc` watch-checkpoint format and the
+// kill/resume invariant: a daemon killed with SIGKILL at any checkpoint
+// instant and resumed from the written checkpoint must produce an alert
+// stream byte-identical to the uninterrupted run — at any thread count and
+// any ingest chunking. The format half of the suite hammers the image
+// itself: truncations at every section boundary, bit flips, missing and
+// unknown sections, rotation fallback.
+#include "behaviot/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "behaviot/analysis/alert_report.hpp"
+#include "behaviot/core/binary_io.hpp"
+#include "behaviot/core/model_handle.hpp"
+#include "behaviot/core/serialize.hpp"
+#include "behaviot/core/serialize_binary.hpp"
+#include "behaviot/core/watch_engine.hpp"
+#include "behaviot/flow/assembler.hpp"
+#include "behaviot/obs/health.hpp"
+#include "behaviot/runtime/runtime.hpp"
+#include "behaviot/testbed/datasets.hpp"
+
+namespace behaviot {
+namespace {
+
+constexpr std::int64_t kWindowUs = 30 * 60 * 1'000'000LL;
+
+const binio::ImageFormat kBbcFormat{kCheckpointMagic, kCheckpointFormatVersion,
+                                    "bbc", "watch checkpoint"};
+
+/// Shared fixture, built once per binary (heavy: trains real periodic
+/// models from generated idle traffic; mirrors test_watch so alerts exist).
+struct CheckpointFixture {
+  BehaviorModelSet models;
+  std::vector<Packet> eval_packets;
+};
+
+const CheckpointFixture& fixture() {
+  static const CheckpointFixture* fx = [] {
+    auto* f = new CheckpointFixture;
+    const auto train = testbed::Datasets::idle(/*seed=*/11, /*days=*/0.5);
+    DomainResolver train_resolver;
+    const auto train_flows =
+        FlowAssembler().assemble(train.packets, train_resolver);
+    f->models.periodic = PeriodicModelSet::infer(train_flows, 0.5 * 86400.0);
+    f->eval_packets =
+        testbed::Datasets::routine_week(/*seed=*/23, /*days=*/0.25).packets;
+    return f;
+  }();
+  return *fx;
+}
+
+WatchOptions watch_options() {
+  WatchOptions opts;
+  opts.window_us = kWindowUs;
+  opts.retrain_every_windows = 4;
+  return opts;
+}
+
+WatchCheckpoint make_checkpoint(const WatchEngine& engine,
+                                const ModelHandle& handle,
+                                const WatchOptions& opts,
+                                std::uint64_t input_offset,
+                                std::span<const DeviationAlert> alerts) {
+  WatchCheckpoint cp;
+  cp.options.window_us = opts.window_us;
+  cp.options.retrain_every_windows = opts.retrain_every_windows;
+  cp.options.burst_gap_us = opts.assembler.base.burst_gap_us;
+  cp.options.drop_infrastructure = opts.assembler.base.drop_infrastructure;
+  cp.options.max_ts_regression_us = opts.assembler.base.max_ts_regression_us;
+  cp.options.reorder_horizon_us = opts.assembler.reorder_horizon_us;
+  cp.options.max_open_flows = opts.assembler.max_open_flows;
+  cp.options.max_buffered_packets = opts.assembler.max_buffered_packets;
+  cp.engine = engine.export_state();
+  cp.models_image = save_models_binary(*handle.acquire());
+  cp.model_version = handle.version();
+  cp.input_offset = input_offset;
+  cp.alerts_json = alerts_to_json(alerts);
+  obs::ComponentHealth synthetic;
+  synthetic.component = "watch.test";
+  synthetic.state = obs::ComponentState::kDegraded;
+  synthetic.reasons = {"synthetic incident for round-trip coverage"};
+  synthetic.incidents = 3;
+  cp.health.components = {synthetic};
+  return cp;
+}
+
+/// One serialized checkpoint from the reference run, with the number of
+/// packets that were inside engine state when it was taken (the engine-level
+/// stand-in for the CLI's pcap byte offset).
+struct TakenCheckpoint {
+  std::string bytes;
+  std::size_t fed = 0;
+};
+
+struct ReferenceRun {
+  std::vector<DeviationAlert> alerts;
+  std::vector<TakenCheckpoint> checkpoints;
+};
+
+/// The uninterrupted run: ingest in `chunk`-sized pieces and serialize a
+/// full checkpoint at every window sink — exactly where the CLI writes its
+/// rotating file. The fed-packet count is captured before each ingest()
+/// because the sink fires inside it, with the whole chunk in engine state.
+ReferenceRun run_checkpointed(const BehaviorModelSet& models,
+                              const std::vector<Packet>& packets,
+                              const WatchOptions& opts, std::size_t chunk) {
+  ModelHandle handle(models);
+  WatchEngine engine(handle, DomainResolver{}, opts);
+  ReferenceRun run;
+  std::size_t fed = 0;
+  engine.set_window_sink([&](const WatchWindowReport& r) {
+    run.alerts.insert(run.alerts.end(), r.alerts.begin(), r.alerts.end());
+    const WatchCheckpoint cp =
+        make_checkpoint(engine, handle, opts, fed, run.alerts);
+    run.checkpoints.push_back({save_checkpoint(cp), fed});
+  });
+  const std::span<const Packet> all(packets);
+  for (std::size_t i = 0; i < all.size() && !engine.done(); i += chunk) {
+    const auto part = all.subspan(i, std::min(chunk, all.size() - i));
+    fed = i + part.size();
+    engine.ingest(part);
+  }
+  engine.finish();
+  return run;
+}
+
+struct ResumeResult {
+  std::vector<DeviationAlert> alerts;  ///< emitted after the resume point
+  std::size_t alerts_before = 0;       ///< checkpointed alert count
+};
+
+/// The kill -9 + resume side: everything the fresh process has is the .bbc
+/// image and the capture tail. Models come from the embedded image, the
+/// engine from import_state(), and the remaining packets replay from the
+/// checkpointed position.
+ResumeResult resume_and_finish(const std::string& bbc,
+                               const std::vector<Packet>& packets,
+                               std::size_t chunk) {
+  WatchCheckpoint cp = load_checkpoint(binio::as_bytes(bbc));
+  ModelHandle handle{BehaviorModelSet{}};
+  handle.restore(load_models_binary(binio::as_bytes(cp.models_image)),
+                 cp.model_version);
+  WatchOptions opts;
+  opts.window_us = cp.options.window_us;
+  opts.retrain_every_windows =
+      static_cast<std::size_t>(cp.options.retrain_every_windows);
+  opts.assembler.base.burst_gap_us = cp.options.burst_gap_us;
+  opts.assembler.base.drop_infrastructure = cp.options.drop_infrastructure;
+  opts.assembler.base.max_ts_regression_us = cp.options.max_ts_regression_us;
+  opts.assembler.reorder_horizon_us = cp.options.reorder_horizon_us;
+  opts.assembler.max_open_flows =
+      static_cast<std::size_t>(cp.options.max_open_flows);
+  opts.assembler.max_buffered_packets =
+      static_cast<std::size_t>(cp.options.max_buffered_packets);
+  WatchEngine engine(handle, DomainResolver{}, opts);
+  ResumeResult result;
+  result.alerts_before = cp.engine.alerts;
+  engine.import_state(std::move(cp.engine));
+  engine.set_window_sink([&](const WatchWindowReport& r) {
+    result.alerts.insert(result.alerts.end(), r.alerts.begin(),
+                         r.alerts.end());
+  });
+  const std::span<const Packet> rest =
+      std::span<const Packet>(packets).subspan(
+          static_cast<std::size_t>(cp.input_offset));
+  for (std::size_t i = 0; i < rest.size() && !engine.done(); i += chunk) {
+    engine.ingest(rest.subspan(i, std::min(chunk, rest.size() - i)));
+  }
+  engine.finish();
+  return result;
+}
+
+void expect_same_alerts(std::span<const DeviationAlert> a,
+                        std::span<const DeviationAlert> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source) << i;
+    EXPECT_EQ(a[i].when, b[i].when) << i;
+    EXPECT_EQ(a[i].device, b[i].device) << i;
+    EXPECT_EQ(a[i].score, b[i].score) << i;  // byte-identical, not near
+    EXPECT_EQ(a[i].threshold, b[i].threshold) << i;
+    EXPECT_EQ(a[i].context, b[i].context) << i;
+  }
+}
+
+/// One full checkpoint the format tests dissect (taken mid-run, after a
+/// retrain swap, so every section carries real content).
+const std::string& reference_image() {
+  static const std::string* image = [] {
+    const auto& fx = fixture();
+    const auto run = run_checkpointed(fx.models, fx.eval_packets,
+                                      watch_options(), 1024);
+    EXPECT_GE(run.checkpoints.size(), 6u);
+    return new std::string(
+        run.checkpoints[run.checkpoints.size() / 2].bytes);
+  }();
+  return *image;
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole invariant: kill at any checkpoint instant, resume, and the
+// alert stream continues byte-identically — at 1 and 8 threads, under two
+// unrelated chunkings, across every kill point.
+
+TEST(CheckpointKillMatrix, ResumeMatchesUninterruptedRunAtEveryKillPoint) {
+  const auto& fx = fixture();
+  const std::size_t before = runtime::global_threads();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    runtime::set_global_threads(threads);
+    for (const std::size_t chunk : {std::size_t{311}, std::size_t{1024}}) {
+      const auto base =
+          run_checkpointed(fx.models, fx.eval_packets, watch_options(), chunk);
+      ASSERT_GE(base.checkpoints.size(), 8u);
+      ASSERT_FALSE(base.alerts.empty());
+      for (std::size_t k = 0; k < base.checkpoints.size(); ++k) {
+        const auto resumed =
+            resume_and_finish(base.checkpoints[k].bytes, fx.eval_packets,
+                              chunk);
+        ASSERT_LE(resumed.alerts_before, base.alerts.size())
+            << "kill point " << k;
+        SCOPED_TRACE(::testing::Message()
+                     << "threads " << threads << " chunk " << chunk
+                     << " kill point " << k);
+        expect_same_alerts(resumed.alerts,
+                           std::span<const DeviationAlert>(base.alerts)
+                               .subspan(resumed.alerts_before));
+      }
+    }
+  }
+  runtime::set_global_threads(before);
+}
+
+TEST(CheckpointKillMatrix, ResumeChunkingIsIrrelevant) {
+  // The resumed process need not replay with the chunking the dead one
+  // used: boundaries carry no meaning, so a 1024-chunk run resumed with
+  // 311-packet chunks (and vice versa) still continues byte-identically.
+  const auto& fx = fixture();
+  const auto base =
+      run_checkpointed(fx.models, fx.eval_packets, watch_options(), 1024);
+  ASSERT_GE(base.checkpoints.size(), 4u);
+  const auto& mid = base.checkpoints[base.checkpoints.size() / 2];
+  const auto resumed = resume_and_finish(mid.bytes, fx.eval_packets, 311);
+  expect_same_alerts(resumed.alerts,
+                     std::span<const DeviationAlert>(base.alerts)
+                         .subspan(resumed.alerts_before));
+}
+
+// ---------------------------------------------------------------------------
+// Format round-trip and damage handling.
+
+TEST(CheckpointFormat, SaveLoadSaveIsByteIdentical) {
+  const std::string& image = reference_image();
+  const WatchCheckpoint cp = load_checkpoint(binio::as_bytes(image));
+  EXPECT_EQ(save_checkpoint(cp), image);
+  // Spot-check the restored content is real, not default.
+  EXPECT_GT(cp.engine.windows, 0u);
+  EXPECT_EQ(cp.options.window_us, kWindowUs);
+  EXPECT_EQ(cp.options.retrain_every_windows, 4u);
+  EXPECT_FALSE(cp.models_image.empty());
+  EXPECT_FALSE(cp.engine.monitor.last_seen.empty());
+  EXPECT_FALSE(cp.health.components.empty());
+  EXPECT_EQ(cp.health.components.front().component, "watch.test");
+  const BehaviorModelSet models =
+      load_models_binary(binio::as_bytes(cp.models_image));
+  EXPECT_GT(models.periodic.size(), 0u);
+}
+
+TEST(CheckpointFormat, TruncationAtEveryBoundaryThrowsInBothPolicies) {
+  const std::string& image = reference_image();
+  const auto layout = binio::parse_layout(binio::as_bytes(image), kBbcFormat);
+  std::vector<std::size_t> cuts = {0, 1, binio::kHeaderSize - 1,
+                                   binio::kHeaderSize};
+  for (const auto& s : layout.sections) {
+    cuts.push_back(s.offset - 1);
+    cuts.push_back(s.offset);
+    cuts.push_back(s.offset + s.size / 2);
+    cuts.push_back(s.offset + s.size - 1);
+    cuts.push_back(s.offset + s.size);
+  }
+  cuts.push_back(layout.payload_end);
+  cuts.push_back(image.size() - 1);
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, image.size());
+    const auto prefix = binio::as_bytes(image).first(cut);
+    // A truncated image is structural damage — no policy may salvage it,
+    // and none may crash or allocate unboundedly on it.
+    EXPECT_THROW((void)load_checkpoint(prefix, ParsePolicy::kStrict),
+                 SerializationError)
+        << "cut at " << cut;
+    EXPECT_THROW((void)load_checkpoint(prefix, ParsePolicy::kLenient),
+                 SerializationError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointFormat, BitFlipsNeverPassTheStrictLoad) {
+  const std::string& image = reference_image();
+  for (std::size_t at = 4; at < image.size(); at += 101) {
+    std::string damaged = image;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x5a);
+    EXPECT_THROW(
+        (void)load_checkpoint(binio::as_bytes(damaged), ParsePolicy::kStrict),
+        SerializationError)
+        << "flip at " << at;
+  }
+}
+
+/// Slices the reference image back into (id, payload) pairs so individual
+/// sections can be dropped, damaged, or augmented and the image rebuilt
+/// with a consistent table and CRC.
+std::vector<std::pair<std::uint32_t, std::string>> reference_sections() {
+  const std::string& image = reference_image();
+  const auto layout = binio::parse_layout(binio::as_bytes(image), kBbcFormat);
+  std::vector<std::pair<std::uint32_t, std::string>> sections;
+  for (const auto& s : layout.sections) {
+    sections.emplace_back(s.id, image.substr(s.offset, s.size));
+  }
+  return sections;
+}
+
+TEST(CheckpointFormat, UnknownSectionsAreSkippedForForwardCompat) {
+  auto sections = reference_sections();
+  sections.emplace_back(99u, std::string("payload from a future version"));
+  const std::string extended = binio::build_image(kBbcFormat, sections);
+  const WatchCheckpoint cp = load_checkpoint(binio::as_bytes(extended));
+  // Everything the loader understands round-trips untouched.
+  EXPECT_EQ(save_checkpoint(cp), reference_image());
+}
+
+TEST(CheckpointFormat, MissingRequiredSectionThrowsByName) {
+  for (const std::uint32_t drop :
+       {kCkptSectionEngine, kCkptSectionAssembler, kCkptSectionMonitor,
+        kCkptSectionResolver, kCkptSectionModels, kCkptSectionFrontend,
+        kCkptSectionRetrain}) {
+    auto sections = reference_sections();
+    std::erase_if(sections, [&](const auto& s) { return s.first == drop; });
+    const std::string gutted = binio::build_image(kBbcFormat, sections);
+    for (const auto policy : {ParsePolicy::kStrict, ParsePolicy::kLenient}) {
+      try {
+        (void)load_checkpoint(binio::as_bytes(gutted), policy);
+        FAIL() << "section " << drop << " missing but load succeeded";
+      } catch (const SerializationError& e) {
+        EXPECT_NE(std::string(e.what()).find("missing required section"),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+  }
+}
+
+TEST(CheckpointFormat, DamagedHealthSectionIsDroppedOnlyLeniently) {
+  // Chop bytes off the (optional) health payload and rebuild, so the CRC is
+  // valid and only that one section is internally broken: a resume cannot
+  // be blocked by damaged telemetry, but strict parsing must still object.
+  auto sections = reference_sections();
+  bool found = false;
+  for (auto& [id, payload] : sections) {
+    if (id == kCkptSectionHealth) {
+      ASSERT_GE(payload.size(), 4u);
+      payload.resize(payload.size() - 3);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const std::string damaged = binio::build_image(kBbcFormat, sections);
+  EXPECT_THROW(
+      (void)load_checkpoint(binio::as_bytes(damaged), ParsePolicy::kStrict),
+      SerializationError);
+  ParseStats stats;
+  const WatchCheckpoint cp =
+      load_checkpoint(binio::as_bytes(damaged), ParsePolicy::kLenient, &stats);
+  EXPECT_EQ(stats.sections_dropped, 1u);
+  EXPECT_TRUE(cp.health.components.empty());
+  EXPECT_GT(cp.engine.windows, 0u);  // the rest loaded intact
+}
+
+// ---------------------------------------------------------------------------
+// Rotation and the resilient read side.
+
+TEST(CheckpointRotation, KeepsOneIntactGenerationThroughDamage) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "behaviot_checkpoint_rotation";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "state.bbc").string();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".prev");
+
+  const std::string& image = reference_image();
+  WatchCheckpoint first = load_checkpoint(binio::as_bytes(image));
+  WatchCheckpoint second = load_checkpoint(binio::as_bytes(image));
+  second.input_offset = first.input_offset + 12345;
+
+  std::string error;
+  ASSERT_TRUE(write_checkpoint_rotating(path, first, &error)) << error;
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));
+  ASSERT_TRUE(write_checkpoint_rotating(path, second, &error)) << error;
+  EXPECT_TRUE(std::filesystem::exists(path + ".prev"));
+
+  // Healthy: the newest generation wins.
+  std::string source;
+  WatchCheckpoint loaded = load_checkpoint_resilient(path, &source);
+  EXPECT_EQ(source, path);
+  EXPECT_EQ(loaded.input_offset, second.input_offset);
+
+  // FILE torn mid-write (truncated): fall back to FILE.prev.
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(image.data(), 100);
+  }
+  loaded = load_checkpoint_resilient(path, &source);
+  EXPECT_EQ(source, path + ".prev");
+  EXPECT_EQ(loaded.input_offset, first.input_offset);
+
+  // FILE gone entirely (killed between rename and write): same fallback.
+  std::filesystem::remove(path);
+  loaded = load_checkpoint_resilient(path, &source);
+  EXPECT_EQ(source, path + ".prev");
+  EXPECT_EQ(loaded.input_offset, first.input_offset);
+
+  // Neither generation usable: the primary failure is reported.
+  std::filesystem::remove(path + ".prev");
+  EXPECT_THROW((void)load_checkpoint_resilient(path), SerializationError);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version compatibility: a checkpoint written by the version that
+// introduced the format must keep loading (the CI compat job runs this
+// standalone against the checked-in golden file).
+
+TEST(CheckpointGolden, CheckedInCheckpointStillLoads) {
+  const std::string path =
+      std::string(BEHAVIOT_TEST_DATA_DIR) + "/golden_checkpoint.bbc";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden checkpoint: " << path;
+  const std::string image((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_FALSE(image.empty());
+  const WatchCheckpoint cp = load_checkpoint(binio::as_bytes(image));
+  EXPECT_GT(cp.engine.windows, 0u);
+  EXPECT_GT(cp.input_offset, 0u);
+  EXPECT_FALSE(cp.models_image.empty());
+  const BehaviorModelSet models =
+      load_models_binary(binio::as_bytes(cp.models_image));
+  EXPECT_GT(models.periodic.size(), 0u);
+  // The byte-identity contract extends to re-serialization: writing the
+  // loaded golden back out reproduces it exactly.
+  EXPECT_EQ(save_checkpoint(cp), image);
+}
+
+}  // namespace
+}  // namespace behaviot

@@ -63,12 +63,16 @@
 // loss, feature corruption...) before processing — the graceful-degradation
 // paths then show up in the health report instead of as crashes.
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -79,8 +83,11 @@
 #include <string>
 #include <thread>
 
+#include <sys/stat.h>
+
 #include "behaviot/analysis/alert_report.hpp"
 #include "behaviot/chaos/fault_injector.hpp"
+#include "behaviot/core/checkpoint.hpp"
 #include "behaviot/core/model_handle.hpp"
 #include "behaviot/core/mud_profile.hpp"
 #include "behaviot/core/pipeline.hpp"
@@ -89,6 +96,7 @@
 #include "behaviot/core/watch_engine.hpp"
 #include "behaviot/deviation/monitor.hpp"
 #include "behaviot/net/pcap.hpp"
+#include "behaviot/obs/crash_point.hpp"
 #include "behaviot/obs/export.hpp"
 #include "behaviot/obs/health.hpp"
 #include "behaviot/obs/metrics.hpp"
@@ -119,6 +127,19 @@ struct WatchStatus {
   std::string json = "null";
 };
 
+/// Graceful-shutdown flag for `watch`. The first SIGINT/SIGTERM asks the
+/// stream loop to stop: the current window is finished and every snapshot —
+/// alerts, metrics, trace, checkpoint — is flushed before a clean exit 0.
+/// A second signal aborts immediately with the conventional 128+SIGINT
+/// code (no flushing; equivalent to a crash, which --resume recovers from).
+std::atomic<int> g_signal_count{0};
+
+extern "C" void handle_watch_signal(int) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    std::_Exit(130);
+  }
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: behaviot <simulate|train|show|score|watch|mud|check"
@@ -147,11 +168,43 @@ int usage() {
                "      --metrics/--trace snapshot as FILE.<window> once it"
                " exceeds N\n"
                "      bytes, keeping the newest K archives (default 3)]\n"
+               "      [--checkpoint FILE.bbc [--checkpoint-every N]   write"
+               " a durable\n"
+               "      checkpoint (engine state + pinned models + capture"
+               " cursor) after\n"
+               "      every N closed windows (default 1), rotating FILE ->"
+               " FILE.prev so\n"
+               "      a kill -9 mid-write always leaves one intact"
+               " generation]\n"
+               "      [--resume FILE.bbc   restore a checkpointed run and"
+               " continue it:\n"
+               "      the capture replays from the checkpointed byte offset"
+               " and the\n"
+               "      alert stream continues byte-identically to the"
+               " uninterrupted run\n"
+               "      (--models becomes optional; the checkpoint embeds the"
+               " models)]\n"
+               "      [--retrain-timeout-s S   abandon a background retrain"
+               " still\n"
+               "      running S seconds after launch — prior models keep"
+               " scoring and\n"
+               "      the next interval retries (0 = wait, fully"
+               " deterministic)]\n"
+               "      [--reopen-backoff-max-ms MS   cap on the exponential"
+               " backoff\n"
+               "      used when a --follow input is rotated, truncated or"
+               " unreadable\n"
+               "      (default 5000); the daemon reopens instead of"
+               " exiting]\n"
                "      stream the capture (tail it with --follow 1), score"
                " each closed\n"
                "      W-second window, retrain + hot-swap models every"
                " --retrain-every\n"
-               "      windows; --alerts is rewritten after every window\n"
+               "      windows; --alerts is rewritten after every window."
+               " SIGTERM/SIGINT\n"
+               "      finish the current window and flush every snapshot"
+               " before exit 0\n"
+               "      (a second signal exits immediately)\n"
                "  mud      --models MODELS --device NAME\n"
                "  check    --models MODELS --capture FILE.pcap"
                " --device NAME\n"
@@ -172,7 +225,12 @@ int usage() {
                "      name=value: drop/dup/reorder/regress/dnsloss/flap/"
                "truncate/nan/inf/\n"
                "      throw (probabilities in [0,1]), skew (clock drift,"
-               " ppm), seed.\n"
+               " ppm), seed,\n"
+               "      crash=POINT + crashn=K (SIGKILL the process at the"
+               " K-th hit of a\n"
+               "      named crash point, e.g. checkpoint.after_rotate — for"
+               " crash-\n"
+               "      recovery testing with watch --resume).\n"
                "      Example: --chaos drop=0.01,reorder=0.005,seed=42."
                " Injected faults\n"
                "      surface in the health report, never as crashes\n"
@@ -528,11 +586,14 @@ int cmd_score(const std::map<std::string, std::string>& flags) {
 /// bounded PcapReader + StreamingFlowAssembler, evaluate each window as the
 /// stream clock closes it, and hot-swap retrained models between windows.
 int cmd_watch(const std::map<std::string, std::string>& flags) {
-  if (flags.count("models") == 0 || flags.count("capture") == 0) {
+  const bool resuming = flags.count("resume") > 0;
+  if (flags.count("capture") == 0 ||
+      (!resuming && flags.count("models") == 0)) {
     return usage();
   }
   // Numeric flags first (usage errors exit 2 before any file is touched),
-  // then the model load.
+  // then the checkpoint load (whose pinned option grid overrides the
+  // deterministic knobs), then the model load.
   WatchOptions opts;
   if (flags.count("window-s")) {
     opts.window_us = seconds(parse_positive(flags, "window-s", 1.0));
@@ -563,15 +624,80 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
   if (flags.count("publish-models")) {
     opts.publish_models_path = flags.at("publish-models");
   }
+  if (flags.count("retrain-timeout-s")) {
+    opts.retrain_timeout_s = parse_non_negative(flags, "retrain-timeout-s",
+                                                0.0);
+  }
   const long poll_ms = static_cast<long>(parse_count(flags, "poll-ms", 200));
+  const long reopen_backoff_max_ms = static_cast<long>(std::max<std::uint64_t>(
+      1, parse_count(flags, "reopen-backoff-max-ms", 5000)));
+  const std::string checkpoint_path =
+      flags.count("checkpoint") ? flags.at("checkpoint") : "";
+  const std::uint64_t checkpoint_every =
+      parse_count(flags, "checkpoint-every", 1);
+  if (checkpoint_every == 0) {
+    reject_flag("checkpoint-every", flags.at("checkpoint-every"),
+                "a positive window count");
+  }
   obs::SnapshotRotation rotation;
   rotation.max_bytes = parse_count(flags, "rotate-max-bytes", 0);
   rotation.keep =
       static_cast<std::size_t>(parse_count(flags, "rotate-keep", 3));
 
-  ModelHandle handle(
-      load_models_reporting(flags.at("models"), parse_policy(flags)));
+  // --resume: restore the whole daemon — health registry, pinned models,
+  // engine state and the capture cursor — from the newest intact checkpoint
+  // generation (FILE strictly, FILE.prev leniently as fallback).
+  std::optional<WatchCheckpoint> resume_cp;
+  if (resuming) {
+    std::string source;
+    resume_cp.emplace(load_checkpoint_resilient(flags.at("resume"), &source));
+    std::fprintf(stderr,
+                 "resume: restored %s (window %zu, input offset %llu,"
+                 " models v%llu)\n",
+                 source.c_str(), resume_cp->engine.windows,
+                 static_cast<unsigned long long>(resume_cp->input_offset),
+                 static_cast<unsigned long long>(resume_cp->model_version));
+    obs::health().restore(resume_cp->health);
+    // The checkpointed deterministic grid wins over CLI flags: the
+    // continuation must share window geometry, retrain cadence and
+    // assembler behavior with the run that wrote the checkpoint, or the
+    // byte-identity guarantee is meaningless. Operational knobs (--follow,
+    // --max-windows, --until-s, snapshot paths) stay CLI-provided.
+    opts.window_us = resume_cp->options.window_us;
+    opts.retrain_every_windows =
+        static_cast<std::size_t>(resume_cp->options.retrain_every_windows);
+    opts.assembler.base.burst_gap_us = resume_cp->options.burst_gap_us;
+    opts.assembler.base.drop_infrastructure =
+        resume_cp->options.drop_infrastructure;
+    opts.assembler.base.max_ts_regression_us =
+        resume_cp->options.max_ts_regression_us;
+    opts.assembler.reorder_horizon_us = resume_cp->options.reorder_horizon_us;
+    opts.assembler.max_open_flows =
+        static_cast<std::size_t>(resume_cp->options.max_open_flows);
+    opts.assembler.max_buffered_packets =
+        static_cast<std::size_t>(resume_cp->options.max_buffered_packets);
+  }
+
+  // The handle starts from the checkpoint's embedded .bbm image (version
+  // counter continued, so post-resume publishes number their generations
+  // exactly as the uninterrupted run would) or from --models at version 1.
+  ModelHandle handle{BehaviorModelSet{}};
+  if (resuming) {
+    const std::string& image = resume_cp->models_image;
+    handle.restore(
+        load_models_binary({reinterpret_cast<const std::uint8_t*>(
+                                image.data()),
+                            image.size()}),
+        resume_cp->model_version);
+  } else {
+    handle.restore(load_models_reporting(flags.at("models"),
+                                         parse_policy(flags)),
+                   1);
+  }
   WatchEngine engine(handle, make_resolver(), opts);
+  if (resuming) {
+    engine.import_state(std::move(resume_cp->engine));
+  }
 
   const auto& catalog = testbed::Catalog::standard();
   // Every telemetry output is rewritten atomically after each closed window
@@ -597,6 +723,69 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
     });
   }
   std::vector<DeviationAlert> all_alerts;
+  if (resuming && !resume_cp->alerts_json.empty()) {
+    // Continue the alerts document exactly where the checkpoint froze it
+    // (post-rotation state included), so the resumed daemon's snapshot
+    // files carry on byte-identically.
+    all_alerts = alerts_from_json(resume_cp->alerts_json);
+  }
+
+  // Capture-side cursor the checkpoints pin: updated right before every
+  // ingest() call, when all packets of the chunk lie below it. The sink
+  // fires inside ingest() with the whole chunk inside engine state, so a
+  // resume replaying from this offset replays no packet twice, loses none.
+  std::uint64_t input_offset = resuming ? resume_cp->input_offset : 0;
+  struct CheckpointTelemetry {
+    bool written = false;
+    std::size_t window = 0;
+    std::uint64_t bytes = 0;
+    double write_ms = 0.0;
+    std::chrono::steady_clock::time_point at{};
+  } ck;
+  auto write_checkpoint_now = [&](std::size_t window_index,
+                                  const obs::HealthSnapshot& health) {
+    if (checkpoint_path.empty()) return;
+    WatchCheckpoint cp;
+    cp.options.window_us = opts.window_us;
+    cp.options.retrain_every_windows = opts.retrain_every_windows;
+    cp.options.burst_gap_us = opts.assembler.base.burst_gap_us;
+    cp.options.drop_infrastructure = opts.assembler.base.drop_infrastructure;
+    cp.options.max_ts_regression_us = opts.assembler.base.max_ts_regression_us;
+    cp.options.reorder_horizon_us = opts.assembler.reorder_horizon_us;
+    cp.options.max_open_flows = opts.assembler.max_open_flows;
+    cp.options.max_buffered_packets = opts.assembler.max_buffered_packets;
+    cp.engine = engine.export_state();
+    cp.models_image = save_models_binary(*handle.acquire());
+    cp.model_version = handle.version();
+    cp.input_offset = input_offset;
+    cp.alerts_json = alerts_to_json(all_alerts, &health);
+    cp.health = health;
+    const auto t_begin = std::chrono::steady_clock::now();
+    obs::crash_point("window.before_checkpoint");
+    std::string error;
+    if (!write_checkpoint_rotating(checkpoint_path, cp, &error)) {
+      std::fprintf(stderr, "error: cannot write checkpoint: %s\n",
+                   error.c_str());
+      obs::health().degrade("watch.checkpoint",
+                            "checkpoint-write-failed: " + error);
+      return;
+    }
+    obs::crash_point("window.after_checkpoint");
+    ck.written = true;
+    ck.window = window_index;
+    ck.write_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t_begin)
+                      .count();
+    ck.at = std::chrono::steady_clock::now();
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(checkpoint_path, ec);
+    ck.bytes = ec ? 0 : static_cast<std::uint64_t>(size);
+    obs::counter("checkpoint.writes").inc();
+    obs::gauge("checkpoint.bytes").set(static_cast<double>(ck.bytes));
+    obs::gauge("checkpoint.last_window")
+        .set(static_cast<double>(window_index));
+    obs::histogram("checkpoint.write_ms").observe(ck.write_ms);
+  };
   engine.set_window_sink([&](const WatchWindowReport& r) {
     std::string note;
     if (r.swapped) {
@@ -629,6 +818,13 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
         // with the live file reproduces the unrotated report exactly.
         all_alerts.clear();
       }
+    }
+    if ((r.index + 1) % checkpoint_every == 0) {
+      // The window sink is the engine's quiescent point (no retrain in
+      // flight), so export_state() here is exact; the checkpoint cadence
+      // keys off the absolute window index so interrupted and uninterrupted
+      // runs checkpoint at identical instants.
+      write_checkpoint_now(r.index, health);
     }
     if (metrics_writer || g_telemetry != nullptr) {
       obs::update_process_gauges();
@@ -691,40 +887,99 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
          << ",\"alerts\":" << engine.alerts_emitted()
          << ",\"open_flows\":" << engine.open_flows()
          << ",\"buffered_packets\":" << engine.buffered_packets()
+         << ",\"retrain_failures\":" << engine.retrain_failures()
          << ",\"window_close_latency_ms\":"
          << quantiles("watch.window_close_latency_ms")
          << ",\"retrain_duration_ms\":"
-         << quantiles("watch.retrain_duration_ms") << "}";
+         << quantiles("watch.retrain_duration_ms");
+      // Checkpoint staleness: operators alert on age_s exceeding a few
+      // window widths — the daemon is alive but no longer durable.
+      js << ",\"checkpoint\":";
+      if (ck.written) {
+        js << "{\"window\":" << ck.window << ",\"bytes\":" << ck.bytes
+           << ",\"write_ms\":" << ck.write_ms << ",\"age_s\":"
+           << std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            ck.at)
+                  .count()
+           << "}";
+      } else {
+        js << "null";
+      }
+      js << "}";
       std::lock_guard<std::mutex> lock(status->mu);
       status->json = js.str();
     }
     std::fflush(stdout);
   });
 
-  std::ifstream file(flags.at("capture"), std::ios::binary);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot open %s\n",
-                 flags.at("capture").c_str());
-    return 1;
-  }
+  const std::string capture_path = flags.at("capture");
   const bool follow = flags.count("follow") && flags.at("follow") != "0";
   PcapReaderOptions ropts;
   ropts.policy = parse_policy(flags);
+
+  // Graceful shutdown: the first SIGINT/SIGTERM breaks the stream loop so
+  // the current window is finished and every snapshot (alerts, metrics,
+  // trace, checkpoint) flushed before exit 0; a second signal exits hard.
+  g_signal_count.store(0);
+  std::signal(SIGINT, handle_watch_signal);
+  std::signal(SIGTERM, handle_watch_signal);
+
+  // Follow-mode self-healing: fingerprint the input on every EOF poll. A
+  // vanished path, a shrunken file or a changed inode means the capture was
+  // rotated or truncated under us — the current reader is abandoned and the
+  // path reopened from its (new) pcap header, with capped exponential
+  // backoff between attempts.
+  struct InputFingerprint {
+    bool valid = false;
+    std::uint64_t size = 0;
+    std::uint64_t inode = 0;
+    std::uint64_t device = 0;
+  } fingerprint;
+  bool reopen_requested = false;
+  auto input_intact = [&]() {
+    struct stat st {};
+    if (::stat(capture_path.c_str(), &st) != 0) return false;
+    if (fingerprint.valid &&
+        (static_cast<std::uint64_t>(st.st_ino) != fingerprint.inode ||
+         static_cast<std::uint64_t>(st.st_dev) != fingerprint.device ||
+         static_cast<std::uint64_t>(st.st_size) < fingerprint.size)) {
+      return false;
+    }
+    fingerprint = {true, static_cast<std::uint64_t>(st.st_size),
+                   static_cast<std::uint64_t>(st.st_ino),
+                   static_cast<std::uint64_t>(st.st_dev)};
+    return true;
+  };
+  auto interruptible_sleep = [&](long ms) {
+    // Short slices so a shutdown signal cuts the wait, not one full backoff.
+    while (ms > 0 && g_signal_count.load() == 0) {
+      const long slice = std::min<long>(ms, 50);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      ms -= slice;
+    }
+  };
   if (follow) {
-    // Tail mode: at EOF sleep one poll interval and retry — the capture file
-    // may have grown. A --max-windows / --until-s stop ends the loop.
-    ropts.on_eof = [&engine, poll_ms]() {
-      if (engine.done()) return false;
-      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
-      return true;
+    // Tail mode: at EOF verify the input is still the same growing file,
+    // then sleep one poll interval and retry. A --max-windows / --until-s
+    // stop or a shutdown signal ends the loop; a rotated/truncated input
+    // requests a reopen instead.
+    ropts.on_eof = [&]() {
+      if (engine.done() || g_signal_count.load() != 0) return false;
+      if (!input_intact()) {
+        reopen_requested = true;
+        return false;
+      }
+      interruptible_sleep(poll_ms);
+      return g_signal_count.load() == 0;
     };
   }
-  PcapReader reader(file, ropts);
 
   // Chunked ingest: device annotation and chaos faults are applied per chunk,
   // exactly as load_capture() does for the batch commands.
   std::vector<Packet> chunk;
   constexpr std::size_t kChunk = 1024;
+  std::optional<std::ifstream> input;  // outlives reader (reader holds a ref)
+  std::optional<PcapReader> reader;
   auto flush_chunk = [&]() {
     if (chunk.empty()) return;
     for (Packet& p : chunk) {
@@ -732,17 +987,118 @@ int cmd_watch(const std::map<std::string, std::string>& flags) {
       if (device != nullptr) p.device = device->id;
     }
     if (g_chaos != nullptr) g_chaos->apply(chunk);
+    if (reader) input_offset = reader->consumed_offset();
     engine.ingest(chunk);
     chunk.clear();
   };
-  while (!engine.done()) {
-    auto packet = reader.next();
-    if (!packet) break;
-    chunk.push_back(*packet);
-    if (chunk.size() >= kChunk) flush_chunk();
+
+  bool first_open = true;
+  long backoff_ms = std::max<long>(1, poll_ms);
+  while (!engine.done() && g_signal_count.load() == 0) {
+    reader.reset();
+    input.emplace(capture_path, std::ios::binary);
+    if (*input) {
+      fingerprint.valid = false;
+      (void)input_intact();
+      PcapReaderOptions per_open = ropts;
+      // The checkpointed capture cursor applies to the first open only: a
+      // reopened (rotated) file is a new capture, read from its header on.
+      per_open.resume_offset =
+          (first_open && resuming) ? resume_cp->input_offset : 0;
+      try {
+        reader.emplace(*input, per_open);
+      } catch (const ParseError& e) {
+        if (!follow) throw;
+        // Truncated or half-written global header: transient in tail mode —
+        // the writer may still be producing the file.
+        std::fprintf(stderr, "watch: cannot read %s (%s) — retrying\n",
+                     capture_path.c_str(), e.what());
+      }
+    } else if (!follow) {
+      std::fprintf(stderr, "error: cannot open %s\n", capture_path.c_str());
+      return 1;
+    }
+    if (!reader) {
+      obs::counter("watch.input_reopens").inc();
+      obs::health().degrade("watch.input", "input-reopened");
+      interruptible_sleep(backoff_ms);
+      backoff_ms = std::min<long>(backoff_ms * 2, reopen_backoff_max_ms);
+      continue;
+    }
+    first_open = false;
+    reopen_requested = false;
+    bool read_error = false;
+    while (!engine.done() && g_signal_count.load() == 0) {
+      std::optional<Packet> packet;
+      try {
+        packet = reader->next();
+      } catch (const ParseError& e) {
+        if (!follow) throw;
+        std::fprintf(stderr, "watch: read error on %s (%s) — reopening\n",
+                     capture_path.c_str(), e.what());
+        read_error = true;
+        break;
+      }
+      if (!packet) break;
+      backoff_ms = std::max<long>(1, poll_ms);  // a healthy read resets it
+      chunk.push_back(*packet);
+      if (chunk.size() >= kChunk) flush_chunk();
+    }
+    if (!follow || engine.done() || g_signal_count.load() != 0) break;
+    if (!reopen_requested && !read_error) break;
+    obs::counter("watch.input_reopens").inc();
+    obs::health().degrade("watch.input", "input-reopened");
+    std::fprintf(stderr, "watch: input %s %s — reopening from the start\n",
+                 capture_path.c_str(),
+                 read_error ? "hit a read error"
+                            : "was rotated or truncated");
+    interruptible_sleep(backoff_ms);
+    backoff_ms = std::min<long>(backoff_ms * 2, reopen_backoff_max_ms);
   }
   if (!engine.done()) flush_chunk();
+  if (g_signal_count.load() != 0) {
+    std::fprintf(stderr,
+                 "watch: shutdown signal received — finishing the stream and"
+                 " flushing final snapshots\n");
+  }
   engine.finish();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  {
+    // Final snapshot flush. The sink keeps these fresh per window, but a
+    // run that closes no further window — a --resume picking up at the end
+    // of the capture, or a SIGTERM before the first close — must still
+    // leave complete documents behind.
+    const obs::HealthSnapshot health = obs::health().snapshot();
+    const std::size_t last_window =
+        engine.windows_evaluated() == 0 ? 0 : engine.windows_evaluated() - 1;
+    if (alerts_writer &&
+        !alerts_writer->write(alerts_to_json(all_alerts, &health),
+                              last_window)) {
+      std::fprintf(stderr, "error: cannot write alerts: %s\n",
+                   alerts_writer->last_error().c_str());
+    }
+    if (metrics_writer) {
+      obs::update_process_gauges();
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      const std::string& mpath = metrics_writer->path();
+      const bool prom =
+          mpath.size() >= 5 && mpath.rfind(".prom") == mpath.size() - 5;
+      if (!metrics_writer->write(prom ? obs::to_prometheus(snap, health)
+                                      : obs::to_json(snap, health),
+                                 last_window)) {
+        std::fprintf(stderr, "error: cannot write metrics: %s\n",
+                     metrics_writer->last_error().c_str());
+      }
+    }
+  }
+  if (!checkpoint_path.empty()) {
+    // Final checkpoint after the stream is fully drained, regardless of
+    // cadence: a --resume from it knows the run completed.
+    write_checkpoint_now(
+        engine.windows_evaluated() == 0 ? 0 : engine.windows_evaluated() - 1,
+        obs::health().snapshot());
+  }
 
   const StreamingAssemblerStats& st = engine.assembler_stats();
   std::printf("watched %zu windows: %llu flows, %zu alerts, %llu model"
@@ -1002,6 +1358,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     g_chaos->arm_feature_chaos();
+    g_chaos->arm_crash_points();
   }
   const auto http = flags.find("http");
   if (http != flags.end()) {
